@@ -1,0 +1,40 @@
+# svsim — Go reproduction of SV-Sim (SC '21). Stdlib-only; offline.
+
+GO ?= go
+
+.PHONY: all build vet test race bench evaluate examples fuzz clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/pgas ./internal/core ./internal/mpibase ./internal/batch
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+# Regenerate the paper's full evaluation (tables + figures) to stdout.
+evaluate:
+	$(GO) run ./cmd/svbench -exp all
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/vqe_h2
+	$(GO) run ./examples/qnn_powergrid
+	$(GO) run ./examples/scaleout
+	$(GO) run ./examples/qaoa_maxcut
+	$(GO) run ./examples/noise_validation
+
+fuzz:
+	$(GO) test -fuzz=FuzzParse -fuzztime=30s ./internal/qasm
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,78 @@
+// Command qasmdump parses an OpenQASM 2.0 file (or a named suite
+// workload), reports its structure, and optionally re-serializes it,
+// lowered to the SV-Sim basic+standard gate set or in its original
+// compound form. It is the frontend debugging tool of the toolchain.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"svsim/internal/circuit"
+	"svsim/internal/decomp"
+	"svsim/internal/gate"
+	"svsim/internal/qasm"
+	"svsim/internal/qasmbench"
+)
+
+func main() {
+	var (
+		name   = flag.String("circuit", "", "named suite workload instead of a file")
+		expand = flag.Bool("expand", false, "lower compound gates to the basic+standard set")
+		dump   = flag.Bool("dump", false, "print the circuit as OpenQASM")
+		draw   = flag.Bool("draw", false, "render the circuit as an ASCII diagram")
+		stats  = flag.Bool("stats", true, "print the gate histogram")
+	)
+	flag.Parse()
+
+	var c *circuit.Circuit
+	var err error
+	switch {
+	case *name != "":
+		var e qasmbench.Entry
+		if e, err = qasmbench.ByName(*name); err == nil {
+			c = e.Compact()
+		}
+	case flag.NArg() == 1:
+		var src []byte
+		if src, err = os.ReadFile(flag.Arg(0)); err == nil {
+			c, err = qasm.ParseNamed(strings.TrimSuffix(flag.Arg(0), ".qasm"), string(src))
+		}
+	default:
+		err = fmt.Errorf("usage: qasmdump [-circuit name | file.qasm] [-expand] [-dump]")
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "qasmdump:", err)
+		os.Exit(1)
+	}
+
+	if *expand {
+		c = decomp.Expand(c)
+	}
+	fmt.Printf("name    : %s\n", c.Name)
+	fmt.Printf("qubits  : %d\n", c.NumQubits)
+	fmt.Printf("clbits  : %d\n", c.NumClbits)
+	fmt.Printf("gates   : %d (cx=%d)\n", c.NumGates(), c.CountKind(gate.CX))
+	fmt.Printf("depth   : %d (parallelism %.1f ops/layer)\n", c.Depth(), c.Parallelism())
+	if *stats {
+		hist := c.GateHistogram()
+		kinds := make([]gate.Kind, 0, len(hist))
+		for k := range hist {
+			kinds = append(kinds, k)
+		}
+		sort.Slice(kinds, func(i, j int) bool { return hist[kinds[i]] > hist[kinds[j]] })
+		fmt.Println("histogram:")
+		for _, k := range kinds {
+			fmt.Printf("  %-8s %d\n", k, hist[k])
+		}
+	}
+	if *draw {
+		fmt.Print(circuit.Draw(c))
+	}
+	if *dump {
+		fmt.Print(qasm.Dump(c))
+	}
+}

@@ -1,0 +1,183 @@
+// Command svsim runs a quantum circuit — a named suite workload or an
+// OpenQASM 2.0 file — on one of the SV-Sim backends and reports the
+// result: timing, work/communication statistics, measurement counts, and
+// optionally the final state vector.
+//
+// Examples:
+//
+//	svsim -circuit ghz_state -shots 16
+//	svsim -circuit qft_n15 -backend scale-out -pes 8 -coalesced
+//	svsim -qasm bell.qasm -state
+//	svsim -circuit bv_n14 -backend mpi -pes 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"strings"
+
+	"svsim/internal/circuit"
+	"svsim/internal/core"
+	"svsim/internal/mpibase"
+	"svsim/internal/qasm"
+	"svsim/internal/qasmbench"
+	"svsim/internal/statevec"
+)
+
+func main() {
+	var (
+		circuitName = flag.String("circuit", "", "named workload from the QASMBench-style suite")
+		qasmFile    = flag.String("qasm", "", "OpenQASM 2.0 file to simulate")
+		listNames   = flag.Bool("list", false, "list available named workloads and exit")
+		backendName = flag.String("backend", "single", "backend: single | threaded | scale-up | scale-out | mpi | remap")
+		pes         = flag.Int("pes", 1, "device/PE/rank count for distributed backends (power of two)")
+		coalesced   = flag.Bool("coalesced", false, "use coalesced bulk transfers in the scale-out backend")
+		style       = flag.String("style", "vector", "kernel loop style: scalar | vector")
+		seed        = flag.Int64("seed", 1, "measurement random seed")
+		shots       = flag.Int("shots", 0, "sample the final state this many times")
+		printState  = flag.Bool("state", false, "print non-negligible final amplitudes")
+		compact     = flag.Bool("compact", false, "run the compact (compound-gate) form of a named workload")
+		fuse        = flag.Bool("fuse", false, "apply the gate-fusion optimization pass before running")
+	)
+	flag.Parse()
+
+	if *listNames {
+		for _, e := range qasmbench.All() {
+			fmt.Printf("%-12s n=%-3d %s\n", e.Name, e.Qubits, e.Description)
+		}
+		return
+	}
+
+	c, err := loadCircuit(*circuitName, *qasmFile, *compact)
+	if err != nil {
+		fatal(err)
+	}
+
+	ks := statevec.Vectorized
+	if *style == "scalar" {
+		ks = statevec.Scalar
+	}
+
+	if *backendName == "mpi" {
+		runMPI(c, *pes, *seed, ks, *shots, *printState)
+		return
+	}
+	if *backendName == "remap" {
+		res, err := mpibase.NewRemap(mpibase.Config{Ranks: *pes, Seed: *seed, Style: ks}).Run(c)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("circuit : %s\n", c.Summary())
+		fmt.Printf("backend : remap (%d ranks, %d bit swaps)\n", res.Ranks, res.BitSwaps)
+		fmt.Printf("elapsed : %v\n", res.Elapsed)
+		fmt.Printf("mpi     : %s\n", res.MPI)
+		report(res.State, *seed, *shots, *printState)
+		return
+	}
+
+	var backend core.Backend
+	cfg := core.Config{Seed: *seed, Style: ks, PEs: *pes, Coalesced: *coalesced, Fuse: *fuse}
+	switch *backendName {
+	case "single":
+		backend = core.NewSingleDevice(cfg)
+	case "threaded":
+		backend = core.NewThreaded(cfg)
+	case "scale-up":
+		backend = core.NewScaleUp(cfg)
+	case "scale-out":
+		backend = core.NewScaleOut(cfg)
+	default:
+		fatal(fmt.Errorf("unknown backend %q", *backendName))
+	}
+
+	res, err := backend.Run(c)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("circuit : %s\n", c.Summary())
+	fmt.Printf("backend : %s (%d PE)\n", res.Backend, res.PEs)
+	fmt.Printf("elapsed : %v\n", res.Elapsed)
+	fmt.Printf("kernels : gates=%d amps=%d bytes=%d\n", res.SV.Gates, res.SV.AmpsTouched, res.SV.BytesTouched)
+	if res.PEs > 1 {
+		fmt.Printf("comm    : %s\n", res.Comm)
+	}
+	if c.NumClbits > 0 {
+		fmt.Printf("cbits   : %0*b\n", c.NumClbits, res.Cbits)
+	}
+	report(res.State, *seed, *shots, *printState)
+}
+
+func loadCircuit(name, file string, compact bool) (*circuit.Circuit, error) {
+	switch {
+	case name != "" && file != "":
+		return nil, fmt.Errorf("use either -circuit or -qasm, not both")
+	case name != "":
+		e, err := qasmbench.ByName(name)
+		if err != nil {
+			return nil, fmt.Errorf("%v (try -list)", err)
+		}
+		if compact {
+			return e.Compact(), nil
+		}
+		return e.Build(), nil
+	case file != "":
+		src, err := os.ReadFile(file)
+		if err != nil {
+			return nil, err
+		}
+		return qasm.ParseNamed(strings.TrimSuffix(file, ".qasm"), string(src))
+	default:
+		return nil, fmt.Errorf("nothing to run: pass -circuit <name> or -qasm <file> (or -list)")
+	}
+}
+
+func runMPI(c *circuit.Circuit, ranks int, seed int64, ks statevec.KernelStyle, shots int, printState bool) {
+	res, err := mpibase.New(mpibase.Config{Ranks: ranks, Seed: seed, Style: ks}).Run(c)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("circuit : %s\n", c.Summary())
+	fmt.Printf("backend : mpi-baseline (%d ranks)\n", res.Ranks)
+	fmt.Printf("elapsed : %v\n", res.Elapsed)
+	fmt.Printf("mpi     : %s\n", res.MPI)
+	report(res.State, seed, shots, printState)
+}
+
+func report(st *statevec.State, seed int64, shots int, printState bool) {
+	if printState {
+		fmt.Println("state   :")
+		for i := 0; i < st.Dim; i++ {
+			if p := st.Probability(i); p > 1e-9 {
+				fmt.Printf("  |%0*b>  amp=%.6f%+.6fi  p=%.6f\n",
+					st.N, i, st.Re[i], st.Im[i], p)
+			}
+		}
+	}
+	if shots > 0 {
+		rng := newRNG(seed)
+		counts := st.Counts(rng, shots)
+		keys := make([]int, 0, len(counts))
+		for k := range counts {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool { return counts[keys[i]] > counts[keys[j]] })
+		fmt.Printf("samples : %d shots\n", shots)
+		for i, k := range keys {
+			if i >= 16 {
+				fmt.Printf("  ... %d more outcomes\n", len(keys)-16)
+				break
+			}
+			fmt.Printf("  |%0*b>  %d\n", st.N, k, counts[k])
+		}
+	}
+}
+
+func newRNG(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "svsim:", err)
+	os.Exit(1)
+}

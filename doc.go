@@ -1,0 +1,15 @@
+// Package svsim is a Go reproduction of "SV-Sim: Scalable PGAS-Based
+// State Vector Simulation of Quantum Circuits" (SC '21): a full
+// state-vector quantum-circuit simulator with specialized per-gate
+// kernels, an OpenQASM 2.0 frontend, a QIR-runtime interface, PGAS/SHMEM
+// and peer-access distributed backends over an instrumented symmetric
+// heap, an MPI pack-exchange baseline, the QASMBench-style workload suite
+// of the paper's Table 4, variational drivers (VQE, QNN), and a platform
+// performance model that regenerates every figure of the paper's
+// evaluation from measured execution traces.
+//
+// The public surface lives in the subpackages under internal/ (this is a
+// research reproduction, versioned as a single module); cmd/svsim,
+// cmd/svbench, and cmd/qasmdump are the executables, and examples/ holds
+// runnable walkthroughs. See README.md, DESIGN.md, and EXPERIMENTS.md.
+package svsim

@@ -1,0 +1,93 @@
+package svsim_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// End-to-end smoke tests: build the real binaries and drive them the way
+// a user would. Skipped under -short.
+
+func buildTool(t *testing.T, dir, pkg string) string {
+	t.Helper()
+	bin := filepath.Join(dir, filepath.Base(pkg))
+	cmd := exec.Command("go", "build", "-o", bin, pkg)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("building %s: %v\n%s", pkg, err, out)
+	}
+	return bin
+}
+
+func runTool(t *testing.T, bin string, args ...string) string {
+	t.Helper()
+	out, err := exec.Command(bin, args...).CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %v: %v\n%s", bin, args, err, out)
+	}
+	return string(out)
+}
+
+func TestCLIEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("e2e skipped in -short mode")
+	}
+	dir := t.TempDir()
+	svsim := buildTool(t, dir, "svsim/cmd/svsim")
+	svbench := buildTool(t, dir, "svsim/cmd/svbench")
+	qasmdump := buildTool(t, dir, "svsim/cmd/qasmdump")
+
+	// svsim: named circuit on every backend.
+	out := runTool(t, svsim, "-circuit", "ghz_state", "-shots", "4")
+	if !strings.Contains(out, "ghz_state") || !strings.Contains(out, "samples") {
+		t.Fatalf("svsim output:\n%s", out)
+	}
+	out = runTool(t, svsim, "-circuit", "bv_n14", "-backend", "scale-out", "-pes", "4", "-coalesced")
+	if !strings.Contains(out, "scale-out (4 PE)") || !strings.Contains(out, "remote") {
+		t.Fatalf("svsim scale-out output:\n%s", out)
+	}
+	out = runTool(t, svsim, "-circuit", "cc_n12", "-backend", "mpi", "-pes", "4")
+	if !strings.Contains(out, "mpi-baseline") {
+		t.Fatalf("svsim mpi output:\n%s", out)
+	}
+	out = runTool(t, svsim, "-list")
+	if !strings.Contains(out, "qft_n15") {
+		t.Fatalf("svsim -list output:\n%s", out)
+	}
+
+	// svsim: a QASM file end to end.
+	qasmFile := filepath.Join(dir, "bell.qasm")
+	src := "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[2];\ncreg c[2];\nh q[0];\ncx q[0],q[1];\nmeasure q -> c;\n"
+	if err := os.WriteFile(qasmFile, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out = runTool(t, svsim, "-qasm", qasmFile, "-state")
+	if !strings.Contains(out, "cbits") {
+		t.Fatalf("svsim qasm output:\n%s", out)
+	}
+
+	// qasmdump: parse, expand, dump, and re-consume its own dump.
+	out = runTool(t, qasmdump, "-circuit", "qft_n15", "-expand")
+	if !strings.Contains(out, "gates   : 540") {
+		t.Fatalf("qasmdump output:\n%s", out)
+	}
+	dumped := runTool(t, qasmdump, "-dump", "-stats=false", qasmFile)
+	idx := strings.Index(dumped, "OPENQASM")
+	if idx < 0 {
+		t.Fatalf("qasmdump -dump output:\n%s", dumped)
+	}
+	redump := filepath.Join(dir, "re.qasm")
+	if err := os.WriteFile(redump, []byte(dumped[idx:]), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	runTool(t, svsim, "-qasm", redump)
+
+	// svbench: a quick modeled experiment.
+	out = runTool(t, svbench, "-exp", "fig17")
+	if !strings.Contains(out, "fig17") || !strings.Contains(out, "24") {
+		t.Fatalf("svbench output:\n%s", out)
+	}
+}

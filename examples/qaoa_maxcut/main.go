@@ -1,0 +1,30 @@
+// QAOA for MaxCut — the third variational-algorithm family the paper's
+// introduction motivates. A depth-2 schedule is optimized for the MaxCut
+// of a random graph, then the optimized state is sampled for concrete
+// cuts. Like all variational loops, every optimizer step synthesizes and
+// simulates a fresh circuit.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"svsim/internal/vqa"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(42))
+	g := vqa.RandomGraph(rng, 8, 0.45)
+	fmt.Printf("graph: %d vertices, %d edges\n", g.N, len(g.Edges))
+	for _, e := range g.Edges {
+		fmt.Printf("  %d -- %d\n", e[0], e[1])
+	}
+
+	res := vqa.RunQAOA(g, 2, nil, 200, 7)
+	fmt.Printf("\nQAOA depth 2, %d circuit simulations\n", res.Trials)
+	fmt.Printf("schedule: gamma=%v beta=%v\n", res.Gammas, res.Betas)
+	fmt.Printf("expected cut <C> : %.3f\n", res.ExpectedCut)
+	fmt.Printf("best sampled cut : %d\n", res.BestCut)
+	fmt.Printf("true MaxCut      : %d\n", res.OptimalCut)
+	fmt.Printf("approximation    : %.1f%%\n", 100*float64(res.BestCut)/float64(res.OptimalCut))
+}

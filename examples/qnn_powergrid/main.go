@@ -1,0 +1,50 @@
+// QNN for power-grid contingency classification (the paper's §5 case
+// study): a Figure-1-style variational quantum neural network — two data
+// qubits, two weight qubits — trained on a synthetic IEEE-30-bus-like
+// dataset of 20 contingency cases for two epochs. The paper's prototype
+// raised test accuracy from 28% to 73%; this run shows the same learning
+// behavior, with every training step re-synthesizing and re-simulating
+// the circuit.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"svsim/internal/core"
+	"svsim/internal/vqa"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(12))
+	train := vqa.GridDataset(rng, 20)
+	test := vqa.GridDataset(rng, 37)
+	backend := core.NewSingleDevice(core.Config{})
+
+	w0 := make([]float64, vqa.QNNNumWeights)
+	fmt.Printf("untrained test accuracy: %.1f%%\n\n",
+		100*vqa.QNNAccuracy(backend, test, w0))
+
+	res := vqa.TrainQNN(backend, train, test, 2, 60, 5)
+	for e := range res.TestAccuracy {
+		fmt.Printf("epoch %d: train %.1f%%  test %.1f%%\n",
+			e+1, 100*res.TrainAccuracy[e], 100*res.TestAccuracy[e])
+	}
+	fmt.Printf("\ncircuits simulated during training: %d\n", res.Trials)
+	fmt.Println("\nper-case predictions on the test set:")
+	correct := 0
+	for i, cse := range test {
+		p := vqa.QNNPredict(backend, cse.Features, res.Weights)
+		pred := p > 0.5
+		mark := " "
+		if pred == cse.Violated {
+			mark = "*"
+			correct++
+		}
+		if i < 10 {
+			fmt.Printf("  case %2d: P(violation)=%.2f  actual=%-5v %s\n",
+				i, p, cse.Violated, mark)
+		}
+	}
+	fmt.Printf("  ... %d/%d correct\n", correct, len(test))
+}

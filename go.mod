@@ -1,0 +1,3 @@
+module svsim
+
+go 1.22

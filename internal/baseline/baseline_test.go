@@ -1,0 +1,130 @@
+package baseline
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+
+	"svsim/internal/circuit"
+	"svsim/internal/core"
+	"svsim/internal/gate"
+	"svsim/internal/qasmbench"
+)
+
+func sims() []Simulator {
+	return []Simulator{NewGenericMatrix(), NewInterpreted(), NewComplexAoS()}
+}
+
+func randomCircuit(rng *rand.Rand, n, gates int) *circuit.Circuit {
+	c := circuit.New("random", n)
+	var kinds []gate.Kind
+	for i := 0; i < gate.NumKinds; i++ {
+		k := gate.Kind(i)
+		if k.Unitary() && k != gate.BARRIER && k != gate.GPHASE {
+			kinds = append(kinds, k)
+		}
+	}
+	for i := 0; i < gates; i++ {
+		k := kinds[rng.Intn(len(kinds))]
+		perm := rng.Perm(n)
+		ps := make([]float64, k.NumParams())
+		for j := range ps {
+			ps[j] = (rng.Float64()*2 - 1) * 2 * math.Pi
+		}
+		c.Append(gate.New(k, perm[:k.NumQubits()], ps...))
+	}
+	return c
+}
+
+func TestBaselinesMatchSVSim(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 3; trial++ {
+		c := randomCircuit(rng, 7, 80)
+		ref, err := core.NewSingleDevice(core.Config{}).Run(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, sim := range sims() {
+			amps, err := sim.Run(c)
+			if err != nil {
+				t.Fatalf("%s: %v", sim.Name(), err)
+			}
+			for i, a := range amps {
+				if cmplx.Abs(a-ref.State.Amplitude(i)) > 1e-10 {
+					t.Fatalf("%s trial %d: amplitude %d differs: %v vs %v",
+						sim.Name(), trial, i, a, ref.State.Amplitude(i))
+				}
+			}
+		}
+	}
+}
+
+func TestBaselinesOnSuiteCircuits(t *testing.T) {
+	// The Fig. 14 comparison runs the medium suite; verify functional
+	// equality on a couple of real workloads.
+	for _, name := range []string{"bv_n14", "cc_n12"} {
+		e, err := qasmbench.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := e.Build().StripNonUnitary()
+		ref, err := core.NewSingleDevice(core.Config{}).Run(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, sim := range sims() {
+			amps, err := sim.Run(c)
+			if err != nil {
+				t.Fatalf("%s on %s: %v", sim.Name(), name, err)
+			}
+			var maxd float64
+			for i, a := range amps {
+				if d := cmplx.Abs(a - ref.State.Amplitude(i)); d > maxd {
+					maxd = d
+				}
+			}
+			if maxd > 1e-9 {
+				t.Fatalf("%s on %s deviates by %g", sim.Name(), name, maxd)
+			}
+		}
+	}
+}
+
+func TestBaselinesRejectNonUnitary(t *testing.T) {
+	c := circuit.New("m", 2)
+	c.H(0).Measure(0, 0)
+	for _, sim := range sims() {
+		if _, err := sim.Run(c); err == nil {
+			t.Fatalf("%s accepted a measuring circuit", sim.Name())
+		}
+	}
+}
+
+func TestBaselineGPhase(t *testing.T) {
+	c := circuit.New("gp", 3)
+	c.H(0)
+	c.Append(gate.NewGPhase(0.5))
+	ref, _ := core.NewSingleDevice(core.Config{}).Run(c)
+	for _, sim := range sims() {
+		amps, err := sim.Run(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, a := range amps {
+			if cmplx.Abs(a-ref.State.Amplitude(i)) > 1e-12 {
+				t.Fatalf("%s: gphase mismatch", sim.Name())
+			}
+		}
+	}
+}
+
+func TestBaselineNames(t *testing.T) {
+	seen := map[string]bool{}
+	for _, s := range sims() {
+		if s.Name() == "" || seen[s.Name()] {
+			t.Fatalf("bad name %q", s.Name())
+		}
+		seen[s.Name()] = true
+	}
+}

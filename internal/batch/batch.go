@@ -1,0 +1,116 @@
+// Package batch implements the paper's stated future work: "building a
+// variational algorithm specific simulator by further parallelizing the
+// variational optimization loop" and "batched simulation". A Runner
+// executes many independently parameterized circuit instances across a
+// worker pool — the inner loop of population-based or simplex-based
+// variational searches — and an EnergySweep couples it to Hamiltonian
+// measurement for VQE-style workloads.
+package batch
+
+import (
+	"fmt"
+	"sync"
+
+	"svsim/internal/circuit"
+	"svsim/internal/core"
+	"svsim/internal/ham"
+)
+
+// Runner executes batches of circuits over a fixed-size worker pool.
+// Each worker owns its backend instance, so runs never share mutable
+// state.
+type Runner struct {
+	workers int
+	cfg     core.Config
+	make    func(core.Config) core.Backend
+}
+
+// New creates a batched runner with the given worker count (values < 1
+// mean one worker). Backends are single-device by default.
+func New(workers int, cfg core.Config) *Runner {
+	if workers < 1 {
+		workers = 1
+	}
+	return &Runner{
+		workers: workers,
+		cfg:     cfg,
+		make:    func(c core.Config) core.Backend { return core.NewSingleDevice(c) },
+	}
+}
+
+// WithBackendFactory overrides how per-worker backends are constructed
+// (e.g. to batch over the distributed backends).
+func (r *Runner) WithBackendFactory(f func(core.Config) core.Backend) *Runner {
+	r.make = f
+	return r
+}
+
+// RunAll executes every circuit and returns results in input order. The
+// first backend error aborts the batch.
+func (r *Runner) RunAll(circs []*circuit.Circuit) ([]*core.Result, error) {
+	results := make([]*core.Result, len(circs))
+	errs := make([]error, len(circs))
+	var wg sync.WaitGroup
+	jobs := make(chan int)
+	for w := 0; w < r.workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			backend := r.make(r.cfg)
+			for i := range jobs {
+				results[i], errs[i] = backend.Run(circs[i])
+			}
+		}()
+	}
+	for i := range circs {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("batch: circuit %d (%s): %w", i, circs[i].Name, err)
+		}
+	}
+	return results, nil
+}
+
+// Map builds and runs n circuit instances, returning the results in
+// index order.
+func (r *Runner) Map(n int, build func(i int) *circuit.Circuit) ([]*core.Result, error) {
+	circs := make([]*circuit.Circuit, n)
+	for i := range circs {
+		circs[i] = build(i)
+	}
+	return r.RunAll(circs)
+}
+
+// EnergySweep evaluates the Hamiltonian expectation of an ansatz at many
+// parameter points concurrently — one variational "generation" in a
+// single batched call.
+func (r *Runner) EnergySweep(h *ham.Hamiltonian, ansatz func([]float64) *circuit.Circuit, params [][]float64) ([]float64, error) {
+	results, err := r.Map(len(params), func(i int) *circuit.Circuit {
+		return ansatz(params[i])
+	})
+	if err != nil {
+		return nil, err
+	}
+	energies := make([]float64, len(results))
+	var wg sync.WaitGroup
+	jobs := make(chan int)
+	for w := 0; w < r.workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				energies[i] = h.Expectation(results[i].State)
+			}
+		}()
+	}
+	for i := range results {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return energies, nil
+}

@@ -1,0 +1,118 @@
+package batch
+
+import (
+	"math"
+	"testing"
+
+	"svsim/internal/circuit"
+	"svsim/internal/core"
+	"svsim/internal/gate"
+	"svsim/internal/ham"
+	"svsim/internal/qasmbench"
+	"svsim/internal/vqa"
+)
+
+func TestRunAllMatchesSequential(t *testing.T) {
+	circs := []*circuit.Circuit{}
+	for i := 1; i <= 12; i++ {
+		c := circuit.New("b", 5)
+		c.RY(float64(i)*0.3, 0).CX(0, 1).RZ(float64(i)*0.1, 2).H(4)
+		circs = append(circs, c)
+	}
+	batchRes, err := New(4, core.Config{}).RunAll(circs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := core.NewSingleDevice(core.Config{})
+	for i, c := range circs {
+		want, err := seq.Run(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := batchRes[i].State.MaxAbsDiff(want.State); d > 1e-12 {
+			t.Fatalf("instance %d deviates by %g", i, d)
+		}
+	}
+}
+
+func TestMapOrdering(t *testing.T) {
+	res, err := New(3, core.Config{}).Map(8, func(i int) *circuit.Circuit {
+		c := circuit.New("m", 3)
+		c.RY(float64(i), 0)
+		return c
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range res {
+		want := math.Sin(float64(i)/2) * math.Sin(float64(i)/2)
+		if got := r.State.ProbOne(0); math.Abs(got-want) > 1e-12 {
+			t.Fatalf("instance %d out of order: P(1)=%g, want %g", i, got, want)
+		}
+	}
+}
+
+func TestEnergySweepMatchesSerialVQE(t *testing.T) {
+	h := ham.H2()
+	params := [][]float64{}
+	for i := 0; i < 9; i++ {
+		p := make([]float64, vqa.H2NumParams())
+		p[len(p)-1] = -0.3 + 0.1*float64(i)
+		params = append(params, p)
+	}
+	energies, err := New(4, core.Config{}).EnergySweep(h, vqa.H2Ansatz, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	backend := core.NewSingleDevice(core.Config{})
+	for i, p := range params {
+		res, err := backend.Run(vqa.H2Ansatz(p))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := h.Expectation(res.State)
+		if math.Abs(energies[i]-want) > 1e-12 {
+			t.Fatalf("sweep point %d: %g vs %g", i, energies[i], want)
+		}
+	}
+	// The sweep must bracket a minimum below the HF energy.
+	best := energies[0]
+	for _, e := range energies {
+		if e < best {
+			best = e
+		}
+	}
+	if best > -1.12 {
+		t.Fatalf("sweep minimum %g not below HF", best)
+	}
+}
+
+func TestBatchErrorPropagates(t *testing.T) {
+	bad := circuit.New("bad", 2)
+	// An out-of-range operand assembled directly (gate.New would panic).
+	g := gate.Gate{Kind: gate.H, NQ: 1, Cbit: -1}
+	g.Qubits[0] = 9
+	bad.Append(g)
+	_, err := New(2, core.Config{}).RunAll([]*circuit.Circuit{bad})
+	if err == nil {
+		t.Fatal("invalid circuit accepted")
+	}
+}
+
+func TestBatchedWorkloadInstances(t *testing.T) {
+	// Batch over real suite circuits concurrently.
+	entries := qasmbench.Medium()[:4]
+	circs := make([]*circuit.Circuit, len(entries))
+	for i, e := range entries {
+		circs[i] = e.Build().StripNonUnitary()
+	}
+	res, err := New(2, core.Config{}).RunAll(circs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range res {
+		if math.Abs(r.State.Norm()-1) > 1e-9 {
+			t.Fatalf("instance %d (%s) broke normalization", i, entries[i].Name)
+		}
+	}
+}

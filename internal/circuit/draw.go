@@ -1,0 +1,114 @@
+package circuit
+
+import (
+	"fmt"
+	"strings"
+
+	"svsim/internal/gate"
+)
+
+// Draw renders the circuit as an ASCII diagram, one row per qubit and one
+// column per operation: controls are drawn as *, targets carry the gate
+// mnemonic, vertical bars connect the operands of multi-qubit gates, and
+// measurements show their classical bit. Classically conditioned
+// operations are suffixed with ?c=value.
+func Draw(c *Circuit) string {
+	type cell struct {
+		label string
+		span  bool // vertical connector through this row
+	}
+	cols := make([][]cell, 0, len(c.Ops))
+	for i := range c.Ops {
+		op := &c.Ops[i]
+		g := &op.G
+		col := make([]cell, c.NumQubits)
+		switch g.Kind {
+		case gate.BARRIER:
+			for q := range col {
+				col[q].label = "|"
+			}
+		case gate.GPHASE:
+			col[0].label = fmt.Sprintf("gphase(%.3g)", g.Params[0])
+		default:
+			nc := g.Kind.NumControls()
+			for j := 0; j < int(g.NQ); j++ {
+				q := int(g.Qubits[j])
+				if j < nc {
+					col[q].label = "*"
+				} else {
+					col[q].label = targetLabel(g)
+				}
+			}
+			if g.NQ > 1 {
+				lo, hi := int(g.Qubits[0]), int(g.Qubits[0])
+				for j := 1; j < int(g.NQ); j++ {
+					q := int(g.Qubits[j])
+					if q < lo {
+						lo = q
+					}
+					if q > hi {
+						hi = q
+					}
+				}
+				for q := lo + 1; q < hi; q++ {
+					if col[q].label == "" {
+						col[q].span = true
+					}
+				}
+			}
+		}
+		if op.Cond != nil {
+			// Mark the first labelled row with the condition.
+			for q := range col {
+				if col[q].label != "" && col[q].label != "*" {
+					col[q].label += fmt.Sprintf("?c=%d", op.Cond.Value)
+					break
+				}
+			}
+		}
+		cols = append(cols, col)
+	}
+
+	var b strings.Builder
+	for q := 0; q < c.NumQubits; q++ {
+		fmt.Fprintf(&b, "q%-3d", q)
+		for _, col := range cols {
+			cell := col[q]
+			width := 1
+			for _, cc := range col {
+				if len(cc.label) > width {
+					width = len(cc.label)
+				}
+			}
+			switch {
+			case cell.label != "":
+				pad := width - len(cell.label)
+				b.WriteString("-" + cell.label + strings.Repeat("-", pad) + "-")
+			case cell.span:
+				b.WriteString("-|" + strings.Repeat("-", width-1) + "-")
+			default:
+				b.WriteString(strings.Repeat("-", width+2))
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func targetLabel(g *gate.Gate) string {
+	switch g.Kind {
+	case gate.MEASURE:
+		return fmt.Sprintf("M>c%d", g.Cbit)
+	case gate.RESET:
+		return "R0"
+	case gate.CX, gate.CCX, gate.C3X, gate.C4X, gate.X:
+		return "X"
+	case gate.SWAP, gate.CSWAP:
+		return "x"
+	}
+	name := g.Kind.BaseKind().String()
+	if g.NP > 0 {
+		return fmt.Sprintf("%s(%.3g)", strings.ToUpper(name), g.Params[0])
+	}
+	return strings.ToUpper(name)
+}

@@ -1,0 +1,96 @@
+// Package core implements the SV-Sim simulator itself: the preloaded
+// function-pointer gate dispatch of the paper's Listing 1, and the three
+// execution backends of §3.2 — single-device, single-node scale-up over a
+// shared peer pointer array (Listing 4), and multi-node scale-out over the
+// SHMEM substrate (Listing 5).
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"svsim/internal/circuit"
+	"svsim/internal/pgas"
+	"svsim/internal/statevec"
+)
+
+// Config selects a backend configuration.
+type Config struct {
+	// Seed drives measurement randomness; equal seeds give equal outcomes
+	// across all backends.
+	Seed int64
+	// Style selects the kernel loop shape (scalar vs blocked/vectorized).
+	Style statevec.KernelStyle
+	// PEs is the number of devices (scale-up) or SHMEM processing elements
+	// (scale-out). Must be a power of two. Ignored by the single-device
+	// backend.
+	PEs int
+	// Coalesced enables the bulk-transfer remote path in the scale-out
+	// backend (the paper's warp-coalesced NVSHMEM access); element-wise
+	// get/put otherwise.
+	Coalesced bool
+	// Fuse runs the gate-fusion optimization pass (internal/fusion) on
+	// the circuit before execution: single-qubit runs collapse to one
+	// gate and self-inverse pairs cancel, exactly preserving the state.
+	Fuse bool
+}
+
+// Result carries the outcome of one simulation run.
+type Result struct {
+	Backend string
+	// State is the final state vector, gathered to a single array for
+	// distributed backends.
+	State *statevec.State
+	// Cbits holds the classical register after measurements (bit i is
+	// classical bit i).
+	Cbits uint64
+	// SV aggregates the state-vector work counters across all devices.
+	SV statevec.Stats
+	// Comm aggregates one-sided communication counters (zero for the
+	// single-device backend).
+	Comm pgas.Stats
+	// Elapsed is the wall-clock simulation time of the run loop.
+	Elapsed time.Duration
+	// PEs is the number of devices/PEs used.
+	PEs int
+}
+
+// Backend runs circuits. Implementations: SingleDevice, ScaleUp, ScaleOut.
+type Backend interface {
+	Name() string
+	Run(c *circuit.Circuit) (*Result, error)
+}
+
+// condSatisfied evaluates an OpenQASM if-condition against the classical
+// register.
+func condSatisfied(cond *circuit.Condition, cbits uint64) bool {
+	if cond == nil {
+		return true
+	}
+	mask := uint64(1)<<uint(cond.Width) - 1
+	return (cbits>>uint(cond.Offset))&mask == cond.Value
+}
+
+func setCbit(cbits uint64, idx int, v int) uint64 {
+	if v == 1 {
+		return cbits | uint64(1)<<uint(idx)
+	}
+	return cbits &^ (uint64(1) << uint(idx))
+}
+
+// checkCircuit validates common backend preconditions.
+func checkCircuit(c *circuit.Circuit, maxCbits int) error {
+	if c.NumQubits < 1 {
+		return fmt.Errorf("core: circuit %q has no qubits", c.Name)
+	}
+	if c.NumClbits > maxCbits {
+		return fmt.Errorf("core: circuit %q needs %d classical bits, backend supports %d",
+			c.Name, c.NumClbits, maxCbits)
+	}
+	return c.Validate()
+}
+
+// newRNG builds the deterministic measurement stream shared by every
+// backend so that equal seeds collapse identically everywhere.
+func newRNG(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

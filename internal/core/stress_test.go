@@ -1,0 +1,86 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"svsim/internal/circuit"
+	"svsim/internal/gate"
+	"svsim/internal/mpibase"
+	"svsim/internal/statevec"
+)
+
+// TestStressAllBackendsWithFeedback runs deep random programs mixing every
+// unitary kind with mid-circuit measurement, reset, and classical control,
+// and demands bit-identical classical results plus near-identical states
+// across the single-device, scale-up, scale-out (both access modes), and
+// MPI-baseline engines at several PE counts.
+func TestStressAllBackendsWithFeedback(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	n := 8
+	for trial := 0; trial < 4; trial++ {
+		c := randomProgram(rng, n, 200)
+		ref, err := NewSingleDevice(Config{Seed: 42}).Run(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		check := func(name string, st *statevec.State, cb uint64) {
+			t.Helper()
+			if cb != ref.Cbits {
+				t.Fatalf("trial %d %s: cbits %b vs %b", trial, name, cb, ref.Cbits)
+			}
+			if d := st.MaxAbsDiff(ref.State); d > 1e-9 {
+				t.Fatalf("trial %d %s: state deviates by %g", trial, name, d)
+			}
+		}
+		for _, pes := range []int{2, 8, 32} {
+			res, err := NewScaleUp(Config{Seed: 42, PEs: pes}).Run(c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			check("scale-up", res.State, res.Cbits)
+			res, err = NewScaleOut(Config{Seed: 42, PEs: pes, Coalesced: true}).Run(c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			check("scale-out-coalesced", res.State, res.Cbits)
+			mres, err := mpibase.New(mpibase.Config{Seed: 42, Ranks: pes}).Run(c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			check("mpi", mres.State, mres.Cbits)
+		}
+	}
+}
+
+func randomProgram(rng *rand.Rand, n, ops int) *circuit.Circuit {
+	c := circuit.New("stress", n)
+	c.NumClbits = 4
+	kinds := unitaryKinds()
+	for i := 0; i < ops; i++ {
+		switch r := rng.Float64(); {
+		case r < 0.04:
+			c.Measure(rng.Intn(n), rng.Intn(4))
+		case r < 0.06:
+			c.Reset(rng.Intn(n))
+		case r < 0.10:
+			k := kinds[rng.Intn(len(kinds))]
+			g := gate.New(k, rng.Perm(n)[:k.NumQubits()], angles(rng, k.NumParams())...)
+			c.AppendCond(g, circuit.Condition{
+				Offset: rng.Intn(3), Width: 1 + rng.Intn(2), Value: uint64(rng.Intn(2)),
+			})
+		default:
+			k := kinds[rng.Intn(len(kinds))]
+			c.Append(gate.New(k, rng.Perm(n)[:k.NumQubits()], angles(rng, k.NumParams())...))
+		}
+	}
+	return c
+}
+
+func angles(rng *rand.Rand, np int) []float64 {
+	p := make([]float64, np)
+	for i := range p {
+		p[i] = rng.NormFloat64()
+	}
+	return p
+}

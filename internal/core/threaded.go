@@ -1,0 +1,74 @@
+package core
+
+import (
+	"time"
+
+	"svsim/internal/circuit"
+	"svsim/internal/fusion"
+	"svsim/internal/gate"
+	"svsim/internal/statevec"
+)
+
+// Threaded is the single-node CPU scale-up backend of §3.2.2's CPU path
+// (Listing 3): one simulator instance, one shared state array in the
+// unified memory space, and a pool of worker threads that split every
+// gate's loop with a barrier per gate — the OpenMP design, as opposed to
+// the partitioned peer-access/SHMEM backends. cfg.PEs sets the worker
+// count.
+type Threaded struct {
+	cfg Config
+}
+
+// NewThreaded creates the shared-memory threaded backend.
+func NewThreaded(cfg Config) *Threaded { return &Threaded{cfg: cfg} }
+
+// Name implements Backend.
+func (b *Threaded) Name() string { return "threaded" }
+
+// Run implements Backend.
+func (b *Threaded) Run(c *circuit.Circuit) (*Result, error) {
+	if err := checkCircuit(c, 64); err != nil {
+		return nil, err
+	}
+	if b.cfg.Fuse {
+		c, _ = fusion.Optimize(c)
+	}
+	workers := b.cfg.PEs
+	if workers < 1 {
+		workers = 1
+	}
+	pool := statevec.NewPool(workers)
+	defer pool.Close()
+
+	st := statevec.New(c.NumQubits)
+	st.Style = b.cfg.Style
+	rng := newRNG(b.cfg.Seed)
+	var cbits uint64
+
+	start := time.Now()
+	for i := range c.Ops {
+		op := &c.Ops[i]
+		if !condSatisfied(op.Cond, cbits) {
+			continue
+		}
+		g := &op.G
+		switch g.Kind {
+		case gate.MEASURE:
+			out := st.MeasureQubit(int(g.Qubits[0]), rng.Float64())
+			cbits = setCbit(cbits, int(g.Cbit), out)
+		case gate.RESET:
+			st.ResetQubit(int(g.Qubits[0]), rng.Float64())
+		default:
+			pool.ApplyShared(st, g)
+		}
+	}
+	elapsed := time.Since(start)
+	return &Result{
+		Backend: b.Name(),
+		State:   st,
+		Cbits:   cbits,
+		SV:      st.Stats,
+		Elapsed: elapsed,
+		PEs:     workers,
+	}, nil
+}

@@ -1,0 +1,217 @@
+package density
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"svsim/internal/circuit"
+	"svsim/internal/core"
+	"svsim/internal/gate"
+	"svsim/internal/noise"
+	"svsim/internal/qasmbench"
+	"svsim/internal/statevec"
+)
+
+func randomCircuit(rng *rand.Rand, n, gates int) *circuit.Circuit {
+	var kinds []gate.Kind
+	for i := 0; i < gate.NumKinds; i++ {
+		k := gate.Kind(i)
+		if k.Unitary() && k != gate.BARRIER && k != gate.GPHASE && k.NumQubits() <= n {
+			kinds = append(kinds, k)
+		}
+	}
+	c := circuit.New("rand", n)
+	for i := 0; i < gates; i++ {
+		k := kinds[rng.Intn(len(kinds))]
+		perm := rng.Perm(n)
+		ps := make([]float64, k.NumParams())
+		for j := range ps {
+			ps[j] = rng.NormFloat64()
+		}
+		c.Append(gate.New(k, perm[:k.NumQubits()], ps...))
+	}
+	return c
+}
+
+func TestPureEvolutionMatchesStateVector(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 3; trial++ {
+		n := 4
+		c := randomCircuit(rng, n, 60)
+		s := statevec.New(n)
+		for _, g := range c.Gates() {
+			g := g
+			s.Apply(&g)
+		}
+		d := New(n)
+		d.ApplyCircuit(c)
+		// Populations, purity, and full matrix against |psi><psi|.
+		for i := 0; i < s.Dim; i++ {
+			if math.Abs(d.Probability(i)-s.Probability(i)) > 1e-10 {
+				t.Fatalf("trial %d: population %d mismatch", trial, i)
+			}
+		}
+		if math.Abs(d.Purity()-1) > 1e-9 {
+			t.Fatalf("pure evolution lost purity: %g", d.Purity())
+		}
+		want := FromState(s)
+		for r := 0; r < s.Dim; r++ {
+			for cc := 0; cc < s.Dim; cc++ {
+				if delta := d.Element(r, cc) - want.Element(r, cc); math.Sqrt(real(delta)*real(delta)+imag(delta)*imag(delta)) > 1e-9 {
+					t.Fatalf("trial %d: rho[%d][%d] mismatch", trial, r, cc)
+				}
+			}
+		}
+	}
+}
+
+func TestTracePreservedByChannels(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	d := New(3)
+	d.ApplyCircuit(randomCircuit(rng, 3, 20))
+	for i := 0; i < 5; i++ {
+		d.Depolarize(i%3, 0.1)
+		d.AmplitudeDamp((i+1)%3, 0.2)
+		d.Dephase((i+2)%3, 0.15)
+		if tr := d.Trace(); math.Abs(tr-1) > 1e-9 {
+			t.Fatalf("trace drifted to %g after channel %d", tr, i)
+		}
+	}
+	if p := d.Purity(); p >= 1 || p < 1.0/8-1e-9 {
+		t.Fatalf("purity %g out of physical range", p)
+	}
+}
+
+func TestDepolarizeDrivesToMaximallyMixed(t *testing.T) {
+	d := New(1)
+	d.ApplyGate(gate.NewH(0))
+	for i := 0; i < 200; i++ {
+		d.Depolarize(0, 0.3)
+	}
+	if math.Abs(d.Probability(0)-0.5) > 1e-6 || math.Abs(d.Purity()-0.5) > 1e-6 {
+		t.Fatalf("not maximally mixed: P(0)=%g purity=%g", d.Probability(0), d.Purity())
+	}
+}
+
+func TestAmplitudeDampDecaysExcitedState(t *testing.T) {
+	d := New(1)
+	d.ApplyGate(gate.NewX(0))
+	gamma := 0.25
+	p1 := 1.0
+	for i := 0; i < 6; i++ {
+		d.AmplitudeDamp(0, gamma)
+		p1 *= 1 - gamma
+		if math.Abs(d.Probability(1)-p1) > 1e-10 {
+			t.Fatalf("step %d: P(1) = %g, want %g", i, d.Probability(1), p1)
+		}
+	}
+	// |0> is the fixed point.
+	fresh := New(1)
+	fresh.AmplitudeDamp(0, 0.7)
+	if math.Abs(fresh.Probability(0)-1) > 1e-12 {
+		t.Fatal("ground state decayed")
+	}
+}
+
+func TestDephasingKillsCoherenceKeepsPopulations(t *testing.T) {
+	d := New(2)
+	d.ApplyGate(gate.NewH(0))
+	d.ApplyGate(gate.NewCX(0, 1))
+	offBefore := d.Element(0, 3)
+	if math.Sqrt(real(offBefore)*real(offBefore)+imag(offBefore)*imag(offBefore)) < 0.49 {
+		t.Fatalf("Bell coherence missing: %v", offBefore)
+	}
+	for i := 0; i < 50; i++ {
+		d.Dephase(0, 0.3)
+	}
+	off := d.Element(0, 3)
+	if math.Sqrt(real(off)*real(off)+imag(off)*imag(off)) > 1e-6 {
+		t.Fatalf("coherence survived dephasing: %v", off)
+	}
+	if math.Abs(d.Probability(0)-0.5) > 1e-9 || math.Abs(d.Probability(3)-0.5) > 1e-9 {
+		t.Fatal("dephasing changed populations")
+	}
+}
+
+func TestExactChannelMatchesTrajectoryAverage(t *testing.T) {
+	// The headline cross-validation: the exact density-matrix depolarizing
+	// channel must agree with the trajectory-averaged noise model of
+	// internal/noise on <ZZ> of a noisy Bell circuit.
+	p := 0.08
+	c := circuit.New("bell", 2)
+	c.H(0).CX(0, 1)
+
+	// Exact: depolarize each operand after each gate, as the trajectory
+	// model does (1q gate -> its qubit; 2q gate -> both operands).
+	d := New(2)
+	d.ApplyGate(gate.NewH(0))
+	d.Depolarize(0, p)
+	d.ApplyGate(gate.NewCX(0, 1))
+	d.Depolarize(0, p)
+	d.Depolarize(1, p)
+	exact := d.ExpZMask(0b11)
+
+	m := noise.Model{P1: p, P2: p}
+	backend := core.NewSingleDevice(core.Config{})
+	avg, err := m.Expectation(backend, c, 0b11, 20000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(exact-avg) > 0.02 {
+		t.Fatalf("exact channel %g vs trajectory average %g", exact, avg)
+	}
+	if exact >= 1 || exact < 0.5 {
+		t.Fatalf("exact <ZZ> = %g implausible for p=%g", exact, p)
+	}
+}
+
+func TestExpPauliOnMixedState(t *testing.T) {
+	// For the maximally mixed qubit every Pauli expectation is zero.
+	d := New(1)
+	d.ApplyGate(gate.NewH(0))
+	for i := 0; i < 200; i++ {
+		d.Depolarize(0, 0.3)
+	}
+	for _, p := range []circuit.Pauli{circuit.PauliX, circuit.PauliY, circuit.PauliZ} {
+		e := d.ExpPauli([]circuit.PauliTerm{{P: p, Q: 0}})
+		if math.Abs(e) > 1e-6 {
+			t.Fatalf("<%c> on mixed state = %g", p, e)
+		}
+	}
+	// And on a pure |+> state, <X> = 1.
+	d2 := New(1)
+	d2.ApplyGate(gate.NewH(0))
+	if e := d2.ExpPauli([]circuit.PauliTerm{{P: circuit.PauliX, Q: 0}}); math.Abs(e-1) > 1e-10 {
+		t.Fatalf("<X> on |+> = %g", e)
+	}
+}
+
+func TestDensityOnSuiteWorkload(t *testing.T) {
+	// A real Table 4 workload through the density path must match the
+	// state-vector populations.
+	e, _ := qasmbench.ByName("cc_n12")
+	_ = e
+	c := qasmbench.CC(6)
+	s := statevec.New(6)
+	for _, g := range c.Gates() {
+		g := g
+		s.Apply(&g)
+	}
+	d := New(6)
+	d.ApplyCircuit(c)
+	for i := 0; i < s.Dim; i++ {
+		if math.Abs(d.Probability(i)-s.Probability(i)) > 1e-10 {
+			t.Fatalf("population %d mismatch", i)
+		}
+	}
+}
+
+func TestNewRejectsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(MaxQubits + 1)
+}

@@ -1,0 +1,468 @@
+package figures
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// helpers -------------------------------------------------------------
+
+func rowByLabel(t *testing.T, tab *Table, label string) Row {
+	t.Helper()
+	for _, r := range tab.Rows {
+		if r.Label == label {
+			return r
+		}
+	}
+	t.Fatalf("%s: no row %q", tab.ID, label)
+	return Row{}
+}
+
+func colIndex(t *testing.T, tab *Table, name string) int {
+	t.Helper()
+	for i, c := range tab.Columns[1:] {
+		if c == name {
+			return i
+		}
+	}
+	t.Fatalf("%s: no column %q", tab.ID, name)
+	return -1
+}
+
+func geomean(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += math.Log(x)
+	}
+	return math.Exp(s / float64(len(xs)))
+}
+
+func argmin(xs []float64) int {
+	best := 0
+	for i, x := range xs {
+		if x < xs[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// Fig. 6 --------------------------------------------------------------
+
+func TestFig6Shape(t *testing.T) {
+	tab := Fig6()
+	v100 := colIndex(t, tab, "NVIDIA_V100")
+	a100 := colIndex(t, tab, "NVIDIA_A100")
+	mi100 := colIndex(t, tab, "AMD_MI100")
+	intel := colIndex(t, tab, "INTEL_P8276")
+	avx := colIndex(t, tab, "INTEL_P8276_AVX512")
+	phi := colIndex(t, tab, "INTEL_PHI7230")
+
+	small := []string{"seca", "sat", "cc_n12"}                   // n = 11-12
+	large := []string{"bv_n14", "qf21", "qft_n15", "multiplier"} // n >= 14
+
+	// (i) CPUs beat GPUs at n=11-12 (the V100 relative latency > 1).
+	for _, name := range small {
+		r := rowByLabel(t, tab, name)
+		if r.Values[v100] <= 1.0 {
+			t.Errorf("fig6 %s: V100 relative latency %.3f, want >1 (CPU wins at small n)",
+				name, r.Values[v100])
+		}
+	}
+	// (i) GPUs win big at n>=13: geomean advantage >= 5x, best >= 10x.
+	var advs []float64
+	for _, name := range large {
+		r := rowByLabel(t, tab, name)
+		advs = append(advs, 1/r.Values[v100])
+	}
+	if g := geomean(advs); g < 5 {
+		t.Errorf("fig6: V100 geomean advantage %.1fx at n>=14, want >=5x", g)
+	}
+	best := 0.0
+	for _, a := range advs {
+		if a > best {
+			best = a
+		}
+	}
+	if best < 10 {
+		t.Errorf("fig6: V100 best advantage %.1fx, want >=10x", best)
+	}
+	// (ii) AVX512 is ~2x over scalar on the Intel CPU.
+	for _, r := range tab.Rows {
+		ratio := r.Values[intel] / r.Values[avx]
+		if ratio < 1.5 || ratio > 3 {
+			t.Errorf("fig6 %s: AVX512 gain %.2fx outside [1.5,3]", r.Label, ratio)
+		}
+	}
+	// (iii) A100 is not significantly faster than V100 (bandwidth-bound).
+	for _, r := range tab.Rows {
+		ratio := r.Values[v100] / r.Values[a100]
+		if ratio < 0.8 || ratio > 1.6 {
+			t.Errorf("fig6 %s: A100 vs V100 ratio %.2f outside [0.8,1.6]", r.Label, ratio)
+		}
+	}
+	// (iv) Single Phi core is worse than the server CPUs.
+	for _, r := range tab.Rows {
+		if r.Values[phi] < 2 {
+			t.Errorf("fig6 %s: Phi relative latency %.2f, want clearly slower", r.Label, r.Values[phi])
+		}
+	}
+	// (v) MI100 is suboptimal: slower than V100 everywhere.
+	for _, r := range tab.Rows {
+		if r.Values[mi100] <= r.Values[v100] {
+			t.Errorf("fig6 %s: MI100 not slower than V100", r.Label)
+		}
+	}
+}
+
+// Fig. 7 --------------------------------------------------------------
+
+func TestFig7Shape(t *testing.T) {
+	tab := Fig7()
+	// Small circuits (n<=13) gain nothing from more cores.
+	for _, name := range []string{"seca", "sat", "cc_n12", "multiply"} {
+		r := rowByLabel(t, tab, name)
+		for _, v := range r.Values {
+			if v < 0.95 {
+				t.Errorf("fig7 %s: unexpected speedup %v", name, r.Values)
+				break
+			}
+		}
+	}
+	// n=15 circuits gain >2x with the optimum in the 16-64 core band.
+	for _, name := range []string{"qf21", "qft_n15", "multiplier"} {
+		r := rowByLabel(t, tab, name)
+		am := argmin(r.Values)
+		opt := Fig7Cores[am]
+		if opt < 16 || opt > 64 {
+			t.Errorf("fig7 %s: optimum at %d cores, want 16-64", name, opt)
+		}
+		if r.Values[am] > 0.5 {
+			t.Errorf("fig7 %s: best speedup only %.2fx", name, 1/r.Values[am])
+		}
+		// 256 cores must regress significantly from the optimum.
+		if last := r.Values[len(r.Values)-1]; last < 2*r.Values[am] {
+			t.Errorf("fig7 %s: no QPI regression at 256 cores (%.3f vs %.3f)",
+				name, last, r.Values[am])
+		}
+	}
+}
+
+// Fig. 8 --------------------------------------------------------------
+
+func TestFig8Shape(t *testing.T) {
+	tab := Fig8()
+	for _, name := range []string{"bv_n14", "qf21", "qft_n15", "multiplier"} {
+		r := rowByLabel(t, tab, name)
+		am := argmin(r.Values)
+		opt := Fig8Cores[am]
+		if opt < 2 || opt > 8 {
+			t.Errorf("fig8 %s: sweet spot at %d cores, want 2-8", name, opt)
+		}
+		if last := r.Values[len(r.Values)-1]; last <= r.Values[am] {
+			t.Errorf("fig8 %s: no mesh contention at 64 cores", name)
+		}
+	}
+	// Small problems peak at 1-2 cores.
+	for _, name := range []string{"seca", "sat", "cc_n12"} {
+		r := rowByLabel(t, tab, name)
+		if am := argmin(r.Values); Fig8Cores[am] > 2 {
+			t.Errorf("fig8 %s: optimum at %d cores, want <=2", name, Fig8Cores[am])
+		}
+	}
+}
+
+// Fig. 9 --------------------------------------------------------------
+
+func TestFig9Shape(t *testing.T) {
+	tab := Fig9()
+	// Strong scaling for n>=13: 16 GPUs clearly ahead of 1.
+	var sp []float64
+	for _, name := range []string{"multiply", "bv_n14", "qf21", "qft_n15", "multiplier"} {
+		r := rowByLabel(t, tab, name)
+		last := r.Values[len(r.Values)-1]
+		sp = append(sp, 1/last)
+		if last >= 0.7 {
+			t.Errorf("fig9 %s: only %.2fx at 16 GPUs", name, 1/last)
+		}
+		// Monotone improvement from 4 through 16 GPUs.
+		if r.Values[4] > r.Values[3] || r.Values[3] > r.Values[2] {
+			t.Errorf("fig9 %s: not scaling beyond 4 GPUs: %v", name, r.Values)
+		}
+	}
+	if g := geomean(sp); g < 2.5 {
+		t.Errorf("fig9: geomean speedup at 16 GPUs %.2fx, want >=2.5x", g)
+	}
+	// The n=11-12 dual-GPU introduction of communication: seca and cc_n12
+	// must not benefit at 2 GPUs.
+	for _, name := range []string{"seca", "cc_n12"} {
+		r := rowByLabel(t, tab, name)
+		if r.Values[1] < 0.97 {
+			t.Errorf("fig9 %s: 2 GPUs show speedup %.3f, want flat or slowdown", name, r.Values[1])
+		}
+	}
+}
+
+// Fig. 10 -------------------------------------------------------------
+
+func TestFig10Shape(t *testing.T) {
+	tab := Fig10()
+	var jumps []float64
+	for _, r := range tab.Rows {
+		v4, v8 := r.Values[2], r.Values[3]
+		if v8 >= v4 {
+			t.Errorf("fig10 %s: no improvement from 4 to 8 GPUs (%v)", r.Label, r.Values)
+		}
+		jumps = append(jumps, v4/v8)
+	}
+	if g := geomean(jumps); g < 1.5 {
+		t.Errorf("fig10: 4->8 GPU jump only %.2fx on geomean", g)
+	}
+}
+
+// Fig. 11 -------------------------------------------------------------
+
+func TestFig11Shape(t *testing.T) {
+	tab := Fig11()
+	for _, r := range tab.Rows {
+		// No dual-GPU lag: monotone decreasing.
+		if r.Values[1] >= r.Values[0] || r.Values[2] >= r.Values[1] {
+			t.Errorf("fig11 %s: not monotone: %v", r.Label, r.Values)
+		}
+		// Modest: 4-GPU speedup in [1.2, 3.5].
+		if sp := 1 / r.Values[2]; sp < 1.2 || sp > 3.5 {
+			t.Errorf("fig11 %s: 4-GPU speedup %.2fx not modest-linear", r.Label, sp)
+		}
+	}
+}
+
+// Fig. 12 -------------------------------------------------------------
+
+func TestFig12Shape(t *testing.T) {
+	tab := Fig12()
+	// The node-boundary drag for cc_n18 and bv_n19 (32 -> 64 cores).
+	for _, name := range []string{"cc_n18", "bv_n19"} {
+		r := rowByLabel(t, tab, name)
+		if r.Values[1] <= 1.0 {
+			t.Errorf("fig12 %s: missing the intranode->internode drag (%v)", name, r.Values)
+		}
+	}
+	// Communication-bound: total reduction from 32 to 1024 below ~4x, and
+	// most circuits end up faster than at 32 cores.
+	improved := 0
+	for _, r := range tab.Rows {
+		last := r.Values[len(r.Values)-1]
+		if 1/last > 4.5 {
+			t.Errorf("fig12 %s: %.2fx total reduction, too good for a communication-bound run",
+				r.Label, 1/last)
+		}
+		if last < 1 {
+			improved++
+		}
+	}
+	if improved < 6 {
+		t.Errorf("fig12: only %d/8 circuits improved at 1024 cores", improved)
+	}
+}
+
+// Fig. 13 -------------------------------------------------------------
+
+func TestFig13Shape(t *testing.T) {
+	tab := Fig13()
+	for _, r := range tab.Rows {
+		last := r.Values[len(r.Values)-1]
+		if last > 0.55 {
+			t.Errorf("fig13 %s: only %.2fx at 1024 GPUs, want strong scaling", r.Label, 1/last)
+		}
+		for _, v := range r.Values {
+			if v > 1.05 {
+				t.Errorf("fig13 %s: latency rose above the 4-GPU baseline: %v", r.Label, r.Values)
+				break
+			}
+		}
+	}
+}
+
+// Fig. 14 -------------------------------------------------------------
+
+func TestFig14Measured(t *testing.T) {
+	if testing.Short() {
+		t.Skip("measured comparison skipped in -short mode")
+	}
+	tab := Fig14()
+	var vsGeneric, vsInterp []float64
+	for _, r := range tab.Rows {
+		sv := r.Values[1] // vectorized svsim
+		vsGeneric = append(vsGeneric, r.Values[2]/sv)
+		vsInterp = append(vsInterp, r.Values[3]/sv)
+	}
+	if g := geomean(vsGeneric); g < 3 {
+		t.Errorf("fig14: only %.1fx over the generic-matrix baseline", g)
+	}
+	if g := geomean(vsInterp); g < 3 {
+		t.Errorf("fig14: only %.1fx over the interpreted baseline", g)
+	}
+}
+
+// Fig. 16 / 17 / headline / QNN ---------------------------------------
+
+func TestFig16Converges(t *testing.T) {
+	tab := Fig16()
+	// Last trajectory row before the two metadata rows.
+	energy := tab.Rows[len(tab.Rows)-3].Values[0]
+	if energy > -1.12 {
+		t.Errorf("fig16: final energy %.4f Ha, want near -1.137", energy)
+	}
+	if len(tab.Rows) != 58+2 {
+		t.Errorf("fig16: %d rows, want 58 iterations + 2 metadata", len(tab.Rows))
+	}
+}
+
+func TestFig17Shape(t *testing.T) {
+	tab := Fig17()
+	if tab.Rows[0].Label != "5" || tab.Rows[len(tab.Rows)-1].Label != "24" {
+		t.Fatalf("fig17 range: %s..%s", tab.Rows[0].Label, tab.Rows[len(tab.Rows)-1].Label)
+	}
+	first := tab.Rows[0].Values[0]
+	last := tab.Rows[len(tab.Rows)-1].Values[0]
+	if first < 300 || first > 1200 {
+		t.Errorf("fig17: %g gates at 5 qubits, want hundreds", first)
+	}
+	if last < 7e5 {
+		t.Errorf("fig17: %g gates at 24 qubits, want ~millions", last)
+	}
+	for i := 1; i < len(tab.Rows); i++ {
+		if tab.Rows[i].Values[0] <= tab.Rows[i-1].Values[0] {
+			t.Errorf("fig17: gate count not monotone at row %d", i)
+		}
+	}
+}
+
+func TestHeadlineOrder(t *testing.T) {
+	tab := Headline()
+	sec := rowByLabel(t, tab, "modeled-seconds").Values[0]
+	// Paper: 196 s. Same order of magnitude is the bar.
+	if sec < 10 || sec > 2000 {
+		t.Errorf("headline: modeled %g s, want same order as 196 s", sec)
+	}
+	if g := rowByLabel(t, tab, "gates").Values[0]; g < 7e5 {
+		t.Errorf("headline: only %g gates", g)
+	}
+}
+
+func TestCommComparisonStructure(t *testing.T) {
+	tab := CommComparison(8)
+	for _, r := range tab.Rows {
+		pgasMsgs, coalMsgs, mpiMsgs := r.Values[0], r.Values[2], r.Values[4]
+		staged := r.Values[6]
+		if pgasMsgs == 0 {
+			continue // communication-free circuit (diagonal compounds)
+		}
+		if pgasMsgs <= mpiMsgs {
+			t.Errorf("comm %s: fine-grained PGAS msgs (%g) not above MPI msgs (%g)",
+				r.Label, pgasMsgs, mpiMsgs)
+		}
+		if coalMsgs >= pgasMsgs {
+			t.Errorf("comm %s: coalescing did not reduce messages", r.Label)
+		}
+		if staged <= 0 {
+			t.Errorf("comm %s: MPI staging cost missing", r.Label)
+		}
+	}
+}
+
+func TestQNNStudyTable(t *testing.T) {
+	tab := QNNStudy()
+	final := tab.Rows[len(tab.Rows)-2].Values[1] // last epoch test accuracy
+	if final < 0.6 {
+		t.Errorf("qnn: final test accuracy %.2f", final)
+	}
+}
+
+func TestTableFormatting(t *testing.T) {
+	tab := Table4()
+	out := tab.Format()
+	if !strings.Contains(out, "table4") || !strings.Contains(out, "ghz_state") {
+		t.Fatalf("format output wrong:\n%s", out)
+	}
+	for _, r := range tab.Rows {
+		if r.Values[1] <= 0 {
+			t.Errorf("table4 %s: zero gates", r.Label)
+		}
+	}
+	t3 := Table3()
+	if len(t3.Rows) != 9 {
+		t.Errorf("table3: %d platforms", len(t3.Rows))
+	}
+}
+
+func TestMemTableShape(t *testing.T) {
+	tab := MemTable()
+	// 31 qubits (32 GiB) no longer fits a 32 GiB V100 alongside anything,
+	// but the law itself: doubling per qubit.
+	var prev float64
+	for i, r := range tab.Rows {
+		if i > 0 && r.Values[0] != 2*prev {
+			t.Fatalf("memory law broken at %s", r.Label)
+		}
+		prev = r.Values[0]
+	}
+	last := tab.Rows[len(tab.Rows)-1]
+	if last.Values[3] != 0 {
+		t.Fatal("36 qubits should not fit a 512 GiB node")
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tab := Table3()
+	csv := tab.CSV()
+	lines := strings.Split(strings.TrimRight(csv, "\n"), "\n")
+	if len(lines) != len(tab.Rows)+1 {
+		t.Fatalf("csv lines: %d", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "platform,") {
+		t.Fatalf("csv header: %q", lines[0])
+	}
+	for _, l := range lines[1:] {
+		if strings.Count(l, ",") != len(tab.Columns)-1 {
+			t.Fatalf("csv row field count: %q", l)
+		}
+	}
+}
+
+func TestFig6AbsoluteConsistentWithRelative(t *testing.T) {
+	rel := Fig6()
+	abs := Fig6Absolute()
+	if len(abs.Rows) != len(rel.Rows) {
+		t.Fatal("row mismatch")
+	}
+	// Relative values must equal absolute / EPYC-absolute.
+	for ri := range abs.Rows {
+		epyc := abs.Rows[ri].Values[0]
+		for ci := range abs.Rows[ri].Values {
+			want := abs.Rows[ri].Values[ci] / epyc
+			got := rel.Rows[ri].Values[ci]
+			if math.Abs(got-want)/want > 1e-9 {
+				t.Fatalf("row %s col %d: relative %g vs derived %g",
+					abs.Rows[ri].Label, ci, got, want)
+			}
+		}
+	}
+}
+
+func TestFormatValRanges(t *testing.T) {
+	cases := map[float64]string{
+		0:        "0",
+		2e6:      "2.000e+06",
+		0.0001:   "1.000e-04",
+		123:      "123",
+		12.34:    "12.34",
+		0.5:      "0.5000",
+	}
+	for v, want := range cases {
+		if got := formatVal(v); got != want {
+			t.Errorf("formatVal(%g) = %q, want %q", v, got, want)
+		}
+	}
+}

@@ -1,0 +1,241 @@
+// Package fusion implements gate fusion, the key optimization of the
+// qsim simulator the paper discusses in related work ("The major
+// optimization performed is gate fusion") and a natural extension of
+// SV-Sim's specialized-kernel design: runs of single-qubit gates on the
+// same qubit collapse into one u3 application, identity products vanish,
+// and adjacent self-inverse two-qubit gates cancel. The pass is exact —
+// it preserves the global phase by accumulating it into a single trailing
+// gphase — so optimized circuits produce bitwise-comparable states.
+package fusion
+
+import (
+	"math"
+	"math/cmplx"
+
+	"svsim/internal/circuit"
+	"svsim/internal/gate"
+)
+
+// Stats reports what one Optimize call did.
+type Stats struct {
+	InputGates    int
+	OutputGates   int
+	FusedRuns     int // 1q runs collapsed into a single gate
+	Identities    int // fused runs that vanished entirely
+	Cancellations int // adjacent self-inverse pairs removed
+}
+
+// Optimize returns a semantically identical circuit with single-qubit
+// runs fused and trivial pairs cancelled, plus the transformation stats.
+func Optimize(c *circuit.Circuit) (*circuit.Circuit, Stats) {
+	st := Stats{InputGates: c.NumGates()}
+	fused := fuse1Q(c, &st)
+	out := cancelPairs(fused, &st)
+	st.OutputGates = out.NumGates()
+	return out, st
+}
+
+// pending is an accumulated 1-qubit unitary awaiting flush.
+type pending struct {
+	active bool
+	count  int       // source gates accumulated
+	first  gate.Gate // the original gate, emitted verbatim for runs of one
+	u      [4]complex128
+}
+
+func (p *pending) reset() {
+	*p = pending{}
+}
+
+func (p *pending) mul(g gate.Gate, u gate.Matrix) {
+	if !p.active {
+		p.active = true
+		p.first = g
+		p.u = [4]complex128{u.Data[0], u.Data[1], u.Data[2], u.Data[3]}
+		p.count = 1
+		return
+	}
+	a := p.u
+	p.u[0] = u.Data[0]*a[0] + u.Data[1]*a[2]
+	p.u[1] = u.Data[0]*a[1] + u.Data[1]*a[3]
+	p.u[2] = u.Data[2]*a[0] + u.Data[3]*a[2]
+	p.u[3] = u.Data[2]*a[1] + u.Data[3]*a[3]
+	p.count++
+}
+
+// fuse1Q performs the run-fusion pass.
+func fuse1Q(c *circuit.Circuit, st *Stats) *circuit.Circuit {
+	out := &circuit.Circuit{Name: c.Name, NumQubits: c.NumQubits, NumClbits: c.NumClbits}
+	pend := make([]pending, c.NumQubits)
+	var phase float64
+
+	flush := func(q int) {
+		p := &pend[q]
+		if !p.active {
+			return
+		}
+		if p.count == 1 {
+			// A run of one keeps its original (specialized) gate.
+			out.Append(p.first)
+			p.reset()
+			return
+		}
+		alpha, g, isID := decomposeU3(p.u, q)
+		phase += alpha
+		if isID {
+			st.Identities++
+		} else {
+			if p.count > 1 {
+				st.FusedRuns++
+			}
+			out.Append(g)
+		}
+		p.reset()
+	}
+
+	for i := range c.Ops {
+		op := &c.Ops[i]
+		g := &op.G
+		// Conditioned ops and non-unitary ops act as barriers for their
+		// operands (and conditions depend on measurement order, so keep
+		// them in place).
+		fusable := op.Cond == nil && g.Kind.Unitary() &&
+			g.Kind != gate.BARRIER && g.Kind != gate.GPHASE && g.NQ == 1
+		if fusable {
+			pend[g.Qubits[0]].mul(*g, gate.Unitary(*g))
+			continue
+		}
+		if g.Kind == gate.GPHASE && op.Cond == nil {
+			phase += g.Params[0]
+			continue
+		}
+		// Flush every operand the op touches; a conditioned or
+		// non-unitary op flushes everything (measurement probabilities
+		// must see all prior gates applied).
+		if op.Cond != nil || !g.Kind.Unitary() {
+			for q := 0; q < c.NumQubits; q++ {
+				flush(q)
+			}
+		} else {
+			for _, q := range g.OperandQubits() {
+				flush(int(q))
+			}
+		}
+		if op.Cond != nil {
+			out.AppendCond(*g, *op.Cond)
+		} else {
+			out.Append(*g)
+		}
+	}
+	for q := 0; q < c.NumQubits; q++ {
+		flush(q)
+	}
+	if math.Abs(math.Mod(phase, 2*math.Pi)) > 1e-12 {
+		out.Append(gate.NewGPhase(phase))
+	}
+	return out
+}
+
+// decomposeU3 factors a 2x2 unitary as e^{i alpha} * u3(theta, phi,
+// lambda) on qubit q, reporting pure (phase-only) identities.
+func decomposeU3(u [4]complex128, q int) (alpha float64, g gate.Gate, isID bool) {
+	const eps = 1e-12
+	c := cmplx.Abs(u[0])
+	s := cmplx.Abs(u[2])
+	theta := 2 * math.Atan2(s, c)
+	switch {
+	case s < eps:
+		// Diagonal: u = e^{i alpha} diag(1, e^{i lambda}).
+		alpha = cmplx.Phase(u[0])
+		lambda := cmplx.Phase(u[3]) - alpha
+		if math.Abs(math.Mod(lambda, 2*math.Pi)) < 1e-12 {
+			return alpha, gate.Gate{}, true
+		}
+		return alpha, gate.NewU1(lambda, q), false
+	case c < eps:
+		// Anti-diagonal: u3(pi, phi, lambda) exactly.
+		phi := cmplx.Phase(u[2])
+		lambda := cmplx.Phase(-u[1])
+		return 0, gate.NewU3(math.Pi, phi, lambda, q), false
+	default:
+		alpha = cmplx.Phase(u[0])
+		phi := cmplx.Phase(u[2]) - alpha
+		lambda := cmplx.Phase(-u[1]) - alpha
+		return alpha, gate.NewU3(theta, phi, lambda, q), false
+	}
+}
+
+// cancelPairs removes adjacent identical self-inverse multi-qubit gates
+// (CX;CX, CZ;CZ, SWAP;SWAP, CCX;CCX, ...). "Adjacent" means no
+// intervening op touches any operand of the pair.
+func cancelPairs(c *circuit.Circuit, st *Stats) *circuit.Circuit {
+	ops := append([]circuit.Op(nil), c.Ops...)
+	changed := true
+	for changed {
+		changed = false
+		alive := make([]bool, len(ops))
+		for i := range alive {
+			alive[i] = true
+		}
+		for i := 0; i < len(ops); i++ {
+			if !alive[i] || !cancellable(&ops[i]) {
+				continue
+			}
+			// Find the next live op sharing operands.
+			for j := i + 1; j < len(ops); j++ {
+				if !alive[j] {
+					continue
+				}
+				if !sharesOperand(&ops[i].G, &ops[j].G) && ops[j].Cond == nil &&
+					ops[j].G.Kind.Unitary() {
+					continue // independent; keep scanning
+				}
+				if sameSelfInverse(&ops[i], &ops[j]) {
+					alive[i], alive[j] = false, false
+					st.Cancellations++
+					changed = true
+				}
+				break
+			}
+		}
+		var next []circuit.Op
+		for i, ok := range alive {
+			if ok {
+				next = append(next, ops[i])
+			}
+		}
+		ops = next
+	}
+	out := &circuit.Circuit{Name: c.Name, NumQubits: c.NumQubits, NumClbits: c.NumClbits, Ops: ops}
+	return out
+}
+
+func cancellable(op *circuit.Op) bool {
+	return op.Cond == nil && op.G.Kind.Hermitian() && op.G.NQ >= 2
+}
+
+func sameSelfInverse(a, b *circuit.Op) bool {
+	if !cancellable(a) || !cancellable(b) {
+		return false
+	}
+	if a.G.Kind != b.G.Kind || a.G.NQ != b.G.NQ {
+		return false
+	}
+	for i := 0; i < int(a.G.NQ); i++ {
+		if a.G.Qubits[i] != b.G.Qubits[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func sharesOperand(a, b *gate.Gate) bool {
+	for _, qa := range a.OperandQubits() {
+		for _, qb := range b.OperandQubits() {
+			if qa == qb {
+				return true
+			}
+		}
+	}
+	return false
+}

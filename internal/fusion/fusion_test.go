@@ -1,0 +1,216 @@
+package fusion
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"svsim/internal/circuit"
+	"svsim/internal/gate"
+	"svsim/internal/statevec"
+)
+
+func run(c *circuit.Circuit) *statevec.State {
+	s := statevec.New(c.NumQubits)
+	for i := range c.Ops {
+		s.Apply(&c.Ops[i].G)
+	}
+	return s
+}
+
+func randomUnitaryCircuit(rng *rand.Rand, n, gates int) *circuit.Circuit {
+	var kinds []gate.Kind
+	for i := 0; i < gate.NumKinds; i++ {
+		k := gate.Kind(i)
+		if k.Unitary() && k != gate.BARRIER {
+			kinds = append(kinds, k)
+		}
+	}
+	c := circuit.New("rand", n)
+	for i := 0; i < gates; i++ {
+		k := kinds[rng.Intn(len(kinds))]
+		if k.NumQubits() > n {
+			continue
+		}
+		perm := rng.Perm(n)
+		ps := make([]float64, k.NumParams())
+		for j := range ps {
+			ps[j] = (rng.Float64()*2 - 1) * 2 * math.Pi
+		}
+		var qs []int
+		if k.NumQubits() > 0 {
+			qs = perm[:k.NumQubits()]
+		}
+		c.Append(gate.New(k, qs, ps...))
+	}
+	return c
+}
+
+func TestOptimizePreservesStateExactly(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 10; trial++ {
+		c := randomUnitaryCircuit(rng, 6, 150)
+		opt, _ := Optimize(c)
+		if err := opt.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		a := run(c)
+		b := run(opt)
+		// Exact including global phase: fusion tracks it explicitly.
+		if d := a.MaxAbsDiff(b); d > 1e-9 {
+			t.Fatalf("trial %d: optimized circuit deviates by %g", trial, d)
+		}
+	}
+}
+
+func TestRotationRunsFuse(t *testing.T) {
+	// Four rotations per qubit per layer (the DNN workload pattern) must
+	// fuse to one gate per qubit per layer.
+	c := circuit.New("rot", 4)
+	for layer := 0; layer < 3; layer++ {
+		for q := 0; q < 4; q++ {
+			c.RY(0.1, q).RZ(0.2, q).RY(0.3, q).RZ(0.4, q)
+		}
+		for q := 0; q < 3; q++ {
+			c.CX(q, q+1)
+		}
+	}
+	opt, st := Optimize(c)
+	// 12 rotations per qubit-layer-group fuse to <= 1 gate each.
+	if opt.NumGates() > 3*(4+3)+1 {
+		t.Fatalf("fused to %d gates: %+v", opt.NumGates(), st)
+	}
+	if st.FusedRuns == 0 {
+		t.Fatal("no runs fused")
+	}
+	if d := run(c).MaxAbsDiff(run(opt)); d > 1e-10 {
+		t.Fatalf("rotation fusion deviates by %g", d)
+	}
+}
+
+func TestIdentityRunsVanish(t *testing.T) {
+	c := circuit.New("id", 2)
+	c.H(0).H(0)      // = I
+	c.X(1).Y(1).Z(1) // = iI (phase only)
+	c.S(0).Sdg(0)    // = I
+	opt, st := Optimize(c)
+	// Only a gphase may survive.
+	for i := range opt.Ops {
+		if opt.Ops[i].G.Kind != gate.GPHASE {
+			t.Fatalf("surviving gate: %v", opt.Ops[i].G)
+		}
+	}
+	if st.Identities == 0 {
+		t.Fatal("identities not detected")
+	}
+	if d := run(c).MaxAbsDiff(run(opt)); d > 1e-12 {
+		t.Fatalf("identity elimination deviates by %g", d)
+	}
+}
+
+func TestCXPairsCancel(t *testing.T) {
+	c := circuit.New("cxcx", 3)
+	c.CX(0, 1).CX(0, 1)          // cancels
+	c.CZ(1, 2).H(0).CZ(1, 2)     // cancels across a disjoint H
+	c.Swap(0, 2).X(0).Swap(0, 2) // does NOT cancel (X intervenes)
+	opt, st := Optimize(c)
+	if st.Cancellations != 2 {
+		t.Fatalf("cancellations = %d, want 2 (stats %+v)", st.Cancellations, st)
+	}
+	if d := run(c).MaxAbsDiff(run(opt)); d > 1e-12 {
+		t.Fatalf("cancellation deviates by %g", d)
+	}
+}
+
+func TestMeasurementBlocksFusion(t *testing.T) {
+	// H; measure; H must NOT fuse the two Hadamards.
+	c := circuit.New("m", 1)
+	c.H(0)
+	c.Measure(0, 0)
+	c.H(0)
+	opt, _ := Optimize(c)
+	kinds := []gate.Kind{}
+	for i := range opt.Ops {
+		kinds = append(kinds, opt.Ops[i].G.Kind)
+	}
+	if len(kinds) != 3 || kinds[0] != gate.H || kinds[1] != gate.MEASURE || kinds[2] != gate.H {
+		t.Fatalf("measurement ordering broken: %v", kinds)
+	}
+}
+
+func TestConditionsBlockFusion(t *testing.T) {
+	c := circuit.New("c", 2)
+	c.NumClbits = 1
+	c.X(0)
+	c.AppendCond(gate.NewX(0), circuit.Condition{Offset: 0, Width: 1, Value: 1})
+	c.X(0)
+	opt, _ := Optimize(c)
+	if opt.NumGates() != 3 {
+		t.Fatalf("conditioned ops must not fuse: %d gates", opt.NumGates())
+	}
+	if opt.Ops[1].Cond == nil {
+		t.Fatal("condition lost")
+	}
+}
+
+func TestOptimizeIdempotent(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	c := randomUnitaryCircuit(rng, 5, 80)
+	once, _ := Optimize(c)
+	twice, st := Optimize(once)
+	if twice.NumGates() > once.NumGates() {
+		t.Fatalf("second pass grew the circuit: %d -> %d", once.NumGates(), twice.NumGates())
+	}
+	_ = st
+	if d := run(once).MaxAbsDiff(run(twice)); d > 1e-9 {
+		t.Fatalf("idempotence deviates by %g", d)
+	}
+}
+
+func TestDecomposeU3Quick(t *testing.T) {
+	// Property: decomposeU3 factors any product of two u3s exactly.
+	f := func(t1, p1, l1, t2, p2, l2 float64) bool {
+		m := func(x float64) float64 { return math.Mod(x, math.Pi) }
+		a := gate.Unitary(gate.NewU3(m(t1), m(p1), m(l1), 0))
+		b := gate.Unitary(gate.NewU3(m(t2), m(p2), m(l2), 0))
+		prod := b.Mul(a)
+		alpha, g, isID := decomposeU3([4]complex128{prod.Data[0], prod.Data[1], prod.Data[2], prod.Data[3]}, 0)
+		var rec gate.Matrix
+		if isID {
+			rec = gate.Identity(2)
+		} else {
+			rec = gate.Unitary(g)
+		}
+		rec = rec.Scale(complexExp(alpha))
+		return rec.EqualUpTo(prod, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func complexExp(a float64) complex128 {
+	return complex(math.Cos(a), math.Sin(a))
+}
+
+func TestDNNWorkloadShrinks(t *testing.T) {
+	// The rotation-heavy DNN pattern must shrink substantially.
+	c := circuit.New("dnnish", 8)
+	for l := 0; l < 10; l++ {
+		for q := 0; q < 8; q++ {
+			c.RY(0.1*float64(l+q), q).RZ(0.2, q).RY(0.3, q).RZ(0.4, q)
+		}
+		for q := 0; q < 8; q++ {
+			c.CX(q, (q+1)%8)
+		}
+	}
+	opt, st := Optimize(c)
+	if float64(opt.NumGates()) > 0.55*float64(c.NumGates()) {
+		t.Fatalf("dnn fusion only reached %d of %d gates (%+v)",
+			opt.NumGates(), c.NumGates(), st)
+	}
+	if d := run(c).MaxAbsDiff(run(opt)); d > 1e-9 {
+		t.Fatalf("deviates by %g", d)
+	}
+}

@@ -1,0 +1,85 @@
+package gate
+
+import "fmt"
+
+// Adjoint returns a sequence of gates implementing the adjoint (inverse) of
+// g. Most kinds invert to a single gate (itself, a dagger partner, or the
+// same kind with negated angles); the relative-phase Toffolis invert to
+// their reversed, element-wise-adjointed decomposition, hence the slice
+// return. This is the mechanism behind the QIR frontend's Adjoint* verbs
+// (Table 2 of the paper).
+func Adjoint(g Gate) []Gate {
+	k := g.Kind
+	if !k.Unitary() {
+		panic(fmt.Sprintf("Adjoint: %s is not unitary", k))
+	}
+	if k.Hermitian() {
+		return []Gate{g}
+	}
+	qs := make([]int, g.NQ)
+	for i := range qs {
+		qs[i] = int(g.Qubits[i])
+	}
+	single := func(k2 Kind, params ...float64) []Gate {
+		return []Gate{New(k2, qs, params...)}
+	}
+	switch k {
+	case U3:
+		// (u3(t,p,l))^dagger = u3(-t, -l, -p)
+		return single(U3, -g.Params[0], -g.Params[2], -g.Params[1])
+	case U2:
+		// u2(p,l) = u3(pi/2,p,l); adjoint = u3(-pi/2,-l,-p)
+		return single(U3, -pi/2, -g.Params[1], -g.Params[0])
+	case U1:
+		return single(U1, -g.Params[0])
+	case S:
+		return single(SDG)
+	case SDG:
+		return single(S)
+	case T:
+		return single(TDG)
+	case TDG:
+		return single(T)
+	case SX:
+		return single(SXDG)
+	case SXDG:
+		return single(SX)
+	case RX, RY, RZ, CRX, CRY, CRZ, CU1, RXX, RZZ, GPHASE:
+		return single(k, -g.Params[0])
+	case CU3:
+		return single(CU3, -g.Params[0], -g.Params[2], -g.Params[1])
+	case CS:
+		return single(CSDG)
+	case CSDG:
+		return single(CS)
+	case CT:
+		return single(CTDG)
+	case CTDG:
+		return single(CT)
+	case C3SQRTX:
+		// Adjoint of 3-controlled sqrt(X): conjugate by X-basis is overkill;
+		// sqrt(X)^dagger = sqrt(X)^3, so apply the gate three times.
+		return []Gate{g, g, g}
+	case RCCX:
+		return reverseAdjointSeq(rccxSeq, qs)
+	case RC3X:
+		return reverseAdjointSeq(rc3xSeq, qs)
+	}
+	panic(fmt.Sprintf("Adjoint: unhandled kind %s", k))
+}
+
+const pi = 3.141592653589793
+
+func reverseAdjointSeq(seq []seqOp, qs []int) []Gate {
+	out := make([]Gate, 0, len(seq))
+	for i := len(seq) - 1; i >= 0; i-- {
+		op := seq[i]
+		mapped := make([]int, len(op.ops))
+		for j, l := range op.ops {
+			mapped[j] = qs[l]
+		}
+		sub := New(op.kind, mapped, op.par...)
+		out = append(out, Adjoint(sub)...)
+	}
+	return out
+}

@@ -1,0 +1,262 @@
+package gate
+
+import (
+	"fmt"
+	"strings"
+)
+
+// MaxOperands is the largest operand count of any kind (C4X takes 5).
+const MaxOperands = 5
+
+// MaxParams is the largest parameter count of any kind (U3/CU3 take 3).
+const MaxParams = 3
+
+// Gate is one instruction of a quantum circuit. It is a plain value type so
+// that circuits with millions of gates (the paper simulates a 2.3M-gate
+// VQE-UCCSD circuit) stay allocation-free and cache-friendly, mirroring the
+// paper's flat per-gate objects uploaded to the device.
+type Gate struct {
+	Kind   Kind
+	NQ     uint8              // operands in use
+	NP     uint8              // params in use
+	Cbit   int32              // classical bit for MEASURE (-1 otherwise)
+	Qubits [MaxOperands]int32 // operand qubits, controls first
+	Params [MaxParams]float64 // angle parameters
+}
+
+// New builds a gate of the given kind, validating operand and parameter
+// counts against the kind's signature. It panics on a malformed gate: gate
+// construction errors are programming errors, and the hot simulation path
+// must not carry error returns (this mirrors the paper's trusted gate
+// objects handed to the device kernel).
+func New(k Kind, qubits []int, params ...float64) Gate {
+	if k != BARRIER {
+		if len(qubits) != k.NumQubits() {
+			panic(fmt.Sprintf("gate %s: want %d qubits, got %d", k, k.NumQubits(), len(qubits)))
+		}
+	}
+	if len(params) != k.NumParams() {
+		panic(fmt.Sprintf("gate %s: want %d params, got %d", k, k.NumParams(), len(params)))
+	}
+	if len(qubits) > MaxOperands {
+		panic(fmt.Sprintf("gate %s: too many operands", k))
+	}
+	g := Gate{Kind: k, NQ: uint8(len(qubits)), NP: uint8(len(params)), Cbit: -1}
+	for i, q := range qubits {
+		if q < 0 {
+			panic(fmt.Sprintf("gate %s: negative qubit %d", k, q))
+		}
+		g.Qubits[i] = int32(q)
+	}
+	for i := 0; i < len(qubits); i++ {
+		for j := i + 1; j < len(qubits); j++ {
+			if g.Qubits[i] == g.Qubits[j] {
+				panic(fmt.Sprintf("gate %s: duplicate qubit operand %d", k, g.Qubits[i]))
+			}
+		}
+	}
+	copy(g.Params[:], params)
+	return g
+}
+
+// OperandQubits returns the live operand slice (aliasing the gate value's
+// array; callers must not retain it past the gate's lifetime).
+func (g *Gate) OperandQubits() []int32 { return g.Qubits[:g.NQ] }
+
+// ParamSlice returns the live parameter slice.
+func (g *Gate) ParamSlice() []float64 { return g.Params[:g.NP] }
+
+// ControlMask returns a bitmask over the full register with a 1 at every
+// control qubit of the gate (empty for uncontrolled kinds).
+func (g *Gate) ControlMask() uint64 {
+	var m uint64
+	for i := 0; i < g.Kind.NumControls(); i++ {
+		m |= uint64(1) << uint(g.Qubits[i])
+	}
+	return m
+}
+
+// Targets returns the non-control operand qubits.
+func (g *Gate) Targets() []int32 { return g.Qubits[g.Kind.NumControls():g.NQ] }
+
+// MaxQubit returns the largest qubit index the gate touches, or -1 for
+// qubit-less kinds.
+func (g *Gate) MaxQubit() int {
+	max := -1
+	for _, q := range g.OperandQubits() {
+		if int(q) > max {
+			max = int(q)
+		}
+	}
+	return max
+}
+
+// String renders the gate in OpenQASM-like syntax, e.g. "cu1(0.7853) q0,q3".
+func (g Gate) String() string {
+	var b strings.Builder
+	b.WriteString(g.Kind.String())
+	if g.NP > 0 {
+		b.WriteByte('(')
+		for i := 0; i < int(g.NP); i++ {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(&b, "%g", g.Params[i])
+		}
+		b.WriteByte(')')
+	}
+	if g.NQ > 0 {
+		b.WriteByte(' ')
+		for i := 0; i < int(g.NQ); i++ {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(&b, "q%d", g.Qubits[i])
+		}
+	}
+	if g.Kind == MEASURE {
+		fmt.Fprintf(&b, " -> c%d", g.Cbit)
+	}
+	return b.String()
+}
+
+// Named constructors: one per Table 1 / Table 2 gate, in the operand order
+// of OpenQASM (controls first, then targets).
+
+// NewU3 builds the generic 3-parameter 1-qubit gate u3(theta, phi, lambda).
+func NewU3(theta, phi, lambda float64, q int) Gate { return New(U3, []int{q}, theta, phi, lambda) }
+
+// NewU2 builds u2(phi, lambda) = u3(pi/2, phi, lambda).
+func NewU2(phi, lambda float64, q int) Gate { return New(U2, []int{q}, phi, lambda) }
+
+// NewU1 builds the phase gate u1(lambda) = diag(1, e^{i lambda}).
+func NewU1(lambda float64, q int) Gate { return New(U1, []int{q}, lambda) }
+
+// NewCX builds a controlled-NOT with control c and target t.
+func NewCX(c, t int) Gate { return New(CX, []int{c, t}) }
+
+// NewID builds the identity (idle) gate.
+func NewID(q int) Gate { return New(ID, []int{q}) }
+
+// NewX builds a Pauli-X gate.
+func NewX(q int) Gate { return New(X, []int{q}) }
+
+// NewY builds a Pauli-Y gate.
+func NewY(q int) Gate { return New(Y, []int{q}) }
+
+// NewZ builds a Pauli-Z gate.
+func NewZ(q int) Gate { return New(Z, []int{q}) }
+
+// NewH builds a Hadamard gate.
+func NewH(q int) Gate { return New(H, []int{q}) }
+
+// NewS builds the S = sqrt(Z) phase gate.
+func NewS(q int) Gate { return New(S, []int{q}) }
+
+// NewSDG builds the adjoint of S.
+func NewSDG(q int) Gate { return New(SDG, []int{q}) }
+
+// NewT builds the T = sqrt(S) phase gate.
+func NewT(q int) Gate { return New(T, []int{q}) }
+
+// NewTDG builds the adjoint of T.
+func NewTDG(q int) Gate { return New(TDG, []int{q}) }
+
+// NewRX builds the X-axis rotation exp(-i theta X / 2).
+func NewRX(theta float64, q int) Gate { return New(RX, []int{q}, theta) }
+
+// NewRY builds the Y-axis rotation exp(-i theta Y / 2).
+func NewRY(theta float64, q int) Gate { return New(RY, []int{q}, theta) }
+
+// NewRZ builds the Z-axis rotation exp(-i theta Z / 2).
+func NewRZ(theta float64, q int) Gate { return New(RZ, []int{q}, theta) }
+
+// NewCZ builds a controlled-Z gate.
+func NewCZ(c, t int) Gate { return New(CZ, []int{c, t}) }
+
+// NewCY builds a controlled-Y gate.
+func NewCY(c, t int) Gate { return New(CY, []int{c, t}) }
+
+// NewSWAP builds a swap gate.
+func NewSWAP(a, b int) Gate { return New(SWAP, []int{a, b}) }
+
+// NewCH builds a controlled-Hadamard gate.
+func NewCH(c, t int) Gate { return New(CH, []int{c, t}) }
+
+// NewCCX builds a Toffoli gate with controls a, b and target t.
+func NewCCX(a, b, t int) Gate { return New(CCX, []int{a, b, t}) }
+
+// NewCSWAP builds a Fredkin gate with control c swapping a and b.
+func NewCSWAP(c, a, b int) Gate { return New(CSWAP, []int{c, a, b}) }
+
+// NewCRX builds a controlled X-rotation.
+func NewCRX(theta float64, c, t int) Gate { return New(CRX, []int{c, t}, theta) }
+
+// NewCRY builds a controlled Y-rotation.
+func NewCRY(theta float64, c, t int) Gate { return New(CRY, []int{c, t}, theta) }
+
+// NewCRZ builds a controlled Z-rotation.
+func NewCRZ(theta float64, c, t int) Gate { return New(CRZ, []int{c, t}, theta) }
+
+// NewCU1 builds a controlled phase rotation.
+func NewCU1(lambda float64, c, t int) Gate { return New(CU1, []int{c, t}, lambda) }
+
+// NewCU3 builds a controlled U3.
+func NewCU3(theta, phi, lambda float64, c, t int) Gate {
+	return New(CU3, []int{c, t}, theta, phi, lambda)
+}
+
+// NewRXX builds the two-qubit XX rotation exp(-i theta XX / 2).
+func NewRXX(theta float64, a, b int) Gate { return New(RXX, []int{a, b}, theta) }
+
+// NewRZZ builds the two-qubit ZZ interaction diag(1, e^{i t}, e^{i t}, 1).
+func NewRZZ(theta float64, a, b int) Gate { return New(RZZ, []int{a, b}, theta) }
+
+// NewRCCX builds the relative-phase Toffoli with controls a, b and target t.
+func NewRCCX(a, b, t int) Gate { return New(RCCX, []int{a, b, t}) }
+
+// NewRC3X builds the relative-phase 3-controlled X.
+func NewRC3X(a, b, c, t int) Gate { return New(RC3X, []int{a, b, c, t}) }
+
+// NewC3X builds the 3-controlled X.
+func NewC3X(a, b, c, t int) Gate { return New(C3X, []int{a, b, c, t}) }
+
+// NewC3SQRTX builds the 3-controlled sqrt(X).
+func NewC3SQRTX(a, b, c, t int) Gate { return New(C3SQRTX, []int{a, b, c, t}) }
+
+// NewC4X builds the 4-controlled X.
+func NewC4X(a, b, c, d, t int) Gate { return New(C4X, []int{a, b, c, d, t}) }
+
+// NewSX builds sqrt(X).
+func NewSX(q int) Gate { return New(SX, []int{q}) }
+
+// NewSXDG builds the adjoint of sqrt(X).
+func NewSXDG(q int) Gate { return New(SXDG, []int{q}) }
+
+// NewCS builds a controlled S.
+func NewCS(c, t int) Gate { return New(CS, []int{c, t}) }
+
+// NewCT builds a controlled T.
+func NewCT(c, t int) Gate { return New(CT, []int{c, t}) }
+
+// NewCSDG builds a controlled SDG.
+func NewCSDG(c, t int) Gate { return New(CSDG, []int{c, t}) }
+
+// NewCTDG builds a controlled TDG.
+func NewCTDG(c, t int) Gate { return New(CTDG, []int{c, t}) }
+
+// NewGPhase builds a global phase e^{i theta} on the whole register.
+func NewGPhase(theta float64) Gate { return New(GPHASE, nil, theta) }
+
+// NewMeasure builds a projective measurement of qubit q into classical bit c.
+func NewMeasure(q, c int) Gate {
+	g := New(MEASURE, []int{q})
+	g.Cbit = int32(c)
+	return g
+}
+
+// NewReset builds a reset of qubit q to |0>.
+func NewReset(q int) Gate { return New(RESET, []int{q}) }
+
+// NewBarrier builds a scheduling barrier (semantically a no-op).
+func NewBarrier() Gate { return New(BARRIER, nil) }

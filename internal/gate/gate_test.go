@@ -1,0 +1,392 @@
+package gate
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+const tol = 1e-12
+
+// randParams returns np angles in (-2pi, 2pi).
+func randParams(rng *rand.Rand, np int) []float64 {
+	p := make([]float64, np)
+	for i := range p {
+		p[i] = (rng.Float64()*2 - 1) * 2 * math.Pi
+	}
+	return p
+}
+
+// sampleGate builds a gate of kind k on the first operands with random params.
+func sampleGate(rng *rand.Rand, k Kind) Gate {
+	qs := make([]int, k.NumQubits())
+	for i := range qs {
+		qs[i] = i
+	}
+	return New(k, qs, randParams(rng, k.NumParams())...)
+}
+
+func allUnitaryKinds() []Kind {
+	var ks []Kind
+	for k := Kind(0); k < numKinds; k++ {
+		if k.Unitary() && k != BARRIER {
+			ks = append(ks, k)
+		}
+	}
+	return ks
+}
+
+func TestEveryKindUnitary(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, k := range allUnitaryKinds() {
+		for trial := 0; trial < 5; trial++ {
+			g := sampleGate(rng, k)
+			u := Unitary(g)
+			if !u.IsUnitary(1e-10) {
+				t.Fatalf("kind %s with params %v: matrix is not unitary", k, g.ParamSlice())
+			}
+		}
+	}
+}
+
+func TestKnownMatrices(t *testing.T) {
+	cases := []struct {
+		g    Gate
+		want []complex128
+	}{
+		{NewX(0), []complex128{0, 1, 1, 0}},
+		{NewY(0), []complex128{0, -1i, 1i, 0}},
+		{NewZ(0), []complex128{1, 0, 0, -1}},
+		{NewS(0), []complex128{1, 0, 0, 1i}},
+		{NewT(0), []complex128{1, 0, 0, complex(s2i, s2i)}},
+		{NewID(0), []complex128{1, 0, 0, 1}},
+		{NewH(0), []complex128{complex(s2i, 0), complex(s2i, 0), complex(s2i, 0), complex(-s2i, 0)}},
+	}
+	for _, c := range cases {
+		u := Unitary(c.g)
+		for i, w := range c.want {
+			if cmplx.Abs(u.Data[i]-w) > tol {
+				t.Errorf("%s: element %d = %v, want %v", c.g.Kind, i, u.Data[i], w)
+			}
+		}
+	}
+}
+
+func TestCXMatrixStructure(t *testing.T) {
+	// Operand order (control, target): control is local bit 0. So CX must
+	// map |01> (index 1, control set) to |11> (index 3) and vice versa.
+	u := Unitary(NewCX(0, 1))
+	want := NewMatrix(4)
+	want.Set(0, 0, 1)
+	want.Set(2, 2, 1)
+	want.Set(1, 3, 1)
+	want.Set(3, 1, 1)
+	if !u.EqualUpTo(want, tol) {
+		t.Fatalf("CX matrix mismatch:\n got %v\nwant %v", u.Data, want.Data)
+	}
+}
+
+func TestCCXMatrixIsToffoli(t *testing.T) {
+	u := Unitary(NewCCX(0, 1, 2))
+	// Controls are bits 0,1; target bit 2: |011> <-> |111> i.e. 3 <-> 7.
+	for i := 0; i < 8; i++ {
+		for j := 0; j < 8; j++ {
+			want := complex128(0)
+			switch {
+			case i == 3 && j == 7, i == 7 && j == 3:
+				want = 1
+			case i == j && i != 3 && i != 7:
+				want = 1
+			}
+			if cmplx.Abs(u.At(i, j)-want) > tol {
+				t.Fatalf("CCX[%d][%d] = %v, want %v", i, j, u.At(i, j), want)
+			}
+		}
+	}
+}
+
+func TestSquareRoots(t *testing.T) {
+	cases := []struct {
+		name string
+		g    Gate
+		sq   Gate
+	}{
+		{"S^2=Z", NewS(0), NewZ(0)},
+		{"T^2=S", NewT(0), NewS(0)},
+		{"SX^2=X", NewSX(0), NewX(0)},
+	}
+	for _, c := range cases {
+		u := Unitary(c.g)
+		if !u.Mul(u).EqualUpTo(Unitary(c.sq), tol) {
+			t.Errorf("%s failed", c.name)
+		}
+	}
+}
+
+func TestRotationIdentities(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 20; trial++ {
+		th := (rng.Float64()*2 - 1) * 2 * math.Pi
+		// rx(t) == u3(t, -pi/2, pi/2)
+		if !Unitary(NewRX(th, 0)).EqualUpTo(U3Matrix(th, -math.Pi/2, math.Pi/2), 1e-10) {
+			t.Fatalf("rx(%g) != u3(t,-pi/2,pi/2)", th)
+		}
+		// ry(t) == u3(t, 0, 0)
+		if !Unitary(NewRY(th, 0)).EqualUpTo(U3Matrix(th, 0, 0), 1e-10) {
+			t.Fatalf("ry(%g) != u3(t,0,0)", th)
+		}
+		// rz(t) == u1(t) up to global phase only
+		if !Unitary(NewRZ(th, 0)).EqualUpToGlobalPhase(Unitary(NewU1(th, 0)), 1e-10) {
+			t.Fatalf("rz(%g) != u1(t) up to phase", th)
+		}
+		if Unitary(NewRZ(th, 0)).EqualUpTo(Unitary(NewU1(th, 0)), 1e-10) && math.Abs(math.Mod(th, 4*math.Pi)) > 1e-9 {
+			t.Fatalf("rz(%g) should differ from u1(t) by a non-trivial phase", th)
+		}
+	}
+}
+
+func TestRZZMatchesQelibDefinition(t *testing.T) {
+	// rzz(t) per qelib1 is cx; u1(t) on target; cx.
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 10; trial++ {
+		th := (rng.Float64()*2 - 1) * 2 * math.Pi
+		cx := Unitary(NewCX(0, 1))
+		u1 := Unitary(NewU1(th, 0)).Embed(2, []int{1})
+		want := cx.Mul(u1).Mul(cx)
+		if !Unitary(NewRZZ(th, 0, 1)).EqualUpTo(want, 1e-10) {
+			t.Fatalf("rzz(%g) does not match qelib1 decomposition", th)
+		}
+	}
+}
+
+func TestRXXIsPauliExponential(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 10; trial++ {
+		th := (rng.Float64()*2 - 1) * 2 * math.Pi
+		// exp(-i t/2 XX) = cos(t/2) I - i sin(t/2) XX
+		xx := Unitary(NewX(0)).Embed(2, []int{0}).Mul(Unitary(NewX(0)).Embed(2, []int{1}))
+		want := Identity(4).Scale(complex(math.Cos(th/2), 0))
+		for i := range want.Data {
+			want.Data[i] += complex(0, -math.Sin(th/2)) * xx.Data[i]
+		}
+		if !Unitary(NewRXX(th, 0, 1)).EqualUpTo(want, 1e-10) {
+			t.Fatalf("rxx(%g) is not exp(-i t XX/2)", th)
+		}
+	}
+}
+
+func TestRCCXIsRelativePhaseToffoli(t *testing.T) {
+	// The defining property: |RCCX[i][j]| == |CCX[i][j]| element-wise
+	// (same permutation structure, differing only in phases).
+	u := Unitary(NewRCCX(0, 1, 2))
+	ccx := Unitary(NewCCX(0, 1, 2))
+	for i := range u.Data {
+		if math.Abs(cmplx.Abs(u.Data[i])-cmplx.Abs(ccx.Data[i])) > 1e-10 {
+			t.Fatalf("RCCX magnitude structure differs from Toffoli at %d: %v vs %v",
+				i, u.Data[i], ccx.Data[i])
+		}
+	}
+	if u.EqualUpToGlobalPhase(ccx, 1e-10) {
+		t.Fatal("RCCX should not equal CCX even up to global phase (it has relative phases)")
+	}
+}
+
+func TestRC3XIsRelativePhaseC3X(t *testing.T) {
+	u := Unitary(NewRC3X(0, 1, 2, 3))
+	c3x := Unitary(NewC3X(0, 1, 2, 3))
+	for i := range u.Data {
+		if math.Abs(cmplx.Abs(u.Data[i])-cmplx.Abs(c3x.Data[i])) > 1e-10 {
+			t.Fatalf("RC3X magnitude structure differs from C3X at element %d", i)
+		}
+	}
+}
+
+func TestC3SQRTXSquaredOverC3X(t *testing.T) {
+	// Applying c3sqrtx twice must equal c3x.
+	u := Unitary(NewC3SQRTX(0, 1, 2, 3))
+	if !u.Mul(u).EqualUpTo(Unitary(NewC3X(0, 1, 2, 3)), 1e-10) {
+		t.Fatal("c3sqrtx^2 != c3x")
+	}
+}
+
+func TestAdjointInvertsEveryKind(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, k := range allUnitaryKinds() {
+		if k == GPHASE {
+			continue // zero-qubit; checked separately below
+		}
+		for trial := 0; trial < 3; trial++ {
+			g := sampleGate(rng, k)
+			nq := int(g.NQ)
+			prod := Unitary(g).Embed(nq, identityPerm(nq))
+			for _, a := range Adjoint(g) {
+				pos := make([]int, a.NQ)
+				for i := range pos {
+					pos[i] = int(a.Qubits[i])
+				}
+				prod = Unitary(a).Embed(nq, pos).Mul(prod)
+			}
+			if !prod.EqualUpTo(Identity(1<<uint(nq)), 1e-9) {
+				t.Fatalf("kind %s: adjoint does not invert (params %v)", k, g.ParamSlice())
+			}
+		}
+	}
+}
+
+func TestAdjointGPhase(t *testing.T) {
+	g := NewGPhase(0.7)
+	adj := Adjoint(g)
+	if len(adj) != 1 || adj[0].Params[0] != -0.7 {
+		t.Fatalf("gphase adjoint = %v", adj)
+	}
+}
+
+func identityPerm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	return p
+}
+
+func TestKindByName(t *testing.T) {
+	for k := Kind(0); k < numKinds; k++ {
+		got, ok := KindByName(k.String())
+		if !ok || got != k {
+			t.Errorf("KindByName(%q) = %v, %v", k.String(), got, ok)
+		}
+	}
+	aliases := map[string]Kind{"p": U1, "u": U3, "cnot": CX, "toffoli": CCX, "fredkin": CSWAP, "cp": CU1}
+	for name, want := range aliases {
+		got, ok := KindByName(name)
+		if !ok || got != want {
+			t.Errorf("alias %q = %v, want %v", name, got, want)
+		}
+	}
+	if _, ok := KindByName("bogus"); ok {
+		t.Error("KindByName accepted a bogus name")
+	}
+}
+
+func TestNewPanicsOnBadArity(t *testing.T) {
+	cases := []func(){
+		func() { New(CX, []int{0}) },     // too few qubits
+		func() { New(H, []int{0, 1}) },   // too many qubits
+		func() { New(H, []int{0}, 1.0) }, // unexpected param
+		func() { New(RX, []int{0}) },     // missing param
+		func() { New(CX, []int{2, 2}) },  // duplicate operand
+		func() { New(H, []int{-1}) },     // negative qubit
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestGateString(t *testing.T) {
+	cases := []struct {
+		g    Gate
+		want string
+	}{
+		{NewH(3), "h q3"},
+		{NewCX(0, 2), "cx q0,q2"},
+		{NewRZ(0.5, 1), "rz(0.5) q1"},
+		{NewMeasure(4, 2), "measure q4 -> c2"},
+		{NewBarrier(), "barrier"},
+	}
+	for _, c := range cases {
+		if got := c.g.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestControlMaskAndTargets(t *testing.T) {
+	g := NewCCX(1, 4, 2)
+	if m := g.ControlMask(); m != (1<<1)|(1<<4) {
+		t.Errorf("ControlMask = %b", m)
+	}
+	ts := g.Targets()
+	if len(ts) != 1 || ts[0] != 2 {
+		t.Errorf("Targets = %v", ts)
+	}
+	h := NewH(0)
+	if h.ControlMask() != 0 {
+		t.Error("H should have no controls")
+	}
+}
+
+func TestMatrixHelpers(t *testing.T) {
+	id := Identity(4)
+	if !id.IsUnitary(tol) {
+		t.Error("identity not unitary")
+	}
+	h := Unitary(NewH(0))
+	if !h.Mul(h).EqualUpTo(Identity(2), tol) {
+		t.Error("H*H != I")
+	}
+	if !h.Dagger().EqualUpTo(h, tol) {
+		t.Error("H is self-adjoint")
+	}
+	scaled := id.Scale(2i)
+	if scaled.At(0, 0) != 2i {
+		t.Error("Scale failed")
+	}
+	if id.EqualUpTo(Identity(2), tol) {
+		t.Error("size-mismatched matrices compared equal")
+	}
+}
+
+func TestEmbedPlacesOperands(t *testing.T) {
+	// X on register qubit 2 of a 3-qubit system must map |000> -> |100>.
+	x := Unitary(NewX(0)).Embed(3, []int{2})
+	re := []float64{1, 0, 0, 0, 0, 0, 0, 0}
+	im := make([]float64, 8)
+	x.Apply(re, im)
+	if re[4] != 1 || re[0] != 0 {
+		t.Fatalf("embed X on qubit 2: state %v", re)
+	}
+}
+
+func TestEqualUpToGlobalPhaseQuick(t *testing.T) {
+	f := func(theta float64) bool {
+		theta = math.Mod(theta, 2*math.Pi)
+		u := Unitary(NewH(0))
+		v := u.Scale(cmplx.Exp(complex(0, theta)))
+		return u.EqualUpToGlobalPhase(v, 1e-10)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestU3CompositionQuick(t *testing.T) {
+	// Property: u1(a) u1(b) = u1(a+b) as matrices.
+	f := func(a, b float64) bool {
+		a = math.Mod(a, math.Pi)
+		b = math.Mod(b, math.Pi)
+		lhs := Unitary(NewU1(a, 0)).Mul(Unitary(NewU1(b, 0)))
+		rhs := Unitary(NewU1(a+b, 0))
+		return lhs.EqualUpTo(rhs, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMaxQubit(t *testing.T) {
+	if g := NewCCX(1, 7, 3); g.MaxQubit() != 7 {
+		t.Errorf("MaxQubit = %d", g.MaxQubit())
+	}
+	if g := NewBarrier(); g.MaxQubit() != -1 {
+		t.Errorf("barrier MaxQubit = %d", g.MaxQubit())
+	}
+}

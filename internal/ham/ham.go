@@ -1,0 +1,215 @@
+// Package ham implements Pauli-string Hamiltonians and expectation-value
+// measurement for the paper's VQE case study (§5, Fig. 16): term storage,
+// basis-change measurement against a state vector, a dense form for
+// verification, and the 4-qubit Jordan-Wigner H2/STO-3G Hamiltonian.
+package ham
+
+import (
+	"fmt"
+	"math"
+
+	"svsim/internal/circuit"
+	"svsim/internal/statevec"
+)
+
+// Term is one Pauli string with a real coefficient (Hamiltonians are
+// Hermitian, so coefficients of Pauli strings are real).
+type Term struct {
+	Coeff  float64
+	Paulis []circuit.PauliTerm // empty = identity term
+}
+
+// Hamiltonian is a sum of Pauli-string terms over N qubits.
+type Hamiltonian struct {
+	N     int
+	Terms []Term
+}
+
+// Add appends a term given as a Pauli label string ("IZZI" style).
+func (h *Hamiltonian) Add(coeff float64, label string) {
+	if len(label) != h.N {
+		panic(fmt.Sprintf("ham: label %q does not cover %d qubits", label, h.N))
+	}
+	terms, err := circuit.ParsePauliString(label)
+	if err != nil {
+		panic(err)
+	}
+	h.Terms = append(h.Terms, Term{Coeff: coeff, Paulis: terms})
+}
+
+// Expectation computes <s|H|s> by measuring each term: the state is
+// basis-rotated so the term becomes a Z string, then the diagonal
+// expectation is read off. The input state is not modified.
+func (h *Hamiltonian) Expectation(s *statevec.State) float64 {
+	if s.N != h.N {
+		panic("ham: state size mismatch")
+	}
+	var e float64
+	for _, t := range h.Terms {
+		if len(t.Paulis) == 0 {
+			e += t.Coeff
+			continue
+		}
+		e += t.Coeff * TermExpectation(s, t.Paulis)
+	}
+	return e
+}
+
+// TermExpectation measures one Pauli string on (a clone of) the state.
+func TermExpectation(s *statevec.State, paulis []circuit.PauliTerm) float64 {
+	work := s.Clone()
+	var mask uint64
+	for _, p := range paulis {
+		switch p.P {
+		case circuit.PauliX:
+			work.ApplyH(p.Q)
+		case circuit.PauliY:
+			work.ApplySDG(p.Q)
+			work.ApplyH(p.Q)
+		case circuit.PauliZ:
+			// diagonal already
+		default:
+			panic("ham: identity operator inside a Pauli term")
+		}
+		mask |= uint64(1) << uint(p.Q)
+	}
+	return work.ExpZMask(mask)
+}
+
+// Dense materializes the Hamiltonian as a dense 2^N x 2^N matrix (tests
+// and ground-truth diagonalization only; exponential memory).
+func (h *Hamiltonian) Dense() [][]complex128 {
+	dim := 1 << uint(h.N)
+	m := make([][]complex128, dim)
+	for i := range m {
+		m[i] = make([]complex128, dim)
+	}
+	for _, t := range h.Terms {
+		addPauliTerm(m, t, h.N)
+	}
+	return m
+}
+
+func addPauliTerm(m [][]complex128, t Term, n int) {
+	dim := 1 << uint(n)
+	opOf := make(map[int]circuit.Pauli, len(t.Paulis))
+	for _, p := range t.Paulis {
+		opOf[p.Q] = p.P
+	}
+	for col := 0; col < dim; col++ {
+		row := col
+		coeff := complex(t.Coeff, 0)
+		for q := 0; q < n; q++ {
+			bit := col >> uint(q) & 1
+			switch opOf[q] {
+			case circuit.PauliX:
+				row ^= 1 << uint(q)
+			case circuit.PauliY:
+				row ^= 1 << uint(q)
+				if bit == 0 {
+					coeff *= 1i // Y|0> = i|1>
+				} else {
+					coeff *= -1i // Y|1> = -i|0>
+				}
+			case circuit.PauliZ:
+				if bit == 1 {
+					coeff = -coeff
+				}
+			}
+		}
+		m[row][col] += coeff
+	}
+}
+
+// GroundEnergy computes the smallest eigenvalue of the Hamiltonian by
+// shifted power iteration on its dense form (reference value for the VQE
+// experiments; use only for small N).
+func (h *Hamiltonian) GroundEnergy() float64 {
+	m := h.Dense()
+	dim := len(m)
+	// Gershgorin upper bound to shift the spectrum: sigma*I - H is PSD
+	// with the ground state as its dominant eigenvector.
+	var sigma float64
+	for i := 0; i < dim; i++ {
+		row := 0.0
+		for j := 0; j < dim; j++ {
+			a := m[i][j]
+			row += math.Hypot(real(a), imag(a))
+		}
+		if row > sigma {
+			sigma = row
+		}
+	}
+	v := make([]complex128, dim)
+	for i := range v {
+		// Deterministic non-degenerate start vector.
+		v[i] = complex(1/math.Sqrt(float64(dim)), float64(i%7)*1e-3)
+	}
+	normalize(v)
+	w := make([]complex128, dim)
+	for iter := 0; iter < 3000; iter++ {
+		for i := 0; i < dim; i++ {
+			acc := complex(sigma, 0) * v[i]
+			for j := 0; j < dim; j++ {
+				acc -= m[i][j] * v[j]
+			}
+			w[i] = acc
+		}
+		copy(v, w)
+		normalize(v)
+	}
+	// Rayleigh quotient of H.
+	var e complex128
+	for i := 0; i < dim; i++ {
+		var hv complex128
+		for j := 0; j < dim; j++ {
+			hv += m[i][j] * v[j]
+		}
+		e += complexConj(v[i]) * hv
+	}
+	return real(e)
+}
+
+func normalize(v []complex128) {
+	var n float64
+	for _, x := range v {
+		n += real(x)*real(x) + imag(x)*imag(x)
+	}
+	n = math.Sqrt(n)
+	for i := range v {
+		v[i] /= complex(n, 0)
+	}
+}
+
+func complexConj(x complex128) complex128 { return complex(real(x), -imag(x)) }
+
+// H2 returns the 4-qubit Jordan-Wigner STO-3G Hamiltonian of molecular
+// hydrogen at the equilibrium bond length 0.7414 A, with the nuclear
+// repulsion folded into the identity coefficient so the ground energy is
+// the total energy (~ -1.137 Ha), the value Fig. 16 converges to.
+// Coefficients follow Seeley, Richard & Love (J. Chem. Phys. 137, 224109).
+func H2() *Hamiltonian {
+	h := &Hamiltonian{N: 4}
+	// Electronic identity coefficient -0.81261 plus the nuclear repulsion
+	// 1/R = 1/1.4011 bohr = 0.71373 Ha, so eigenvalues are total energies.
+	h.Add(-0.81261+0.71373, "IIII")
+	h.Add(0.171201, "ZIII")
+	h.Add(0.171201, "IZII")
+	h.Add(-0.222796, "IIZI")
+	h.Add(-0.222796, "IIIZ")
+	h.Add(0.168623, "ZZII")
+	h.Add(0.120545, "ZIZI")
+	h.Add(0.165868, "ZIIZ")
+	h.Add(0.165868, "IZZI")
+	h.Add(0.120545, "IZIZ")
+	h.Add(0.174349, "IIZZ")
+	h.Add(-0.045322, "XXYY")
+	h.Add(0.045322, "XYYX")
+	h.Add(0.045322, "YXXY")
+	h.Add(-0.045322, "YYXX")
+	return h
+}
+
+// H2Reference is the FCI/STO-3G total ground energy of H2 at equilibrium,
+// the asymptote of the paper's Fig. 16.
+const H2Reference = -1.1373

@@ -1,0 +1,269 @@
+package ham
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"svsim/internal/circuit"
+	"svsim/internal/statevec"
+)
+
+func randomState(rng *rand.Rand, n int) *statevec.State {
+	s := statevec.New(n)
+	var norm float64
+	for i := 0; i < s.Dim; i++ {
+		s.Re[i] = rng.NormFloat64()
+		s.Im[i] = rng.NormFloat64()
+		norm += s.Re[i]*s.Re[i] + s.Im[i]*s.Im[i]
+	}
+	norm = math.Sqrt(norm)
+	for i := 0; i < s.Dim; i++ {
+		s.Re[i] /= norm
+		s.Im[i] /= norm
+	}
+	return s
+}
+
+// denseExpectation computes <s|H|s> through the dense matrix, the
+// independent oracle for the basis-change measurement path.
+func denseExpectation(h *Hamiltonian, s *statevec.State) float64 {
+	m := h.Dense()
+	dim := s.Dim
+	var e complex128
+	for i := 0; i < dim; i++ {
+		var hv complex128
+		for j := 0; j < dim; j++ {
+			hv += m[i][j] * complex(s.Re[j], s.Im[j])
+		}
+		e += complex(s.Re[i], -s.Im[i]) * hv
+	}
+	return real(e)
+}
+
+func TestExpectationMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	h := &Hamiltonian{N: 4}
+	h.Add(0.5, "IIII")
+	h.Add(-0.3, "ZIII")
+	h.Add(0.7, "XZIY")
+	h.Add(0.2, "YYXX")
+	h.Add(-1.1, "IXIZ")
+	for trial := 0; trial < 10; trial++ {
+		s := randomState(rng, 4)
+		got := h.Expectation(s)
+		want := denseExpectation(h, s)
+		if math.Abs(got-want) > 1e-10 {
+			t.Fatalf("trial %d: measured %g, dense says %g", trial, got, want)
+		}
+	}
+}
+
+func TestExpectationDoesNotMutateState(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	s := randomState(rng, 4)
+	c := s.Clone()
+	H2().Expectation(s)
+	if s.MaxAbsDiff(c) != 0 {
+		t.Fatal("Expectation mutated the input state")
+	}
+}
+
+func TestSimpleEigenstates(t *testing.T) {
+	h := &Hamiltonian{N: 2}
+	h.Add(1.0, "ZI")
+	s := statevec.New(2) // |00>
+	if e := h.Expectation(s); math.Abs(e-1) > 1e-12 {
+		t.Fatalf("<00|Z0|00> = %g", e)
+	}
+	s.ApplyX(0)
+	if e := h.Expectation(s); math.Abs(e+1) > 1e-12 {
+		t.Fatalf("<01|Z0|01> = %g", e)
+	}
+	hx := &Hamiltonian{N: 1}
+	hx.Add(2.0, "X")
+	p := statevec.New(1)
+	p.ApplyH(0) // |+> is the +1 eigenstate of X
+	if e := hx.Expectation(p); math.Abs(e-2) > 1e-12 {
+		t.Fatalf("<+|2X|+> = %g", e)
+	}
+}
+
+func TestGroundEnergyOnKnownSystem(t *testing.T) {
+	// Single-qubit H = Z: ground energy -1.
+	h := &Hamiltonian{N: 1}
+	h.Add(1, "Z")
+	if e := h.GroundEnergy(); math.Abs(e+1) > 1e-6 {
+		t.Fatalf("ground of Z = %g", e)
+	}
+	// Two-qubit Heisenberg-like: H = XX + YY + ZZ has ground -3 (singlet).
+	hh := &Hamiltonian{N: 2}
+	hh.Add(1, "XX")
+	hh.Add(1, "YY")
+	hh.Add(1, "ZZ")
+	if e := hh.GroundEnergy(); math.Abs(e+3) > 1e-6 {
+		t.Fatalf("ground of Heisenberg pair = %g", e)
+	}
+}
+
+func TestH2GroundEnergy(t *testing.T) {
+	e := H2().GroundEnergy()
+	if math.Abs(e-H2Reference) > 5e-3 {
+		t.Fatalf("H2 ground energy %g, want about %g", e, H2Reference)
+	}
+}
+
+func TestH2HartreeFockEnergy(t *testing.T) {
+	// The HF reference |0011> (occupied low orbitals) must sit above the
+	// ground state but in the right region (~ -1.117 Ha).
+	s := statevec.New(4)
+	s.ApplyX(0)
+	s.ApplyX(1)
+	e := H2().Expectation(s)
+	if e < -1.137 || e > -1.05 {
+		t.Fatalf("HF energy %g out of the expected band", e)
+	}
+	if e <= H2().GroundEnergy() {
+		t.Fatal("HF energy below ground energy")
+	}
+}
+
+func TestAddValidatesLabels(t *testing.T) {
+	h := &Hamiltonian{N: 2}
+	for _, bad := range []string{"Z", "ZZZ", "QA"} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("label %q accepted", bad)
+				}
+			}()
+			h.Add(1, bad)
+		}()
+	}
+}
+
+func TestTermExpectationMaskOnly(t *testing.T) {
+	// <ZZ> on a Bell pair is 1; <XX> is also 1; <ZI> is 0.
+	s := statevec.New(2)
+	s.ApplyH(0)
+	s.ApplyCX(0, 1)
+	zz, _ := circuit.ParsePauliString("ZZ")
+	xx, _ := circuit.ParsePauliString("XX")
+	zi, _ := circuit.ParsePauliString("ZI")
+	if e := TermExpectation(s, zz); math.Abs(e-1) > 1e-12 {
+		t.Fatalf("<ZZ> = %g", e)
+	}
+	if e := TermExpectation(s, xx); math.Abs(e-1) > 1e-12 {
+		t.Fatalf("<XX> = %g", e)
+	}
+	if e := TermExpectation(s, zi); math.Abs(e) > 1e-12 {
+		t.Fatalf("<ZI> = %g", e)
+	}
+}
+
+func TestGroupedExpectationMatchesPlain(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	h := H2()
+	for trial := 0; trial < 10; trial++ {
+		s := randomState(rng, 4)
+		plain := h.Expectation(s)
+		grouped := h.ExpectationGrouped(s)
+		if math.Abs(plain-grouped) > 1e-10 {
+			t.Fatalf("trial %d: plain %g vs grouped %g", trial, plain, grouped)
+		}
+	}
+}
+
+func TestGroupingReducesH2Measurements(t *testing.T) {
+	h := H2()
+	groups, constant := h.GroupCommuting()
+	// H2 has 14 non-identity terms; the 10 Z-type terms are mutually QWC,
+	// and the 4 XXYY-type terms split among themselves: expect far fewer
+	// groups than terms (the textbook answer is 5).
+	if len(groups) >= 14 {
+		t.Fatalf("grouping did not reduce: %d groups", len(groups))
+	}
+	if len(groups) != 5 {
+		t.Logf("note: %d QWC groups (textbook greedy gives 5)", len(groups))
+	}
+	if math.Abs(constant-(-0.81261+0.71373)) > 1e-12 {
+		t.Fatalf("identity constant %g", constant)
+	}
+	total := 0
+	for _, g := range groups {
+		total += len(g.Terms)
+	}
+	if total != 14 {
+		t.Fatalf("grouped %d terms, want 14", total)
+	}
+	if h.NumGroups() != len(groups) {
+		t.Fatal("NumGroups mismatch")
+	}
+}
+
+func TestGroupingQWCInvariant(t *testing.T) {
+	// Within every group, any two terms must agree on shared qubits.
+	h := &Hamiltonian{N: 6}
+	h.Add(1, "XXIIII")
+	h.Add(1, "XIXIII")
+	h.Add(1, "YYIIII")
+	h.Add(1, "IIZZII")
+	h.Add(1, "ZZIIII")
+	h.Add(1, "IIIIXY")
+	h.Add(0.5, "IIIIII")
+	groups, _ := h.GroupCommuting()
+	for gi, g := range groups {
+		for i := 0; i < len(g.Terms); i++ {
+			for j := i + 1; j < len(g.Terms); j++ {
+				opsI := map[int]byte{}
+				for _, p := range g.Terms[i].Paulis {
+					opsI[p.Q] = byte(p.P)
+				}
+				for _, p := range g.Terms[j].Paulis {
+					if b, ok := opsI[p.Q]; ok && b != byte(p.P) {
+						t.Fatalf("group %d holds non-commuting terms", gi)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestSampleExpectationUnbiased(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	h := H2()
+	s := statevecNewHF()
+	exact := h.Expectation(s)
+	// Average many independent shot estimates: must approach the exact
+	// value with shrinking spread.
+	var sum float64
+	const reps = 60
+	for i := 0; i < reps; i++ {
+		sum += h.SampleExpectation(s, 256, rng)
+	}
+	mean := sum / reps
+	if math.Abs(mean-exact) > 0.02 {
+		t.Fatalf("sampled mean %g vs exact %g", mean, exact)
+	}
+	// More shots, tighter single-estimate error (statistical check).
+	lo := math.Abs(h.SampleExpectation(s, 16, rng) - exact)
+	var hiErr float64
+	for i := 0; i < 5; i++ {
+		hiErr += math.Abs(h.SampleExpectation(s, 8192, rng) - exact)
+	}
+	hiErr /= 5
+	if hiErr > 0.08 {
+		t.Fatalf("8192-shot error %g too large", hiErr)
+	}
+	_ = lo
+}
+
+// statevecNewHF prepares the Hartree-Fock state |0011> for H2.
+func statevecNewHF() *statevec.State {
+	s := statevec.New(4)
+	s.ApplyX(0)
+	s.ApplyX(1)
+	s.ApplyRY(0.3, 2) // mix in some excitation so X/Y terms contribute
+	s.ApplyCX(2, 3)
+	return s
+}

@@ -1,0 +1,342 @@
+package mpibase
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"svsim/internal/circuit"
+	"svsim/internal/gate"
+	"svsim/internal/statevec"
+)
+
+// RemapSimulator implements the qubit-remapping communication strategy of
+// De Raedt et al.'s JUQCS, which the paper's related work describes as
+// "swap local qubits with remote qubits by tracking and updating the
+// permutation of the qubit indices" (§6). When a gate targets a qubit
+// whose current physical position is global (i.e. selects the rank), the
+// simulator first physically swaps that bit with a local one — one
+// pairwise half-partition exchange — updates the logical-to-physical
+// permutation, and then applies the gate locally. Consecutive gates on
+// the same qubit then cost nothing, trading the per-gate exchanges of the
+// pack-exchange baseline for permutation bookkeeping.
+type RemapSimulator struct {
+	cfg Config
+}
+
+// NewRemap creates a remapping simulator.
+func NewRemap(cfg Config) *RemapSimulator { return &RemapSimulator{cfg: cfg} }
+
+// RemapResult extends Result with the swap count.
+type RemapResult struct {
+	Result
+	BitSwaps int64 // global-local bit swaps performed
+}
+
+// Run executes the circuit and returns the gathered, un-permuted result.
+func (s *RemapSimulator) Run(c *circuit.Circuit) (*RemapResult, error) {
+	p := s.cfg.Ranks
+	if p < 1 {
+		p = 1
+	}
+	if p&(p-1) != 0 {
+		return nil, fmt.Errorf("mpibase: rank count %d is not a power of two", p)
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	n := c.NumQubits
+	if n < 1 || 1<<uint(n-1) < p {
+		return nil, fmt.Errorf("mpibase: %d ranks need more qubits than %d", p, n)
+	}
+	dim := 1 << uint(n)
+	S := dim / p
+	localBits := n - lg(p)
+
+	eng := &remapEngine{
+		n: n, p: p, S: S, localBits: localBits,
+		perm: make([]int, n), // logical -> physical bit
+		re:   make([][]float64, p),
+		im:   make([][]float64, p),
+	}
+	for q := range eng.perm {
+		eng.perm[q] = q
+	}
+	for r := 0; r < p; r++ {
+		eng.re[r] = make([]float64, S)
+		eng.im[r] = make([]float64, S)
+	}
+	eng.re[0][0] = 1
+
+	comm := NewComm(p)
+	cbits := make([]uint64, p)
+	start := time.Now()
+	comm.Run(func(r *Rank) {
+		local := &statevec.State{N: localBits, Dim: S, Re: eng.re[r.R], Im: eng.im[r.R], Style: s.cfg.Style}
+		rng := rand.New(rand.NewSource(s.cfg.Seed))
+		for i := range c.Ops {
+			op := &c.Ops[i]
+			if op.Cond != nil {
+				mask := uint64(1)<<uint(op.Cond.Width) - 1
+				if (cbits[r.R]>>uint(op.Cond.Offset))&mask != op.Cond.Value {
+					continue
+				}
+			}
+			switch op.G.Kind {
+			case gate.MEASURE:
+				out := eng.measure(r, local, int(op.G.Qubits[0]), rng.Float64())
+				if out == 1 {
+					cbits[r.R] |= uint64(1) << uint(op.G.Cbit)
+				} else {
+					cbits[r.R] &^= uint64(1) << uint(op.G.Cbit)
+				}
+			case gate.RESET:
+				if eng.measure(r, local, int(op.G.Qubits[0]), rng.Float64()) == 1 {
+					x := gate.NewX(int(op.G.Qubits[0]))
+					eng.exec(r, local, &x)
+				}
+			default:
+				eng.exec(r, local, &op.G)
+			}
+		}
+	})
+	elapsed := time.Since(start)
+
+	// Gather and undo the permutation: logical index x lives at physical
+	// index with bit perm[q] holding logical bit q.
+	st := statevec.New(n)
+	for x := 0; x < dim; x++ {
+		phys := 0
+		for q := 0; q < n; q++ {
+			if x>>uint(q)&1 == 1 {
+				phys |= 1 << uint(eng.perm[q])
+			}
+		}
+		st.Re[x] = eng.re[phys>>uint(localBits)][phys&(S-1)]
+		st.Im[x] = eng.im[phys>>uint(localBits)][phys&(S-1)]
+	}
+	res := &RemapResult{BitSwaps: eng.swaps}
+	res.State = st
+	res.Cbits = cbits[0]
+	res.MPI = comm.TotalStats()
+	res.Elapsed = elapsed
+	res.Ranks = p
+	return res, nil
+}
+
+type remapEngine struct {
+	n, p, S, localBits int
+	perm               []int // logical qubit -> physical bit position
+	re, im             [][]float64
+	swaps              int64
+}
+
+// exec applies one unitary gate, remapping global targets local first.
+func (e *remapEngine) exec(r *Rank, local *statevec.State, g *gate.Gate) {
+	switch g.Kind {
+	case gate.BARRIER:
+		return
+	case gate.GPHASE:
+		local.ApplyGPhase(g.Params[0])
+		r.Barrier()
+		return
+	}
+	cls := gate.Classify(g)
+	// Physical positions of the operands under the current permutation.
+	physT := make([]int, len(cls.Targets))
+	for i, t := range cls.Targets {
+		physT[i] = e.perm[t]
+	}
+	if !cls.Diag {
+		// Bring every global target local (diagonal gates never need to).
+		for i, pt := range physT {
+			if pt >= e.localBits {
+				l := e.pickLocalBit(&cls, physT)
+				e.swapBits(r, pt, l)
+				physT[i] = l
+				for j := range physT {
+					if j != i && physT[j] == l {
+						physT[j] = pt // cannot happen (l chosen free) but keep invariant
+					}
+				}
+			}
+		}
+	}
+	physC := make([]int, len(cls.Ctrls))
+	for i, cq := range cls.Ctrls {
+		physC[i] = e.perm[cq]
+	}
+	e.applyLocal(r, local, &cls, physC, physT)
+	r.Barrier()
+}
+
+// pickLocalBit returns the lowest local physical bit not used by the
+// gate's operands.
+func (e *remapEngine) pickLocalBit(cls *gate.Class, physT []int) int {
+	used := map[int]bool{}
+	for _, t := range physT {
+		used[t] = true
+	}
+	for _, c := range cls.Ctrls {
+		used[e.perm[c]] = true
+	}
+	for l := 0; l < e.localBits; l++ {
+		if !used[l] {
+			return l
+		}
+	}
+	panic("mpibase: no free local bit for remapping")
+}
+
+// swapBits physically exchanges global bit gBit with local bit lBit: each
+// rank swaps the half of its partition where the local bit differs from
+// its rank bit with its partner rank, then the permutation is updated.
+func (e *remapEngine) swapBits(r *Rank, gBit, lBit int) {
+	b := gBit - e.localBits
+	beta := r.R >> uint(b) & 1
+	partner := r.R ^ 1<<uint(b)
+
+	// Pack elements whose local bit != rank bit.
+	re, im := e.re[r.R], e.im[r.R]
+	buf := make([]float64, e.S) // S/2 re + S/2 im
+	k := 0
+	for i := 0; i < e.S; i++ {
+		if i>>uint(lBit)&1 != beta {
+			buf[k] = re[i]
+			buf[k+e.S/2] = im[i]
+			k++
+		}
+	}
+	r.notePack(int64(e.S) * 8)
+	in := r.SendRecv(partner, buf)
+	// Unpack into the vacated slots (same enumeration order).
+	k = 0
+	for i := 0; i < e.S; i++ {
+		if i>>uint(lBit)&1 != beta {
+			re[i] = in[k]
+			im[i] = in[k+e.S/2]
+			k++
+		}
+	}
+	r.notePack(int64(e.S) * 8)
+	r.Barrier()
+
+	// Rank 0 updates the shared permutation once per swap; all ranks
+	// perform the identical deterministic sequence, so only one write is
+	// needed and the barrier orders it.
+	if r.R == 0 {
+		var qG, qL int = -1, -1
+		for q, pos := range e.perm {
+			if pos == gBit {
+				qG = q
+			}
+			if pos == lBit {
+				qL = q
+			}
+		}
+		e.perm[qG], e.perm[qL] = lBit, gBit
+		e.swaps++
+	}
+	r.Barrier()
+}
+
+// applyLocal applies the classified gate at its physical positions: local
+// targets through the shared kernels, global controls via rank bits.
+func (e *remapEngine) applyLocal(r *Rank, local *statevec.State, cls *gate.Class, physC, physT []int) {
+	off := r.R * e.S
+	if cls.Diag {
+		var cmask int
+		for _, c := range physC {
+			cmask |= 1 << uint(c)
+		}
+		re, im := local.Re, local.Im
+		for i := 0; i < e.S; i++ {
+			gidx := off + i
+			if gidx&cmask != cmask {
+				continue
+			}
+			sub := 0
+			for j, t := range physT {
+				if gidx>>uint(t)&1 == 1 {
+					sub |= 1 << uint(j)
+				}
+			}
+			f := cls.U.At(sub, sub)
+			if f == 1 {
+				continue
+			}
+			fr, fi := real(f), imag(f)
+			rr, ii := re[i], im[i]
+			re[i] = fr*rr - fi*ii
+			im[i] = fr*ii + fi*rr
+		}
+		return
+	}
+	var localCtrls []int
+	for _, c := range physC {
+		if c < e.localBits {
+			localCtrls = append(localCtrls, c)
+			continue
+		}
+		if off>>uint(c)&1 == 0 {
+			return
+		}
+	}
+	local.ApplyControlledMatrix(cls.U, localCtrls, physT)
+}
+
+// measure performs a projective measurement of the LOGICAL qubit q at its
+// current physical position: a local bit sums pair-wise within the
+// partition, a global (rank) bit sums whole partitions; the draw is
+// replicated across ranks.
+func (e *remapEngine) measure(r *Rank, local *statevec.State, q int, draw float64) int {
+	phys := e.perm[q]
+	off := r.R * e.S
+	re, im := local.Re, local.Im
+	var partial float64
+	if phys < e.localBits {
+		bit := 1 << uint(phys)
+		for i := 0; i < e.S; i++ {
+			if i&bit != 0 {
+				partial += re[i]*re[i] + im[i]*im[i]
+			}
+		}
+	} else if off>>uint(phys)&1 == 1 {
+		for i := 0; i < e.S; i++ {
+			partial += re[i]*re[i] + im[i]*im[i]
+		}
+	}
+	p1 := r.AllReduceSum(partial)
+	outcome := 0
+	if draw < p1 {
+		outcome = 1
+	}
+	pnorm := p1
+	if outcome == 0 {
+		pnorm = 1 - p1
+	}
+	scale := 1 / math.Sqrt(pnorm)
+	if phys < e.localBits {
+		bit := 1 << uint(phys)
+		for i := 0; i < e.S; i++ {
+			if (i&bit != 0) == (outcome == 1) {
+				re[i] *= scale
+				im[i] *= scale
+			} else {
+				re[i], im[i] = 0, 0
+			}
+		}
+	} else if (off>>uint(phys)&1 == 1) == (outcome == 1) {
+		for i := 0; i < e.S; i++ {
+			re[i] *= scale
+			im[i] *= scale
+		}
+	} else {
+		for i := 0; i < e.S; i++ {
+			re[i], im[i] = 0, 0
+		}
+	}
+	r.Barrier()
+	return outcome
+}

@@ -1,0 +1,383 @@
+package mpibase
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"svsim/internal/circuit"
+	"svsim/internal/gate"
+	"svsim/internal/statevec"
+)
+
+// Simulator is the distributed baseline: state vector partitioned in
+// natural array order across ranks, local gates through the same
+// specialized kernels as SV-Sim, and global-qubit gates handled by the
+// traditional pack-exchange-compute scheme over two-sided messages. The
+// difference from SV-Sim's PGAS backends is exactly the communication
+// mechanism, which is what the paper's comparison isolates.
+type Simulator struct {
+	cfg Config
+}
+
+// Config configures the baseline run.
+type Config struct {
+	Ranks int
+	Seed  int64
+	Style statevec.KernelStyle
+}
+
+// Result mirrors core.Result for the baseline.
+type Result struct {
+	State   *statevec.State
+	Cbits   uint64
+	SV      statevec.Stats
+	MPI     Stats
+	Elapsed time.Duration
+	Ranks   int
+}
+
+// New creates a baseline simulator.
+func New(cfg Config) *Simulator { return &Simulator{cfg: cfg} }
+
+type mpiRun struct {
+	local *statevec.State
+	rng   *rand.Rand
+	cbits uint64
+	extra statevec.Stats
+	pack  []float64 // 2S pack buffer (re then im)
+	_     [64]byte
+}
+
+// Run executes the circuit and returns the gathered result.
+func (s *Simulator) Run(c *circuit.Circuit) (*Result, error) {
+	p := s.cfg.Ranks
+	if p < 1 {
+		p = 1
+	}
+	if p&(p-1) != 0 {
+		return nil, fmt.Errorf("mpibase: rank count %d is not a power of two", p)
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	n := c.NumQubits
+	if n < 1 || 1<<uint(n-1) < p {
+		return nil, fmt.Errorf("mpibase: %d ranks need more qubits than %d", p, n)
+	}
+	dim := 1 << uint(n)
+	S := dim / p
+	localBits := n - lg(p)
+
+	parts := make([][2][]float64, p)
+	runs := make([]mpiRun, p)
+	for r := 0; r < p; r++ {
+		parts[r] = [2][]float64{make([]float64, S), make([]float64, S)}
+		runs[r] = mpiRun{
+			local: &statevec.State{
+				N: localBits, Dim: S,
+				Re: parts[r][0], Im: parts[r][1],
+				Style: s.cfg.Style,
+			},
+			rng:  rand.New(rand.NewSource(s.cfg.Seed)),
+			pack: make([]float64, 2*S),
+		}
+	}
+	parts[0][0][0] = 1 // |0...0>
+
+	comm := NewComm(p)
+	eng := &mpiEngine{n: n, p: p, S: S, localBits: localBits, dim: dim}
+
+	start := time.Now()
+	comm.Run(func(r *Rank) {
+		run := &runs[r.R]
+		for i := range c.Ops {
+			op := &c.Ops[i]
+			if op.Cond != nil {
+				mask := uint64(1)<<uint(op.Cond.Width) - 1
+				if (run.cbits>>uint(op.Cond.Offset))&mask != op.Cond.Value {
+					continue
+				}
+			}
+			eng.exec(r, run, &op.G)
+		}
+	})
+	elapsed := time.Since(start)
+
+	st := statevec.New(n)
+	for r := 0; r < p; r++ {
+		copy(st.Re[r*S:], parts[r][0])
+		copy(st.Im[r*S:], parts[r][1])
+	}
+	res := &Result{
+		State:   st,
+		Cbits:   runs[0].cbits,
+		MPI:     comm.TotalStats(),
+		Elapsed: elapsed,
+		Ranks:   p,
+	}
+	for r := range runs {
+		res.SV.Add(runs[r].local.Stats)
+		res.SV.Add(runs[r].extra)
+	}
+	return res, nil
+}
+
+func lg(p int) int {
+	k := 0
+	for 1<<uint(k) < p {
+		k++
+	}
+	return k
+}
+
+type mpiEngine struct {
+	n, p, S, localBits, dim int
+}
+
+func (e *mpiEngine) exec(r *Rank, run *mpiRun, g *gate.Gate) {
+	switch g.Kind {
+	case gate.BARRIER:
+		return
+	case gate.MEASURE:
+		out := e.measure(r, run, int(g.Qubits[0]))
+		if out == 1 {
+			run.cbits |= uint64(1) << uint(g.Cbit)
+		} else {
+			run.cbits &^= uint64(1) << uint(g.Cbit)
+		}
+		return
+	case gate.RESET:
+		if e.measure(r, run, int(g.Qubits[0])) == 1 {
+			x := gate.NewX(int(g.Qubits[0]))
+			e.exec(r, run, &x)
+		}
+		return
+	case gate.GPHASE:
+		run.local.ApplyGPhase(g.Params[0])
+		r.Barrier()
+		return
+	}
+	if g.MaxQubit() < e.localBits {
+		run.local.Apply(g)
+		r.Barrier()
+		return
+	}
+	cls := gate.Classify(g)
+	if cls.Diag {
+		e.applyDiagLocal(r, run, &cls)
+		r.Barrier()
+		return
+	}
+	if maxOf(cls.Targets) < e.localBits {
+		e.applyTargetsLocal(r, run, &cls)
+		r.Barrier()
+		return
+	}
+	e.applyGroupExchange(r, run, &cls)
+	r.Barrier()
+}
+
+func maxOf(xs []int) int {
+	m := -1
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+func (e *mpiEngine) applyDiagLocal(r *Rank, run *mpiRun, cls *gate.Class) {
+	off := r.R * e.S
+	var cmask int
+	for _, c := range cls.Ctrls {
+		cmask |= 1 << uint(c)
+	}
+	re, im := run.local.Re, run.local.Im
+	var touched int64
+	for i := 0; i < e.S; i++ {
+		gidx := off + i
+		if gidx&cmask != cmask {
+			continue
+		}
+		sub := 0
+		for j, t := range cls.Targets {
+			if gidx>>uint(t)&1 == 1 {
+				sub |= 1 << uint(j)
+			}
+		}
+		f := cls.U.At(sub, sub)
+		if f == 1 {
+			continue
+		}
+		fr, fi := real(f), imag(f)
+		rr, ii := re[i], im[i]
+		re[i] = fr*rr - fi*ii
+		im[i] = fr*ii + fi*rr
+		touched++
+	}
+	run.extra.Gates++
+	run.extra.AmpsTouched += touched
+	run.extra.BytesTouched += touched * 16
+}
+
+func (e *mpiEngine) applyTargetsLocal(r *Rank, run *mpiRun, cls *gate.Class) {
+	off := r.R * e.S
+	var localCtrls []int
+	for _, c := range cls.Ctrls {
+		if c < e.localBits {
+			localCtrls = append(localCtrls, c)
+			continue
+		}
+		if off>>uint(c)&1 == 0 {
+			return
+		}
+	}
+	run.local.ApplyControlledMatrix(cls.U, localCtrls, cls.Targets)
+}
+
+// applyGroupExchange is the traditional global-qubit strategy: the ranks
+// whose ids differ only in the gate's global target bits form a group;
+// every member packs its whole partition into one coarse message, sends it
+// to every other member, and then computes its own new partition from the
+// received snapshots. This is the "pack small messages into coarser
+// transportation" pattern whose waiting and staging costs the paper calls
+// out (§1, §2.1).
+func (e *mpiEngine) applyGroupExchange(r *Rank, run *mpiRun, cls *gate.Class) {
+	var groupMask int // rank-space bits that vary across the group
+	for _, t := range cls.Targets {
+		if t >= e.localBits {
+			groupMask |= 1 << uint(t-e.localBits)
+		}
+	}
+	// Pack own partition: one pass over 2S floats (plus modeled staging).
+	re, im := run.local.Re, run.local.Im
+	copy(run.pack[:e.S], re)
+	copy(run.pack[e.S:], im)
+	r.notePack(int64(2*e.S) * 8)
+
+	// Exchange within the group.
+	bufs := map[int][]float64{r.R: run.pack}
+	for bits := 1; bits <= groupMask; bits++ {
+		if bits&^groupMask != 0 {
+			continue
+		}
+		peer := r.R ^ bits
+		bufs[peer] = r.SendRecv(peer, run.pack)
+		r.notePack(int64(2*e.S) * 8) // unpack pass on arrival
+	}
+
+	off := r.R * e.S
+	var cmask int
+	for _, c := range cls.Ctrls {
+		cmask |= 1 << uint(c)
+	}
+	sub := cls.U.N
+	k := len(cls.Targets)
+	// Precompute, for each target assignment b, the XOR to apply to a
+	// global index to reach that orbit member, relative to assignment a.
+	tbits := make([]int, k)
+	for j, t := range cls.Targets {
+		tbits[j] = 1 << uint(t)
+	}
+	var touched int64
+	newRe := make([]float64, e.S)
+	newIm := make([]float64, e.S)
+	copy(newRe, re)
+	copy(newIm, im)
+	for i := 0; i < e.S; i++ {
+		gidx := off + i
+		if gidx&cmask != cmask {
+			continue
+		}
+		a := 0
+		for j := range tbits {
+			if gidx&tbits[j] != 0 {
+				a |= 1 << uint(j)
+			}
+		}
+		var sr, si float64
+		row := cls.U.Data[a*sub : (a+1)*sub]
+		for b := 0; b < sub; b++ {
+			v := row[b]
+			if v == 0 {
+				continue
+			}
+			// Global index of orbit member b.
+			gb := gidx
+			for j := range tbits {
+				if (a^b)>>uint(j)&1 == 1 {
+					gb ^= tbits[j]
+				}
+			}
+			owner := gb >> uint(e.localBits)
+			li := gb & (e.S - 1)
+			buf := bufs[owner]
+			br, bi := buf[li], buf[e.S+li]
+			vr, vi := real(v), imag(v)
+			sr += vr*br - vi*bi
+			si += vr*bi + vi*br
+		}
+		newRe[i], newIm[i] = sr, si
+		touched++
+	}
+	copy(re, newRe)
+	copy(im, newIm)
+	run.extra.Gates++
+	run.extra.AmpsTouched += touched
+	run.extra.BytesTouched += touched * 16
+	run.extra.FlopEst += touched * 4 * int64(sub)
+}
+
+func (e *mpiEngine) measure(r *Rank, run *mpiRun, q int) int {
+	off := r.R * e.S
+	re, im := run.local.Re, run.local.Im
+	var partial float64
+	if q < e.localBits {
+		bit := 1 << uint(q)
+		for i := 0; i < e.S; i++ {
+			if i&bit != 0 {
+				partial += re[i]*re[i] + im[i]*im[i]
+			}
+		}
+	} else if off>>uint(q)&1 == 1 {
+		for i := 0; i < e.S; i++ {
+			partial += re[i]*re[i] + im[i]*im[i]
+		}
+	}
+	p1 := r.AllReduceSum(partial)
+	rd := run.rng.Float64()
+	outcome := 0
+	if rd < p1 {
+		outcome = 1
+	}
+	pnorm := p1
+	if outcome == 0 {
+		pnorm = 1 - p1
+	}
+	scale := 1 / math.Sqrt(pnorm)
+	if q < e.localBits {
+		bit := 1 << uint(q)
+		for i := 0; i < e.S; i++ {
+			if (i&bit != 0) == (outcome == 1) {
+				re[i] *= scale
+				im[i] *= scale
+			} else {
+				re[i], im[i] = 0, 0
+			}
+		}
+	} else if (off>>uint(q)&1 == 1) == (outcome == 1) {
+		for i := 0; i < e.S; i++ {
+			re[i] *= scale
+			im[i] *= scale
+		}
+	} else {
+		for i := 0; i < e.S; i++ {
+			re[i], im[i] = 0, 0
+		}
+	}
+	r.Barrier()
+	return outcome
+}

@@ -1,0 +1,137 @@
+package noise
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"svsim/internal/circuit"
+	"svsim/internal/core"
+	"svsim/internal/qasmbench"
+)
+
+func TestIdealModelIsTransparent(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	c := qasmbench.GHZ(6)
+	noisy := Ideal.Trajectory(c, rng)
+	if noisy.NumGates() != c.NumGates() {
+		t.Fatalf("ideal model changed the circuit: %d vs %d ops",
+			noisy.NumGates(), c.NumGates())
+	}
+	f, err := Ideal.Fidelity(core.NewSingleDevice(core.Config{}), c, 5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(f-1) > 1e-12 {
+		t.Fatalf("ideal fidelity %g", f)
+	}
+}
+
+func TestTrajectoryInjectsErrorsAtExpectedRate(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	c := circuit.New("deep", 4)
+	for i := 0; i < 500; i++ {
+		c.H(i % 4)
+	}
+	m := Model{P1: 0.1}
+	noisy := m.Trajectory(c, rng)
+	injected := noisy.NumGates() - c.NumGates()
+	// Expect ~50 insertions; allow generous statistical slack.
+	if injected < 25 || injected > 85 {
+		t.Fatalf("injected %d errors, expected about 50", injected)
+	}
+}
+
+func TestFidelityDecaysWithDepthAndRate(t *testing.T) {
+	backend := core.NewSingleDevice(core.Config{})
+	shallow := qasmbench.GHZ(5)
+	deep := circuit.New("deep", 5)
+	for r := 0; r < 6; r++ {
+		deep.Concat(qasmbench.GHZ(5))
+	}
+	m := Model{P1: 0.02, P2: 0.02}
+	fShallow, err := m.Fidelity(backend, shallow, 60, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fDeep, err := m.Fidelity(backend, deep, 60, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fShallow <= fDeep {
+		t.Fatalf("fidelity did not decay with depth: shallow %.3f, deep %.3f",
+			fShallow, fDeep)
+	}
+	if fShallow > 0.999 || fShallow < 0.5 {
+		t.Fatalf("shallow fidelity %.3f implausible for p=0.02", fShallow)
+	}
+	// Higher error rate, lower fidelity.
+	hot := Model{P1: 0.1, P2: 0.1}
+	fHot, err := hot.Fidelity(backend, shallow, 60, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fHot >= fShallow {
+		t.Fatalf("fidelity did not decay with rate: %.3f vs %.3f", fHot, fShallow)
+	}
+}
+
+func TestNoisyExpectationShrinksTowardZero(t *testing.T) {
+	// <ZZ> on a Bell pair is 1 noiselessly; depolarizing noise pulls it
+	// toward 0 but not past it.
+	c := circuit.New("bell", 2)
+	c.H(0).CX(0, 1)
+	backend := core.NewSingleDevice(core.Config{})
+	e0, err := Ideal.Expectation(backend, c, 0b11, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(e0-1) > 1e-12 {
+		t.Fatalf("ideal <ZZ> = %g", e0)
+	}
+	m := Model{P1: 0.05, P2: 0.08}
+	e, err := m.Expectation(backend, c, 0b11, 400, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e >= 1 || e < 0.5 {
+		t.Fatalf("noisy <ZZ> = %g, want damped but dominant", e)
+	}
+}
+
+func TestReadoutErrorFlipsBits(t *testing.T) {
+	// Prepare |0>, measure with 30% readout error: cbit should read 1
+	// roughly 30% of the time.
+	c := circuit.New("ro", 1)
+	c.Measure(0, 0)
+	m := Model{PMeas: 0.3}
+	rng := rand.New(rand.NewSource(11))
+	ones := 0
+	const trials = 3000
+	backend := core.NewSingleDevice(core.Config{})
+	for i := 0; i < trials; i++ {
+		noisy := m.Trajectory(c, rng)
+		res, err := backend.Run(noisy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ones += int(res.Cbits & 1)
+	}
+	f := float64(ones) / trials
+	if math.Abs(f-0.3) > 0.03 {
+		t.Fatalf("readout error rate %.3f, want ~0.3", f)
+	}
+}
+
+func TestNoisyTrajectoriesRunDistributed(t *testing.T) {
+	// Trajectories are plain circuits, so the PGAS backend runs them too.
+	c := qasmbench.GHZ(8)
+	m := Model{P1: 0.05, P2: 0.05}
+	f, err := m.Fidelity(core.NewScaleOut(core.Config{PEs: 4}), c, 20, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f <= 0 || f > 1+1e-12 {
+		t.Fatalf("distributed noisy fidelity %g", f)
+	}
+}

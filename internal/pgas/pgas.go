@@ -1,0 +1,237 @@
+// Package pgas implements the PGAS/SHMEM communication substrate that
+// SV-Sim's scale-out backend runs on (paper §2.2, §3.2.3). It reproduces
+// the OpenSHMEM/NVSHMEM programming model — SPMD processing elements, a
+// symmetric heap, one-sided put/get, barriers, and collectives — over
+// goroutines sharing an address space.
+//
+// The paper's hardware (NVLink/NVSwitch peers, InfiniBand NICs with
+// GPUDirect-RDMA) is replaced by instrumented shared memory: every
+// one-sided operation is classified local vs remote and tallied per PE, so
+// the communication volumes that drive the scale-out figures (Fig. 12/13)
+// are measured quantities. The platform performance model turns those
+// counts into modeled latencies; functional results are exact either way.
+package pgas
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Stats counts one-sided traffic for one PE or aggregated over a Comm.
+// A "message" is one put or get call; vector calls count once (modeling
+// the paper's warp-coalesced NVSHMEM accesses) with their full byte count.
+type Stats struct {
+	LocalGets   int64
+	LocalPuts   int64
+	RemoteGets  int64
+	RemotePuts  int64
+	LocalBytes  int64
+	RemoteBytes int64
+	Barriers    int64
+	Collectives int64
+}
+
+// Add merges o into s.
+func (s *Stats) Add(o Stats) {
+	s.LocalGets += o.LocalGets
+	s.LocalPuts += o.LocalPuts
+	s.RemoteGets += o.RemoteGets
+	s.RemotePuts += o.RemotePuts
+	s.LocalBytes += o.LocalBytes
+	s.RemoteBytes += o.RemoteBytes
+	s.Barriers += o.Barriers
+	s.Collectives += o.Collectives
+}
+
+// RemoteMessages returns the total one-sided remote operation count.
+func (s Stats) RemoteMessages() int64 { return s.RemoteGets + s.RemotePuts }
+
+func (s Stats) String() string {
+	return fmt.Sprintf("local(get=%d put=%d bytes=%d) remote(get=%d put=%d bytes=%d) barriers=%d collectives=%d",
+		s.LocalGets, s.LocalPuts, s.LocalBytes, s.RemoteGets, s.RemotePuts, s.RemoteBytes, s.Barriers, s.Collectives)
+}
+
+// peState is the per-PE mutable state, padded so adjacent PEs' counters do
+// not share cache lines.
+type peState struct {
+	stats Stats
+	_     [64]byte
+}
+
+// Comm is a communicator over P processing elements. Construct with
+// NewComm, allocate symmetric arrays, then enter SPMD execution with Run.
+type Comm struct {
+	P int
+
+	bar        *barrier
+	pes        []peState
+	scratchF   [2][]float64 // double-buffered collective scratch
+	scratchU   [2][]uint64
+	launchOnce sync.Once
+}
+
+// NewComm creates a communicator with p processing elements (p >= 1).
+func NewComm(p int) *Comm {
+	if p < 1 {
+		panic("pgas: communicator needs at least one PE")
+	}
+	c := &Comm{
+		P:   p,
+		bar: newBarrier(p),
+		pes: make([]peState, p),
+	}
+	for i := range c.scratchF {
+		c.scratchF[i] = make([]float64, p)
+		c.scratchU[i] = make([]uint64, p)
+	}
+	return c
+}
+
+// Run executes fn on every PE concurrently (the SPMD launch, analogous to
+// nvshmemx_collective_launch in the paper's Listing 5) and blocks until
+// all PEs return.
+func (c *Comm) Run(fn func(pe *PE)) {
+	var wg sync.WaitGroup
+	wg.Add(c.P)
+	for r := 0; r < c.P; r++ {
+		go func(rank int) {
+			defer wg.Done()
+			fn(&PE{Rank: rank, comm: c})
+		}(r)
+	}
+	wg.Wait()
+}
+
+// TotalStats aggregates per-PE counters. Call only when no SPMD region is
+// executing.
+func (c *Comm) TotalStats() Stats {
+	var t Stats
+	for i := range c.pes {
+		t.Add(c.pes[i].stats)
+	}
+	return t
+}
+
+// StatsOf returns the counters of a single PE.
+func (c *Comm) StatsOf(rank int) Stats { return c.pes[rank].stats }
+
+// ResetStats zeroes all counters.
+func (c *Comm) ResetStats() {
+	for i := range c.pes {
+		c.pes[i].stats = Stats{}
+	}
+}
+
+// PE is the handle a processing element uses inside an SPMD region. All
+// methods are to be called only from that PE's goroutine.
+type PE struct {
+	Rank int
+	comm *Comm
+
+	collSeq uint64 // collective call sequence for double buffering
+}
+
+// NPEs returns the communicator size.
+func (pe *PE) NPEs() int { return pe.comm.P }
+
+// Barrier synchronizes all PEs (shmem_barrier_all). Returns only after
+// every PE has arrived; establishes happens-before for all prior puts.
+func (pe *PE) Barrier() {
+	pe.comm.pes[pe.Rank].stats.Barriers++
+	pe.comm.bar.await()
+}
+
+// barrier is a reusable generation-counting barrier.
+type barrier struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	p     int
+	count int
+	gen   uint64
+}
+
+func newBarrier(p int) *barrier {
+	b := &barrier{p: p}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *barrier) await() {
+	b.mu.Lock()
+	gen := b.gen
+	b.count++
+	if b.count == b.p {
+		b.count = 0
+		b.gen++
+		b.cond.Broadcast()
+	} else {
+		for gen == b.gen {
+			b.cond.Wait()
+		}
+	}
+	b.mu.Unlock()
+}
+
+// AllReduceSum returns the sum of v over all PEs (shmem collective).
+func (pe *PE) AllReduceSum(v float64) float64 {
+	c := pe.comm
+	buf := c.scratchF[pe.collSeq&1]
+	pe.collSeq++
+	pe.comm.pes[pe.Rank].stats.Collectives++
+	buf[pe.Rank] = v
+	pe.Barrier()
+	var s float64
+	for _, x := range buf {
+		s += x
+	}
+	pe.Barrier()
+	return s
+}
+
+// AllReduceMax returns the maximum of v over all PEs.
+func (pe *PE) AllReduceMax(v float64) float64 {
+	c := pe.comm
+	buf := c.scratchF[pe.collSeq&1]
+	pe.collSeq++
+	pe.comm.pes[pe.Rank].stats.Collectives++
+	buf[pe.Rank] = v
+	pe.Barrier()
+	m := buf[0]
+	for _, x := range buf[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	pe.Barrier()
+	return m
+}
+
+// BroadcastU64 distributes v from the root PE to every PE.
+func (pe *PE) BroadcastU64(root int, v uint64) uint64 {
+	c := pe.comm
+	buf := c.scratchU[pe.collSeq&1]
+	pe.collSeq++
+	pe.comm.pes[pe.Rank].stats.Collectives++
+	if pe.Rank == root {
+		buf[root] = v
+	}
+	pe.Barrier()
+	out := buf[root]
+	pe.Barrier()
+	return out
+}
+
+// BroadcastF64 distributes v from the root PE to every PE.
+func (pe *PE) BroadcastF64(root int, v float64) float64 {
+	c := pe.comm
+	buf := c.scratchF[pe.collSeq&1]
+	pe.collSeq++
+	pe.comm.pes[pe.Rank].stats.Collectives++
+	if pe.Rank == root {
+		buf[root] = v
+	}
+	pe.Barrier()
+	out := buf[root]
+	pe.Barrier()
+	return out
+}

@@ -1,0 +1,59 @@
+package qasm
+
+import (
+	"fmt"
+	"strings"
+
+	"svsim/internal/circuit"
+	"svsim/internal/gate"
+)
+
+// Dump serializes a circuit back to OpenQASM 2.0 using one flat register
+// "q" and one flat classical register "c". Together with Parse it gives a
+// round-trip path used by cmd/qasmdump and the frontend tests.
+func Dump(c *circuit.Circuit) string {
+	var b strings.Builder
+	b.WriteString("OPENQASM 2.0;\ninclude \"qelib1.inc\";\n")
+	fmt.Fprintf(&b, "qreg q[%d];\n", c.NumQubits)
+	if c.NumClbits > 0 {
+		fmt.Fprintf(&b, "creg c[%d];\n", c.NumClbits)
+	}
+	for i := range c.Ops {
+		op := &c.Ops[i]
+		if op.Cond != nil {
+			fmt.Fprintf(&b, "if (c == %d) ", op.Cond.Value)
+		}
+		g := &op.G
+		switch g.Kind {
+		case gate.MEASURE:
+			fmt.Fprintf(&b, "measure q[%d] -> c[%d];\n", g.Qubits[0], g.Cbit)
+			continue
+		case gate.RESET:
+			fmt.Fprintf(&b, "reset q[%d];\n", g.Qubits[0])
+			continue
+		case gate.BARRIER:
+			b.WriteString("barrier q;\n")
+			continue
+		}
+		b.WriteString(g.Kind.String())
+		if g.NP > 0 {
+			b.WriteByte('(')
+			for j := 0; j < int(g.NP); j++ {
+				if j > 0 {
+					b.WriteByte(',')
+				}
+				fmt.Fprintf(&b, "%.17g", g.Params[j])
+			}
+			b.WriteByte(')')
+		}
+		b.WriteByte(' ')
+		for j := 0; j < int(g.NQ); j++ {
+			if j > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(&b, "q[%d]", g.Qubits[j])
+		}
+		b.WriteString(";\n")
+	}
+	return b.String()
+}

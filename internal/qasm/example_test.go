@@ -1,0 +1,23 @@
+package qasm_test
+
+import (
+	"fmt"
+
+	"svsim/internal/qasm"
+)
+
+// ExampleParse lowers an OpenQASM 2.0 program to the circuit IR.
+func ExampleParse() {
+	c, err := qasm.Parse(`
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[2];
+h q[0];
+cu1(pi/2) q[0],q[1];
+`)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(c.Summary())
+	// Output: qasm: qubits=2 gates=2 cx=0
+}

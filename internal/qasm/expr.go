@@ -1,0 +1,225 @@
+package qasm
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+)
+
+// Parameter expressions: the OpenQASM 2.0 <exp> grammar with pi, formal
+// parameter references, the four arithmetic operators, unary minus, right
+// associative ^, and the unary functions sin/cos/tan/exp/ln/sqrt.
+
+type expr interface {
+	eval(env map[string]float64) (float64, error)
+}
+
+type numLit float64
+
+func (e numLit) eval(map[string]float64) (float64, error) { return float64(e), nil }
+
+type piLit struct{}
+
+func (piLit) eval(map[string]float64) (float64, error) { return math.Pi, nil }
+
+type paramRef struct {
+	name string
+	line int
+}
+
+func (e paramRef) eval(env map[string]float64) (float64, error) {
+	v, ok := env[e.name]
+	if !ok {
+		return 0, fmt.Errorf("line %d: unknown parameter %q", e.line, e.name)
+	}
+	return v, nil
+}
+
+type unaryNeg struct{ x expr }
+
+func (e unaryNeg) eval(env map[string]float64) (float64, error) {
+	v, err := e.x.eval(env)
+	return -v, err
+}
+
+type binOp struct {
+	op   byte // + - * / ^
+	l, r expr
+	line int
+}
+
+func (e binOp) eval(env map[string]float64) (float64, error) {
+	l, err := e.l.eval(env)
+	if err != nil {
+		return 0, err
+	}
+	r, err := e.r.eval(env)
+	if err != nil {
+		return 0, err
+	}
+	switch e.op {
+	case '+':
+		return l + r, nil
+	case '-':
+		return l - r, nil
+	case '*':
+		return l * r, nil
+	case '/':
+		if r == 0 {
+			return 0, fmt.Errorf("line %d: division by zero in parameter expression", e.line)
+		}
+		return l / r, nil
+	case '^':
+		return math.Pow(l, r), nil
+	}
+	return 0, fmt.Errorf("line %d: bad operator %q", e.line, string(e.op))
+}
+
+type funcCall struct {
+	name string
+	x    expr
+	line int
+}
+
+func (e funcCall) eval(env map[string]float64) (float64, error) {
+	v, err := e.x.eval(env)
+	if err != nil {
+		return 0, err
+	}
+	switch e.name {
+	case "sin":
+		return math.Sin(v), nil
+	case "cos":
+		return math.Cos(v), nil
+	case "tan":
+		return math.Tan(v), nil
+	case "exp":
+		return math.Exp(v), nil
+	case "ln":
+		if v <= 0 {
+			return 0, fmt.Errorf("line %d: ln of non-positive value %g", e.line, v)
+		}
+		return math.Log(v), nil
+	case "sqrt":
+		if v < 0 {
+			return 0, fmt.Errorf("line %d: sqrt of negative value %g", e.line, v)
+		}
+		return math.Sqrt(v), nil
+	}
+	return 0, fmt.Errorf("line %d: unknown function %q", e.line, e.name)
+}
+
+// parseExpr parses an additive expression.
+func (p *parser) parseExpr() (expr, error) {
+	l, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch p.peek().kind {
+		case tPlus, tMinus:
+			op := p.next()
+			r, err := p.parseTerm()
+			if err != nil {
+				return nil, err
+			}
+			l = binOp{op: op.text[0], l: l, r: r, line: op.line}
+		default:
+			return l, nil
+		}
+	}
+}
+
+func (p *parser) parseTerm() (expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch p.peek().kind {
+		case tStar, tSlash:
+			op := p.next()
+			r, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			l = binOp{op: op.text[0], l: l, r: r, line: op.line}
+		default:
+			return l, nil
+		}
+	}
+}
+
+func (p *parser) parseUnary() (expr, error) {
+	if p.peek().kind == tMinus {
+		p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return unaryNeg{x}, nil
+	}
+	if p.peek().kind == tPlus {
+		p.next()
+		return p.parseUnary()
+	}
+	return p.parsePower()
+}
+
+func (p *parser) parsePower() (expr, error) {
+	l, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().kind == tCaret {
+		op := p.next()
+		// Right associative: a^b^c = a^(b^c).
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return binOp{op: '^', l: l, r: r, line: op.line}, nil
+	}
+	return l, nil
+}
+
+func (p *parser) parsePrimary() (expr, error) {
+	tok := p.next()
+	switch tok.kind {
+	case tInt, tReal:
+		v, err := strconv.ParseFloat(tok.text, 64)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: bad number %q", tok.line, tok.text)
+		}
+		return numLit(v), nil
+	case tLParen:
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(tRParen); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case tIdent:
+		if tok.text == "pi" {
+			return piLit{}, nil
+		}
+		switch tok.text {
+		case "sin", "cos", "tan", "exp", "ln", "sqrt":
+			if err := p.expect(tLParen); err != nil {
+				return nil, err
+			}
+			x, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect(tRParen); err != nil {
+				return nil, err
+			}
+			return funcCall{name: tok.text, x: x, line: tok.line}, nil
+		}
+		return paramRef{name: tok.text, line: tok.line}, nil
+	}
+	return nil, fmt.Errorf("line %d: expected expression, found %s", tok.line, tok.kind)
+}

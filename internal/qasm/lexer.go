@@ -1,0 +1,200 @@
+// Package qasm implements an OpenQASM 2.0 frontend for SV-Sim: a lexer,
+// recursive-descent parser, constant-expression evaluator, and gate-macro
+// expander that lower a QASM program to the circuit IR. All of qelib1.inc
+// is provided natively (the paper's SV-Sim ISA implements the OpenQASM
+// basic and standard gates directly and composes the compound ones), so
+// `include "qelib1.inc"` needs no file access.
+package qasm
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokKind uint8
+
+const (
+	tEOF tokKind = iota
+	tIdent
+	tInt
+	tReal
+	tString
+	tSemi     // ;
+	tComma    // ,
+	tLParen   // (
+	tRParen   // )
+	tLBracket // [
+	tRBracket // ]
+	tLBrace   // {
+	tRBrace   // }
+	tArrow    // ->
+	tEqEq     // ==
+	tPlus
+	tMinus
+	tStar
+	tSlash
+	tCaret
+)
+
+func (k tokKind) String() string {
+	switch k {
+	case tEOF:
+		return "end of input"
+	case tIdent:
+		return "identifier"
+	case tInt:
+		return "integer"
+	case tReal:
+		return "real"
+	case tString:
+		return "string"
+	case tSemi:
+		return "';'"
+	case tComma:
+		return "','"
+	case tLParen:
+		return "'('"
+	case tRParen:
+		return "')'"
+	case tLBracket:
+		return "'['"
+	case tRBracket:
+		return "']'"
+	case tLBrace:
+		return "'{'"
+	case tRBrace:
+		return "'}'"
+	case tArrow:
+		return "'->'"
+	case tEqEq:
+		return "'=='"
+	case tPlus:
+		return "'+'"
+	case tMinus:
+		return "'-'"
+	case tStar:
+		return "'*'"
+	case tSlash:
+		return "'/'"
+	case tCaret:
+		return "'^'"
+	}
+	return "token"
+}
+
+type token struct {
+	kind tokKind
+	text string
+	line int
+}
+
+// lex tokenizes a full OpenQASM source, stripping // comments.
+func lex(src string) ([]token, error) {
+	var toks []token
+	line := 1
+	i := 0
+	n := len(src)
+	for i < n {
+		c := src[i]
+		switch {
+		case c == '\n':
+			line++
+			i++
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == '/' && i+1 < n && src[i+1] == '/':
+			for i < n && src[i] != '\n' {
+				i++
+			}
+		case unicode.IsLetter(rune(c)) || c == '_':
+			j := i
+			for j < n && (unicode.IsLetter(rune(src[j])) || unicode.IsDigit(rune(src[j])) || src[j] == '_') {
+				j++
+			}
+			toks = append(toks, token{tIdent, src[i:j], line})
+			i = j
+		case unicode.IsDigit(rune(c)) || (c == '.' && i+1 < n && unicode.IsDigit(rune(src[i+1]))):
+			j := i
+			isReal := false
+			for j < n && unicode.IsDigit(rune(src[j])) {
+				j++
+			}
+			if j < n && src[j] == '.' {
+				isReal = true
+				j++
+				for j < n && unicode.IsDigit(rune(src[j])) {
+					j++
+				}
+			}
+			if j < n && (src[j] == 'e' || src[j] == 'E') {
+				k := j + 1
+				if k < n && (src[k] == '+' || src[k] == '-') {
+					k++
+				}
+				if k < n && unicode.IsDigit(rune(src[k])) {
+					isReal = true
+					j = k
+					for j < n && unicode.IsDigit(rune(src[j])) {
+						j++
+					}
+				}
+			}
+			kind := tInt
+			if isReal {
+				kind = tReal
+			}
+			toks = append(toks, token{kind, src[i:j], line})
+			i = j
+		case c == '"':
+			j := strings.IndexByte(src[i+1:], '"')
+			if j < 0 {
+				return nil, fmt.Errorf("line %d: unterminated string", line)
+			}
+			toks = append(toks, token{tString, src[i+1 : i+1+j], line})
+			i += j + 2
+		case c == '-' && i+1 < n && src[i+1] == '>':
+			toks = append(toks, token{tArrow, "->", line})
+			i += 2
+		case c == '=' && i+1 < n && src[i+1] == '=':
+			toks = append(toks, token{tEqEq, "==", line})
+			i += 2
+		default:
+			var k tokKind
+			switch c {
+			case ';':
+				k = tSemi
+			case ',':
+				k = tComma
+			case '(':
+				k = tLParen
+			case ')':
+				k = tRParen
+			case '[':
+				k = tLBracket
+			case ']':
+				k = tRBracket
+			case '{':
+				k = tLBrace
+			case '}':
+				k = tRBrace
+			case '+':
+				k = tPlus
+			case '-':
+				k = tMinus
+			case '*':
+				k = tStar
+			case '/':
+				k = tSlash
+			case '^':
+				k = tCaret
+			default:
+				return nil, fmt.Errorf("line %d: unexpected character %q", line, string(c))
+			}
+			toks = append(toks, token{k, string(c), line})
+			i++
+		}
+	}
+	toks = append(toks, token{tEOF, "", line})
+	return toks, nil
+}

@@ -1,0 +1,51 @@
+package qasm
+
+import (
+	"testing"
+
+	"svsim/internal/core"
+	"svsim/internal/qasmbench"
+)
+
+// TestSuiteRoundTripsThroughQASM exports every Table 4 workload to
+// OpenQASM text, re-parses it, and verifies the reconstructed circuit
+// produces an identical state — the full frontend round trip over real
+// workloads. Large-n entries are limited to keep the test fast.
+func TestSuiteRoundTripsThroughQASM(t *testing.T) {
+	backend := core.NewSingleDevice(core.Config{Seed: 2})
+	for _, e := range qasmbench.All() {
+		if e.Qubits > 16 {
+			continue
+		}
+		for _, compact := range []bool{false, true} {
+			c := e.Build()
+			label := e.Name
+			if compact {
+				c = e.Compact()
+				label += "-compact"
+			}
+			src := Dump(c)
+			back, err := Parse(src)
+			if err != nil {
+				t.Fatalf("%s: re-parse failed: %v", label, err)
+			}
+			if back.NumGates() != c.NumGates() {
+				t.Fatalf("%s: %d ops became %d", label, c.NumGates(), back.NumGates())
+			}
+			want, err := backend.Run(c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := backend.Run(back)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d := got.State.MaxAbsDiff(want.State); d > 1e-9 {
+				t.Fatalf("%s: QASM round trip changed the state by %g", label, d)
+			}
+			if got.Cbits != want.Cbits {
+				t.Fatalf("%s: classical bits changed", label)
+			}
+		}
+	}
+}

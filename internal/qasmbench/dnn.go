@@ -1,0 +1,47 @@
+package qasmbench
+
+import (
+	"math"
+
+	"svsim/internal/circuit"
+)
+
+// DNN: the quantum-neural-network sample of Table 4 (16 qubits, ~2000
+// gates). The circuit is a deep layered variational ansatz in the style of
+// the paper's Figure 1: an angle-encoding layer followed by L blocks, each
+// applying four rotation gates per qubit and a CX entangling ring (so the
+// CX count is L*n, 384 at the Table 4 configuration n=16, L=24).
+
+// DNN builds the layered QNN sample with deterministic pseudo-random
+// parameters.
+func DNN(n, layers int) *circuit.Circuit {
+	c := circuit.New("dnn", n)
+	angle := dnnAngles()
+	for q := 0; q < n; q++ {
+		c.RY(angle(), q)
+		c.RZ(angle(), q)
+	}
+	for l := 0; l < layers; l++ {
+		for q := 0; q < n; q++ {
+			c.RY(angle(), q)
+			c.RZ(angle(), q)
+			c.RY(angle(), q)
+			c.RZ(angle(), q)
+		}
+		for q := 0; q < n; q++ {
+			c.CX(q, (q+1)%n)
+		}
+	}
+	return c
+}
+
+// dnnAngles returns a deterministic angle stream (a simple Weyl sequence;
+// the values only need to be fixed and non-degenerate).
+func dnnAngles() func() float64 {
+	k := 0
+	return func() float64 {
+		k++
+		_, frac := math.Modf(float64(k) * math.Phi)
+		return 2 * math.Pi * frac
+	}
+}

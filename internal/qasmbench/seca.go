@@ -1,0 +1,125 @@
+package qasmbench
+
+import (
+	"svsim/internal/circuit"
+	"svsim/internal/gate"
+)
+
+// SECA: Shor's error correction code for teleportation (Table 4, 11
+// qubits). The circuit prepares a data state, encodes it into the 9-qubit
+// Shor code, injects one bit-flip and one phase-flip error, performs
+// syndrome-based correction (bit flips per block via parity ancillas,
+// phase flip via the outer majority), and finally teleports the recovered
+// state to qubit 10. The package test checks the teleported state matches
+// the prepared one despite the injected errors.
+
+// SECATheta is the RY angle of the data state SECA prepares and teleports.
+const SECATheta = 1.0
+
+// secaXError and secaZError are the injected error positions.
+const (
+	secaXError = 4
+	secaZError = 7
+)
+
+// SECA builds the 11-qubit error-correction + teleportation circuit.
+func SECA(n int) *circuit.Circuit {
+	if n != 11 {
+		panic("qasmbench: seca is defined for 11 qubits")
+	}
+	c := circuit.New("seca", n)
+	const s1, s2 = 9, 10 // syndrome / teleport helper qubits
+
+	// Data state.
+	c.RY(SECATheta, 0)
+
+	// Encode into the Shor code: outer repetition in the X basis, inner
+	// repetition per block.
+	c.CX(0, 3)
+	c.CX(0, 6)
+	c.H(0)
+	c.H(3)
+	c.H(6)
+	for _, b := range []int{0, 3, 6} {
+		c.CX(b, b+1)
+		c.CX(b, b+2)
+	}
+
+	// Channel errors.
+	c.X(secaXError)
+	c.Z(secaZError)
+
+	// Bit-flip correction per block: extract the two parities into the
+	// helper qubits, apply the majority-vote correction, and clear the
+	// helpers (their values are determined by the injected error).
+	for _, b := range []int{0, 3, 6} {
+		c.CX(b, s1)
+		c.CX(b+1, s1) // s1 = q_b xor q_{b+1}
+		c.CX(b+1, s2)
+		c.CX(b+2, s2)                      // s2 = q_{b+1} xor q_{b+2}
+		c.Append(gate.NewCCX(s1, s2, b+1)) // both parities violated: middle
+		c.X(s2)
+		c.Append(gate.NewCCX(s1, s2, b)) // only first violated: first qubit
+		c.X(s2)
+		c.X(s1)
+		c.Append(gate.NewCCX(s1, s2, b+2)) // only second violated: last
+		c.X(s1)
+		// Deterministic helper cleanup.
+		p1, p2 := secaSyndrome(b)
+		if p1 {
+			c.X(s1)
+		}
+		if p2 {
+			c.X(s2)
+		}
+	}
+
+	// Un-encode the inner repetition and correct the phase flip with the
+	// outer majority vote.
+	for _, b := range []int{0, 3, 6} {
+		c.CX(b, b+1)
+		c.CX(b, b+2)
+	}
+	c.H(0)
+	c.H(3)
+	c.H(6)
+	c.CX(0, 3)
+	c.CX(0, 6)
+	c.Append(gate.NewCCX(3, 6, 0))
+	// Outer syndrome cleanup (Z error in block 2 leaves q6 = 1).
+	if blockOf(secaZError) == 3 {
+		c.X(3)
+	}
+	if blockOf(secaZError) == 6 {
+		c.X(6)
+	}
+
+	// Teleport the recovered qubit 0 to qubit 10 through helper 9, with
+	// coherent corrections.
+	c.H(s1)
+	c.CX(s1, s2)
+	c.CX(0, s1)
+	c.H(0)
+	c.CX(s1, s2)
+	c.CZ(0, s2)
+
+	return c
+}
+
+// secaSyndrome returns the deterministic inner parities of a block given
+// the injected bit-flip error.
+func secaSyndrome(b int) (p1, p2 bool) {
+	if blockOf(secaXError) != b {
+		return false, false
+	}
+	switch secaXError - b {
+	case 0:
+		return true, false
+	case 1:
+		return true, true
+	default:
+		return false, true
+	}
+}
+
+func blockOf(q int) int { return q / 3 * 3 }

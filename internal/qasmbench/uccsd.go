@@ -1,0 +1,165 @@
+package qasmbench
+
+import (
+	"svsim/internal/circuit"
+)
+
+// VQE-UCCSD ansatz synthesis and gate counting (paper §5, Fig. 17). The
+// unitary coupled-cluster singles-doubles operator is compiled in the
+// standard way: every excitation expands into Pauli-string exponentials
+// under the Jordan-Wigner mapping, and each exponential lowers to a
+// basis-change + CX-ladder + RZ sequence (circuit.ExpPauli). Qubits
+// [0, occ) are the occupied spin orbitals of the reference state.
+
+// UCCSDSingles returns the (i, a) single-excitation index pairs for n spin
+// orbitals with occ = n/2 occupied.
+func UCCSDSingles(n int) [][2]int {
+	occ := n / 2
+	var out [][2]int
+	for i := 0; i < occ; i++ {
+		for a := occ; a < n; a++ {
+			out = append(out, [2]int{i, a})
+		}
+	}
+	return out
+}
+
+// UCCSDDoubles returns the (i, j, a, b) double-excitation index tuples.
+func UCCSDDoubles(n int) [][4]int {
+	occ := n / 2
+	var out [][4]int
+	for i := 0; i < occ; i++ {
+		for j := i + 1; j < occ; j++ {
+			for a := occ; a < n; a++ {
+				for b := a + 1; b < n; b++ {
+					out = append(out, [4]int{i, j, a, b})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// UCCSDNumParams returns the parameter count (one angle per excitation).
+func UCCSDNumParams(n int) int {
+	return len(UCCSDSingles(n)) + len(UCCSDDoubles(n))
+}
+
+// zChain builds the Z-string terms on the open interval (lo, hi).
+func zChain(lo, hi int) []circuit.PauliTerm {
+	var ts []circuit.PauliTerm
+	for q := lo + 1; q < hi; q++ {
+		ts = append(ts, circuit.PauliTerm{P: circuit.PauliZ, Q: q})
+	}
+	return ts
+}
+
+func singleStrings(i, a int) [][]circuit.PauliTerm {
+	mk := func(pi, pa circuit.Pauli) []circuit.PauliTerm {
+		ts := []circuit.PauliTerm{{P: pi, Q: i}}
+		ts = append(ts, zChain(i, a)...)
+		ts = append(ts, circuit.PauliTerm{P: pa, Q: a})
+		return ts
+	}
+	return [][]circuit.PauliTerm{
+		mk(circuit.PauliX, circuit.PauliY),
+		mk(circuit.PauliY, circuit.PauliX),
+	}
+}
+
+// doubleOps are the eight Pauli assignments of a JW double excitation,
+// with the signs of the anti-Hermitian combination
+// (i/8)(a+ a+ a a - h.c.).
+var doubleOps = []struct {
+	p    [4]circuit.Pauli
+	sign float64
+}{
+	{[4]circuit.Pauli{'X', 'X', 'Y', 'X'}, +1},
+	{[4]circuit.Pauli{'Y', 'X', 'Y', 'Y'}, +1},
+	{[4]circuit.Pauli{'X', 'Y', 'Y', 'Y'}, +1},
+	{[4]circuit.Pauli{'X', 'X', 'X', 'Y'}, +1},
+	{[4]circuit.Pauli{'Y', 'X', 'X', 'X'}, -1},
+	{[4]circuit.Pauli{'X', 'Y', 'X', 'X'}, -1},
+	{[4]circuit.Pauli{'Y', 'Y', 'Y', 'X'}, -1},
+	{[4]circuit.Pauli{'Y', 'Y', 'X', 'Y'}, -1},
+}
+
+func doubleStrings(i, j, a, b int) ([][]circuit.PauliTerm, []float64) {
+	var strs [][]circuit.PauliTerm
+	var signs []float64
+	for _, op := range doubleOps {
+		ts := []circuit.PauliTerm{{P: op.p[0], Q: i}}
+		ts = append(ts, zChain(i, j)...)
+		ts = append(ts, circuit.PauliTerm{P: op.p[1], Q: j})
+		ts = append(ts, circuit.PauliTerm{P: op.p[2], Q: a})
+		ts = append(ts, zChain(a, b)...)
+		ts = append(ts, circuit.PauliTerm{P: op.p[3], Q: b})
+		strs = append(strs, ts)
+		signs = append(signs, op.sign)
+	}
+	return strs, signs
+}
+
+// BuildUCCSD materializes the UCCSD ansatz circuit for n spin orbitals
+// with one angle per excitation (singles first, doubles after), applied
+// on top of the Hartree-Fock reference |1...1 0...0> (occupied = low
+// qubits).
+func BuildUCCSD(n int, thetas []float64) *circuit.Circuit {
+	singles := UCCSDSingles(n)
+	doubles := UCCSDDoubles(n)
+	if len(thetas) != len(singles)+len(doubles) {
+		panic("qasmbench: BuildUCCSD parameter count mismatch")
+	}
+	c := circuit.New("uccsd", n)
+	occ := n / 2
+	for q := 0; q < occ; q++ {
+		c.X(q)
+	}
+	for k, s := range singles {
+		th := thetas[k]
+		strs := singleStrings(s[0], s[1])
+		c.ExpPauli(th, strs[0])
+		c.ExpPauli(-th, strs[1])
+	}
+	for k, dbl := range doubles {
+		th := thetas[len(singles)+k]
+		strs, signs := doubleStrings(dbl[0], dbl[1], dbl[2], dbl[3])
+		for si, ts := range strs {
+			c.ExpPauli(signs[si]*th/4, ts)
+		}
+	}
+	return c
+}
+
+// UCCSDGateCount computes the lowered gate count of the ansatz without
+// materializing it (Fig. 17's gates-vs-qubits curve). The Hartree-Fock
+// preparation X gates are included.
+func UCCSDGateCount(n int) int64 {
+	occ := n / 2
+	var total int64 = int64(occ)
+	for _, s := range UCCSDSingles(n) {
+		nz := s[1] - s[0] - 1
+		total += 2 * int64(circuit.ExpPauliGateCount(1, 1, nz))
+	}
+	for _, d := range UCCSDDoubles(n) {
+		nz := (d[1] - d[0] - 1) + (d[3] - d[2] - 1)
+		// Of the eight strings, four carry one Y and four carry three.
+		total += 4 * int64(circuit.ExpPauliGateCount(3, 1, nz))
+		total += 4 * int64(circuit.ExpPauliGateCount(1, 3, nz))
+	}
+	return total
+}
+
+// UCCSDCXCount computes the CX count of the lowered ansatz.
+func UCCSDCXCount(n int) int64 {
+	var total int64
+	for _, s := range UCCSDSingles(n) {
+		w := s[1] - s[0] + 1
+		total += 2 * 2 * int64(w-1)
+	}
+	for _, d := range UCCSDDoubles(n) {
+		w := (d[1] - d[0] - 1) + (d[3] - d[2] - 1) + 4
+		total += 8 * 2 * int64(w-1)
+	}
+	return total
+}

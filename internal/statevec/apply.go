@@ -1,0 +1,111 @@
+package statevec
+
+import (
+	"fmt"
+
+	"svsim/internal/gate"
+)
+
+// Apply executes one unitary gate on the state by dispatching to its
+// specialized kernel. Non-unitary kinds (MEASURE, RESET) are handled by the
+// runtime via MeasureQubit/ResetQubit because they need a randomness
+// source; BARRIER is a scheduling no-op.
+func (s *State) Apply(g *gate.Gate) {
+	q := g.Qubits
+	p := g.Params
+	switch g.Kind {
+	case gate.U3:
+		s.ApplyU3(p[0], p[1], p[2], int(q[0]))
+	case gate.U2:
+		s.ApplyU2(p[0], p[1], int(q[0]))
+	case gate.U1:
+		s.ApplyU1(p[0], int(q[0]))
+	case gate.CX:
+		s.ApplyCX(int(q[0]), int(q[1]))
+	case gate.ID:
+		s.ApplyID(int(q[0]))
+	case gate.X:
+		s.ApplyX(int(q[0]))
+	case gate.Y:
+		s.ApplyY(int(q[0]))
+	case gate.Z:
+		s.ApplyZ(int(q[0]))
+	case gate.H:
+		s.ApplyH(int(q[0]))
+	case gate.S:
+		s.ApplyS(int(q[0]))
+	case gate.SDG:
+		s.ApplySDG(int(q[0]))
+	case gate.T:
+		s.ApplyT(int(q[0]))
+	case gate.TDG:
+		s.ApplyTDG(int(q[0]))
+	case gate.RX:
+		s.ApplyRX(p[0], int(q[0]))
+	case gate.RY:
+		s.ApplyRY(p[0], int(q[0]))
+	case gate.RZ:
+		s.ApplyRZ(p[0], int(q[0]))
+	case gate.CZ:
+		s.ApplyCZ(int(q[0]), int(q[1]))
+	case gate.CY:
+		s.ApplyCY(int(q[0]), int(q[1]))
+	case gate.SWAP:
+		s.ApplySWAP(int(q[0]), int(q[1]))
+	case gate.CH:
+		s.ApplyCH(int(q[0]), int(q[1]))
+	case gate.CCX:
+		s.ApplyCCX(int(q[0]), int(q[1]), int(q[2]))
+	case gate.CSWAP:
+		s.ApplyCSWAP(int(q[0]), int(q[1]), int(q[2]))
+	case gate.CRX:
+		s.ApplyCRX(p[0], int(q[0]), int(q[1]))
+	case gate.CRY:
+		s.ApplyCRY(p[0], int(q[0]), int(q[1]))
+	case gate.CRZ:
+		s.ApplyCRZ(p[0], int(q[0]), int(q[1]))
+	case gate.CU1:
+		s.ApplyCU1(p[0], int(q[0]), int(q[1]))
+	case gate.CU3:
+		s.ApplyCU3(p[0], p[1], p[2], int(q[0]), int(q[1]))
+	case gate.RXX:
+		s.ApplyRXX(p[0], int(q[0]), int(q[1]))
+	case gate.RZZ:
+		s.ApplyRZZ(p[0], int(q[0]), int(q[1]))
+	case gate.RCCX:
+		s.ApplyRCCX(int(q[0]), int(q[1]), int(q[2]))
+	case gate.RC3X:
+		s.ApplyRC3X(int(q[0]), int(q[1]), int(q[2]), int(q[3]))
+	case gate.C3X:
+		s.ApplyMCX([]int{int(q[0]), int(q[1]), int(q[2])}, int(q[3]))
+	case gate.C3SQRTX:
+		s.ApplyC3SQRTX(int(q[0]), int(q[1]), int(q[2]), int(q[3]))
+	case gate.C4X:
+		s.ApplyMCX([]int{int(q[0]), int(q[1]), int(q[2]), int(q[3])}, int(q[4]))
+	case gate.SX:
+		s.ApplySX(int(q[0]))
+	case gate.SXDG:
+		s.ApplySXDG(int(q[0]))
+	case gate.CS:
+		s.ApplyCS(int(q[0]), int(q[1]))
+	case gate.CT:
+		s.ApplyCT(int(q[0]), int(q[1]))
+	case gate.CSDG:
+		s.ApplyCSDG(int(q[0]), int(q[1]))
+	case gate.CTDG:
+		s.ApplyCTDG(int(q[0]), int(q[1]))
+	case gate.GPHASE:
+		s.ApplyGPhase(p[0])
+	case gate.BARRIER:
+		// scheduling no-op
+	default:
+		panic(fmt.Sprintf("statevec: Apply cannot execute kind %s", g.Kind))
+	}
+}
+
+// ApplyAll executes a gate sequence in order.
+func (s *State) ApplyAll(gs []gate.Gate) {
+	for i := range gs {
+		s.Apply(&gs[i])
+	}
+}

@@ -1,0 +1,323 @@
+package statevec
+
+import "math"
+
+// This file holds the specialized 1-qubit kernels (paper §3.2.1,
+// "specialized gate implementation"). Each gate exploits its own matrix
+// structure: diagonal gates touch only half the amplitudes ("we only need
+// the calculation for the last element 1+i, saving more than half of the
+// computation and memory access"), permutation gates move data without
+// arithmetic, and only the generic u3 pays the full complex 2x2 cost.
+//
+// Every kernel exists in two loop shapes selected by State.Style:
+//
+//   - Scalar: the strided half-space loop of the paper's Listing 3, with
+//     pos0 = insertZeroBit(i, q).
+//   - Vectorized: a blocked loop with a unit-stride inner run of length
+//     2^q, the structure the AVX512 kernels of Listing 2 vectorize.
+//
+// The two shapes enumerate exactly the same (pos0, pos1) pairs.
+
+// pairLoop enumerates all (pos0, pos1) amplitude pairs for a 1-qubit gate
+// on qubit q. It is used only by the non-hot kernels; the hot kernels below
+// inline their loops for speed.
+func (s *State) pairLoop(q int, body func(pos0, pos1 int)) {
+	stride := 1 << uint(q)
+	if s.Style == Vectorized {
+		for base := 0; base < s.Dim; base += stride << 1 {
+			for p0 := base; p0 < base+stride; p0++ {
+				body(p0, p0+stride)
+			}
+		}
+		return
+	}
+	half := s.Dim >> 1
+	for i := 0; i < half; i++ {
+		p0 := insertZeroBit(i, q)
+		body(p0, p0+stride)
+	}
+}
+
+// ApplyX applies Pauli-X on qubit q: swap the amplitude pair.
+func (s *State) ApplyX(q int) {
+	re, im := s.Re, s.Im
+	stride := 1 << uint(q)
+	if s.Style == Vectorized {
+		for base := 0; base < s.Dim; base += stride << 1 {
+			for p0 := base; p0 < base+stride; p0++ {
+				p1 := p0 + stride
+				re[p0], re[p1] = re[p1], re[p0]
+				im[p0], im[p1] = im[p1], im[p0]
+			}
+		}
+	} else {
+		half := s.Dim >> 1
+		for i := 0; i < half; i++ {
+			p0 := insertZeroBit(i, q)
+			p1 := p0 + stride
+			re[p0], re[p1] = re[p1], re[p0]
+			im[p0], im[p1] = im[p1], im[p0]
+		}
+	}
+	s.Stats.add(int64(s.Dim), 0)
+}
+
+// ApplyY applies Pauli-Y on qubit q: a0' = -i a1, a1' = i a0.
+func (s *State) ApplyY(q int) {
+	re, im := s.Re, s.Im
+	s.pairLoop(q, func(p0, p1 int) {
+		r0, i0 := re[p0], im[p0]
+		r1, i1 := re[p1], im[p1]
+		re[p0], im[p0] = i1, -r1
+		re[p1], im[p1] = -i0, r0
+	})
+	s.Stats.add(int64(s.Dim), int64(s.Dim))
+}
+
+// ApplyZ applies Pauli-Z on qubit q: negate the |1> amplitude only.
+func (s *State) ApplyZ(q int) {
+	re, im := s.Re, s.Im
+	s.pairLoop(q, func(_, p1 int) {
+		re[p1] = -re[p1]
+		im[p1] = -im[p1]
+	})
+	s.Stats.add(int64(s.Dim>>1), int64(s.Dim))
+}
+
+// ApplyH applies the Hadamard on qubit q.
+func (s *State) ApplyH(q int) {
+	re, im := s.Re, s.Im
+	stride := 1 << uint(q)
+	if s.Style == Vectorized {
+		for base := 0; base < s.Dim; base += stride << 1 {
+			for p0 := base; p0 < base+stride; p0++ {
+				p1 := p0 + stride
+				r0, i0 := re[p0], im[p0]
+				r1, i1 := re[p1], im[p1]
+				re[p0], im[p0] = s2i*(r0+r1), s2i*(i0+i1)
+				re[p1], im[p1] = s2i*(r0-r1), s2i*(i0-i1)
+			}
+		}
+	} else {
+		half := s.Dim >> 1
+		for i := 0; i < half; i++ {
+			p0 := insertZeroBit(i, q)
+			p1 := p0 + stride
+			r0, i0 := re[p0], im[p0]
+			r1, i1 := re[p1], im[p1]
+			re[p0], im[p0] = s2i*(r0+r1), s2i*(i0+i1)
+			re[p1], im[p1] = s2i*(r0-r1), s2i*(i0-i1)
+		}
+	}
+	s.Stats.add(int64(s.Dim), int64(3*s.Dim))
+}
+
+// ApplyS applies S on qubit q: a1 *= i.
+func (s *State) ApplyS(q int) {
+	re, im := s.Re, s.Im
+	s.pairLoop(q, func(_, p1 int) {
+		re[p1], im[p1] = -im[p1], re[p1]
+	})
+	s.Stats.add(int64(s.Dim>>1), 0)
+}
+
+// ApplySDG applies S-dagger on qubit q: a1 *= -i.
+func (s *State) ApplySDG(q int) {
+	re, im := s.Re, s.Im
+	s.pairLoop(q, func(_, p1 int) {
+		re[p1], im[p1] = im[p1], -re[p1]
+	})
+	s.Stats.add(int64(s.Dim>>1), 0)
+}
+
+// ApplyT applies T on qubit q: a1 *= (1+i)/sqrt(2). This is the exact
+// kernel shown in the paper's Listing 2/3: two fused multiply-adds on the
+// |1> amplitude only.
+func (s *State) ApplyT(q int) {
+	re, im := s.Re, s.Im
+	stride := 1 << uint(q)
+	if s.Style == Vectorized {
+		for base := 0; base < s.Dim; base += stride << 1 {
+			for p0 := base; p0 < base+stride; p0++ {
+				p1 := p0 + stride
+				r1, i1 := re[p1], im[p1]
+				re[p1] = s2i * (r1 - i1)
+				im[p1] = s2i * (r1 + i1)
+			}
+		}
+	} else {
+		half := s.Dim >> 1
+		for i := 0; i < half; i++ {
+			p1 := insertZeroBit(i, q) + stride
+			r1, i1 := re[p1], im[p1]
+			re[p1] = s2i * (r1 - i1)
+			im[p1] = s2i * (r1 + i1)
+		}
+	}
+	s.Stats.add(int64(s.Dim>>1), int64(2*s.Dim))
+}
+
+// ApplyTDG applies T-dagger on qubit q: a1 *= (1-i)/sqrt(2).
+func (s *State) ApplyTDG(q int) {
+	re, im := s.Re, s.Im
+	s.pairLoop(q, func(_, p1 int) {
+		r1, i1 := re[p1], im[p1]
+		re[p1] = s2i * (r1 + i1)
+		im[p1] = s2i * (i1 - r1)
+	})
+	s.Stats.add(int64(s.Dim>>1), int64(2*s.Dim))
+}
+
+// ApplySX applies sqrt(X) on qubit q.
+func (s *State) ApplySX(q int) {
+	re, im := s.Re, s.Im
+	s.pairLoop(q, func(p0, p1 int) {
+		r0, i0 := re[p0], im[p0]
+		r1, i1 := re[p1], im[p1]
+		// [[ (1+i)/2, (1-i)/2 ], [ (1-i)/2, (1+i)/2 ]]
+		re[p0] = 0.5 * (r0 - i0 + r1 + i1)
+		im[p0] = 0.5 * (r0 + i0 - r1 + i1)
+		re[p1] = 0.5 * (r0 + i0 + r1 - i1)
+		im[p1] = 0.5 * (-r0 + i0 + r1 + i1)
+	})
+	s.Stats.add(int64(s.Dim), int64(4*s.Dim))
+}
+
+// ApplySXDG applies the adjoint of sqrt(X) on qubit q.
+func (s *State) ApplySXDG(q int) {
+	re, im := s.Re, s.Im
+	s.pairLoop(q, func(p0, p1 int) {
+		r0, i0 := re[p0], im[p0]
+		r1, i1 := re[p1], im[p1]
+		// [[ (1-i)/2, (1+i)/2 ], [ (1+i)/2, (1-i)/2 ]]
+		re[p0] = 0.5 * (r0 + i0 + r1 - i1)
+		im[p0] = 0.5 * (-r0 + i0 + r1 + i1)
+		re[p1] = 0.5 * (r0 - i0 + r1 + i1)
+		im[p1] = 0.5 * (r0 + i0 - r1 + i1)
+	})
+	s.Stats.add(int64(s.Dim), int64(4*s.Dim))
+}
+
+// ApplyU1 applies the phase gate u1(lambda): a1 *= e^{i lambda}.
+func (s *State) ApplyU1(lambda float64, q int) {
+	cl, sl := math.Cos(lambda), math.Sin(lambda)
+	re, im := s.Re, s.Im
+	s.pairLoop(q, func(_, p1 int) {
+		r1, i1 := re[p1], im[p1]
+		re[p1] = cl*r1 - sl*i1
+		im[p1] = sl*r1 + cl*i1
+	})
+	s.Stats.add(int64(s.Dim>>1), int64(3*s.Dim))
+}
+
+// ApplyRZ applies exp(-i theta Z / 2): a0 *= e^{-i t/2}, a1 *= e^{i t/2}.
+func (s *State) ApplyRZ(theta float64, q int) {
+	c, sn := math.Cos(theta/2), math.Sin(theta/2)
+	re, im := s.Re, s.Im
+	s.pairLoop(q, func(p0, p1 int) {
+		r0, i0 := re[p0], im[p0]
+		re[p0] = c*r0 + sn*i0
+		im[p0] = -sn*r0 + c*i0
+		r1, i1 := re[p1], im[p1]
+		re[p1] = c*r1 - sn*i1
+		im[p1] = sn*r1 + c*i1
+	})
+	s.Stats.add(int64(s.Dim), int64(6*s.Dim))
+}
+
+// ApplyRX applies exp(-i theta X / 2).
+func (s *State) ApplyRX(theta float64, q int) {
+	c, sn := math.Cos(theta/2), math.Sin(theta/2)
+	re, im := s.Re, s.Im
+	s.pairLoop(q, func(p0, p1 int) {
+		r0, i0 := re[p0], im[p0]
+		r1, i1 := re[p1], im[p1]
+		// a0' = c a0 - i s a1 ; a1' = -i s a0 + c a1
+		re[p0] = c*r0 + sn*i1
+		im[p0] = c*i0 - sn*r1
+		re[p1] = c*r1 + sn*i0
+		im[p1] = c*i1 - sn*r0
+	})
+	s.Stats.add(int64(s.Dim), int64(4*s.Dim))
+}
+
+// ApplyRY applies exp(-i theta Y / 2).
+func (s *State) ApplyRY(theta float64, q int) {
+	c, sn := math.Cos(theta/2), math.Sin(theta/2)
+	re, im := s.Re, s.Im
+	s.pairLoop(q, func(p0, p1 int) {
+		r0, i0 := re[p0], im[p0]
+		r1, i1 := re[p1], im[p1]
+		re[p0] = c*r0 - sn*r1
+		im[p0] = c*i0 - sn*i1
+		re[p1] = sn*r0 + c*r1
+		im[p1] = sn*i0 + c*i1
+	})
+	s.Stats.add(int64(s.Dim), int64(4*s.Dim))
+}
+
+// u3Coeffs computes the four complex entries of the u3 matrix as real pairs.
+func u3Coeffs(theta, phi, lambda float64) (ar, ai, br, bi, cr, ci, dr, di float64) {
+	ct, st := math.Cos(theta/2), math.Sin(theta/2)
+	ar, ai = ct, 0
+	br, bi = -math.Cos(lambda)*st, -math.Sin(lambda)*st
+	cr, ci = math.Cos(phi)*st, math.Sin(phi)*st
+	dr, di = math.Cos(phi+lambda)*ct, math.Sin(phi+lambda)*ct
+	return
+}
+
+// ApplyU3 applies the generic 1-qubit gate u3(theta, phi, lambda): the full
+// complex 2x2, the only kernel that pays the unspecialized cost.
+func (s *State) ApplyU3(theta, phi, lambda float64, q int) {
+	ar, ai, br, bi, cr, ci, dr, di := u3Coeffs(theta, phi, lambda)
+	re, im := s.Re, s.Im
+	stride := 1 << uint(q)
+	body := func(p0, p1 int) {
+		r0, i0 := re[p0], im[p0]
+		r1, i1 := re[p1], im[p1]
+		re[p0] = ar*r0 - ai*i0 + br*r1 - bi*i1
+		im[p0] = ar*i0 + ai*r0 + br*i1 + bi*r1
+		re[p1] = cr*r0 - ci*i0 + dr*r1 - di*i1
+		im[p1] = cr*i0 + ci*r0 + dr*i1 + di*r1
+	}
+	if s.Style == Vectorized {
+		for base := 0; base < s.Dim; base += stride << 1 {
+			for p0 := base; p0 < base+stride; p0++ {
+				body(p0, p0+stride)
+			}
+		}
+	} else {
+		half := s.Dim >> 1
+		for i := 0; i < half; i++ {
+			p0 := insertZeroBit(i, q)
+			body(p0, p0+stride)
+		}
+	}
+	s.Stats.add(int64(s.Dim), int64(14*s.Dim))
+}
+
+// ApplyU2 applies u2(phi, lambda) = u3(pi/2, phi, lambda).
+func (s *State) ApplyU2(phi, lambda float64, q int) {
+	s.ApplyU3(math.Pi/2, phi, lambda, q)
+}
+
+// ApplyGPhase multiplies the whole register by e^{i theta}.
+func (s *State) ApplyGPhase(theta float64) {
+	c, sn := math.Cos(theta), math.Sin(theta)
+	re, im := s.Re, s.Im
+	for i := range re {
+		r, ii := re[i], im[i]
+		re[i] = c*r - sn*ii
+		im[i] = sn*r + c*ii
+	}
+	s.Stats.add(int64(s.Dim), int64(6*s.Dim))
+}
+
+// ApplyID applies the identity gate: no data movement, but it is still
+// counted as an executed gate (the paper's ID is a scheduled idle pulse).
+func (s *State) ApplyID(q int) {
+	_ = q
+	s.Stats.add(0, 0)
+}
+
+const s2i = math.Sqrt2 / 2

@@ -1,0 +1,266 @@
+package statevec
+
+import "math"
+
+// Two-qubit kernels. The paper's two-qubit s_i index formula enumerates the
+// quarter space with zero bits inserted at the two operand positions; the
+// controlled kernels then pin the control bit to 1 so that diagonal
+// controlled gates touch only a quarter of the state.
+
+// quadLoop enumerates base indices with zeros at bit positions lo < hi.
+// The Vectorized style uses a triple nested loop whose innermost run is
+// unit-stride of length 2^lo (the shape the AVX512 kernels block on);
+// Scalar uses the paper's strided two-bit insert formula.
+func (s *State) quadLoop(lo, hi int, body func(base int)) {
+	if s.Style == Vectorized {
+		hiBlock := 1 << uint(hi+1)
+		hiHalf := 1 << uint(hi)
+		loBlock := 1 << uint(lo+1)
+		loHalf := 1 << uint(lo)
+		for a := 0; a < s.Dim; a += hiBlock {
+			for b := a; b < a+hiHalf; b += loBlock {
+				for base := b; base < b+loHalf; base++ {
+					body(base)
+				}
+			}
+		}
+		return
+	}
+	quarter := s.Dim >> 2
+	for i := 0; i < quarter; i++ {
+		body(insertZeroBits2(i, lo, hi))
+	}
+}
+
+// ctrlPairLoop enumerates the (pos0, pos1) target pairs of a singly
+// controlled 1-qubit gate: control bit set, target bit 0/1.
+func (s *State) ctrlPairLoop(c, t int, body func(p0, p1 int)) {
+	lo, hi := c, t
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	cbit, tbit := 1<<uint(c), 1<<uint(t)
+	s.quadLoop(lo, hi, func(base int) {
+		p0 := base | cbit
+		body(p0, p0|tbit)
+	})
+}
+
+// ApplyCX applies controlled-NOT with control c and target t.
+func (s *State) ApplyCX(c, t int) {
+	re, im := s.Re, s.Im
+	s.ctrlPairLoop(c, t, func(p0, p1 int) {
+		re[p0], re[p1] = re[p1], re[p0]
+		im[p0], im[p1] = im[p1], im[p0]
+	})
+	s.Stats.add(int64(s.Dim>>1), 0)
+}
+
+// ApplyCY applies controlled-Y.
+func (s *State) ApplyCY(c, t int) {
+	re, im := s.Re, s.Im
+	s.ctrlPairLoop(c, t, func(p0, p1 int) {
+		r0, i0 := re[p0], im[p0]
+		r1, i1 := re[p1], im[p1]
+		re[p0], im[p0] = i1, -r1
+		re[p1], im[p1] = -i0, r0
+	})
+	s.Stats.add(int64(s.Dim>>1), int64(s.Dim>>1))
+}
+
+// ApplyCZ applies controlled-Z: negate the |11> amplitude only.
+func (s *State) ApplyCZ(c, t int) {
+	re, im := s.Re, s.Im
+	s.ctrlPairLoop(c, t, func(_, p1 int) {
+		re[p1] = -re[p1]
+		im[p1] = -im[p1]
+	})
+	s.Stats.add(int64(s.Dim>>2), int64(s.Dim>>1))
+}
+
+// ApplyCH applies controlled-Hadamard.
+func (s *State) ApplyCH(c, t int) {
+	re, im := s.Re, s.Im
+	s.ctrlPairLoop(c, t, func(p0, p1 int) {
+		r0, i0 := re[p0], im[p0]
+		r1, i1 := re[p1], im[p1]
+		re[p0], im[p0] = s2i*(r0+r1), s2i*(i0+i1)
+		re[p1], im[p1] = s2i*(r0-r1), s2i*(i0-i1)
+	})
+	s.Stats.add(int64(s.Dim>>1), int64(3*s.Dim>>1))
+}
+
+// ApplyCU1 applies the controlled phase rotation: |11> amplitude *= e^{i l}.
+func (s *State) ApplyCU1(lambda float64, c, t int) {
+	cl, sl := math.Cos(lambda), math.Sin(lambda)
+	re, im := s.Re, s.Im
+	s.ctrlPairLoop(c, t, func(_, p1 int) {
+		r1, i1 := re[p1], im[p1]
+		re[p1] = cl*r1 - sl*i1
+		im[p1] = sl*r1 + cl*i1
+	})
+	s.Stats.add(int64(s.Dim>>2), int64(3*s.Dim>>2))
+}
+
+// ApplyCRZ applies the controlled Z-rotation (diagonal on the control-set
+// half: e^{-i t/2} on |10>, e^{i t/2} on |11>).
+func (s *State) ApplyCRZ(theta float64, c, t int) {
+	co, sn := math.Cos(theta/2), math.Sin(theta/2)
+	re, im := s.Re, s.Im
+	s.ctrlPairLoop(c, t, func(p0, p1 int) {
+		r0, i0 := re[p0], im[p0]
+		re[p0] = co*r0 + sn*i0
+		im[p0] = -sn*r0 + co*i0
+		r1, i1 := re[p1], im[p1]
+		re[p1] = co*r1 - sn*i1
+		im[p1] = sn*r1 + co*i1
+	})
+	s.Stats.add(int64(s.Dim>>1), int64(3*s.Dim>>1))
+}
+
+// ApplyCRX applies the controlled X-rotation.
+func (s *State) ApplyCRX(theta float64, c, t int) {
+	co, sn := math.Cos(theta/2), math.Sin(theta/2)
+	re, im := s.Re, s.Im
+	s.ctrlPairLoop(c, t, func(p0, p1 int) {
+		r0, i0 := re[p0], im[p0]
+		r1, i1 := re[p1], im[p1]
+		re[p0] = co*r0 + sn*i1
+		im[p0] = co*i0 - sn*r1
+		re[p1] = co*r1 + sn*i0
+		im[p1] = co*i1 - sn*r0
+	})
+	s.Stats.add(int64(s.Dim>>1), int64(s.Dim))
+}
+
+// ApplyCRY applies the controlled Y-rotation.
+func (s *State) ApplyCRY(theta float64, c, t int) {
+	co, sn := math.Cos(theta/2), math.Sin(theta/2)
+	re, im := s.Re, s.Im
+	s.ctrlPairLoop(c, t, func(p0, p1 int) {
+		r0, i0 := re[p0], im[p0]
+		r1, i1 := re[p1], im[p1]
+		re[p0] = co*r0 - sn*r1
+		im[p0] = co*i0 - sn*i1
+		re[p1] = sn*r0 + co*r1
+		im[p1] = sn*i0 + co*i1
+	})
+	s.Stats.add(int64(s.Dim>>1), int64(s.Dim))
+}
+
+// ApplyCU3 applies the controlled generic 1-qubit gate.
+func (s *State) ApplyCU3(theta, phi, lambda float64, c, t int) {
+	ar, ai, br, bi, cr, ci, dr, di := u3Coeffs(theta, phi, lambda)
+	re, im := s.Re, s.Im
+	s.ctrlPairLoop(c, t, func(p0, p1 int) {
+		r0, i0 := re[p0], im[p0]
+		r1, i1 := re[p1], im[p1]
+		re[p0] = ar*r0 - ai*i0 + br*r1 - bi*i1
+		im[p0] = ar*i0 + ai*r0 + br*i1 + bi*r1
+		re[p1] = cr*r0 - ci*i0 + dr*r1 - di*i1
+		im[p1] = cr*i0 + ci*r0 + dr*i1 + di*r1
+	})
+	s.Stats.add(int64(s.Dim>>1), int64(7*s.Dim))
+}
+
+// ApplyCS applies controlled-S: |11> *= i.
+func (s *State) ApplyCS(c, t int) {
+	re, im := s.Re, s.Im
+	s.ctrlPairLoop(c, t, func(_, p1 int) {
+		re[p1], im[p1] = -im[p1], re[p1]
+	})
+	s.Stats.add(int64(s.Dim>>2), 0)
+}
+
+// ApplyCSDG applies controlled-SDG: |11> *= -i.
+func (s *State) ApplyCSDG(c, t int) {
+	re, im := s.Re, s.Im
+	s.ctrlPairLoop(c, t, func(_, p1 int) {
+		re[p1], im[p1] = im[p1], -re[p1]
+	})
+	s.Stats.add(int64(s.Dim>>2), 0)
+}
+
+// ApplyCT applies controlled-T.
+func (s *State) ApplyCT(c, t int) {
+	re, im := s.Re, s.Im
+	s.ctrlPairLoop(c, t, func(_, p1 int) {
+		r1, i1 := re[p1], im[p1]
+		re[p1] = s2i * (r1 - i1)
+		im[p1] = s2i * (r1 + i1)
+	})
+	s.Stats.add(int64(s.Dim>>2), int64(s.Dim>>1))
+}
+
+// ApplyCTDG applies controlled-TDG.
+func (s *State) ApplyCTDG(c, t int) {
+	re, im := s.Re, s.Im
+	s.ctrlPairLoop(c, t, func(_, p1 int) {
+		r1, i1 := re[p1], im[p1]
+		re[p1] = s2i * (r1 + i1)
+		im[p1] = s2i * (i1 - r1)
+	})
+	s.Stats.add(int64(s.Dim>>2), int64(s.Dim>>1))
+}
+
+// ApplySWAP exchanges qubits a and b: swap the |01> and |10> amplitudes.
+func (s *State) ApplySWAP(a, b int) {
+	lo, hi := a, b
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	abit, bbit := 1<<uint(a), 1<<uint(b)
+	re, im := s.Re, s.Im
+	s.quadLoop(lo, hi, func(base int) {
+		p01 := base | abit
+		p10 := base | bbit
+		re[p01], re[p10] = re[p10], re[p01]
+		im[p01], im[p10] = im[p10], im[p01]
+	})
+	s.Stats.add(int64(s.Dim>>1), 0)
+}
+
+// ApplyRZZ applies the qelib1 rzz(t): phase e^{i t} on |01> and |10>.
+func (s *State) ApplyRZZ(theta float64, a, b int) {
+	lo, hi := a, b
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	cl, sl := math.Cos(theta), math.Sin(theta)
+	abit, bbit := 1<<uint(a), 1<<uint(b)
+	re, im := s.Re, s.Im
+	s.quadLoop(lo, hi, func(base int) {
+		for _, p := range [2]int{base | abit, base | bbit} {
+			r, i := re[p], im[p]
+			re[p] = cl*r - sl*i
+			im[p] = sl*r + cl*i
+		}
+	})
+	s.Stats.add(int64(s.Dim>>1), int64(3*s.Dim>>1))
+}
+
+// ApplyRXX applies exp(-i theta XX / 2): rotates the (|00>,|11>) and
+// (|01>,|10>) amplitude pairs.
+func (s *State) ApplyRXX(theta float64, a, b int) {
+	lo, hi := a, b
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	co, sn := math.Cos(theta/2), math.Sin(theta/2)
+	abit, bbit := 1<<uint(a), 1<<uint(b)
+	re, im := s.Re, s.Im
+	mix := func(p, q int) {
+		rp, ip := re[p], im[p]
+		rq, iq := re[q], im[q]
+		// a_p' = c a_p - i s a_q ; a_q' = -i s a_p + c a_q
+		re[p] = co*rp + sn*iq
+		im[p] = co*ip - sn*rq
+		re[q] = co*rq + sn*ip
+		im[q] = co*iq - sn*rp
+	}
+	s.quadLoop(lo, hi, func(base int) {
+		mix(base, base|abit|bbit)
+		mix(base|abit, base|bbit)
+	})
+	s.Stats.add(int64(s.Dim), int64(2*s.Dim))
+}

@@ -1,0 +1,250 @@
+package statevec
+
+import (
+	"sort"
+	"sync"
+
+	"svsim/internal/gate"
+)
+
+// Multi-qubit kernels: Toffoli-family direct kernels, the relative-phase
+// Toffolis, the generic k-qubit matrix apply (the baseline "generalized
+// gate" path the paper contrasts with), and generic multi-controlled
+// 1-qubit application used by the QIR frontend's Controlled* functors.
+
+// baseLoop enumerates all basis indices that have zero bits at every
+// position in bits (bits need not be sorted; it is not modified).
+func (s *State) baseLoop(bits []int, body func(base int)) {
+	k := len(bits)
+	sorted := make([]int, k)
+	copy(sorted, bits)
+	sort.Ints(sorted)
+	n := s.Dim >> uint(k)
+	for i := 0; i < n; i++ {
+		base := i
+		for _, b := range sorted {
+			base = insertZeroBit(base, b)
+		}
+		body(base)
+	}
+}
+
+// ApplyCCX applies the Toffoli gate with controls c0, c1 and target t.
+func (s *State) ApplyCCX(c0, c1, t int) {
+	cmask := 1<<uint(c0) | 1<<uint(c1)
+	tbit := 1 << uint(t)
+	re, im := s.Re, s.Im
+	s.baseLoop([]int{c0, c1, t}, func(base int) {
+		p0 := base | cmask
+		p1 := p0 | tbit
+		re[p0], re[p1] = re[p1], re[p0]
+		im[p0], im[p1] = im[p1], im[p0]
+	})
+	s.Stats.add(int64(s.Dim>>2), 0)
+}
+
+// ApplyCSWAP applies the Fredkin gate: control c swaps a and b.
+func (s *State) ApplyCSWAP(c, a, b int) {
+	cbit := 1 << uint(c)
+	abit, bbit := 1<<uint(a), 1<<uint(b)
+	re, im := s.Re, s.Im
+	s.baseLoop([]int{c, a, b}, func(base int) {
+		p01 := base | cbit | abit
+		p10 := base | cbit | bbit
+		re[p01], re[p10] = re[p10], re[p01]
+		im[p01], im[p10] = im[p10], im[p01]
+	})
+	s.Stats.add(int64(s.Dim>>2), 0)
+}
+
+// ApplyMCX applies an X on target t controlled on every qubit in ctrls
+// (the C3X / C4X kernels and the QIR multi-controlled X).
+func (s *State) ApplyMCX(ctrls []int, t int) {
+	var cmask int
+	for _, c := range ctrls {
+		cmask |= 1 << uint(c)
+	}
+	tbit := 1 << uint(t)
+	bits := append(append([]int(nil), ctrls...), t)
+	re, im := s.Re, s.Im
+	s.baseLoop(bits, func(base int) {
+		p0 := base | cmask
+		p1 := p0 | tbit
+		re[p0], re[p1] = re[p1], re[p0]
+		im[p0], im[p1] = im[p1], im[p0]
+	})
+	s.Stats.add(int64(s.Dim>>uint(len(ctrls))), 0)
+}
+
+// ApplyMC1Q applies an arbitrary 1-qubit unitary u (2x2) on target t,
+// controlled on every qubit in ctrls. An empty ctrls applies u directly.
+func (s *State) ApplyMC1Q(u gate.Matrix, ctrls []int, t int) {
+	if u.N != 2 {
+		panic("statevec: ApplyMC1Q needs a 2x2 matrix")
+	}
+	ar, ai := real(u.At(0, 0)), imag(u.At(0, 0))
+	br, bi := real(u.At(0, 1)), imag(u.At(0, 1))
+	cr, ci := real(u.At(1, 0)), imag(u.At(1, 0))
+	dr, di := real(u.At(1, 1)), imag(u.At(1, 1))
+	var cmask int
+	for _, c := range ctrls {
+		cmask |= 1 << uint(c)
+	}
+	tbit := 1 << uint(t)
+	bits := append(append([]int(nil), ctrls...), t)
+	re, im := s.Re, s.Im
+	s.baseLoop(bits, func(base int) {
+		p0 := base | cmask
+		p1 := p0 | tbit
+		r0, i0 := re[p0], im[p0]
+		r1, i1 := re[p1], im[p1]
+		re[p0] = ar*r0 - ai*i0 + br*r1 - bi*i1
+		im[p0] = ar*i0 + ai*r0 + br*i1 + bi*r1
+		re[p1] = cr*r0 - ci*i0 + dr*r1 - di*i1
+		im[p1] = cr*i0 + ci*r0 + dr*i1 + di*r1
+	})
+	pairs := int64(s.Dim >> uint(len(ctrls)))
+	s.Stats.add(pairs, 7*pairs)
+}
+
+// ApplyMatrix applies an arbitrary k-qubit unitary to the given operand
+// qubits (operand j = local bit j). This is the generalized path that
+// simulators like Aer and qsim use for every gate; SV-Sim uses it only for
+// gates without a specialized kernel.
+func (s *State) ApplyMatrix(u gate.Matrix, qubits []int) {
+	k := len(qubits)
+	if u.N != 1<<uint(k) {
+		panic("statevec: ApplyMatrix operand count mismatch")
+	}
+	dim := u.N
+	ampR := make([]float64, dim)
+	ampI := make([]float64, dim)
+	outR := make([]float64, dim)
+	outI := make([]float64, dim)
+	offsets := make([]int, dim)
+	for a := 0; a < dim; a++ {
+		off := 0
+		for j, q := range qubits {
+			if a>>uint(j)&1 == 1 {
+				off |= 1 << uint(q)
+			}
+		}
+		offsets[a] = off
+	}
+	re, im := s.Re, s.Im
+	s.baseLoop(qubits, func(base int) {
+		for a := 0; a < dim; a++ {
+			p := base | offsets[a]
+			ampR[a], ampI[a] = re[p], im[p]
+		}
+		for a := 0; a < dim; a++ {
+			var sr, si float64
+			row := u.Data[a*dim : (a+1)*dim]
+			for b, v := range row {
+				vr, vi := real(v), imag(v)
+				sr += vr*ampR[b] - vi*ampI[b]
+				si += vr*ampI[b] + vi*ampR[b]
+			}
+			outR[a], outI[a] = sr, si
+		}
+		for a := 0; a < dim; a++ {
+			p := base | offsets[a]
+			re[p], im[p] = outR[a], outI[a]
+		}
+	})
+	s.Stats.add(int64(s.Dim), int64(s.Dim*4*dim))
+}
+
+// ApplyControlledMatrix applies a k-target unitary u under an arbitrary
+// set of control qubits. It generalizes ApplyMC1Q to multi-target bases
+// (e.g. a controlled SWAP whose control lives on another device in the
+// distributed backends).
+func (s *State) ApplyControlledMatrix(u gate.Matrix, ctrls, targets []int) {
+	if len(ctrls) == 0 {
+		s.ApplyMatrix(u, targets)
+		return
+	}
+	if u.N == 2 {
+		s.ApplyMC1Q(u, ctrls, targets[0])
+		return
+	}
+	k := len(targets)
+	if u.N != 1<<uint(k) {
+		panic("statevec: ApplyControlledMatrix operand count mismatch")
+	}
+	var cmask int
+	for _, c := range ctrls {
+		cmask |= 1 << uint(c)
+	}
+	dim := u.N
+	ampR := make([]float64, dim)
+	ampI := make([]float64, dim)
+	outR := make([]float64, dim)
+	outI := make([]float64, dim)
+	offsets := make([]int, dim)
+	for a := 0; a < dim; a++ {
+		off := 0
+		for j, q := range targets {
+			if a>>uint(j)&1 == 1 {
+				off |= 1 << uint(q)
+			}
+		}
+		offsets[a] = off
+	}
+	bits := append(append([]int(nil), ctrls...), targets...)
+	re, im := s.Re, s.Im
+	s.baseLoop(bits, func(base int) {
+		base |= cmask
+		for a := 0; a < dim; a++ {
+			p := base | offsets[a]
+			ampR[a], ampI[a] = re[p], im[p]
+		}
+		for a := 0; a < dim; a++ {
+			var sr, si float64
+			row := u.Data[a*dim : (a+1)*dim]
+			for b, v := range row {
+				vr, vi := real(v), imag(v)
+				sr += vr*ampR[b] - vi*ampI[b]
+				si += vr*ampI[b] + vi*ampR[b]
+			}
+			outR[a], outI[a] = sr, si
+		}
+		for a := 0; a < dim; a++ {
+			p := base | offsets[a]
+			re[p], im[p] = outR[a], outI[a]
+		}
+	})
+	touched := int64(s.Dim >> uint(len(ctrls)))
+	s.Stats.add(touched, touched*4*int64(dim))
+}
+
+// The relative-phase Toffolis have fixed (parameter-free) unitaries defined
+// by their qelib1 decompositions; compute them once and reuse.
+var (
+	rccxOnce sync.Once
+	rccxU    gate.Matrix
+	rc3xOnce sync.Once
+	rc3xU    gate.Matrix
+)
+
+// ApplyRCCX applies the relative-phase Toffoli.
+func (s *State) ApplyRCCX(a, b, t int) {
+	rccxOnce.Do(func() { rccxU = gate.Unitary(gate.NewRCCX(0, 1, 2)) })
+	s.ApplyMatrix(rccxU, []int{a, b, t})
+}
+
+// ApplyRC3X applies the relative-phase 3-controlled X.
+func (s *State) ApplyRC3X(a, b, c, t int) {
+	rc3xOnce.Do(func() { rc3xU = gate.Unitary(gate.NewRC3X(0, 1, 2, 3)) })
+	s.ApplyMatrix(rc3xU, []int{a, b, c, t})
+}
+
+var sxMatrix = gate.Matrix{N: 2, Data: []complex128{
+	complex(0.5, 0.5), complex(0.5, -0.5),
+	complex(0.5, -0.5), complex(0.5, 0.5),
+}}
+
+// ApplyC3SQRTX applies the 3-controlled sqrt(X).
+func (s *State) ApplyC3SQRTX(a, b, c, t int) {
+	s.ApplyMC1Q(sxMatrix, []int{a, b, c}, t)
+}

@@ -1,0 +1,169 @@
+package statevec
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Measurement, reset, sampling, and expectation values. Collapse routines
+// take an explicit uniform random number so that runs are reproducible and
+// the distributed backends can broadcast one shared draw (the paper's
+// SPMD processes must all collapse identically).
+
+// ProbOne returns the probability of measuring qubit q as 1.
+func (s *State) ProbOne(q int) float64 {
+	bit := 1 << uint(q)
+	var p float64
+	for i := bit; i < s.Dim; i += 1 {
+		if i&bit != 0 {
+			p += s.Re[i]*s.Re[i] + s.Im[i]*s.Im[i]
+		}
+	}
+	return p
+}
+
+// MeasureQubit performs a projective measurement of qubit q using the
+// uniform draw r in [0,1), collapses the state, and returns the outcome.
+func (s *State) MeasureQubit(q int, r float64) int {
+	p1 := s.ProbOne(q)
+	outcome := 0
+	if r < p1 {
+		outcome = 1
+	}
+	s.project(q, outcome, p1)
+	return outcome
+}
+
+// ResetQubit measures qubit q (using draw r) and flips it to |0> if the
+// outcome was 1, implementing the OpenQASM reset statement.
+func (s *State) ResetQubit(q int, r float64) {
+	if s.MeasureQubit(q, r) == 1 {
+		s.ApplyX(q)
+	}
+}
+
+// project zeroes the non-matching amplitudes and renormalizes.
+func (s *State) project(q, outcome int, p1 float64) {
+	p := p1
+	if outcome == 0 {
+		p = 1 - p1
+	}
+	if p <= 0 {
+		panic("statevec: projecting onto a zero-probability outcome")
+	}
+	scale := 1 / math.Sqrt(p)
+	bit := 1 << uint(q)
+	for i := 0; i < s.Dim; i++ {
+		if (i&bit != 0) == (outcome == 1) {
+			s.Re[i] *= scale
+			s.Im[i] *= scale
+		} else {
+			s.Re[i] = 0
+			s.Im[i] = 0
+		}
+	}
+	s.Stats.add(int64(s.Dim), int64(2*s.Dim))
+}
+
+// Probabilities returns the full probability vector (length Dim).
+func (s *State) Probabilities() []float64 {
+	p := make([]float64, s.Dim)
+	for i := range p {
+		p[i] = s.Re[i]*s.Re[i] + s.Im[i]*s.Im[i]
+	}
+	return p
+}
+
+// Sample draws shots basis states from the current distribution without
+// collapsing the state, returning basis indices. It builds the cumulative
+// distribution once and binary-searches per shot, the standard approach for
+// the paper's "repeatedly sample from the resulting QC state" use case.
+func (s *State) Sample(rng *rand.Rand, shots int) []int {
+	cum := make([]float64, s.Dim)
+	var acc float64
+	for i := 0; i < s.Dim; i++ {
+		acc += s.Re[i]*s.Re[i] + s.Im[i]*s.Im[i]
+		cum[i] = acc
+	}
+	out := make([]int, shots)
+	for k := 0; k < shots; k++ {
+		r := rng.Float64() * acc
+		out[k] = sort.SearchFloat64s(cum, r)
+		if out[k] >= s.Dim {
+			out[k] = s.Dim - 1
+		}
+	}
+	return out
+}
+
+// Counts draws shots samples and histograms them by basis index.
+func (s *State) Counts(rng *rand.Rand, shots int) map[int]int {
+	counts := make(map[int]int)
+	for _, idx := range s.Sample(rng, shots) {
+		counts[idx]++
+	}
+	return counts
+}
+
+// ExpZ returns <Z_q>, the expectation of Pauli-Z on qubit q.
+func (s *State) ExpZ(q int) float64 {
+	bit := 1 << uint(q)
+	var e float64
+	for i := 0; i < s.Dim; i++ {
+		p := s.Re[i]*s.Re[i] + s.Im[i]*s.Im[i]
+		if i&bit == 0 {
+			e += p
+		} else {
+			e -= p
+		}
+	}
+	return e
+}
+
+// ExpZMask returns the expectation of the product of Z operators over every
+// qubit set in mask (the diagonal part of a Pauli-string measurement).
+func (s *State) ExpZMask(mask uint64) float64 {
+	var e float64
+	for i := 0; i < s.Dim; i++ {
+		p := s.Re[i]*s.Re[i] + s.Im[i]*s.Im[i]
+		if popcountEven(uint64(i) & mask) {
+			e += p
+		} else {
+			e -= p
+		}
+	}
+	return e
+}
+
+func popcountEven(x uint64) bool {
+	x ^= x >> 32
+	x ^= x >> 16
+	x ^= x >> 8
+	x ^= x >> 4
+	x ^= x >> 2
+	x ^= x >> 1
+	return x&1 == 0
+}
+
+// MarginalProbs returns the probability distribution over the given
+// subset of qubits (bit i of the returned index corresponds to qubits[i]),
+// marginalizing everything else — the register-readout view used when a
+// circuit measures only part of the system.
+func (s *State) MarginalProbs(qubits []int) []float64 {
+	out := make([]float64, 1<<uint(len(qubits)))
+	for i := 0; i < s.Dim; i++ {
+		p := s.Re[i]*s.Re[i] + s.Im[i]*s.Im[i]
+		if p == 0 {
+			continue
+		}
+		v := 0
+		for bi, q := range qubits {
+			if i>>uint(q)&1 == 1 {
+				v |= 1 << uint(bi)
+			}
+		}
+		out[v] += p
+	}
+	return out
+}

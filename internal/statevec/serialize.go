@@ -1,0 +1,72 @@
+package statevec
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// State serialization: a small checkpoint format so long simulations (the
+// paper's multi-million-gate VQE circuits) can be snapshotted and
+// resumed, and so states can be exchanged between tools.
+//
+// Layout (little endian): magic "SVSTATE1", uint32 qubit count, then
+// 2*2^n float64 values (all real parts, then all imaginary parts).
+
+var stateMagic = [8]byte{'S', 'V', 'S', 'T', 'A', 'T', 'E', '1'}
+
+// WriteTo serializes the state. It returns the byte count written.
+func (s *State) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var n int64
+	if err := binary.Write(bw, binary.LittleEndian, stateMagic); err != nil {
+		return n, err
+	}
+	n += 8
+	if err := binary.Write(bw, binary.LittleEndian, uint32(s.N)); err != nil {
+		return n, err
+	}
+	n += 4
+	for _, part := range [][]float64{s.Re, s.Im} {
+		for _, v := range part {
+			if err := binary.Write(bw, binary.LittleEndian, math.Float64bits(v)); err != nil {
+				return n, err
+			}
+			n += 8
+		}
+	}
+	return n, bw.Flush()
+}
+
+// ReadState deserializes a state written by WriteTo.
+func ReadState(r io.Reader) (*State, error) {
+	br := bufio.NewReader(r)
+	var magic [8]byte
+	if err := binary.Read(br, binary.LittleEndian, &magic); err != nil {
+		return nil, fmt.Errorf("statevec: reading header: %w", err)
+	}
+	if magic != stateMagic {
+		return nil, fmt.Errorf("statevec: bad magic %q", magic)
+	}
+	var n uint32
+	if err := binary.Read(br, binary.LittleEndian, &n); err != nil {
+		return nil, fmt.Errorf("statevec: reading qubit count: %w", err)
+	}
+	if n < 1 || n > MaxQubits {
+		return nil, fmt.Errorf("statevec: qubit count %d out of range", n)
+	}
+	s := New(int(n))
+	s.Re[0] = 0
+	for _, part := range [][]float64{s.Re, s.Im} {
+		for i := range part {
+			var bits uint64
+			if err := binary.Read(br, binary.LittleEndian, &bits); err != nil {
+				return nil, fmt.Errorf("statevec: reading amplitudes: %w", err)
+			}
+			part[i] = math.Float64frombits(bits)
+		}
+	}
+	return s, nil
+}

@@ -1,0 +1,125 @@
+package statevec
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"svsim/internal/gate"
+)
+
+func TestStateSerializationRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 4, 9} {
+		s := randomState(rng, n, Scalar)
+		var buf bytes.Buffer
+		wrote, err := s.WriteTo(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantBytes := int64(8 + 4 + 2*8*s.Dim)
+		if wrote != wantBytes {
+			t.Fatalf("n=%d: wrote %d bytes, want %d", n, wrote, wantBytes)
+		}
+		back, err := ReadState(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if back.N != n {
+			t.Fatalf("qubits: %d", back.N)
+		}
+		if d := s.MaxAbsDiff(back); d != 0 {
+			t.Fatalf("n=%d: roundtrip changed state by %g", n, d)
+		}
+	}
+}
+
+func TestReadStateRejectsGarbage(t *testing.T) {
+	cases := []struct {
+		data string
+		want string
+	}{
+		{"", "header"},
+		{"NOTMAGIC____", "bad magic"},
+		{"SVSTATE1\xff\xff\xff\xff", "out of range"},
+		{"SVSTATE1\x02\x00\x00\x00shor", "amplitudes"},
+	}
+	for _, c := range cases {
+		_, err := ReadState(strings.NewReader(c.data))
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("data %q: error %v, want mention of %q", c.data, err, c.want)
+		}
+	}
+}
+
+func TestSerializedStateResumesSimulation(t *testing.T) {
+	// Checkpoint mid-circuit, resume, and compare to an uninterrupted run.
+	rng := rand.New(rand.NewSource(2))
+	full := randomState(rng, 6, Scalar)
+	resumed := full.Clone()
+
+	full.ApplyH(0)
+	full.ApplyCX(0, 5)
+	full.ApplyT(3)
+
+	resumed.ApplyH(0)
+	var buf bytes.Buffer
+	if _, err := resumed.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := ReadState(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored.ApplyCX(0, 5)
+	restored.ApplyT(3)
+	if d := full.MaxAbsDiff(restored); d != 0 {
+		t.Fatalf("resumed simulation deviates by %g", d)
+	}
+}
+
+func TestPoolMatchesSerialOnAllKinds(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	pool := NewPool(3)
+	defer pool.Close()
+	for _, k := range kernelKinds() {
+		for trial := 0; trial < 3; trial++ {
+			n := 6
+			ops := sampleOperands(rng, k, n)
+			g := gate.New(k, ops, randAngles(rng, k.NumParams())...)
+			serial := randomState(rng, n, Scalar)
+			shared := serial.Clone()
+			serial.Apply(&g)
+			pool.ApplyShared(shared, &g)
+			if d := serial.MaxAbsDiff(shared); d > 1e-11 {
+				t.Fatalf("kind %s: pool deviates by %g", k, d)
+			}
+		}
+	}
+}
+
+func TestMarginalProbs(t *testing.T) {
+	s := New(3)
+	s.ApplyH(0)
+	s.ApplyCX(0, 2) // q0 and q2 correlated, q1 = |0>
+	m := s.MarginalProbs([]int{0, 2})
+	if len(m) != 4 {
+		t.Fatalf("marginal size %d", len(m))
+	}
+	if m[0b00] < 0.499 || m[0b11] < 0.499 || m[0b01] > 1e-12 || m[0b10] > 1e-12 {
+		t.Fatalf("marginal over correlated pair: %v", m)
+	}
+	single := s.MarginalProbs([]int{1})
+	if single[0] < 0.999 {
+		t.Fatalf("q1 marginal: %v", single)
+	}
+	// Marginals must sum to 1.
+	var sum float64
+	for _, p := range s.MarginalProbs([]int{2, 1, 0}) {
+		sum += p
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Fatalf("full marginal sums to %g", sum)
+	}
+}

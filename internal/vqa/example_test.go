@@ -1,0 +1,23 @@
+package vqa_test
+
+import (
+	"fmt"
+
+	"svsim/internal/vqa"
+)
+
+// ExampleNelderMead minimizes a quadratic.
+func ExampleNelderMead() {
+	res := vqa.NelderMead(func(x []float64) float64 {
+		return (x[0]-2)*(x[0]-2) + 1
+	}, []float64{0}, vqa.NelderMeadOpts{MaxIters: 200, InitialStep: 0.5})
+	fmt.Printf("min f = %.3f at x = %.3f\n", res.F, res.X[0])
+	// Output: min f = 1.000 at x = 2.000
+}
+
+// ExampleRingGraph shows the MaxCut reference values QAOA is judged by.
+func ExampleRingGraph() {
+	g := vqa.RingGraph(6)
+	fmt.Println(len(g.Edges), g.MaxCutBrute())
+	// Output: 6 6
+}

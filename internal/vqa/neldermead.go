@@ -1,0 +1,122 @@
+// Package vqa implements the variational quantum algorithm layer of the
+// paper's §5: the Nelder-Mead optimizer used for the H2 VQE (Fig. 16), the
+// VQE driver itself, and the power-grid QNN case study. Each optimizer
+// iteration synthesizes a fresh circuit and simulates it — the dynamic
+// workload whose per-trial latency motivates SV-Sim's single-kernel,
+// no-JIT design.
+package vqa
+
+import "sort"
+
+// NelderMeadOpts configures the optimizer.
+type NelderMeadOpts struct {
+	// MaxIters bounds simplex iterations.
+	MaxIters int
+	// InitialStep is the simplex edge length around the start point.
+	InitialStep float64
+	// Tol stops when the simplex value spread falls below it (0 disables).
+	Tol float64
+}
+
+// NelderMeadResult reports the optimum and the per-iteration best values
+// (the energy trajectory plotted in Fig. 16).
+type NelderMeadResult struct {
+	X          []float64
+	F          float64
+	Trajectory []float64
+	Evals      int
+}
+
+// NelderMead minimizes f starting from x0 using the standard downhill
+// simplex method (reflection 1, expansion 2, contraction 0.5, shrink 0.5),
+// the optimizer the paper uses for its VQE case study.
+func NelderMead(f func([]float64) float64, x0 []float64, opts NelderMeadOpts) NelderMeadResult {
+	n := len(x0)
+	if opts.MaxIters == 0 {
+		opts.MaxIters = 200
+	}
+	if opts.InitialStep == 0 {
+		opts.InitialStep = 0.1
+	}
+	evals := 0
+	eval := func(x []float64) float64 {
+		evals++
+		return f(x)
+	}
+
+	type vertex struct {
+		x []float64
+		f float64
+	}
+	simplex := make([]vertex, n+1)
+	simplex[0] = vertex{append([]float64(nil), x0...), eval(x0)}
+	for i := 0; i < n; i++ {
+		x := append([]float64(nil), x0...)
+		x[i] += opts.InitialStep
+		simplex[i+1] = vertex{x, eval(x)}
+	}
+
+	var traj []float64
+	for iter := 0; iter < opts.MaxIters; iter++ {
+		sort.Slice(simplex, func(i, j int) bool { return simplex[i].f < simplex[j].f })
+		best, worst := simplex[0], simplex[n]
+		traj = append(traj, best.f)
+		if opts.Tol > 0 && worst.f-best.f < opts.Tol {
+			break
+		}
+		// Centroid of all but the worst.
+		cen := make([]float64, n)
+		for _, v := range simplex[:n] {
+			for k := range cen {
+				cen[k] += v.x[k] / float64(n)
+			}
+		}
+		mix := func(alpha float64) vertex {
+			x := make([]float64, n)
+			for k := range x {
+				x[k] = cen[k] + alpha*(worst.x[k]-cen[k])
+			}
+			return vertex{x, eval(x)}
+		}
+		refl := mix(-1)
+		switch {
+		case refl.f < best.f:
+			if exp := mix(-2); exp.f < refl.f {
+				simplex[n] = exp
+			} else {
+				simplex[n] = refl
+			}
+		case refl.f < simplex[n-1].f:
+			simplex[n] = refl
+		default:
+			contracted := false
+			if refl.f < worst.f {
+				if c := mix(-0.5); c.f < refl.f {
+					simplex[n] = c
+					contracted = true
+				}
+			} else {
+				if c := mix(0.5); c.f < worst.f {
+					simplex[n] = c
+					contracted = true
+				}
+			}
+			if !contracted {
+				// Shrink toward the best vertex.
+				for i := 1; i <= n; i++ {
+					for k := range simplex[i].x {
+						simplex[i].x[k] = best.x[k] + 0.5*(simplex[i].x[k]-best.x[k])
+					}
+					simplex[i].f = eval(simplex[i].x)
+				}
+			}
+		}
+	}
+	sort.Slice(simplex, func(i, j int) bool { return simplex[i].f < simplex[j].f })
+	return NelderMeadResult{
+		X:          simplex[0].x,
+		F:          simplex[0].f,
+		Trajectory: traj,
+		Evals:      evals,
+	}
+}

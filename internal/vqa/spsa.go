@@ -1,0 +1,89 @@
+package vqa
+
+import (
+	"math"
+	"math/rand"
+)
+
+// SPSA (simultaneous perturbation stochastic approximation) is the
+// standard optimizer for shot-noisy NISQ objectives: every iteration
+// estimates the full gradient direction from just TWO objective
+// evaluations along a random simultaneous perturbation, which tolerates
+// the sampling noise that defeats simplex methods.
+
+// SPSAOpts configures the optimizer (the classic a/(A+k)^alpha,
+// c/k^gamma gain schedules).
+type SPSAOpts struct {
+	Iters int
+	A     float64 // step-size numerator (default 0.2)
+	C     float64 // perturbation size (default 0.1)
+	Alpha float64 // step decay exponent (default 0.602)
+	Gamma float64 // perturbation decay exponent (default 0.101)
+	Seed  int64
+}
+
+// SPSAResult reports the optimum and trajectory.
+type SPSAResult struct {
+	X          []float64
+	F          float64
+	Trajectory []float64
+	Evals      int
+}
+
+// SPSA minimizes f from x0.
+func SPSA(f func([]float64) float64, x0 []float64, opts SPSAOpts) SPSAResult {
+	if opts.Iters == 0 {
+		opts.Iters = 100
+	}
+	if opts.A == 0 {
+		opts.A = 0.2
+	}
+	if opts.C == 0 {
+		opts.C = 0.1
+	}
+	if opts.Alpha == 0 {
+		opts.Alpha = 0.602
+	}
+	if opts.Gamma == 0 {
+		opts.Gamma = 0.101
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	x := append([]float64(nil), x0...)
+	delta := make([]float64, len(x))
+	plus := make([]float64, len(x))
+	minus := make([]float64, len(x))
+	evals := 0
+	var traj []float64
+	stability := float64(opts.Iters) / 10
+
+	bestX := append([]float64(nil), x...)
+	bestF := f(x)
+	evals++
+	for k := 1; k <= opts.Iters; k++ {
+		ak := opts.A / math.Pow(float64(k)+stability, opts.Alpha)
+		ck := opts.C / math.Pow(float64(k), opts.Gamma)
+		for i := range delta {
+			if rng.Intn(2) == 0 {
+				delta[i] = 1
+			} else {
+				delta[i] = -1
+			}
+			plus[i] = x[i] + ck*delta[i]
+			minus[i] = x[i] - ck*delta[i]
+		}
+		fp := f(plus)
+		fm := f(minus)
+		evals += 2
+		for i := range x {
+			x[i] -= ak * (fp - fm) / (2 * ck * delta[i])
+		}
+		cur := f(x)
+		evals++
+		if cur < bestF {
+			bestF = cur
+			copy(bestX, x)
+		}
+		traj = append(traj, bestF)
+	}
+	return SPSAResult{X: bestX, F: bestF, Trajectory: traj, Evals: evals}
+}
