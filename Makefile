@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench evaluate examples fuzz clean
+.PHONY: all build vet test race bench bench-json trace evaluate examples fuzz clean
 
 all: build vet test
 
@@ -16,7 +16,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/pgas ./internal/core ./internal/mpibase ./internal/batch
+	$(GO) test -race -short ./...
 
 bench:
 	$(GO) test -bench=. -benchmem .
@@ -24,6 +24,16 @@ bench:
 # Regenerate the paper's full evaluation (tables + figures) to stdout.
 evaluate:
 	$(GO) run ./cmd/svbench -exp all
+
+# Produce a per-gate timeline + metrics for a distributed run; open
+# trace.json in Perfetto (ui.perfetto.dev) or chrome://tracing.
+trace:
+	$(GO) run ./cmd/svsim -circuit qft_n15 -backend scale-out -pes 8 \
+		-trace trace.json -metrics metrics.json
+
+# Machine-readable measured bench records for perf-trajectory tracking.
+bench-json:
+	$(GO) run ./cmd/svbench -json BENCH_$(shell git rev-parse --short HEAD).json
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -3,15 +3,29 @@
 // measured traces, Fig. 14 and the §5 case studies measured on this
 // host). Run with -exp all to reproduce the full evaluation, or name a
 // single experiment.
+//
+// With -json FILE (optionally narrowed by -workload/-backend/-pes) it
+// instead runs measured benchmark workloads and writes machine-readable
+// BENCH records, so the performance trajectory of this repo can be
+// tracked across commits:
+//
+//	svbench -json BENCH_baseline.json
+//	svbench -workload qft_n15 -backend scale-out -pes 8 -json - -trace trace.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
+	"svsim/internal/core"
 	"svsim/internal/figures"
+	"svsim/internal/obs"
+	"svsim/internal/qasmbench"
+	"svsim/internal/statevec"
 )
 
 var experiments = []struct {
@@ -42,7 +56,20 @@ var experiments = []struct {
 func main() {
 	exp := flag.String("exp", "all", "experiment id or 'all' or 'list'")
 	format := flag.String("format", "text", "output format: text | csv")
+	jsonFile := flag.String("json", "", "run measured bench workloads and write BENCH records as JSON to FILE ('-' for stdout)")
+	workload := flag.String("workload", "", "bench a single named workload instead of the default suite")
+	backendName := flag.String("backend", "single", "backend for -workload: single | threaded | scale-up | scale-out")
+	pes := flag.Int("pes", 1, "device/PE count for -workload on distributed backends")
+	coalesced := flag.Bool("coalesced", false, "coalesced bulk transfers for -workload on the scale-out backend")
+	traceFile := flag.String("trace", "", "write a Chrome trace-event timeline of the bench runs to FILE")
+	metricsFile := flag.String("metrics", "", "write the bench runs' metrics registry as JSON to FILE")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on ADDR while benching")
 	flag.Parse()
+
+	if *jsonFile != "" || *workload != "" {
+		runBenchMode(*jsonFile, *workload, *backendName, *pes, *coalesced, *traceFile, *metricsFile, *pprofAddr)
+		return
+	}
 
 	render := func(t *figures.Table) string {
 		if *format == "csv" {
@@ -80,4 +107,159 @@ func names() []string {
 		out[i] = e.name
 	}
 	return out
+}
+
+// benchRecord is the machine-readable result of one measured workload
+// run; one JSON array of these per -json file, schema-tagged so future
+// fields can be added compatibly.
+type benchRecord struct {
+	Schema          string `json:"schema"`
+	UnixNS          int64  `json:"unix_ns"`
+	Workload        string `json:"workload"`
+	Backend         string `json:"backend"`
+	PEs             int    `json:"pes"`
+	Coalesced       bool   `json:"coalesced,omitempty"`
+	Qubits          int    `json:"qubits"`
+	Gates           int    `json:"gates"`
+	ElapsedNS       int64  `json:"elapsed_ns"`
+	KernelGates     int64  `json:"kernel_gates"`
+	AmpsTouched     int64  `json:"amps_touched"`
+	BytesTouched    int64  `json:"bytes_touched"`
+	CommLocalBytes  int64  `json:"comm_local_bytes"`
+	CommRemoteBytes int64  `json:"comm_remote_bytes"`
+	CommRemoteMsgs  int64  `json:"comm_remote_msgs"`
+	Barriers        int64  `json:"barriers"`
+	HeapAllocBytes  uint64 `json:"heap_alloc_bytes,omitempty"`
+}
+
+const benchSchema = "svsim-bench/v1"
+
+type benchSpec struct {
+	workload, backend string
+	pes               int
+	coalesced         bool
+}
+
+// defaultBenchSuite is the standing perf-trajectory suite: one
+// representative workload per backend class, small enough to run in CI.
+var defaultBenchSuite = []benchSpec{
+	{"qft_n15", "single", 1, false},
+	{"qft_n15", "threaded", 4, false},
+	{"qft_n15", "scale-up", 4, false},
+	{"qft_n15", "scale-out", 8, true},
+	{"bv_n14", "scale-out", 4, true},
+	{"ghz_state", "single", 1, false},
+}
+
+func runBenchMode(jsonFile, workload, backend string, pes int, coalesced bool, traceFile, metricsFile, pprofAddr string) {
+	var tracer *obs.Tracer
+	var metrics *obs.Metrics
+	if traceFile != "" {
+		tracer = obs.NewTracer()
+	}
+	if metricsFile != "" {
+		metrics = obs.NewMetrics()
+	}
+	if pprofAddr != "" {
+		addr, stop, err := obs.StartPprof(pprofAddr)
+		if err != nil {
+			fatalf("pprof: %v", err)
+		}
+		defer stop() //nolint:errcheck
+		fmt.Fprintf(os.Stderr, "svbench: pprof serving http://%s/debug/pprof/\n", addr)
+	}
+
+	suite := defaultBenchSuite
+	if workload != "" {
+		suite = []benchSpec{{workload, backend, pes, coalesced}}
+	}
+	records := make([]benchRecord, 0, len(suite))
+	for _, spec := range suite {
+		rec, err := runBenchSpec(spec, tracer, metrics)
+		if err != nil {
+			fatalf("%s on %s: %v", spec.workload, spec.backend, err)
+		}
+		records = append(records, *rec)
+		fmt.Fprintf(os.Stderr, "svbench: %-12s %-9s pes=%-2d %12d ns  remote=%dB\n",
+			rec.Workload, rec.Backend, rec.PEs, rec.ElapsedNS, rec.CommRemoteBytes)
+	}
+
+	if jsonFile != "" {
+		out, err := json.MarshalIndent(records, "", "  ")
+		if err != nil {
+			fatalf("encode: %v", err)
+		}
+		out = append(out, '\n')
+		if jsonFile == "-" {
+			os.Stdout.Write(out)
+		} else if err := os.WriteFile(jsonFile, out, 0o644); err != nil {
+			fatalf("write %s: %v", jsonFile, err)
+		}
+	}
+	if tracer != nil {
+		if err := tracer.WriteFile(traceFile); err != nil {
+			fatalf("write %s: %v", traceFile, err)
+		}
+	}
+	if metrics != nil {
+		if err := metrics.WriteFile(metricsFile); err != nil {
+			fatalf("write %s: %v", metricsFile, err)
+		}
+	}
+}
+
+func runBenchSpec(spec benchSpec, tracer *obs.Tracer, metrics *obs.Metrics) (*benchRecord, error) {
+	e, err := qasmbench.ByName(spec.workload)
+	if err != nil {
+		return nil, err
+	}
+	c := e.Build()
+	cfg := core.Config{
+		Seed: 1, Style: statevec.Vectorized, PEs: spec.pes,
+		Coalesced: spec.coalesced, Trace: tracer, Metrics: metrics,
+	}
+	var backend core.Backend
+	switch spec.backend {
+	case "single":
+		backend = core.NewSingleDevice(cfg)
+	case "threaded":
+		backend = core.NewThreaded(cfg)
+	case "scale-up":
+		backend = core.NewScaleUp(cfg)
+	case "scale-out":
+		backend = core.NewScaleOut(cfg)
+	default:
+		return nil, fmt.Errorf("unknown backend %q", spec.backend)
+	}
+	res, err := backend.Run(c)
+	if err != nil {
+		return nil, err
+	}
+	rec := &benchRecord{
+		Schema:          benchSchema,
+		UnixNS:          time.Now().UnixNano(),
+		Workload:        spec.workload,
+		Backend:         res.Backend,
+		PEs:             res.PEs,
+		Coalesced:       spec.coalesced,
+		Qubits:          c.NumQubits,
+		Gates:           c.NumGates(),
+		ElapsedNS:       res.Elapsed.Nanoseconds(),
+		KernelGates:     res.SV.Gates,
+		AmpsTouched:     res.SV.AmpsTouched,
+		BytesTouched:    res.SV.BytesTouched,
+		CommLocalBytes:  res.Comm.LocalBytes,
+		CommRemoteBytes: res.Comm.RemoteBytes,
+		CommRemoteMsgs:  res.Comm.RemoteMessages(),
+		Barriers:        res.Comm.Barriers,
+	}
+	if res.Mem != nil {
+		rec.HeapAllocBytes = res.Mem.HeapAllocBytes
+	}
+	return rec, nil
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "svbench: "+format+"\n", args...)
+	os.Exit(1)
 }

@@ -9,6 +9,7 @@
 //	svsim -circuit qft_n15 -backend scale-out -pes 8 -coalesced
 //	svsim -qasm bell.qasm -state
 //	svsim -circuit bv_n14 -backend mpi -pes 4
+//	svsim -circuit qft_n15 -backend scale-out -pes 8 -trace trace.json -metrics m.json
 package main
 
 import (
@@ -22,6 +23,7 @@ import (
 	"svsim/internal/circuit"
 	"svsim/internal/core"
 	"svsim/internal/mpibase"
+	"svsim/internal/obs"
 	"svsim/internal/qasm"
 	"svsim/internal/qasmbench"
 	"svsim/internal/statevec"
@@ -41,6 +43,9 @@ func main() {
 		printState  = flag.Bool("state", false, "print non-negligible final amplitudes")
 		compact     = flag.Bool("compact", false, "run the compact (compound-gate) form of a named workload")
 		fuse        = flag.Bool("fuse", false, "apply the gate-fusion optimization pass before running")
+		traceFile   = flag.String("trace", "", "write a Chrome trace-event timeline (one track per PE) to FILE; view in Perfetto or chrome://tracing")
+		metricsFile = flag.String("metrics", "", "write the metrics registry (gate latency, put/get size, barrier wait histograms) as JSON to FILE")
+		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on ADDR (e.g. localhost:6060) for the duration of the run")
 	)
 	flag.Parse()
 
@@ -61,12 +66,16 @@ func main() {
 		ks = statevec.Scalar
 	}
 
+	telemetry := newTelemetry(*traceFile, *metricsFile, *pprofAddr)
+	defer telemetry.close()
+
 	if *backendName == "mpi" {
-		runMPI(c, *pes, *seed, ks, *shots, *printState)
+		runMPI(c, *pes, *seed, ks, *shots, *printState, telemetry)
 		return
 	}
 	if *backendName == "remap" {
-		res, err := mpibase.NewRemap(mpibase.Config{Ranks: *pes, Seed: *seed, Style: ks}).Run(c)
+		mcfg := mpibase.Config{Ranks: *pes, Seed: *seed, Style: ks, Trace: telemetry.tracer, Metrics: telemetry.metrics}
+		res, err := mpibase.NewRemap(mcfg).Run(c)
 		if err != nil {
 			fatal(err)
 		}
@@ -74,12 +83,16 @@ func main() {
 		fmt.Printf("backend : remap (%d ranks, %d bit swaps)\n", res.Ranks, res.BitSwaps)
 		fmt.Printf("elapsed : %v\n", res.Elapsed)
 		fmt.Printf("mpi     : %s\n", res.MPI)
+		telemetry.flush(res.Mem)
 		report(res.State, *seed, *shots, *printState)
 		return
 	}
 
 	var backend core.Backend
-	cfg := core.Config{Seed: *seed, Style: ks, PEs: *pes, Coalesced: *coalesced, Fuse: *fuse}
+	cfg := core.Config{
+		Seed: *seed, Style: ks, PEs: *pes, Coalesced: *coalesced, Fuse: *fuse,
+		Trace: telemetry.tracer, Metrics: telemetry.metrics,
+	}
 	switch *backendName {
 	case "single":
 		backend = core.NewSingleDevice(cfg)
@@ -107,7 +120,63 @@ func main() {
 	if c.NumClbits > 0 {
 		fmt.Printf("cbits   : %0*b\n", c.NumClbits, res.Cbits)
 	}
+	telemetry.flush(res.Mem)
 	report(res.State, *seed, *shots, *printState)
+}
+
+// telemetry bundles the optional observability sinks selected by flags.
+type telemetry struct {
+	tracer      *obs.Tracer
+	metrics     *obs.Metrics
+	traceFile   string
+	metricsFile string
+	stopPprof   func() error
+}
+
+func newTelemetry(traceFile, metricsFile, pprofAddr string) *telemetry {
+	t := &telemetry{traceFile: traceFile, metricsFile: metricsFile}
+	if traceFile != "" {
+		t.tracer = obs.NewTracer()
+	}
+	if metricsFile != "" {
+		t.metrics = obs.NewMetrics()
+	}
+	if pprofAddr != "" {
+		addr, stop, err := obs.StartPprof(pprofAddr)
+		if err != nil {
+			fatal(err)
+		}
+		t.stopPprof = stop
+		fmt.Printf("pprof   : serving http://%s/debug/pprof/\n", addr)
+	}
+	return t
+}
+
+// flush writes the trace and metrics files after a run and reports the
+// post-run memory snapshot.
+func (t *telemetry) flush(mem *obs.MemSnapshot) {
+	if t.tracer != nil {
+		if err := t.tracer.WriteFile(t.traceFile); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("trace   : wrote %s (%d spans, %d tracks)\n",
+			t.traceFile, t.tracer.TotalEvents(), len(t.tracer.Tracks()))
+	}
+	if t.metrics != nil {
+		if err := t.metrics.WriteFile(t.metricsFile); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("metrics : wrote %s\n", t.metricsFile)
+	}
+	if mem != nil {
+		fmt.Printf("mem     : %s\n", mem)
+	}
+}
+
+func (t *telemetry) close() {
+	if t.stopPprof != nil {
+		t.stopPprof() //nolint:errcheck // shutting down on exit
+	}
 }
 
 func loadCircuit(name, file string, compact bool) (*circuit.Circuit, error) {
@@ -134,8 +203,9 @@ func loadCircuit(name, file string, compact bool) (*circuit.Circuit, error) {
 	}
 }
 
-func runMPI(c *circuit.Circuit, ranks int, seed int64, ks statevec.KernelStyle, shots int, printState bool) {
-	res, err := mpibase.New(mpibase.Config{Ranks: ranks, Seed: seed, Style: ks}).Run(c)
+func runMPI(c *circuit.Circuit, ranks int, seed int64, ks statevec.KernelStyle, shots int, printState bool, telemetry *telemetry) {
+	cfg := mpibase.Config{Ranks: ranks, Seed: seed, Style: ks, Trace: telemetry.tracer, Metrics: telemetry.metrics}
+	res, err := mpibase.New(cfg).Run(c)
 	if err != nil {
 		fatal(err)
 	}
@@ -143,6 +213,7 @@ func runMPI(c *circuit.Circuit, ranks int, seed int64, ks statevec.KernelStyle, 
 	fmt.Printf("backend : mpi-baseline (%d ranks)\n", res.Ranks)
 	fmt.Printf("elapsed : %v\n", res.Elapsed)
 	fmt.Printf("mpi     : %s\n", res.MPI)
+	telemetry.flush(res.Mem)
 	report(res.State, seed, shots, printState)
 }
 

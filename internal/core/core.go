@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"svsim/internal/circuit"
+	"svsim/internal/obs"
 	"svsim/internal/pgas"
 	"svsim/internal/statevec"
 )
@@ -34,7 +35,18 @@ type Config struct {
 	// the circuit before execution: single-qubit runs collapse to one
 	// gate and self-inverse pairs cancel, exactly preserving the state.
 	Fuse bool
+	// Trace, if non-nil, records one span per executed gate onto a
+	// per-PE track (Chrome trace-event timeline with communication
+	// attribution). Nil keeps the run loops on their untimed fast path.
+	Trace *obs.Tracer
+	// Metrics, if non-nil, receives gate-kernel latency histograms by
+	// gate kind and — through the pgas substrate — put/get size and
+	// barrier wait-time distributions. Nil disables collection.
+	Metrics *obs.Metrics
 }
+
+// observed reports whether any observability sink is attached.
+func (c *Config) observed() bool { return c.Trace != nil || c.Metrics != nil }
 
 // Result carries the outcome of one simulation run.
 type Result struct {
@@ -54,6 +66,9 @@ type Result struct {
 	Elapsed time.Duration
 	// PEs is the number of devices/PEs used.
 	PEs int
+	// Mem is a post-run runtime memory snapshot, captured only when the
+	// run had tracing or metrics attached (nil otherwise).
+	Mem *obs.MemSnapshot
 }
 
 // Backend runs circuits. Implementations: SingleDevice, ScaleUp, ScaleOut.

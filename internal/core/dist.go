@@ -10,6 +10,7 @@ import (
 	"svsim/internal/circuit"
 	"svsim/internal/fusion"
 	"svsim/internal/gate"
+	"svsim/internal/obs"
 	"svsim/internal/pgas"
 	"svsim/internal/statevec"
 )
@@ -47,6 +48,9 @@ type distSim struct {
 	svRe, svIm *pgas.SymF64
 	bound      []boundDistGate
 	perPE      []peRun
+
+	trace *obs.Tracer // nil when tracing is off
+	gm    *gateObs    // nil when metrics are off
 }
 
 type boundDistGate struct {
@@ -94,6 +98,11 @@ func newDistSim(name string, cfg Config, c *circuit.Circuit) (*distSim, error) {
 	d.S = d.dim / p
 	d.localBits = n - d.k
 	d.comm = pgas.NewComm(p)
+	d.trace = cfg.Trace
+	if cfg.Metrics != nil {
+		d.comm.SetMetrics(cfg.Metrics)
+		d.gm = newGateObs(cfg.Metrics)
+	}
 	d.svRe = d.comm.NewSymF64(d.S)
 	d.svIm = d.comm.NewSymF64(d.S)
 	d.svRe.PartitionUnsafe(0)[0] = 1 // |0...0>
@@ -144,6 +153,7 @@ func (d *distSim) run() *Result {
 	start := time.Now()
 	d.comm.Run(func(pe *pgas.PE) {
 		run := &d.perPE[pe.Rank]
+		trk := d.trace.Track(pe.Rank)
 		for t := range d.bound {
 			bg := &d.bound[t]
 			if !condSatisfied(bg.cond, run.cbits) {
@@ -151,7 +161,29 @@ func (d *distSim) run() *Result {
 				// barrier is needed for a uniformly skipped gate.
 				continue
 			}
+			if trk == nil && d.gm == nil {
+				d.execOp(pe, run, bg)
+				continue
+			}
+			// Observed path: time the gate and attribute the one-sided
+			// traffic delta of this PE's counters to the span.
+			c0 := d.comm.StatsOf(pe.Rank)
+			g0 := time.Now()
 			d.execOp(pe, run, bg)
+			g1 := time.Now()
+			d.gm.observe(bg.g.Kind, g1.Sub(g0))
+			if trk != nil {
+				c1 := d.comm.StatsOf(pe.Rank)
+				trk.SpanAt(gateLabel(&bg.g), g0, g1, obs.SpanArgs{
+					Kind:        bg.g.Kind.String(),
+					Qubits:      qubitList(&bg.g),
+					LocalBytes:  c1.LocalBytes - c0.LocalBytes,
+					RemoteBytes: c1.RemoteBytes - c0.RemoteBytes,
+					LocalMsgs:   (c1.LocalGets + c1.LocalPuts) - (c0.LocalGets + c0.LocalPuts),
+					RemoteMsgs:  c1.RemoteMessages() - c0.RemoteMessages(),
+					Barriers:    c1.Barriers - c0.Barriers,
+				})
+			}
 		}
 	})
 	elapsed := time.Since(start)
@@ -170,6 +202,9 @@ func (d *distSim) run() *Result {
 	for r := range d.perPE {
 		res.SV.Add(d.perPE[r].local.Stats)
 		res.SV.Add(d.perPE[r].extra)
+	}
+	if d.trace != nil || d.gm != nil {
+		res.Mem = obs.TakeMemSnapshot()
 	}
 	return res
 }

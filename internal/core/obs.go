@@ -1,0 +1,71 @@
+package core
+
+import (
+	"strconv"
+	"strings"
+	"time"
+
+	"svsim/internal/gate"
+	"svsim/internal/obs"
+)
+
+// gateObs pre-resolves the per-kind gate-kernel latency histograms so
+// the observed run loop records with one array index and an atomic add —
+// no map lookup or string concatenation per gate. A nil *gateObs means
+// metrics are off.
+type gateObs struct {
+	byKind [gate.NumKinds]*obs.Histogram
+}
+
+func newGateObs(m *obs.Metrics) *gateObs {
+	if m == nil {
+		return nil
+	}
+	g := &gateObs{}
+	for k := 0; k < gate.NumKinds; k++ {
+		name := obs.MetricGateKernelNS + "." + gate.Kind(k).String()
+		g.byKind[k] = m.Histogram(name, obs.LatencyBuckets())
+	}
+	return g
+}
+
+func (g *gateObs) observe(k gate.Kind, d time.Duration) {
+	if g == nil {
+		return
+	}
+	g.byKind[k].Observe(float64(d.Nanoseconds()))
+}
+
+// gateLabel renders a span name like "cx q2,q14". Called only on the
+// traced path, so the allocation is off the hot loop.
+func gateLabel(g *gate.Gate) string {
+	if g.NQ == 0 {
+		return g.Kind.String()
+	}
+	var b strings.Builder
+	b.WriteString(g.Kind.String())
+	for i := 0; i < int(g.NQ); i++ {
+		if i == 0 {
+			b.WriteString(" q")
+		} else {
+			b.WriteString(",q")
+		}
+		b.WriteString(strconv.Itoa(int(g.Qubits[i])))
+	}
+	return b.String()
+}
+
+// qubitList renders the operand qubits as "2,14" for span args.
+func qubitList(g *gate.Gate) string {
+	if g.NQ == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for i := 0; i < int(g.NQ); i++ {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(int(g.Qubits[i])))
+	}
+	return b.String()
+}

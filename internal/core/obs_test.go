@@ -1,0 +1,154 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"svsim/internal/obs"
+	"svsim/internal/qasmbench"
+)
+
+// TestScaleOutTracing is the acceptance check of the telemetry layer: a
+// traced scale-out run must produce gate spans on every PE track with
+// communication attribution, nonzero gate-latency histogram counts, a
+// memory snapshot, and — crucially — the exact same simulation result as
+// the untraced run.
+func TestScaleOutTracing(t *testing.T) {
+	e, err := qasmbench.ByName("bv_n14")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := e.Build()
+	const pes = 8
+
+	plain, err := NewScaleOut(Config{Seed: 7, PEs: pes, Coalesced: true}).Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tracer := obs.NewTracer()
+	metrics := obs.NewMetrics()
+	traced, err := NewScaleOut(Config{
+		Seed: 7, PEs: pes, Coalesced: true, Trace: tracer, Metrics: metrics,
+	}).Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if d := plain.State.MaxAbsDiff(traced.State); d != 0 {
+		t.Fatalf("tracing changed the simulation result (maxAbsDiff=%g)", d)
+	}
+	if plain.Cbits != traced.Cbits {
+		t.Fatalf("tracing changed cbits: %b vs %b", plain.Cbits, traced.Cbits)
+	}
+	if plain.Comm != traced.Comm {
+		t.Fatalf("tracing changed comm stats:\n  plain  %v\n  traced %v", plain.Comm, traced.Comm)
+	}
+
+	// One track per PE, each with one span per executed gate.
+	tracks := tracer.Tracks()
+	if len(tracks) != pes {
+		t.Fatalf("tracks = %d, want %d", len(tracks), pes)
+	}
+	gates := c.NumGates()
+	var remoteBytes int64
+	for _, trk := range tracks {
+		evs := trk.Events()
+		if len(evs) != gates {
+			t.Fatalf("track %d has %d spans, want %d (one per gate)", trk.PE(), len(evs), gates)
+		}
+		last := int64(-1)
+		for _, ev := range evs {
+			if ev.TS < last {
+				t.Fatalf("track %d: non-monotonic ts", trk.PE())
+			}
+			last = ev.TS
+			remoteBytes += ev.Args.RemoteBytes
+		}
+	}
+	if remoteBytes != traced.Comm.RemoteBytes {
+		t.Fatalf("span-attributed remote bytes %d != aggregate %d", remoteBytes, traced.Comm.RemoteBytes)
+	}
+
+	// Gate latency histograms must have recorded every gate execution,
+	// and the pgas histograms must have seen traffic.
+	snap := metrics.Snapshot()
+	var latCount int64
+	for name, h := range snap.Histograms {
+		if strings.HasPrefix(name, obs.MetricGateKernelNS+".") {
+			latCount += h.Count
+		}
+	}
+	if latCount != int64(gates*pes) {
+		t.Fatalf("gate latency observations = %d, want gates*pes = %d", latCount, gates*pes)
+	}
+	for _, name := range []string{obs.MetricGetBytes, obs.MetricBarrierWaitNS} {
+		if snap.Histograms[name].Count == 0 {
+			t.Fatalf("histogram %q recorded nothing", name)
+		}
+	}
+	if traced.Mem == nil {
+		t.Fatal("traced run result is missing the memory snapshot")
+	}
+	if plain.Mem != nil {
+		t.Fatal("untraced run must not pay for a memory snapshot")
+	}
+
+	// The serialized trace must be valid JSON with spans on all 8 tids.
+	var buf bytes.Buffer
+	if err := tracer.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Ph  string `json:"ph"`
+			TID int    `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace not valid JSON: %v", err)
+	}
+	perTID := map[int]int{}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "X" {
+			perTID[ev.TID]++
+		}
+	}
+	for pe := 0; pe < pes; pe++ {
+		if perTID[pe] == 0 {
+			t.Fatalf("PE %d track has no spans in the serialized trace", pe)
+		}
+	}
+}
+
+// TestSingleDeviceTracing covers the non-distributed observed loop.
+func TestSingleDeviceTracing(t *testing.T) {
+	e, err := qasmbench.ByName("cc_n12")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := e.Build()
+
+	tracer := obs.NewTracer()
+	metrics := obs.NewMetrics()
+	plain, err := NewSingleDevice(Config{Seed: 3}).Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traced, err := NewSingleDevice(Config{Seed: 3, Trace: tracer, Metrics: metrics}).Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := plain.State.MaxAbsDiff(traced.State); d != 0 {
+		t.Fatalf("tracing changed the result (maxAbsDiff=%g)", d)
+	}
+	tracks := tracer.Tracks()
+	if len(tracks) != 1 {
+		t.Fatalf("tracks = %d, want 1", len(tracks))
+	}
+	if got := len(tracks[0].Events()); got != c.NumGates() {
+		t.Fatalf("spans = %d, want %d", got, c.NumGates())
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"svsim/internal/circuit"
 	"svsim/internal/fusion"
 	"svsim/internal/gate"
+	"svsim/internal/obs"
 	"svsim/internal/statevec"
 )
 
@@ -99,22 +100,46 @@ func (b *SingleDevice) Run(c *circuit.Circuit) (*Result, error) {
 		rng: newRNG(b.cfg.Seed),
 	}
 	rt.st.Style = b.cfg.Style
+	trk := b.cfg.Trace.Track(0)
+	gm := newGateObs(b.cfg.Metrics)
 	start := time.Now()
-	// The homogeneous run loop: the paper's simulation_kernel.
-	for t := range bound {
-		bg := &bound[t]
-		if !condSatisfied(bg.cond, rt.cbits) {
-			continue
+	if trk == nil && gm == nil {
+		// The homogeneous run loop: the paper's simulation_kernel.
+		for t := range bound {
+			bg := &bound[t]
+			if !condSatisfied(bg.cond, rt.cbits) {
+				continue
+			}
+			bg.op(rt, &bg.g)
 		}
-		bg.op(rt, &bg.g)
+	} else {
+		for t := range bound {
+			bg := &bound[t]
+			if !condSatisfied(bg.cond, rt.cbits) {
+				continue
+			}
+			g0 := time.Now()
+			bg.op(rt, &bg.g)
+			g1 := time.Now()
+			gm.observe(bg.g.Kind, g1.Sub(g0))
+			if trk != nil {
+				trk.SpanAt(gateLabel(&bg.g), g0, g1, obs.SpanArgs{
+					Kind: bg.g.Kind.String(), Qubits: qubitList(&bg.g),
+				})
+			}
+		}
 	}
 	elapsed := time.Since(start)
-	return &Result{
+	res := &Result{
 		Backend: b.Name(),
 		State:   rt.st,
 		Cbits:   rt.cbits,
 		SV:      rt.st.Stats,
 		Elapsed: elapsed,
 		PEs:     1,
-	}, nil
+	}
+	if b.cfg.observed() {
+		res.Mem = obs.TakeMemSnapshot()
+	}
+	return res, nil
 }

@@ -6,6 +6,7 @@ import (
 	"svsim/internal/circuit"
 	"svsim/internal/fusion"
 	"svsim/internal/gate"
+	"svsim/internal/obs"
 	"svsim/internal/statevec"
 )
 
@@ -45,13 +46,13 @@ func (b *Threaded) Run(c *circuit.Circuit) (*Result, error) {
 	rng := newRNG(b.cfg.Seed)
 	var cbits uint64
 
-	start := time.Now()
-	for i := range c.Ops {
-		op := &c.Ops[i]
-		if !condSatisfied(op.Cond, cbits) {
-			continue
-		}
-		g := &op.G
+	// One trace track for the shared-state worker pool: the pool splits
+	// every gate's loop, so gates execute one at a time and the timeline
+	// is a single lane regardless of worker count.
+	trk := b.cfg.Trace.Track(0)
+	gm := newGateObs(b.cfg.Metrics)
+
+	apply := func(g *gate.Gate) {
 		switch g.Kind {
 		case gate.MEASURE:
 			out := st.MeasureQubit(int(g.Qubits[0]), rng.Float64())
@@ -62,13 +63,44 @@ func (b *Threaded) Run(c *circuit.Circuit) (*Result, error) {
 			pool.ApplyShared(st, g)
 		}
 	}
+
+	start := time.Now()
+	if trk == nil && gm == nil {
+		for i := range c.Ops {
+			op := &c.Ops[i]
+			if !condSatisfied(op.Cond, cbits) {
+				continue
+			}
+			apply(&op.G)
+		}
+	} else {
+		for i := range c.Ops {
+			op := &c.Ops[i]
+			if !condSatisfied(op.Cond, cbits) {
+				continue
+			}
+			g0 := time.Now()
+			apply(&op.G)
+			g1 := time.Now()
+			gm.observe(op.G.Kind, g1.Sub(g0))
+			if trk != nil {
+				trk.SpanAt(gateLabel(&op.G), g0, g1, obs.SpanArgs{
+					Kind: op.G.Kind.String(), Qubits: qubitList(&op.G),
+				})
+			}
+		}
+	}
 	elapsed := time.Since(start)
-	return &Result{
+	res := &Result{
 		Backend: b.Name(),
 		State:   st,
 		Cbits:   cbits,
 		SV:      st.Stats,
 		Elapsed: elapsed,
 		PEs:     workers,
-	}, nil
+	}
+	if b.cfg.observed() {
+		res.Mem = obs.TakeMemSnapshot()
+	}
+	return res, nil
 }

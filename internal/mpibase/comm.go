@@ -16,6 +16,9 @@ package mpibase
 import (
 	"fmt"
 	"sync"
+	"time"
+
+	"svsim/internal/obs"
 )
 
 // Stats counts baseline communication work per rank or aggregated.
@@ -58,6 +61,22 @@ type Comm struct {
 	ranks []rankState
 	ph    *phaser
 	redF  [2][]float64
+
+	// Optional metrics handles, nil when no registry is attached.
+	msgBytes  *obs.Histogram
+	barrierNS *obs.Histogram
+}
+
+// SetMetrics attaches a metrics registry: message payload sizes and
+// barrier wait times are recorded as histograms from then on. Call
+// before entering the SPMD region; a nil registry detaches.
+func (c *Comm) SetMetrics(m *obs.Metrics) {
+	if m == nil {
+		c.msgBytes, c.barrierNS = nil, nil
+		return
+	}
+	c.msgBytes = m.Histogram(obs.MetricMsgBytes, obs.SizeBuckets())
+	c.barrierNS = m.Histogram(obs.MetricBarrierWaitNS, obs.LatencyBuckets())
 }
 
 // NewComm creates a communicator with p ranks.
@@ -95,6 +114,10 @@ func (c *Comm) Run(fn func(r *Rank)) {
 	wg.Wait()
 }
 
+// StatsOf returns the counters of a single rank. Safe to call from that
+// rank's own goroutine mid-run (used for per-gate span attribution).
+func (c *Comm) StatsOf(rank int) Stats { return c.ranks[rank].stats }
+
 // TotalStats aggregates all rank counters.
 func (c *Comm) TotalStats() Stats {
 	var t Stats
@@ -129,6 +152,9 @@ func (r *Rank) Send(dst int, buf []float64) {
 	st := &r.comm.ranks[r.R].stats
 	st.Messages++
 	st.MsgBytes += int64(len(buf)) * 8
+	if h := r.comm.msgBytes; h != nil {
+		h.Observe(float64(len(buf)) * 8)
+	}
 	r.comm.chans[r.R][dst] <- buf
 }
 
@@ -147,6 +173,12 @@ func (r *Rank) SendRecv(peer int, send []float64) []float64 {
 // Barrier synchronizes all ranks.
 func (r *Rank) Barrier() {
 	r.comm.ranks[r.R].stats.Syncs++
+	if h := r.comm.barrierNS; h != nil {
+		t0 := time.Now()
+		r.comm.ph.await()
+		h.Observe(float64(time.Since(t0).Nanoseconds()))
+		return
+	}
 	r.comm.ph.await()
 }
 

@@ -8,6 +8,7 @@ import (
 
 	"svsim/internal/circuit"
 	"svsim/internal/gate"
+	"svsim/internal/obs"
 	"svsim/internal/statevec"
 )
 
@@ -70,19 +71,15 @@ func (s *RemapSimulator) Run(c *circuit.Circuit) (*RemapResult, error) {
 	eng.re[0][0] = 1
 
 	comm := NewComm(p)
+	comm.SetMetrics(s.cfg.Metrics)
+	gm := newGateObs(s.cfg.Metrics)
 	cbits := make([]uint64, p)
 	start := time.Now()
 	comm.Run(func(r *Rank) {
 		local := &statevec.State{N: localBits, Dim: S, Re: eng.re[r.R], Im: eng.im[r.R], Style: s.cfg.Style}
 		rng := rand.New(rand.NewSource(s.cfg.Seed))
-		for i := range c.Ops {
-			op := &c.Ops[i]
-			if op.Cond != nil {
-				mask := uint64(1)<<uint(op.Cond.Width) - 1
-				if (cbits[r.R]>>uint(op.Cond.Offset))&mask != op.Cond.Value {
-					continue
-				}
-			}
+		trk := s.cfg.Trace.Track(r.R)
+		apply := func(op *circuit.Op) {
 			switch op.G.Kind {
 			case gate.MEASURE:
 				out := eng.measure(r, local, int(op.G.Qubits[0]), rng.Float64())
@@ -98,6 +95,27 @@ func (s *RemapSimulator) Run(c *circuit.Circuit) (*RemapResult, error) {
 				}
 			default:
 				eng.exec(r, local, &op.G)
+			}
+		}
+		for i := range c.Ops {
+			op := &c.Ops[i]
+			if op.Cond != nil {
+				mask := uint64(1)<<uint(op.Cond.Width) - 1
+				if (cbits[r.R]>>uint(op.Cond.Offset))&mask != op.Cond.Value {
+					continue
+				}
+			}
+			if trk == nil && gm == nil {
+				apply(op)
+				continue
+			}
+			c0 := comm.StatsOf(r.R)
+			g0 := time.Now()
+			apply(op)
+			g1 := time.Now()
+			gm.observe(op.G.Kind, g1.Sub(g0))
+			if trk != nil {
+				trk.SpanAt(gateLabel(&op.G), g0, g1, spanArgs(&op.G, c0, comm.StatsOf(r.R)))
 			}
 		}
 	})
@@ -122,6 +140,9 @@ func (s *RemapSimulator) Run(c *circuit.Circuit) (*RemapResult, error) {
 	res.MPI = comm.TotalStats()
 	res.Elapsed = elapsed
 	res.Ranks = p
+	if s.cfg.Trace != nil || s.cfg.Metrics != nil {
+		res.Mem = obs.TakeMemSnapshot()
+	}
 	return res, nil
 }
 

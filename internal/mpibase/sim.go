@@ -8,6 +8,7 @@ import (
 
 	"svsim/internal/circuit"
 	"svsim/internal/gate"
+	"svsim/internal/obs"
 	"svsim/internal/statevec"
 )
 
@@ -26,6 +27,12 @@ type Config struct {
 	Ranks int
 	Seed  int64
 	Style statevec.KernelStyle
+	// Trace, if non-nil, records one span per executed gate onto a
+	// per-rank track with two-sided message attribution.
+	Trace *obs.Tracer
+	// Metrics, if non-nil, receives gate latency, message size, and
+	// barrier wait-time histograms.
+	Metrics *obs.Metrics
 }
 
 // Result mirrors core.Result for the baseline.
@@ -36,6 +43,9 @@ type Result struct {
 	MPI     Stats
 	Elapsed time.Duration
 	Ranks   int
+	// Mem is a post-run runtime memory snapshot, captured only when the
+	// run had tracing or metrics attached (nil otherwise).
+	Mem *obs.MemSnapshot
 }
 
 // New creates a baseline simulator.
@@ -87,11 +97,14 @@ func (s *Simulator) Run(c *circuit.Circuit) (*Result, error) {
 	parts[0][0][0] = 1 // |0...0>
 
 	comm := NewComm(p)
+	comm.SetMetrics(s.cfg.Metrics)
+	gm := newGateObs(s.cfg.Metrics)
 	eng := &mpiEngine{n: n, p: p, S: S, localBits: localBits, dim: dim}
 
 	start := time.Now()
 	comm.Run(func(r *Rank) {
 		run := &runs[r.R]
+		trk := s.cfg.Trace.Track(r.R)
 		for i := range c.Ops {
 			op := &c.Ops[i]
 			if op.Cond != nil {
@@ -100,7 +113,18 @@ func (s *Simulator) Run(c *circuit.Circuit) (*Result, error) {
 					continue
 				}
 			}
+			if trk == nil && gm == nil {
+				eng.exec(r, run, &op.G)
+				continue
+			}
+			c0 := comm.StatsOf(r.R)
+			g0 := time.Now()
 			eng.exec(r, run, &op.G)
+			g1 := time.Now()
+			gm.observe(op.G.Kind, g1.Sub(g0))
+			if trk != nil {
+				trk.SpanAt(gateLabel(&op.G), g0, g1, spanArgs(&op.G, c0, comm.StatsOf(r.R)))
+			}
 		}
 	})
 	elapsed := time.Since(start)
@@ -120,6 +144,9 @@ func (s *Simulator) Run(c *circuit.Circuit) (*Result, error) {
 	for r := range runs {
 		res.SV.Add(runs[r].local.Stats)
 		res.SV.Add(runs[r].extra)
+	}
+	if s.cfg.Trace != nil || s.cfg.Metrics != nil {
+		res.Mem = obs.TakeMemSnapshot()
 	}
 	return res, nil
 }

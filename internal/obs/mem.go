@@ -1,0 +1,41 @@
+package obs
+
+import (
+	"fmt"
+	"runtime"
+)
+
+// MemSnapshot is the subset of runtime.MemStats that run results carry:
+// enough to track the state-vector heap footprint and GC pressure of a
+// run without the full 2KB struct.
+type MemSnapshot struct {
+	HeapAllocBytes  uint64 `json:"heap_alloc_bytes"`
+	HeapSysBytes    uint64 `json:"heap_sys_bytes"`
+	TotalAllocBytes uint64 `json:"total_alloc_bytes"`
+	Mallocs         uint64 `json:"mallocs"`
+	Frees           uint64 `json:"frees"`
+	NumGC           uint32 `json:"num_gc"`
+	PauseTotalNS    uint64 `json:"pause_total_ns"`
+}
+
+// TakeMemSnapshot captures the current runtime memory statistics. It
+// calls runtime.ReadMemStats (a brief stop-the-world), so backends take
+// it once per run and only when observability is enabled.
+func TakeMemSnapshot() *MemSnapshot {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return &MemSnapshot{
+		HeapAllocBytes:  ms.HeapAlloc,
+		HeapSysBytes:    ms.HeapSys,
+		TotalAllocBytes: ms.TotalAlloc,
+		Mallocs:         ms.Mallocs,
+		Frees:           ms.Frees,
+		NumGC:           ms.NumGC,
+		PauseTotalNS:    ms.PauseTotalNs,
+	}
+}
+
+func (s *MemSnapshot) String() string {
+	return fmt.Sprintf("heap=%dB sys=%dB cumAlloc=%dB gc=%d pause=%dns",
+		s.HeapAllocBytes, s.HeapSysBytes, s.TotalAllocBytes, s.NumGC, s.PauseTotalNS)
+}

@@ -1,0 +1,40 @@
+// Package obs is the observability layer of the simulator: a low-overhead
+// per-gate tracer (Chrome trace-event JSON, one track per PE, loadable in
+// Perfetto or chrome://tracing), a metrics registry of counters and
+// fixed-bucket histograms with JSON export, and profiling hooks (an
+// optional net/http/pprof listener and runtime.MemStats snapshots).
+//
+// The design contract with the execution backends is "nil means off": a
+// nil *Tracer, *Metrics, *Track, *Counter, or *Histogram is a valid
+// receiver on every recording method and does nothing, so hot loops carry
+// only a branch-predictable nil check when observability is disabled.
+// All recording methods on non-nil receivers are safe for concurrent use
+// except Track.SpanAt, which is owned by one PE goroutine by construction
+// (each PE records only onto its own track).
+package obs
+
+// Canonical metric names used across the backends. Per-gate-kind
+// histograms append "." plus the lower-case gate mnemonic.
+const (
+	// MetricGateKernelNS is the per-kind gate kernel latency histogram
+	// family, in nanoseconds: "gate_kernel_ns.h", "gate_kernel_ns.cx", ...
+	MetricGateKernelNS = "gate_kernel_ns"
+	// MetricPutBytes is the one-sided put size distribution (pgas).
+	MetricPutBytes = "put_bytes"
+	// MetricGetBytes is the one-sided get size distribution (pgas).
+	MetricGetBytes = "get_bytes"
+	// MetricBarrierWaitNS is the barrier wait-time distribution.
+	MetricBarrierWaitNS = "barrier_wait_ns"
+	// MetricMsgBytes is the two-sided message size distribution (mpibase).
+	MetricMsgBytes = "msg_bytes"
+)
+
+// LatencyBuckets returns the standard latency histogram bounds:
+// 24 power-of-two buckets from 100ns to ~1.7s.
+func LatencyBuckets() []float64 { return ExpBuckets(100, 2, 24) }
+
+// SizeBuckets returns the standard transfer-size histogram bounds:
+// 12 power-of-four buckets from 8B to ~128MiB, so the element-grained
+// 8/16-byte one-sided accesses and the coalesced whole-partition
+// transfers land in clearly separated buckets.
+func SizeBuckets() []float64 { return ExpBuckets(8, 4, 12) }

@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestConcurrentPEsRecord models the SPMD usage exactly: N goroutine PEs
+// fetch their own track and a shared histogram, then record G gates each
+// concurrently. Run under -race this validates the ownership contract;
+// functionally it must yield exactly N×G span events and N×G histogram
+// observations.
+func TestConcurrentPEsRecord(t *testing.T) {
+	const pes = 8
+	const gates = 50
+	tr := NewTracer()
+	m := NewMetrics()
+	h := m.Histogram(MetricGateKernelNS+".h", LatencyBuckets())
+
+	var wg sync.WaitGroup
+	wg.Add(pes)
+	for pe := 0; pe < pes; pe++ {
+		go func(rank int) {
+			defer wg.Done()
+			trk := tr.Track(rank) // concurrent first-use creation
+			for g := 0; g < gates; g++ {
+				g0 := time.Now()
+				h.Observe(float64(g + 1))
+				g1 := time.Now()
+				trk.SpanAt("h q0", g0, g1, SpanArgs{Kind: "h"})
+			}
+		}(pe)
+	}
+	wg.Wait()
+
+	if got := tr.TotalEvents(); got != pes*gates {
+		t.Fatalf("total span events = %d, want %d", got, pes*gates)
+	}
+	tracks := tr.Tracks()
+	if len(tracks) != pes {
+		t.Fatalf("tracks = %d, want %d", len(tracks), pes)
+	}
+	for _, trk := range tracks {
+		if len(trk.Events()) != gates {
+			t.Fatalf("track %d has %d events, want %d", trk.PE(), len(trk.Events()), gates)
+		}
+	}
+	if h.Count() != pes*gates {
+		t.Fatalf("histogram count = %d, want %d", h.Count(), pes*gates)
+	}
+
+	// The serialized trace must also carry every span.
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Ph string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	spans := 0
+	for _, e := range doc.TraceEvents {
+		if e.Ph == "X" {
+			spans++
+		}
+	}
+	if spans != pes*gates {
+		t.Fatalf("serialized spans = %d, want %d", spans, pes*gates)
+	}
+}
+
+// TestConcurrentRegistry hammers registration and recording from many
+// goroutines; meaningful mainly under -race.
+func TestConcurrentRegistry(t *testing.T) {
+	m := NewMetrics()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				m.Counter("shared").Add(1)
+				m.Histogram("hist", []float64{1, 10, 100}).Observe(float64(j))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := m.Counter("shared").Value(); got != 800 {
+		t.Fatalf("counter = %d, want 800", got)
+	}
+	if got := m.Histogram("hist", nil).Count(); got != 800 {
+		t.Fatalf("histogram count = %d, want 800", got)
+	}
+}

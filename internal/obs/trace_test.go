@@ -1,0 +1,123 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// traceDoc mirrors the serialized structure for round-trip checks.
+type traceDoc struct {
+	TraceEvents []struct {
+		Name string  `json:"name"`
+		Ph   string  `json:"ph"`
+		PID  int     `json:"pid"`
+		TID  int     `json:"tid"`
+		TS   float64 `json:"ts"`
+		Dur  float64 `json:"dur"`
+		Args struct {
+			Name        string `json:"name"`
+			Kind        string `json:"kind"`
+			RemoteBytes int64  `json:"remote_bytes"`
+		} `json:"args"`
+	} `json:"traceEvents"`
+	DisplayTimeUnit string `json:"displayTimeUnit"`
+}
+
+func TestTraceRoundTrip(t *testing.T) {
+	const pes = 4
+	const gates = 7
+	tr := NewTracer()
+	base := time.Now()
+	for pe := 0; pe < pes; pe++ {
+		trk := tr.Track(pe)
+		for g := 0; g < gates; g++ {
+			start := base.Add(time.Duration(g) * time.Microsecond)
+			end := start.Add(500 * time.Nanosecond)
+			trk.SpanAt("h q0", start, end, SpanArgs{Kind: "h", RemoteBytes: int64(8 * g)})
+		}
+	}
+	if got := tr.TotalEvents(); got != pes*gates {
+		t.Fatalf("TotalEvents = %d, want %d", got, pes*gates)
+	}
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	var doc traceDoc
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace output is not valid JSON: %v", err)
+	}
+
+	// One thread_name metadata event per PE.
+	named := map[int]string{}
+	spansPerTID := map[int]int{}
+	lastTS := map[int]float64{}
+	for _, e := range doc.TraceEvents {
+		switch {
+		case e.Ph == "M" && e.Name == "thread_name":
+			named[e.TID] = e.Args.Name
+		case e.Ph == "X":
+			spansPerTID[e.TID]++
+			if e.TS < lastTS[e.TID] {
+				t.Fatalf("track %d: ts %.3f decreased below %.3f", e.TID, e.TS, lastTS[e.TID])
+			}
+			lastTS[e.TID] = e.TS
+			if e.Dur <= 0 {
+				t.Fatalf("track %d: span with non-positive dur %.3f", e.TID, e.Dur)
+			}
+		}
+	}
+	if len(named) != pes {
+		t.Fatalf("thread_name tracks = %d, want %d", len(named), pes)
+	}
+	if named[2] != "PE 2" {
+		t.Fatalf("track 2 name = %q, want \"PE 2\"", named[2])
+	}
+	for pe := 0; pe < pes; pe++ {
+		if spansPerTID[pe] != gates {
+			t.Fatalf("track %d has %d spans, want %d", pe, spansPerTID[pe], gates)
+		}
+	}
+}
+
+func TestTraceNilSafe(t *testing.T) {
+	var tr *Tracer
+	trk := tr.Track(3)
+	if trk != nil {
+		t.Fatal("nil tracer must hand out nil tracks")
+	}
+	trk.SpanAt("x", time.Now(), time.Now(), SpanArgs{}) // must not panic
+	if tr.Tracks() != nil {
+		t.Fatal("nil tracer must report no tracks")
+	}
+}
+
+func TestTrackCreationFillsGaps(t *testing.T) {
+	tr := NewTracer()
+	trk := tr.Track(2) // ranks 0 and 1 materialize too
+	if trk.PE() != 2 {
+		t.Fatalf("PE = %d, want 2", trk.PE())
+	}
+	if n := len(tr.Tracks()); n != 3 {
+		t.Fatalf("tracks = %d, want 3", n)
+	}
+	if again := tr.Track(2); again != trk {
+		t.Fatal("Track must return a stable per-rank handle")
+	}
+}
+
+func TestSpanClamping(t *testing.T) {
+	tr := NewTracer()
+	trk := tr.Track(0)
+	// A start before tracer creation and an end before start must clamp
+	// to zero, not go negative.
+	past := time.Now().Add(-time.Hour)
+	trk.SpanAt("weird", past, past.Add(-time.Second), SpanArgs{})
+	ev := trk.Events()[0]
+	if ev.TS != 0 || ev.Dur != 0 {
+		t.Fatalf("got ts=%d dur=%d, want clamped zeros", ev.TS, ev.Dur)
+	}
+}

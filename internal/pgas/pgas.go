@@ -15,6 +15,9 @@ package pgas
 import (
 	"fmt"
 	"sync"
+	"time"
+
+	"svsim/internal/obs"
 )
 
 // Stats counts one-sided traffic for one PE or aggregated over a Comm.
@@ -68,6 +71,25 @@ type Comm struct {
 	scratchF   [2][]float64 // double-buffered collective scratch
 	scratchU   [2][]uint64
 	launchOnce sync.Once
+
+	// Optional metrics handles, nil when no registry is attached; the
+	// one-sided ops and Barrier pay only a nil check then.
+	putBytes  *obs.Histogram
+	getBytes  *obs.Histogram
+	barrierNS *obs.Histogram
+}
+
+// SetMetrics attaches a metrics registry: one-sided put/get sizes and
+// barrier wait times are recorded as histograms from then on. Call
+// before entering an SPMD region; a nil registry detaches.
+func (c *Comm) SetMetrics(m *obs.Metrics) {
+	if m == nil {
+		c.putBytes, c.getBytes, c.barrierNS = nil, nil, nil
+		return
+	}
+	c.putBytes = m.Histogram(obs.MetricPutBytes, obs.SizeBuckets())
+	c.getBytes = m.Histogram(obs.MetricGetBytes, obs.SizeBuckets())
+	c.barrierNS = m.Histogram(obs.MetricBarrierWaitNS, obs.LatencyBuckets())
 }
 
 // NewComm creates a communicator with p processing elements (p >= 1).
@@ -138,6 +160,12 @@ func (pe *PE) NPEs() int { return pe.comm.P }
 // every PE has arrived; establishes happens-before for all prior puts.
 func (pe *PE) Barrier() {
 	pe.comm.pes[pe.Rank].stats.Barriers++
+	if h := pe.comm.barrierNS; h != nil {
+		t0 := time.Now()
+		pe.comm.bar.await()
+		h.Observe(float64(time.Since(t0).Nanoseconds()))
+		return
+	}
 	pe.comm.bar.await()
 }
 

@@ -45,6 +45,9 @@ func (pe *PE) Get(s *SymF64, peer, idx int) float64 {
 		st.RemoteGets++
 		st.RemoteBytes += 8
 	}
+	if h := pe.comm.getBytes; h != nil {
+		h.Observe(8)
+	}
 	return s.parts[peer][idx]
 }
 
@@ -58,6 +61,9 @@ func (pe *PE) Put(s *SymF64, peer, idx int, v float64) {
 	} else {
 		st.RemotePuts++
 		st.RemoteBytes += 8
+	}
+	if h := pe.comm.putBytes; h != nil {
+		h.Observe(8)
 	}
 	s.parts[peer][idx] = v
 }
@@ -77,6 +83,9 @@ func (pe *PE) GetV(s *SymF64, peer, idx int, dst []float64) {
 		st.RemoteGets++
 		st.RemoteBytes += 8 * n
 	}
+	if h := pe.comm.getBytes; h != nil {
+		h.Observe(float64(8 * n))
+	}
 	copy(dst, s.parts[peer][idx:idx+len(dst)])
 }
 
@@ -91,6 +100,9 @@ func (pe *PE) PutV(s *SymF64, peer, idx int, src []float64) {
 	} else {
 		st.RemotePuts++
 		st.RemoteBytes += 8 * n
+	}
+	if h := pe.comm.putBytes; h != nil {
+		h.Observe(float64(8 * n))
 	}
 	copy(s.parts[peer][idx:idx+len(src)], src)
 }
