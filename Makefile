@@ -1,8 +1,16 @@
 # svsim — Go reproduction of SV-Sim (SC '21). Stdlib-only; offline.
+#
+# bench-json names its output after the current git commit
+# (BENCH_<sha>.json). Outside a git checkout — an exported source
+# tarball, a docker build context without .git — `git rev-parse` fails,
+# so the tag falls back to "dev" and the records land in BENCH_dev.json.
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-json trace evaluate examples fuzz clean
+# Short commit hash, or "dev" when not in a git checkout.
+BENCH_TAG := $(shell git rev-parse --short HEAD 2>/dev/null || echo dev)
+
+.PHONY: all build vet test race bench bench-json bench-diff trace evaluate examples fuzz clean
 
 all: build vet test
 
@@ -33,7 +41,11 @@ trace:
 
 # Machine-readable measured bench records for perf-trajectory tracking.
 bench-json:
-	$(GO) run ./cmd/svbench -json BENCH_$(shell git rev-parse --short HEAD).json
+	$(GO) run ./cmd/svbench -json BENCH_$(BENCH_TAG).json
+
+# Compare a fresh bench run against the committed baseline (the CI gate).
+bench-diff: bench-json
+	$(GO) run ./cmd/benchdiff -baseline BENCH_baseline.json -current BENCH_$(BENCH_TAG).json -time-tol 1.0
 
 examples:
 	$(GO) run ./examples/quickstart

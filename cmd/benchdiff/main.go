@@ -1,0 +1,159 @@
+// Command benchdiff compares two svbench -json record files and fails
+// (exit 1) when the current run regresses against the committed baseline
+// beyond the allowed tolerances. It is the perf-trajectory gate run by
+// CI's bench-trajectory job:
+//
+//	svbench -json BENCH_current.json
+//	benchdiff -baseline BENCH_baseline.json -current BENCH_current.json
+//
+// Remote communication bytes are deterministic for a given schedule, so
+// they are held to a tight tolerance; wall time is noisy on shared CI
+// runners, so its tolerance is configurable (and set generously in CI).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+// record mirrors the svbench benchRecord fields benchdiff cares about.
+// Unknown fields are ignored so the schema can grow compatibly.
+type record struct {
+	Schema          string `json:"schema"`
+	Workload        string `json:"workload"`
+	Backend         string `json:"backend"`
+	PEs             int    `json:"pes"`
+	Coalesced       bool   `json:"coalesced,omitempty"`
+	Sched           string `json:"sched,omitempty"`
+	ElapsedNS       int64  `json:"elapsed_ns"`
+	CommRemoteBytes int64  `json:"comm_remote_bytes"`
+	Barriers        int64  `json:"barriers"`
+}
+
+// key identifies a bench configuration across runs.
+func (r *record) key() string {
+	sched := r.Sched
+	if sched == "" {
+		sched = "naive"
+	}
+	return fmt.Sprintf("%s/%s/pes=%d/coalesced=%v/sched=%s",
+		r.Workload, r.Backend, r.PEs, r.Coalesced, sched)
+}
+
+// regression describes one comparison that exceeded its tolerance.
+type regression struct {
+	Key    string
+	Metric string
+	Base   int64
+	Cur    int64
+	Ratio  float64
+}
+
+func (g regression) String() string {
+	return fmt.Sprintf("REGRESSION %-55s %-12s %12d -> %12d (%+.1f%%)",
+		g.Key, g.Metric, g.Base, g.Cur, 100*(g.Ratio-1))
+}
+
+// diff compares current records against the baseline. Every baseline
+// configuration must be present in current (a dropped workload would
+// silently blind the trajectory); extra current configurations are
+// reported but allowed, so new workloads can land with their baseline
+// refresh in the same change.
+func diff(baseline, current []record, byteTol, timeTol float64) (regs []regression, notes []string) {
+	cur := make(map[string]*record, len(current))
+	for i := range current {
+		cur[current[i].key()] = &current[i]
+	}
+	seen := make(map[string]bool, len(baseline))
+	for i := range baseline {
+		b := &baseline[i]
+		k := b.key()
+		seen[k] = true
+		c, ok := cur[k]
+		if !ok {
+			regs = append(regs, regression{Key: k, Metric: "missing", Base: 1, Cur: 0, Ratio: 0})
+			continue
+		}
+		if r := ratio(c.CommRemoteBytes, b.CommRemoteBytes); r > 1+byteTol {
+			regs = append(regs, regression{k, "remote_bytes", b.CommRemoteBytes, c.CommRemoteBytes, r})
+		} else if r < 1 {
+			notes = append(notes, fmt.Sprintf("improved %-55s remote_bytes %d -> %d", k, b.CommRemoteBytes, c.CommRemoteBytes))
+		}
+		if r := ratio(c.ElapsedNS, b.ElapsedNS); r > 1+timeTol {
+			regs = append(regs, regression{k, "elapsed_ns", b.ElapsedNS, c.ElapsedNS, r})
+		}
+	}
+	for i := range current {
+		if k := current[i].key(); !seen[k] {
+			notes = append(notes, fmt.Sprintf("new config %s (not in baseline)", k))
+		}
+	}
+	return regs, notes
+}
+
+// ratio returns cur/base, treating a zero baseline as regressed only if
+// the current value became nonzero (0 -> N remote bytes is a real loss
+// of a communication-free property).
+func ratio(cur, base int64) float64 {
+	if base == 0 {
+		if cur == 0 {
+			return 1
+		}
+		return 2 // always beyond tolerance
+	}
+	return float64(cur) / float64(base)
+}
+
+func load(path string) ([]record, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var recs []record
+	if err := json.Unmarshal(raw, &recs); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	if len(recs) == 0 {
+		return nil, fmt.Errorf("%s: no bench records", path)
+	}
+	return recs, nil
+}
+
+func main() {
+	basePath := flag.String("baseline", "BENCH_baseline.json", "committed baseline bench records")
+	curPath := flag.String("current", "", "bench records from the current build (required)")
+	byteTol := flag.Float64("byte-tol", 0.15, "allowed fractional growth in remote communication bytes")
+	timeTol := flag.Float64("time-tol", 0.15, "allowed fractional growth in wall time")
+	flag.Parse()
+
+	if *curPath == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: -current is required")
+		os.Exit(2)
+	}
+	baseline, err := load(*basePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	current, err := load(*curPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+
+	regs, notes := diff(baseline, current, *byteTol, *timeTol)
+	for _, n := range notes {
+		fmt.Println(n)
+	}
+	if len(regs) > 0 {
+		for _, g := range regs {
+			fmt.Println(g)
+		}
+		fmt.Printf("benchdiff: %d regression(s) vs %s (byte-tol %.0f%%, time-tol %.0f%%)\n",
+			len(regs), *basePath, 100**byteTol, 100**timeTol)
+		os.Exit(1)
+	}
+	fmt.Printf("benchdiff: %d configs within tolerance of %s\n", len(baseline), *basePath)
+}

@@ -1,0 +1,135 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+func baseRecords() []record {
+	return []record{
+		{Schema: "svsim-bench/v1", Workload: "qft_n15", Backend: "scale-out", PEs: 8, Coalesced: true,
+			ElapsedNS: 100_000_000, CommRemoteBytes: 42_467_328},
+		{Schema: "svsim-bench/v1", Workload: "qft_n15", Backend: "scale-out", PEs: 8, Sched: "lazy",
+			ElapsedNS: 90_000_000, CommRemoteBytes: 917_504},
+		{Schema: "svsim-bench/v1", Workload: "ghz_state", Backend: "single", PEs: 1,
+			ElapsedNS: 1_000_000, CommRemoteBytes: 0},
+	}
+}
+
+func TestNoRegressionWithinTolerance(t *testing.T) {
+	base := baseRecords()
+	cur := baseRecords()
+	cur[0].ElapsedNS = 110_000_000   // +10% time: within 15%
+	cur[1].CommRemoteBytes = 917_504 // unchanged
+	regs, _ := diff(base, cur, 0.15, 0.15)
+	if len(regs) != 0 {
+		t.Fatalf("unexpected regressions: %v", regs)
+	}
+}
+
+func TestSynthetic20PercentRegressionFails(t *testing.T) {
+	// The acceptance demonstration: a synthetic 20% remote-byte regression
+	// on the lazy-scheduled run must fail under the default 15% tolerance.
+	base := baseRecords()
+	cur := baseRecords()
+	cur[1].CommRemoteBytes = cur[1].CommRemoteBytes * 120 / 100
+	regs, _ := diff(base, cur, 0.15, 0.15)
+	if len(regs) != 1 {
+		t.Fatalf("want exactly 1 regression, got %v", regs)
+	}
+	if regs[0].Metric != "remote_bytes" {
+		t.Fatalf("wrong metric flagged: %v", regs[0])
+	}
+	// And the same for a 20% wall-time regression.
+	cur = baseRecords()
+	cur[0].ElapsedNS = cur[0].ElapsedNS * 120 / 100
+	regs, _ = diff(base, cur, 0.15, 0.15)
+	if len(regs) != 1 || regs[0].Metric != "elapsed_ns" {
+		t.Fatalf("time regression not flagged: %v", regs)
+	}
+}
+
+func TestZeroBaselineGainingTrafficFails(t *testing.T) {
+	base := baseRecords()
+	cur := baseRecords()
+	cur[2].CommRemoteBytes = 4096 // communication-free run started communicating
+	regs, _ := diff(base, cur, 0.15, 0.15)
+	if len(regs) != 1 || regs[0].Metric != "remote_bytes" {
+		t.Fatalf("zero-baseline growth not flagged: %v", regs)
+	}
+}
+
+func TestMissingConfigFails(t *testing.T) {
+	base := baseRecords()
+	cur := baseRecords()[:2]
+	regs, _ := diff(base, cur, 0.15, 0.15)
+	if len(regs) != 1 || regs[0].Metric != "missing" {
+		t.Fatalf("dropped config not flagged: %v", regs)
+	}
+}
+
+func TestNewConfigIsNoteOnly(t *testing.T) {
+	base := baseRecords()
+	cur := append(baseRecords(), record{Workload: "new_thing", Backend: "single", PEs: 1, ElapsedNS: 1})
+	regs, notes := diff(base, cur, 0.15, 0.15)
+	if len(regs) != 0 {
+		t.Fatalf("new config treated as regression: %v", regs)
+	}
+	if len(notes) == 0 {
+		t.Fatal("new config not noted")
+	}
+}
+
+func TestImprovementIsNoted(t *testing.T) {
+	base := baseRecords()
+	cur := baseRecords()
+	cur[0].CommRemoteBytes /= 2
+	regs, notes := diff(base, cur, 0.15, 0.15)
+	if len(regs) != 0 {
+		t.Fatalf("improvement flagged as regression: %v", regs)
+	}
+	if len(notes) == 0 {
+		t.Fatal("improvement not noted")
+	}
+}
+
+// TestCommandExitCodes runs the built binary end to end: exit 0 on a
+// clean diff, exit 1 on a synthetic regression.
+func TestCommandExitCodes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping go-run subprocess test in -short mode")
+	}
+	dir := t.TempDir()
+	write := func(name string, recs []record) string {
+		p := filepath.Join(dir, name)
+		raw, err := json.Marshal(recs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(p, raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	basePath := write("base.json", baseRecords())
+	goodPath := write("good.json", baseRecords())
+	bad := baseRecords()
+	bad[1].CommRemoteBytes = bad[1].CommRemoteBytes * 120 / 100
+	badPath := write("bad.json", bad)
+
+	bin := filepath.Join(dir, "benchdiff")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+	if out, err := exec.Command(bin, "-baseline", basePath, "-current", goodPath).CombinedOutput(); err != nil {
+		t.Fatalf("clean diff exited nonzero: %v\n%s", err, out)
+	}
+	out, err := exec.Command(bin, "-baseline", basePath, "-current", badPath).CombinedOutput()
+	ee, ok := err.(*exec.ExitError)
+	if !ok || ee.ExitCode() != 1 {
+		t.Fatalf("regression diff: want exit 1, got %v\n%s", err, out)
+	}
+}

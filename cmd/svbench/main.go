@@ -25,6 +25,7 @@ import (
 	"svsim/internal/figures"
 	"svsim/internal/obs"
 	"svsim/internal/qasmbench"
+	"svsim/internal/sched"
 	"svsim/internal/statevec"
 )
 
@@ -61,13 +62,18 @@ func main() {
 	backendName := flag.String("backend", "single", "backend for -workload: single | threaded | scale-up | scale-out")
 	pes := flag.Int("pes", 1, "device/PE count for -workload on distributed backends")
 	coalesced := flag.Bool("coalesced", false, "coalesced bulk transfers for -workload on the scale-out backend")
+	schedName := flag.String("sched", "naive", "gate schedule for -workload on distributed backends: naive | lazy")
 	traceFile := flag.String("trace", "", "write a Chrome trace-event timeline of the bench runs to FILE")
 	metricsFile := flag.String("metrics", "", "write the bench runs' metrics registry as JSON to FILE")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on ADDR while benching")
 	flag.Parse()
 
 	if *jsonFile != "" || *workload != "" {
-		runBenchMode(*jsonFile, *workload, *backendName, *pes, *coalesced, *traceFile, *metricsFile, *pprofAddr)
+		policy, err := sched.ParsePolicy(*schedName)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		runBenchMode(*jsonFile, *workload, *backendName, *pes, *coalesced, policy, *traceFile, *metricsFile, *pprofAddr)
 		return
 	}
 
@@ -119,6 +125,7 @@ type benchRecord struct {
 	Backend         string `json:"backend"`
 	PEs             int    `json:"pes"`
 	Coalesced       bool   `json:"coalesced,omitempty"`
+	Sched           string `json:"sched,omitempty"`
 	Qubits          int    `json:"qubits"`
 	Gates           int    `json:"gates"`
 	ElapsedNS       int64  `json:"elapsed_ns"`
@@ -138,20 +145,25 @@ type benchSpec struct {
 	workload, backend string
 	pes               int
 	coalesced         bool
+	sched             sched.Policy
 }
 
 // defaultBenchSuite is the standing perf-trajectory suite: one
-// representative workload per backend class, small enough to run in CI.
+// representative workload per backend class (plus the lazy-scheduled
+// scale-out runs whose remote-byte trajectory CI guards), small enough
+// to run in CI.
 var defaultBenchSuite = []benchSpec{
-	{"qft_n15", "single", 1, false},
-	{"qft_n15", "threaded", 4, false},
-	{"qft_n15", "scale-up", 4, false},
-	{"qft_n15", "scale-out", 8, true},
-	{"bv_n14", "scale-out", 4, true},
-	{"ghz_state", "single", 1, false},
+	{"qft_n15", "single", 1, false, sched.Naive},
+	{"qft_n15", "threaded", 4, false, sched.Naive},
+	{"qft_n15", "scale-up", 4, false, sched.Naive},
+	{"qft_n15", "scale-out", 8, true, sched.Naive},
+	{"qft_n15", "scale-out", 8, false, sched.Lazy},
+	{"bv_n14", "scale-out", 4, true, sched.Naive},
+	{"bv_n14", "scale-out", 4, false, sched.Lazy},
+	{"ghz_state", "single", 1, false, sched.Naive},
 }
 
-func runBenchMode(jsonFile, workload, backend string, pes int, coalesced bool, traceFile, metricsFile, pprofAddr string) {
+func runBenchMode(jsonFile, workload, backend string, pes int, coalesced bool, policy sched.Policy, traceFile, metricsFile, pprofAddr string) {
 	var tracer *obs.Tracer
 	var metrics *obs.Metrics
 	if traceFile != "" {
@@ -171,7 +183,7 @@ func runBenchMode(jsonFile, workload, backend string, pes int, coalesced bool, t
 
 	suite := defaultBenchSuite
 	if workload != "" {
-		suite = []benchSpec{{workload, backend, pes, coalesced}}
+		suite = []benchSpec{{workload, backend, pes, coalesced, policy}}
 	}
 	records := make([]benchRecord, 0, len(suite))
 	for _, spec := range suite {
@@ -216,7 +228,8 @@ func runBenchSpec(spec benchSpec, tracer *obs.Tracer, metrics *obs.Metrics) (*be
 	c := e.Build()
 	cfg := core.Config{
 		Seed: 1, Style: statevec.Vectorized, PEs: spec.pes,
-		Coalesced: spec.coalesced, Trace: tracer, Metrics: metrics,
+		Coalesced: spec.coalesced, Sched: spec.sched,
+		Trace: tracer, Metrics: metrics,
 	}
 	var backend core.Backend
 	switch spec.backend {
@@ -242,6 +255,7 @@ func runBenchSpec(spec benchSpec, tracer *obs.Tracer, metrics *obs.Metrics) (*be
 		Backend:         res.Backend,
 		PEs:             res.PEs,
 		Coalesced:       spec.coalesced,
+		Sched:           string(spec.sched),
 		Qubits:          c.NumQubits,
 		Gates:           c.NumGates(),
 		ElapsedNS:       res.Elapsed.Nanoseconds(),

@@ -9,6 +9,7 @@
 //	svsim -circuit qft_n15 -backend scale-out -pes 8 -coalesced
 //	svsim -qasm bell.qasm -state
 //	svsim -circuit bv_n14 -backend mpi -pes 4
+//	svsim -circuit qft_n15 -backend scale-out -pes 8 -sched lazy
 //	svsim -circuit qft_n15 -backend scale-out -pes 8 -trace trace.json -metrics m.json
 package main
 
@@ -26,6 +27,7 @@ import (
 	"svsim/internal/obs"
 	"svsim/internal/qasm"
 	"svsim/internal/qasmbench"
+	"svsim/internal/sched"
 	"svsim/internal/statevec"
 )
 
@@ -37,6 +39,7 @@ func main() {
 		backendName = flag.String("backend", "single", "backend: single | threaded | scale-up | scale-out | mpi | remap")
 		pes         = flag.Int("pes", 1, "device/PE/rank count for distributed backends (power of two)")
 		coalesced   = flag.Bool("coalesced", false, "use coalesced bulk transfers in the scale-out backend")
+		schedName   = flag.String("sched", "naive", "gate schedule for distributed backends: naive | lazy (communication-avoiding remap)")
 		style       = flag.String("style", "vector", "kernel loop style: scalar | vector")
 		seed        = flag.Int64("seed", 1, "measurement random seed")
 		shots       = flag.Int("shots", 0, "sample the final state this many times")
@@ -57,6 +60,11 @@ func main() {
 	}
 
 	c, err := loadCircuit(*circuitName, *qasmFile, *compact)
+	if err != nil {
+		fatal(err)
+	}
+
+	policy, err := sched.ParsePolicy(*schedName)
 	if err != nil {
 		fatal(err)
 	}
@@ -91,7 +99,7 @@ func main() {
 	var backend core.Backend
 	cfg := core.Config{
 		Seed: *seed, Style: ks, PEs: *pes, Coalesced: *coalesced, Fuse: *fuse,
-		Trace: telemetry.tracer, Metrics: telemetry.metrics,
+		Sched: policy, Trace: telemetry.tracer, Metrics: telemetry.metrics,
 	}
 	switch *backendName {
 	case "single":

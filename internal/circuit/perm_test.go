@@ -1,0 +1,77 @@
+package circuit
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestPermutationIdentity(t *testing.T) {
+	p := IdentityPermutation(5)
+	if !p.IsIdentity() {
+		t.Fatal("identity not identity")
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for x := 0; x < 32; x++ {
+		if p.PhysicalIndex(x) != x {
+			t.Fatalf("identity moved index %d", x)
+		}
+	}
+}
+
+func TestPermutationSwaps(t *testing.T) {
+	p := IdentityPermutation(4)
+	p.SwapLogical(0, 3)
+	if p[0] != 3 || p[3] != 0 || p.IsIdentity() {
+		t.Fatalf("after SwapLogical: %v", p)
+	}
+	// Logical basis state |q0=1> now lives at physical bit 3.
+	if p.PhysicalIndex(0b0001) != 0b1000 {
+		t.Fatalf("PhysicalIndex(1) = %b", p.PhysicalIndex(1))
+	}
+	if p.LogicalAt(3) != 0 || p.LogicalAt(0) != 3 {
+		t.Fatalf("LogicalAt wrong: %v", p)
+	}
+	p.SwapPhysical(0, 3) // undoes the relabel
+	if !p.IsIdentity() {
+		t.Fatalf("SwapPhysical did not invert: %v", p)
+	}
+}
+
+func TestPermutationCloneIsIndependent(t *testing.T) {
+	p := IdentityPermutation(3)
+	q := p.Clone()
+	q.SwapLogical(0, 2)
+	if !p.IsIdentity() || q.IsIdentity() {
+		t.Fatal("clone aliased")
+	}
+}
+
+func TestPermutationPhysicalIndexIsBijective(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(8)
+		p := Permutation(rng.Perm(n))
+		if err := p.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		seen := make([]bool, 1<<uint(n))
+		for x := range seen {
+			y := p.PhysicalIndex(x)
+			if seen[y] {
+				t.Fatalf("collision at %d", y)
+			}
+			seen[y] = true
+		}
+	}
+}
+
+func TestPermutationValidateRejectsBadMaps(t *testing.T) {
+	if err := (Permutation{0, 0, 2}).Validate(); err == nil {
+		t.Fatal("duplicate accepted")
+	}
+	if err := (Permutation{0, 3, 1}).Validate(); err == nil {
+		t.Fatal("out of range accepted")
+	}
+}

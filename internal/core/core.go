@@ -13,6 +13,7 @@ import (
 	"svsim/internal/circuit"
 	"svsim/internal/obs"
 	"svsim/internal/pgas"
+	"svsim/internal/sched"
 	"svsim/internal/statevec"
 )
 
@@ -35,6 +36,12 @@ type Config struct {
 	// the circuit before execution: single-qubit runs collapse to one
 	// gate and self-inverse pairs cancel, exactly preserving the state.
 	Fuse bool
+	// Sched selects the distributed gate schedule: sched.Naive (the
+	// default; every global-qubit gate pays its remote traffic) or
+	// sched.Lazy (communication-avoiding qubit remapping: gates run in
+	// local blocks separated by coalesced all-to-all exchanges). Ignored
+	// by the single-device backend.
+	Sched sched.Policy
 	// Trace, if non-nil, records one span per executed gate onto a
 	// per-PE track (Chrome trace-event timeline with communication
 	// attribution). Nil keeps the run loops on their untimed fast path.

@@ -12,6 +12,7 @@ import (
 	"svsim/internal/gate"
 	"svsim/internal/obs"
 	"svsim/internal/pgas"
+	"svsim/internal/sched"
 	"svsim/internal/statevec"
 )
 
@@ -519,6 +520,13 @@ func runDistributed(name string, cfg Config, c *circuit.Circuit) (*Result, error
 	}
 	if cfg.Fuse {
 		c, _ = fusion.Optimize(c)
+	}
+	if cfg.Sched == sched.Lazy && cfg.PEs > 1 {
+		l, err := newLazySim(name, cfg, c)
+		if err != nil {
+			return nil, err
+		}
+		return l.run(), nil
 	}
 	d, err := newDistSim(name, cfg, c)
 	if err != nil {

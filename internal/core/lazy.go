@@ -1,0 +1,461 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strconv"
+	"strings"
+	"time"
+
+	"svsim/internal/circuit"
+	"svsim/internal/gate"
+	"svsim/internal/obs"
+	"svsim/internal/pgas"
+	"svsim/internal/sched"
+	"svsim/internal/statevec"
+)
+
+// Lazy-scheduled distributed execution: instead of paying fine-grained
+// remote traffic per global-qubit gate (dist.go's naive schedule), the
+// circuit is planned by internal/sched into blocks of gates whose
+// targets are physically local under an evolving logical-to-physical
+// qubit permutation, separated by batched remap exchanges — one
+// coalesced all-to-all over the symmetric heap per block boundary.
+// Within a block no gate needs a barrier: every PE touches only its own
+// partition, so blocks also eliminate the per-gate grid syncs of the
+// naive schedule.
+
+// lazySim is one lazy-scheduled distributed run in progress.
+type lazySim struct {
+	name      string
+	n         int
+	p         int
+	k         int
+	S         int
+	localBits int
+	dim       int
+
+	comm       *pgas.Comm
+	svRe, svIm *pgas.SymF64
+	stage      *pgas.SymF64 // 2S staging floats per PE for remap exchanges
+
+	c     *circuit.Circuit
+	plan  *sched.Plan
+	cls   []*gate.Class     // per op: classification, nil for non-unitary kinds
+	exch  []*sched.Exchange // per step: all-to-all plan for remap steps
+	label []string          // per step: trace span label, "" when untraced kind
+
+	perPE []lazyRun
+
+	trace      *obs.Tracer
+	gm         *gateObs
+	remapBytes *obs.Histogram // per-PE remote bytes of each remap exchange
+	remapCount *obs.Counter
+}
+
+// lazyRun is the per-PE mutable state; each PE replays its own copy of
+// the permutation, so no cross-PE bookkeeping writes exist.
+type lazyRun struct {
+	local *statevec.State
+	rng   *rand.Rand
+	cbits uint64
+	extra statevec.Stats
+	perm  circuit.Permutation
+	pack  []float64 // remap pack scratch, 2S floats
+	_     [64]byte
+}
+
+func newLazySim(name string, cfg Config, c *circuit.Circuit) (*lazySim, error) {
+	p := cfg.PEs
+	if p < 1 {
+		p = 1
+	}
+	if p&(p-1) != 0 {
+		return nil, fmt.Errorf("core: PE count %d is not a power of two", p)
+	}
+	n := c.NumQubits
+	if 1<<uint(n-1) < p {
+		return nil, fmt.Errorf("core: %d PEs need at least %d qubits (have %d)", p, log2(p)+1, n)
+	}
+	d := &lazySim{
+		name: name,
+		n:    n,
+		p:    p,
+		k:    log2(p),
+		dim:  1 << uint(n),
+		c:    c,
+	}
+	d.S = d.dim / p
+	d.localBits = n - d.k
+
+	plan, err := sched.Build(c, d.localBits, sched.Lazy)
+	if err != nil {
+		return nil, err
+	}
+	d.plan = plan
+
+	d.comm = pgas.NewComm(p)
+	d.trace = cfg.Trace
+	if cfg.Metrics != nil {
+		d.comm.SetMetrics(cfg.Metrics)
+		d.gm = newGateObs(cfg.Metrics)
+		d.remapBytes = cfg.Metrics.Histogram(obs.MetricRemapBytes, obs.SizeBuckets())
+		d.remapCount = cfg.Metrics.Counter(obs.MetricRemapCount)
+	}
+	d.svRe = d.comm.NewSymF64(d.S)
+	d.svIm = d.comm.NewSymF64(d.S)
+	d.stage = d.comm.NewSymF64(2 * d.S)
+	d.svRe.PartitionUnsafe(0)[0] = 1 // |0...0>
+
+	// Upload step: classify gates and plan every remap's all-to-all up
+	// front, so the SPMD loop only executes.
+	d.cls = make([]*gate.Class, len(c.Ops))
+	for i := range c.Ops {
+		g := &c.Ops[i].G
+		if g.Kind.Unitary() && g.Kind != gate.BARRIER && g.Kind != gate.GPHASE {
+			cls := gate.Classify(g)
+			d.cls[i] = &cls
+		}
+	}
+	d.exch = make([]*sched.Exchange, len(plan.Steps))
+	d.label = make([]string, len(plan.Steps))
+	for si := range plan.Steps {
+		st := &plan.Steps[si]
+		switch st.Kind {
+		case sched.StepRemap:
+			d.exch[si] = sched.NewExchange(st.Swaps, n, d.localBits, p)
+			d.label[si] = remapLabel(st.Swaps)
+		case sched.StepAlias:
+			d.label[si] = "alias q" + strconv.Itoa(st.A) + "<->q" + strconv.Itoa(st.B)
+		}
+	}
+
+	d.perPE = make([]lazyRun, p)
+	for r := 0; r < p; r++ {
+		d.perPE[r] = lazyRun{
+			local: &statevec.State{
+				N:     d.localBits,
+				Dim:   d.S,
+				Re:    d.svRe.PartitionUnsafe(r),
+				Im:    d.svIm.PartitionUnsafe(r),
+				Style: cfg.Style,
+			},
+			rng:  newRNG(cfg.Seed),
+			perm: circuit.IdentityPermutation(n),
+			pack: make([]float64, 2*d.S),
+		}
+	}
+	return d, nil
+}
+
+func remapLabel(swaps []sched.Swap) string {
+	var b strings.Builder
+	b.WriteString("remap ")
+	for i, sw := range swaps {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteByte('b')
+		b.WriteString(strconv.Itoa(sw.Global))
+		b.WriteString("<->b")
+		b.WriteString(strconv.Itoa(sw.Local))
+	}
+	return b.String()
+}
+
+// run executes the plan SPMD and returns the gathered, un-permuted result.
+func (d *lazySim) run() *Result {
+	start := time.Now()
+	d.comm.Run(func(pe *pgas.PE) {
+		run := &d.perPE[pe.Rank]
+		trk := d.trace.Track(pe.Rank)
+		for si := range d.plan.Steps {
+			st := &d.plan.Steps[si]
+			if st.Kind == sched.StepGate {
+				op := &d.c.Ops[st.Op]
+				if !condSatisfied(op.Cond, run.cbits) {
+					continue
+				}
+				if trk == nil && d.gm == nil {
+					d.execGate(pe, run, st.Op)
+					continue
+				}
+				c0 := d.comm.StatsOf(pe.Rank)
+				g0 := time.Now()
+				d.execGate(pe, run, st.Op)
+				g1 := time.Now()
+				d.gm.observe(op.G.Kind, g1.Sub(g0))
+				if trk != nil {
+					trk.SpanAt(gateLabel(&op.G), g0, g1, d.spanArgs(&op.G, pe.Rank, c0))
+				}
+				continue
+			}
+			if st.Kind == sched.StepAlias {
+				run.perm.SwapLogical(st.A, st.B)
+				if trk != nil {
+					now := time.Now()
+					trk.SpanAt(d.label[si], now, now, obs.SpanArgs{Kind: "alias"})
+				}
+				continue
+			}
+			// Remap step: always executed, always on every PE.
+			ex := d.exch[si]
+			c0 := d.comm.StatsOf(pe.Rank)
+			g0 := time.Now()
+			d.execRemap(pe, run, ex)
+			g1 := time.Now()
+			for _, sw := range st.Swaps {
+				run.perm.SwapPhysical(sw.Global, sw.Local)
+			}
+			c1 := d.comm.StatsOf(pe.Rank)
+			d.remapBytes.Observe(float64(c1.RemoteBytes - c0.RemoteBytes))
+			if pe.Rank == 0 {
+				d.remapCount.Add(1)
+			}
+			if trk != nil {
+				trk.SpanAt(d.label[si], g0, g1, obs.SpanArgs{
+					Kind:        "remap",
+					LocalBytes:  c1.LocalBytes - c0.LocalBytes,
+					RemoteBytes: c1.RemoteBytes - c0.RemoteBytes,
+					LocalMsgs:   (c1.LocalGets + c1.LocalPuts) - (c0.LocalGets + c0.LocalPuts),
+					RemoteMsgs:  c1.RemoteMessages() - c0.RemoteMessages(),
+					Barriers:    c1.Barriers - c0.Barriers,
+				})
+			}
+		}
+	})
+	elapsed := time.Since(start)
+
+	st := statevec.New(d.n)
+	reAll := d.svRe.Gather()
+	imAll := d.svIm.Gather()
+	if d.plan.Final.IsIdentity() {
+		copy(st.Re, reAll)
+		copy(st.Im, imAll)
+	} else {
+		for x := 0; x < d.dim; x++ {
+			phys := d.plan.Final.PhysicalIndex(x)
+			st.Re[x] = reAll[phys]
+			st.Im[x] = imAll[phys]
+		}
+	}
+	res := &Result{
+		Backend: d.name,
+		State:   st,
+		Cbits:   d.perPE[0].cbits,
+		Comm:    d.comm.TotalStats(),
+		Elapsed: elapsed,
+		PEs:     d.p,
+	}
+	for r := range d.perPE {
+		res.SV.Add(d.perPE[r].local.Stats)
+		res.SV.Add(d.perPE[r].extra)
+	}
+	if d.trace != nil || d.gm != nil {
+		res.Mem = obs.TakeMemSnapshot()
+	}
+	return res
+}
+
+func (d *lazySim) spanArgs(g *gate.Gate, rank int, c0 pgas.Stats) obs.SpanArgs {
+	c1 := d.comm.StatsOf(rank)
+	return obs.SpanArgs{
+		Kind:        g.Kind.String(),
+		Qubits:      qubitList(g),
+		LocalBytes:  c1.LocalBytes - c0.LocalBytes,
+		RemoteBytes: c1.RemoteBytes - c0.RemoteBytes,
+		LocalMsgs:   (c1.LocalGets + c1.LocalPuts) - (c0.LocalGets + c0.LocalPuts),
+		RemoteMsgs:  c1.RemoteMessages() - c0.RemoteMessages(),
+		Barriers:    c1.Barriers - c0.Barriers,
+	}
+}
+
+// execGate applies one circuit op at its current physical positions.
+// The planner guarantees every non-diagonal target is physically local,
+// so no gate here touches a peer partition.
+func (d *lazySim) execGate(pe *pgas.PE, run *lazyRun, opIdx int) {
+	op := &d.c.Ops[opIdx]
+	g := &op.G
+	switch g.Kind {
+	case gate.BARRIER:
+		return
+	case gate.MEASURE:
+		out := d.measure(pe, run, int(g.Qubits[0]))
+		run.cbits = setCbit(run.cbits, int(g.Cbit), out)
+		return
+	case gate.RESET:
+		if d.measure(pe, run, int(g.Qubits[0])) == 1 {
+			x := gate.NewX(run.perm[int(g.Qubits[0])])
+			run.local.Apply(&x)
+		}
+		return
+	case gate.GPHASE:
+		run.local.ApplyGPhase(g.Params[0])
+		return
+	}
+	cls := d.cls[opIdx]
+	physC := make([]int, len(cls.Ctrls))
+	for i, c := range cls.Ctrls {
+		physC[i] = run.perm[c]
+	}
+	physT := make([]int, len(cls.Targets))
+	for i, t := range cls.Targets {
+		physT[i] = run.perm[t]
+	}
+	if cls.Diag {
+		d.applyDiagPhys(pe, run, cls, physC, physT)
+		return
+	}
+	off := pe.Rank * d.S
+	var localCtrls []int
+	for _, c := range physC {
+		if c < d.localBits {
+			localCtrls = append(localCtrls, c)
+			continue
+		}
+		if off>>uint(c)&1 == 0 {
+			return // a global control is 0 across this whole partition
+		}
+	}
+	run.local.ApplyControlledMatrix(cls.U, localCtrls, physT)
+}
+
+// applyDiagPhys executes a diagonal gate communication-free at arbitrary
+// physical positions: every amplitude's multiplier depends only on its
+// own global physical index.
+func (d *lazySim) applyDiagPhys(pe *pgas.PE, run *lazyRun, cls *gate.Class, physC, physT []int) {
+	off := pe.Rank * d.S
+	var cmask int
+	for _, c := range physC {
+		cmask |= 1 << uint(c)
+	}
+	re := run.local.Re
+	im := run.local.Im
+	var touched int64
+	for i := 0; i < d.S; i++ {
+		gidx := off + i
+		if gidx&cmask != cmask {
+			continue
+		}
+		sub := 0
+		for j, t := range physT {
+			if gidx>>uint(t)&1 == 1 {
+				sub |= 1 << uint(j)
+			}
+		}
+		f := cls.U.At(sub, sub)
+		if f == 1 {
+			continue
+		}
+		fr, fi := real(f), imag(f)
+		r, ii := re[i], im[i]
+		re[i] = fr*r - fi*ii
+		im[i] = fr*ii + fi*r
+		touched++
+	}
+	run.extra.Gates++
+	run.extra.AmpsTouched += touched
+	run.extra.BytesTouched += touched * 16
+	run.extra.FlopEst += touched * 6
+}
+
+// execRemap performs one batched all-to-all qubit-remap exchange: each
+// PE packs one contiguous block per destination (the affine subcube of
+// its partition headed there), puts it into the destination's staging
+// area with a single coalesced transfer, and after a barrier unpacks its
+// own staging into its partition.
+func (d *lazySim) execRemap(pe *pgas.PE, run *lazyRun, ex *sched.Exchange) {
+	s := pe.Rank
+	re, im := run.local.Re, run.local.Im
+	B := ex.BlockLen
+	for dst := 0; dst < d.p; dst++ {
+		if !ex.Compat[s][dst] {
+			continue
+		}
+		pinned := ex.PinnedVal(dst, d.localBits)
+		buf := run.pack[:2*B]
+		for t := 0; t < B; t++ {
+			i := pinned | sched.Spread(t, ex.FreeBits)
+			buf[t] = re[i]
+			buf[B+t] = im[i]
+		}
+		pe.PutV(d.stage, dst, 2*ex.OffElems[s][dst], buf)
+	}
+	// All blocks must land before anyone reads its staging.
+	pe.Barrier()
+	stg := d.stage.PartitionUnsafe(s)
+	for src := 0; src < d.p; src++ {
+		if !ex.Compat[src][s] {
+			continue
+		}
+		off := 2 * ex.OffElems[src][s]
+		base := ex.InBase[src]
+		for t := 0; t < B; t++ {
+			j := base | sched.Spread(t, ex.ImgFree)
+			re[j] = stg[off+t]
+			im[j] = stg[off+B+t]
+		}
+	}
+	run.extra.AmpsTouched += 2 * int64(d.S)
+	run.extra.BytesTouched += 2 * int64(d.S) * 16
+	// All staging reads must finish before the next exchange overwrites it.
+	pe.Barrier()
+}
+
+// measure performs a distributed projective measurement of logical qubit
+// q at its current physical position; the draw is replicated across PEs.
+func (d *lazySim) measure(pe *pgas.PE, run *lazyRun, q int) int {
+	phys := run.perm[q]
+	off := pe.Rank * d.S
+	re, im := run.local.Re, run.local.Im
+	var partial float64
+	if phys < d.localBits {
+		bit := 1 << uint(phys)
+		for i := 0; i < d.S; i++ {
+			if i&bit != 0 {
+				partial += re[i]*re[i] + im[i]*im[i]
+			}
+		}
+	} else if off>>uint(phys)&1 == 1 {
+		for i := 0; i < d.S; i++ {
+			partial += re[i]*re[i] + im[i]*im[i]
+		}
+	}
+	p1 := pe.AllReduceSum(partial)
+	outcome := 0
+	if run.rng.Float64() < p1 {
+		outcome = 1
+	}
+	pnorm := p1
+	if outcome == 0 {
+		pnorm = 1 - p1
+	}
+	scale := 1 / math.Sqrt(pnorm)
+	if phys < d.localBits {
+		bit := 1 << uint(phys)
+		for i := 0; i < d.S; i++ {
+			if (i&bit != 0) == (outcome == 1) {
+				re[i] *= scale
+				im[i] *= scale
+			} else {
+				re[i] = 0
+				im[i] = 0
+			}
+		}
+	} else if (off>>uint(phys)&1 == 1) == (outcome == 1) {
+		for i := 0; i < d.S; i++ {
+			re[i] *= scale
+			im[i] *= scale
+		}
+	} else {
+		for i := 0; i < d.S; i++ {
+			re[i] = 0
+			im[i] = 0
+		}
+	}
+	run.extra.Gates++
+	run.extra.AmpsTouched += int64(d.S)
+	run.extra.BytesTouched += int64(d.S) * 16
+	return outcome
+}

@@ -453,12 +453,12 @@ func TestFig6AbsoluteConsistentWithRelative(t *testing.T) {
 
 func TestFormatValRanges(t *testing.T) {
 	cases := map[float64]string{
-		0:        "0",
-		2e6:      "2.000e+06",
-		0.0001:   "1.000e-04",
-		123:      "123",
-		12.34:    "12.34",
-		0.5:      "0.5000",
+		0:      "0",
+		2e6:    "2.000e+06",
+		0.0001: "1.000e-04",
+		123:    "123",
+		12.34:  "12.34",
+		0.5:    "0.5000",
 	}
 	for v, want := range cases {
 		if got := formatVal(v); got != want {

@@ -1,0 +1,155 @@
+package mpibase
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"svsim/internal/circuit"
+	"svsim/internal/core"
+	"svsim/internal/gate"
+	"svsim/internal/sched"
+	"svsim/internal/statevec"
+)
+
+// randomMeasuredCircuit builds a seeded random circuit with unitaries,
+// mid-circuit measurements, resets, and classically conditioned gates —
+// the full surface the schedulers must keep equivalent.
+func randomMeasuredCircuit(rng *rand.Rand, n, ops int) *circuit.Circuit {
+	c := circuit.New("random-measured", n)
+	kinds := unitaryKinds()
+	cbits := 0
+	for i := 0; i < ops; i++ {
+		switch r := rng.Float64(); {
+		case r < 0.06 && cbits < 8:
+			c.Measure(rng.Intn(n), cbits)
+			cbits++
+		case r < 0.09:
+			c.Reset(rng.Intn(n))
+		case r < 0.14 && cbits > 0:
+			b := rng.Intn(cbits)
+			g := gate.NewX(rng.Intn(n))
+			c.AppendCond(g, circuit.Condition{Offset: b, Width: 1, Value: uint64(rng.Intn(2))})
+		default:
+			k := kinds[rng.Intn(len(kinds))]
+			perm := rng.Perm(n)
+			ps := make([]float64, k.NumParams())
+			for j := range ps {
+				ps[j] = (rng.Float64()*2 - 1) * 2 * math.Pi
+			}
+			c.Append(gate.New(k, perm[:k.NumQubits()], ps...))
+		}
+	}
+	return c
+}
+
+// TestSchedulesEquivalentAcrossBackends is the cross-backend equivalence
+// property: seeded random circuits run under naive vs lazy scheduling on
+// the single, scale-up, scale-out, and mpibase backends must produce the
+// same amplitudes and, seed for seed, the same measurement outcomes
+// (hence identical measurement distributions).
+func TestSchedulesEquivalentAcrossBackends(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 3; trial++ {
+		c := randomMeasuredCircuit(rng, 8, 80)
+		for seed := int64(0); seed < 4; seed++ {
+			ref, err := core.NewSingleDevice(core.Config{Seed: seed}).Run(c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			type variant struct {
+				name string
+				run  func() (*statevec.State, uint64, error)
+			}
+			variants := []variant{
+				{"scale-up/naive", func() (*statevec.State, uint64, error) {
+					r, err := core.NewScaleUp(core.Config{Seed: seed, PEs: 4}).Run(c)
+					if err != nil {
+						return nil, 0, err
+					}
+					return r.State, r.Cbits, nil
+				}},
+				{"scale-up/lazy", func() (*statevec.State, uint64, error) {
+					r, err := core.NewScaleUp(core.Config{Seed: seed, PEs: 4, Sched: sched.Lazy}).Run(c)
+					if err != nil {
+						return nil, 0, err
+					}
+					return r.State, r.Cbits, nil
+				}},
+				{"scale-out/naive", func() (*statevec.State, uint64, error) {
+					r, err := core.NewScaleOut(core.Config{Seed: seed, PEs: 4, Coalesced: true}).Run(c)
+					if err != nil {
+						return nil, 0, err
+					}
+					return r.State, r.Cbits, nil
+				}},
+				{"scale-out/lazy", func() (*statevec.State, uint64, error) {
+					r, err := core.NewScaleOut(core.Config{Seed: seed, PEs: 4, Sched: sched.Lazy}).Run(c)
+					if err != nil {
+						return nil, 0, err
+					}
+					return r.State, r.Cbits, nil
+				}},
+				{"mpibase/naive", func() (*statevec.State, uint64, error) {
+					r, err := New(Config{Seed: seed, Ranks: 4}).Run(c)
+					if err != nil {
+						return nil, 0, err
+					}
+					return r.State, r.Cbits, nil
+				}},
+				{"mpibase/lazy-remap", func() (*statevec.State, uint64, error) {
+					r, err := NewRemap(Config{Seed: seed, Ranks: 4}).Run(c)
+					if err != nil {
+						return nil, 0, err
+					}
+					return r.State, r.Cbits, nil
+				}},
+			}
+			for _, v := range variants {
+				st, cb, err := v.run()
+				if err != nil {
+					t.Fatalf("trial %d seed %d %s: %v", trial, seed, v.name, err)
+				}
+				if cb != ref.Cbits {
+					t.Fatalf("trial %d seed %d %s: cbits %b, want %b", trial, seed, v.name, cb, ref.Cbits)
+				}
+				if d := st.MaxAbsDiff(ref.State); d > 1e-9 {
+					t.Fatalf("trial %d seed %d %s: state deviates by %g", trial, seed, v.name, d)
+				}
+			}
+		}
+	}
+}
+
+// TestSchedMeasurementDistribution checks the frequency of outcomes on a
+// biased qubit agrees between naive and lazy schedules over many seeds.
+func TestSchedMeasurementDistribution(t *testing.T) {
+	c := circuit.New("stat", 8)
+	c.RY(1.2, 7) // P(1) = sin^2(0.6), qubit 7 is global at 4 PEs
+	c.Measure(7, 0)
+	want := math.Sin(0.6) * math.Sin(0.6)
+	trials := 800
+	onesNaive, onesLazy := 0, 0
+	for seed := 0; seed < trials; seed++ {
+		rn, err := core.NewScaleOut(core.Config{Seed: int64(seed), PEs: 4}).Run(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rl, err := core.NewScaleOut(core.Config{Seed: int64(seed), PEs: 4, Sched: sched.Lazy}).Run(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rn.Cbits != rl.Cbits {
+			t.Fatalf("seed %d: schedules drew different outcomes", seed)
+		}
+		onesNaive += int(rn.Cbits & 1)
+		onesLazy += int(rl.Cbits & 1)
+	}
+	if onesNaive != onesLazy {
+		t.Fatalf("outcome counts differ: %d vs %d", onesNaive, onesLazy)
+	}
+	got := float64(onesLazy) / float64(trials)
+	if math.Abs(got-want) > 0.05 {
+		t.Fatalf("lazy measurement frequency %g, want %g", got, want)
+	}
+}

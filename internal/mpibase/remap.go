@@ -4,24 +4,26 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"strconv"
+	"strings"
 	"time"
 
 	"svsim/internal/circuit"
 	"svsim/internal/gate"
 	"svsim/internal/obs"
+	"svsim/internal/sched"
 	"svsim/internal/statevec"
 )
 
 // RemapSimulator implements the qubit-remapping communication strategy of
 // De Raedt et al.'s JUQCS, which the paper's related work describes as
 // "swap local qubits with remote qubits by tracking and updating the
-// permutation of the qubit indices" (§6). When a gate targets a qubit
-// whose current physical position is global (i.e. selects the rank), the
-// simulator first physically swaps that bit with a local one — one
-// pairwise half-partition exchange — updates the logical-to-physical
-// permutation, and then applies the gate locally. Consecutive gates on
-// the same qubit then cost nothing, trading the per-gate exchanges of the
-// pack-exchange baseline for permutation bookkeeping.
+// permutation of the qubit indices" (§6). It is driven by the shared
+// communication-avoiding scheduler (internal/sched): the circuit is
+// planned once into blocks of gates on currently-local qubits separated
+// by remap steps, and this backend realizes each remap's bit swaps as
+// pairwise half-partition exchanges over two-sided messages — the same
+// plan the PGAS lazy executor realizes as a coalesced all-to-all.
 type RemapSimulator struct {
 	cfg Config
 }
@@ -29,10 +31,11 @@ type RemapSimulator struct {
 // NewRemap creates a remapping simulator.
 func NewRemap(cfg Config) *RemapSimulator { return &RemapSimulator{cfg: cfg} }
 
-// RemapResult extends Result with the swap count.
+// RemapResult extends Result with scheduler statistics.
 type RemapResult struct {
 	Result
 	BitSwaps int64 // global-local bit swaps performed
+	Remaps   int64 // remap exchanges (a remap batches >= 1 swaps)
 }
 
 // Run executes the circuit and returns the gathered, un-permuted result.
@@ -55,165 +58,187 @@ func (s *RemapSimulator) Run(c *circuit.Circuit) (*RemapResult, error) {
 	S := dim / p
 	localBits := n - lg(p)
 
-	eng := &remapEngine{
-		n: n, p: p, S: S, localBits: localBits,
-		perm: make([]int, n), // logical -> physical bit
-		re:   make([][]float64, p),
-		im:   make([][]float64, p),
+	plan, err := sched.Build(c, localBits, sched.Lazy)
+	if err != nil {
+		return nil, err
 	}
-	for q := range eng.perm {
-		eng.perm[q] = q
+
+	eng := &remapEngine{n: n, p: p, S: S, localBits: localBits}
+	// Classify once per op (the upload step); non-unitary kinds keep nil.
+	cls := make([]*gate.Class, len(c.Ops))
+	for i := range c.Ops {
+		g := &c.Ops[i].G
+		if g.Kind.Unitary() && g.Kind != gate.BARRIER && g.Kind != gate.GPHASE {
+			k := gate.Classify(g)
+			cls[i] = &k
+		}
 	}
+
+	eng.re = make([][]float64, p)
+	eng.im = make([][]float64, p)
+	runs := make([]remapRun, p)
 	for r := 0; r < p; r++ {
 		eng.re[r] = make([]float64, S)
 		eng.im[r] = make([]float64, S)
+		runs[r] = remapRun{
+			local: &statevec.State{N: localBits, Dim: S, Re: eng.re[r], Im: eng.im[r], Style: s.cfg.Style},
+			rng:   rand.New(rand.NewSource(s.cfg.Seed)),
+			perm:  circuit.IdentityPermutation(n),
+		}
 	}
 	eng.re[0][0] = 1
 
 	comm := NewComm(p)
 	comm.SetMetrics(s.cfg.Metrics)
 	gm := newGateObs(s.cfg.Metrics)
-	cbits := make([]uint64, p)
 	start := time.Now()
 	comm.Run(func(r *Rank) {
-		local := &statevec.State{N: localBits, Dim: S, Re: eng.re[r.R], Im: eng.im[r.R], Style: s.cfg.Style}
-		rng := rand.New(rand.NewSource(s.cfg.Seed))
+		run := &runs[r.R]
 		trk := s.cfg.Trace.Track(r.R)
-		apply := func(op *circuit.Op) {
-			switch op.G.Kind {
-			case gate.MEASURE:
-				out := eng.measure(r, local, int(op.G.Qubits[0]), rng.Float64())
-				if out == 1 {
-					cbits[r.R] |= uint64(1) << uint(op.G.Cbit)
-				} else {
-					cbits[r.R] &^= uint64(1) << uint(op.G.Cbit)
+		for si := range plan.Steps {
+			st := &plan.Steps[si]
+			switch st.Kind {
+			case sched.StepAlias:
+				run.perm.SwapLogical(st.A, st.B)
+			case sched.StepRemap:
+				c0 := comm.StatsOf(r.R)
+				g0 := time.Now()
+				for _, sw := range st.Swaps {
+					eng.swapBits(r, run, sw.Global, sw.Local)
 				}
-			case gate.RESET:
-				if eng.measure(r, local, int(op.G.Qubits[0]), rng.Float64()) == 1 {
-					x := gate.NewX(int(op.G.Qubits[0]))
-					eng.exec(r, local, &x)
+				r.Barrier()
+				if trk != nil {
+					c1 := comm.StatsOf(r.R)
+					trk.SpanAt(remapStepLabel(st.Swaps), g0, time.Now(), obs.SpanArgs{
+						Kind:      "remap",
+						Msgs:      c1.Messages - c0.Messages,
+						MsgBytes:  c1.MsgBytes - c0.MsgBytes,
+						PackBytes: c1.PackBytes - c0.PackBytes,
+						Barriers:  c1.Syncs - c0.Syncs,
+					})
 				}
-			default:
-				eng.exec(r, local, &op.G)
-			}
-		}
-		for i := range c.Ops {
-			op := &c.Ops[i]
-			if op.Cond != nil {
-				mask := uint64(1)<<uint(op.Cond.Width) - 1
-				if (cbits[r.R]>>uint(op.Cond.Offset))&mask != op.Cond.Value {
+			case sched.StepGate:
+				op := &c.Ops[st.Op]
+				if op.Cond != nil {
+					mask := uint64(1)<<uint(op.Cond.Width) - 1
+					if (run.cbits>>uint(op.Cond.Offset))&mask != op.Cond.Value {
+						continue
+					}
+				}
+				if trk == nil && gm == nil {
+					eng.execOp(r, run, op, cls[st.Op])
 					continue
 				}
-			}
-			if trk == nil && gm == nil {
-				apply(op)
-				continue
-			}
-			c0 := comm.StatsOf(r.R)
-			g0 := time.Now()
-			apply(op)
-			g1 := time.Now()
-			gm.observe(op.G.Kind, g1.Sub(g0))
-			if trk != nil {
-				trk.SpanAt(gateLabel(&op.G), g0, g1, spanArgs(&op.G, c0, comm.StatsOf(r.R)))
+				c0 := comm.StatsOf(r.R)
+				g0 := time.Now()
+				eng.execOp(r, run, op, cls[st.Op])
+				g1 := time.Now()
+				gm.observe(op.G.Kind, g1.Sub(g0))
+				if trk != nil {
+					trk.SpanAt(gateLabel(&op.G), g0, g1, spanArgs(&op.G, c0, comm.StatsOf(r.R)))
+				}
 			}
 		}
 	})
 	elapsed := time.Since(start)
 
-	// Gather and undo the permutation: logical index x lives at physical
-	// index with bit perm[q] holding logical bit q.
+	// Gather and undo the final permutation: logical index x lives at the
+	// physical index with bit Final[q] holding logical bit q.
 	st := statevec.New(n)
 	for x := 0; x < dim; x++ {
-		phys := 0
-		for q := 0; q < n; q++ {
-			if x>>uint(q)&1 == 1 {
-				phys |= 1 << uint(eng.perm[q])
-			}
-		}
+		phys := plan.Final.PhysicalIndex(x)
 		st.Re[x] = eng.re[phys>>uint(localBits)][phys&(S-1)]
 		st.Im[x] = eng.im[phys>>uint(localBits)][phys&(S-1)]
 	}
-	res := &RemapResult{BitSwaps: eng.swaps}
+	res := &RemapResult{BitSwaps: int64(plan.BitSwaps), Remaps: int64(plan.Remaps)}
 	res.State = st
-	res.Cbits = cbits[0]
+	res.Cbits = runs[0].cbits
 	res.MPI = comm.TotalStats()
 	res.Elapsed = elapsed
 	res.Ranks = p
+	for r := range runs {
+		res.SV.Add(runs[r].local.Stats)
+		res.SV.Add(runs[r].extra)
+	}
 	if s.cfg.Trace != nil || s.cfg.Metrics != nil {
 		res.Mem = obs.TakeMemSnapshot()
 	}
 	return res, nil
 }
 
-type remapEngine struct {
-	n, p, S, localBits int
-	perm               []int // logical qubit -> physical bit position
-	re, im             [][]float64
-	swaps              int64
+func remapStepLabel(swaps []sched.Swap) string {
+	var b strings.Builder
+	b.WriteString("remap ")
+	for i, sw := range swaps {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteByte('b')
+		b.WriteString(strconv.Itoa(sw.Global))
+		b.WriteString("<->b")
+		b.WriteString(strconv.Itoa(sw.Local))
+	}
+	return b.String()
 }
 
-// exec applies one unitary gate, remapping global targets local first.
-func (e *remapEngine) exec(r *Rank, local *statevec.State, g *gate.Gate) {
+// remapRun is the per-rank mutable state; each rank replays its own copy
+// of the permutation, so no cross-rank bookkeeping writes exist.
+type remapRun struct {
+	local *statevec.State
+	rng   *rand.Rand
+	cbits uint64
+	extra statevec.Stats
+	perm  circuit.Permutation
+	_     [64]byte
+}
+
+type remapEngine struct {
+	n, p, S, localBits int
+	re, im             [][]float64
+}
+
+// execOp applies one circuit op at its current physical positions. The
+// planner guarantees every non-diagonal unitary target is already local.
+func (e *remapEngine) execOp(r *Rank, run *remapRun, op *circuit.Op, cls *gate.Class) {
+	g := &op.G
 	switch g.Kind {
 	case gate.BARRIER:
 		return
+	case gate.MEASURE:
+		out := e.measure(r, run, int(g.Qubits[0]), run.rng.Float64())
+		if out == 1 {
+			run.cbits |= uint64(1) << uint(g.Cbit)
+		} else {
+			run.cbits &^= uint64(1) << uint(g.Cbit)
+		}
+		return
+	case gate.RESET:
+		if e.measure(r, run, int(g.Qubits[0]), run.rng.Float64()) == 1 {
+			x := gate.NewX(run.perm[int(g.Qubits[0])])
+			run.local.Apply(&x)
+		}
+		return
 	case gate.GPHASE:
-		local.ApplyGPhase(g.Params[0])
+		run.local.ApplyGPhase(g.Params[0])
 		r.Barrier()
 		return
 	}
-	cls := gate.Classify(g)
-	// Physical positions of the operands under the current permutation.
 	physT := make([]int, len(cls.Targets))
 	for i, t := range cls.Targets {
-		physT[i] = e.perm[t]
-	}
-	if !cls.Diag {
-		// Bring every global target local (diagonal gates never need to).
-		for i, pt := range physT {
-			if pt >= e.localBits {
-				l := e.pickLocalBit(&cls, physT)
-				e.swapBits(r, pt, l)
-				physT[i] = l
-				for j := range physT {
-					if j != i && physT[j] == l {
-						physT[j] = pt // cannot happen (l chosen free) but keep invariant
-					}
-				}
-			}
-		}
+		physT[i] = run.perm[t]
 	}
 	physC := make([]int, len(cls.Ctrls))
 	for i, cq := range cls.Ctrls {
-		physC[i] = e.perm[cq]
+		physC[i] = run.perm[cq]
 	}
-	e.applyLocal(r, local, &cls, physC, physT)
+	e.applyLocal(r, run.local, cls, physC, physT)
 	r.Barrier()
-}
-
-// pickLocalBit returns the lowest local physical bit not used by the
-// gate's operands.
-func (e *remapEngine) pickLocalBit(cls *gate.Class, physT []int) int {
-	used := map[int]bool{}
-	for _, t := range physT {
-		used[t] = true
-	}
-	for _, c := range cls.Ctrls {
-		used[e.perm[c]] = true
-	}
-	for l := 0; l < e.localBits; l++ {
-		if !used[l] {
-			return l
-		}
-	}
-	panic("mpibase: no free local bit for remapping")
 }
 
 // swapBits physically exchanges global bit gBit with local bit lBit: each
 // rank swaps the half of its partition where the local bit differs from
-// its rank bit with its partner rank, then the permutation is updated.
-func (e *remapEngine) swapBits(r *Rank, gBit, lBit int) {
+// its rank bit with its partner rank, then updates its permutation copy.
+func (e *remapEngine) swapBits(r *Rank, run *remapRun, gBit, lBit int) {
 	b := gBit - e.localBits
 	beta := r.R >> uint(b) & 1
 	partner := r.R ^ 1<<uint(b)
@@ -241,25 +266,7 @@ func (e *remapEngine) swapBits(r *Rank, gBit, lBit int) {
 		}
 	}
 	r.notePack(int64(e.S) * 8)
-	r.Barrier()
-
-	// Rank 0 updates the shared permutation once per swap; all ranks
-	// perform the identical deterministic sequence, so only one write is
-	// needed and the barrier orders it.
-	if r.R == 0 {
-		var qG, qL int = -1, -1
-		for q, pos := range e.perm {
-			if pos == gBit {
-				qG = q
-			}
-			if pos == lBit {
-				qL = q
-			}
-		}
-		e.perm[qG], e.perm[qL] = lBit, gBit
-		e.swaps++
-	}
-	r.Barrier()
+	run.perm.SwapPhysical(gBit, lBit)
 }
 
 // applyLocal applies the classified gate at its physical positions: local
@@ -311,10 +318,10 @@ func (e *remapEngine) applyLocal(r *Rank, local *statevec.State, cls *gate.Class
 // current physical position: a local bit sums pair-wise within the
 // partition, a global (rank) bit sums whole partitions; the draw is
 // replicated across ranks.
-func (e *remapEngine) measure(r *Rank, local *statevec.State, q int, draw float64) int {
-	phys := e.perm[q]
+func (e *remapEngine) measure(r *Rank, run *remapRun, q int, draw float64) int {
+	phys := run.perm[q]
 	off := r.R * e.S
-	re, im := local.Re, local.Im
+	re, im := run.local.Re, run.local.Im
 	var partial float64
 	if phys < e.localBits {
 		bit := 1 << uint(phys)

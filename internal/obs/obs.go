@@ -27,6 +27,15 @@ const (
 	MetricBarrierWaitNS = "barrier_wait_ns"
 	// MetricMsgBytes is the two-sided message size distribution (mpibase).
 	MetricMsgBytes = "msg_bytes"
+	// MetricRemapBytes is the per-PE remote byte volume of each lazy
+	// qubit-remap exchange (sched block boundary).
+	MetricRemapBytes = "remap_exchange_bytes"
+	// MetricRemapCount counts remap exchanges executed.
+	MetricRemapCount = "remap_count"
+	// MetricRemoteBytes accumulates one-sided remote traffic volume (pgas).
+	MetricRemoteBytes = "pgas_remote_bytes"
+	// MetricLocalBytes accumulates one-sided local traffic volume (pgas).
+	MetricLocalBytes = "pgas_local_bytes"
 )
 
 // LatencyBuckets returns the standard latency histogram bounds:

@@ -6,7 +6,34 @@ import (
 
 	"svsim/internal/core"
 	"svsim/internal/qasmbench"
+	"svsim/internal/sched"
 )
+
+func TestEstimateCommLazyIsExact(t *testing.T) {
+	// The lazy-schedule traffic model is plan-derived, so it must equal
+	// the PGAS lazy executor's measured remote bytes exactly.
+	for _, name := range []string{"qft_n15", "bv_n14", "multiplier"} {
+		e, err := qasmbench.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := e.Build().StripNonUnitary()
+		for _, pes := range []int{4, 8} {
+			res, err := core.NewScaleOut(core.Config{PEs: pes, Sched: sched.Lazy}).Run(c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			est, err := EstimateCommLazy(c, pes)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if est.RemoteBytes != res.Comm.RemoteBytes {
+				t.Fatalf("%s @%d PEs: estimated %d remote bytes, measured %d",
+					name, pes, est.RemoteBytes, res.Comm.RemoteBytes)
+			}
+		}
+	}
+}
 
 func TestTraceEstimateMatchesMeasuredExactly(t *testing.T) {
 	// For unitary circuits the analytic trace must equal the kernel

@@ -5,6 +5,7 @@ import (
 
 	"svsim/internal/circuit"
 	"svsim/internal/gate"
+	"svsim/internal/sched"
 )
 
 // Scale-up and scale-out latency models (Figs. 7-13). Work terms come from
@@ -164,6 +165,47 @@ func EstimateComm(c *circuit.Circuit, p int) CommEstimate {
 		est.RemoteBytes += remote * 8
 	}
 	return est
+}
+
+// EstimateCommLazy predicts the one-sided traffic of running c on p PEs
+// under the lazy communication-avoiding schedule (internal/sched): gates
+// between block boundaries are free, and each remap step costs one
+// coalesced all-to-all whose volume the exchange plan gives exactly. The
+// prediction is exact for the PGAS lazy executor (the package tests hold
+// it to the measured counters).
+func EstimateCommLazy(c *circuit.Circuit, p int) (CommEstimate, error) {
+	if p <= 1 {
+		return CommEstimate{}, nil
+	}
+	n := c.NumQubits
+	k := 0
+	for 1<<uint(k) < p {
+		k++
+	}
+	localBits := n - k
+	plan, err := sched.Build(c, localBits, sched.Lazy)
+	if err != nil {
+		return CommEstimate{}, err
+	}
+	var est CommEstimate
+	for i := range plan.Steps {
+		st := &plan.Steps[i]
+		if st.Kind != sched.StepRemap {
+			continue
+		}
+		ex := sched.NewExchange(st.Swaps, n, localBits, p)
+		est.RemoteBytes += ex.RemoteBytes()
+		// One coalesced put per compatible remote (src, dst) pair.
+		for s := 0; s < p; s++ {
+			for d := 0; d < p; d++ {
+				if s != d && ex.Compat[s][d] {
+					est.RemoteMsgs++
+				}
+			}
+		}
+		est.Barriers += int64(2 * p) // pack/put barrier + unpack barrier
+	}
+	return est, nil
 }
 
 // NetFabric models an inter-node network for the scale-out figures.

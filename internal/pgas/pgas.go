@@ -74,22 +74,28 @@ type Comm struct {
 
 	// Optional metrics handles, nil when no registry is attached; the
 	// one-sided ops and Barrier pay only a nil check then.
-	putBytes  *obs.Histogram
-	getBytes  *obs.Histogram
-	barrierNS *obs.Histogram
+	putBytes    *obs.Histogram
+	getBytes    *obs.Histogram
+	barrierNS   *obs.Histogram
+	remoteBytes *obs.Counter
+	localBytes  *obs.Counter
 }
 
 // SetMetrics attaches a metrics registry: one-sided put/get sizes and
-// barrier wait times are recorded as histograms from then on. Call
-// before entering an SPMD region; a nil registry detaches.
+// barrier wait times are recorded as histograms, and local/remote byte
+// volumes as counters, from then on. Call before entering an SPMD
+// region; a nil registry detaches.
 func (c *Comm) SetMetrics(m *obs.Metrics) {
 	if m == nil {
 		c.putBytes, c.getBytes, c.barrierNS = nil, nil, nil
+		c.remoteBytes, c.localBytes = nil, nil
 		return
 	}
 	c.putBytes = m.Histogram(obs.MetricPutBytes, obs.SizeBuckets())
 	c.getBytes = m.Histogram(obs.MetricGetBytes, obs.SizeBuckets())
 	c.barrierNS = m.Histogram(obs.MetricBarrierWaitNS, obs.LatencyBuckets())
+	c.remoteBytes = m.Counter(obs.MetricRemoteBytes)
+	c.localBytes = m.Counter(obs.MetricLocalBytes)
 }
 
 // NewComm creates a communicator with p processing elements (p >= 1).

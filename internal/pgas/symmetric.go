@@ -41,9 +41,11 @@ func (pe *PE) Get(s *SymF64, peer, idx int) float64 {
 	if peer == pe.Rank {
 		st.LocalGets++
 		st.LocalBytes += 8
+		pe.comm.localBytes.Add(8)
 	} else {
 		st.RemoteGets++
 		st.RemoteBytes += 8
+		pe.comm.remoteBytes.Add(8)
 	}
 	if h := pe.comm.getBytes; h != nil {
 		h.Observe(8)
@@ -58,9 +60,11 @@ func (pe *PE) Put(s *SymF64, peer, idx int, v float64) {
 	if peer == pe.Rank {
 		st.LocalPuts++
 		st.LocalBytes += 8
+		pe.comm.localBytes.Add(8)
 	} else {
 		st.RemotePuts++
 		st.RemoteBytes += 8
+		pe.comm.remoteBytes.Add(8)
 	}
 	if h := pe.comm.putBytes; h != nil {
 		h.Observe(8)
@@ -79,9 +83,11 @@ func (pe *PE) GetV(s *SymF64, peer, idx int, dst []float64) {
 	if peer == pe.Rank {
 		st.LocalGets++
 		st.LocalBytes += 8 * n
+		pe.comm.localBytes.Add(8 * n)
 	} else {
 		st.RemoteGets++
 		st.RemoteBytes += 8 * n
+		pe.comm.remoteBytes.Add(8 * n)
 	}
 	if h := pe.comm.getBytes; h != nil {
 		h.Observe(float64(8 * n))
@@ -97,9 +103,11 @@ func (pe *PE) PutV(s *SymF64, peer, idx int, src []float64) {
 	if peer == pe.Rank {
 		st.LocalPuts++
 		st.LocalBytes += 8 * n
+		pe.comm.localBytes.Add(8 * n)
 	} else {
 		st.RemotePuts++
 		st.RemoteBytes += 8 * n
+		pe.comm.remoteBytes.Add(8 * n)
 	}
 	if h := pe.comm.putBytes; h != nil {
 		h.Observe(float64(8 * n))

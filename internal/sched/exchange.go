@@ -1,0 +1,167 @@
+package sched
+
+// Exchange precomputes the coalesced all-to-all realizing one remap
+// step. A remap is a permutation sigma of physical bit positions
+// (composed from the step's pairwise swaps): the amplitude at old
+// physical index y moves to the index whose bit sigma[b] equals bit b of
+// y. Because sigma is a bit permutation, the elements one PE sends to
+// one peer form an affine subcube of its partition, so the whole remap
+// is realized as one put of a packed block per destination — the PGAS
+// analogue of a batched MPI_Alltoallv — instead of element-grained
+// traffic.
+//
+// Terminology: m = local bits, k = rank bits, a partition holds S = 2^m
+// amplitudes. Splitting a local source index i by where sigma sends its
+// bits: FreeBits stay local (they select the destination-local index),
+// OutBits become rank bits (they select the destination PE, so they are
+// pinned per destination block).
+type Exchange struct {
+	Sigma []int // old physical bit -> new physical bit
+
+	FreeBits []int // source-local bits with local image, ascending
+	ImgFree  []int // sigma images of FreeBits
+	OutBits  []int // source-local bits whose image is a rank bit
+
+	BlockLen int      // elements per (src,dst) block = 1 << len(FreeBits)
+	Compat   [][]bool // [src][dst]: does src send a block to dst?
+	OffElems [][]int  // [src][dst]: element offset of src's block in dst's staging
+	InBase   []int    // [src]: rank-bit contribution of src to destination-local indices
+
+	LocalElems  int64 // elements that stay on their PE
+	RemoteElems int64 // elements that cross PE boundaries
+}
+
+// NewExchange builds the all-to-all plan for one remap step's swap list
+// over n physical bits with the given partitioning.
+func NewExchange(swaps []Swap, n, localBits, p int) *Exchange {
+	sigma := make([]int, n)
+	for b := range sigma {
+		sigma[b] = b
+	}
+	// Swaps apply in order: each transposes two current positions, so
+	// the image of every bit currently mapping onto either position
+	// flips to the other.
+	for _, sw := range swaps {
+		for b := range sigma {
+			switch sigma[b] {
+			case sw.Global:
+				sigma[b] = sw.Local
+			case sw.Local:
+				sigma[b] = sw.Global
+			}
+		}
+	}
+	return newExchangeSigma(sigma, n, localBits, p)
+}
+
+func newExchangeSigma(sigma []int, n, localBits, p int) *Exchange {
+	m := localBits
+	e := &Exchange{Sigma: sigma}
+	for l := 0; l < m; l++ {
+		if sigma[l] < m {
+			e.FreeBits = append(e.FreeBits, l)
+			e.ImgFree = append(e.ImgFree, sigma[l])
+		} else {
+			e.OutBits = append(e.OutBits, l)
+		}
+	}
+	e.BlockLen = 1 << uint(len(e.FreeBits))
+
+	// Destination-rank constraints imposed by the source rank: rank bit
+	// b of the destination equals bit sigma^-1(m+b) of the old index;
+	// when that preimage is itself a rank bit the constraint pins d to s.
+	sigmaInv := make([]int, n)
+	for b, img := range sigma {
+		sigmaInv[img] = b
+	}
+	k := n - m
+	type cons struct{ dBit, sBit int }
+	var fixed []cons
+	for b := 0; b < k; b++ {
+		if a := sigmaInv[m+b]; a >= m {
+			fixed = append(fixed, cons{dBit: b, sBit: a - m})
+		}
+	}
+
+	e.Compat = make([][]bool, p)
+	e.OffElems = make([][]int, p)
+	e.InBase = make([]int, p)
+	for s := 0; s < p; s++ {
+		e.Compat[s] = make([]bool, p)
+		for d := 0; d < p; d++ {
+			ok := true
+			for _, c := range fixed {
+				if (d>>uint(c.dBit))&1 != (s>>uint(c.sBit))&1 {
+					ok = false
+					break
+				}
+			}
+			e.Compat[s][d] = ok
+		}
+		// Rank bits of s whose image is a local position contribute a
+		// fixed term to every destination-local index of s's elements.
+		base := 0
+		for a := m; a < n; a++ {
+			if sigma[a] < m && (s>>uint(a-m))&1 == 1 {
+				base |= 1 << uint(sigma[a])
+			}
+		}
+		e.InBase[s] = base
+	}
+	for d := 0; d < p; d++ {
+		off := 0
+		for s := 0; s < p; s++ {
+			if e.OffElems[s] == nil {
+				e.OffElems[s] = make([]int, p)
+			}
+			if e.Compat[s][d] {
+				e.OffElems[s][d] = off
+				off += e.BlockLen
+				if s == d {
+					e.LocalElems += int64(e.BlockLen)
+				} else {
+					e.RemoteElems += int64(e.BlockLen)
+				}
+			}
+		}
+	}
+	return e
+}
+
+// PinnedVal returns the source-local bits pinned by destination d: each
+// OutBit must match the rank bit of d it maps to.
+func (e *Exchange) PinnedVal(d, localBits int) int {
+	v := 0
+	for _, l := range e.OutBits {
+		if (d>>uint(e.Sigma[l]-localBits))&1 == 1 {
+			v |= 1 << uint(l)
+		}
+	}
+	return v
+}
+
+// Spread deposits the low bits of t into the given bit positions:
+// bit j of t lands at position bits[j].
+func Spread(t int, bits []int) int {
+	v := 0
+	for j, b := range bits {
+		if (t>>uint(j))&1 == 1 {
+			v |= 1 << uint(b)
+		}
+	}
+	return v
+}
+
+// RemoteBytes returns the one-sided remote byte volume of this exchange
+// (16 bytes per amplitude: re and im planes).
+func (e *Exchange) RemoteBytes() int64 { return e.RemoteElems * 16 }
+
+// Identity reports whether the exchange moves nothing.
+func (e *Exchange) Identity() bool {
+	for b, img := range e.Sigma {
+		if b != img {
+			return false
+		}
+	}
+	return true
+}

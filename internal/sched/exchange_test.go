@@ -1,0 +1,143 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// applySwapsDirect permutes a flat array the slow, obviously-correct way:
+// each swap exchanges two physical bit positions of every index.
+func applySwapsDirect(v []float64, swaps []Swap) []float64 {
+	cur := v
+	for _, sw := range swaps {
+		next := make([]float64, len(cur))
+		a, b := sw.Global, sw.Local
+		for i := range cur {
+			j := i
+			ba := i >> uint(a) & 1
+			bb := i >> uint(b) & 1
+			j &^= 1<<uint(a) | 1<<uint(b)
+			j |= ba << uint(b)
+			j |= bb << uint(a)
+			next[j] = cur[i]
+		}
+		cur = next
+	}
+	return cur
+}
+
+// runExchange simulates the coalesced all-to-all on plain slices the same
+// way the PGAS lazy executor does: pack one block per destination, place
+// it at the destination's staging offset, then unpack.
+func runExchange(ex *Exchange, v []float64, localBits, p int) []float64 {
+	S := 1 << uint(localBits)
+	stage := make([][]float64, p)
+	for d := 0; d < p; d++ {
+		stage[d] = make([]float64, S)
+	}
+	for s := 0; s < p; s++ {
+		for d := 0; d < p; d++ {
+			if !ex.Compat[s][d] {
+				continue
+			}
+			pinned := ex.PinnedVal(d, localBits)
+			off := ex.OffElems[s][d]
+			for t := 0; t < ex.BlockLen; t++ {
+				i := pinned | Spread(t, ex.FreeBits)
+				stage[d][off+t] = v[s*S+i]
+			}
+		}
+	}
+	out := make([]float64, len(v))
+	copy(out, v)
+	for d := 0; d < p; d++ {
+		for s := 0; s < p; s++ {
+			if !ex.Compat[s][d] {
+				continue
+			}
+			off := ex.OffElems[s][d]
+			base := ex.InBase[s]
+			for t := 0; t < ex.BlockLen; t++ {
+				j := base | Spread(t, ex.ImgFree)
+				out[d*S+j] = stage[d][off+t]
+			}
+		}
+	}
+	return out
+}
+
+func TestExchangeMatchesDirectPermutation(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 50; trial++ {
+		n := 4 + rng.Intn(5)
+		k := 1 + rng.Intn(3)
+		if k >= n {
+			k = n - 1
+		}
+		localBits := n - k
+		p := 1 << uint(k)
+		// Random multi-swap remap over distinct global and local positions.
+		nSwaps := 1 + rng.Intn(k)
+		if nSwaps > localBits {
+			nSwaps = localBits
+		}
+		globals := rng.Perm(k)[:nSwaps]
+		locals := rng.Perm(localBits)[:nSwaps]
+		var swaps []Swap
+		for i := 0; i < nSwaps; i++ {
+			swaps = append(swaps, Swap{Global: localBits + globals[i], Local: locals[i]})
+		}
+		v := make([]float64, 1<<uint(n))
+		for i := range v {
+			v[i] = rng.Float64()
+		}
+		ex := NewExchange(swaps, n, localBits, p)
+		got := runExchange(ex, v, localBits, p)
+		want := applySwapsDirect(v, swaps)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d (n=%d p=%d swaps=%v): element %d = %g, want %g",
+					trial, n, p, swaps, i, got[i], want[i])
+			}
+		}
+		// Volume bookkeeping covers the whole array exactly once.
+		if ex.LocalElems+ex.RemoteElems != int64(1<<uint(n)) {
+			t.Fatalf("elems %d + %d != %d", ex.LocalElems, ex.RemoteElems, 1<<uint(n))
+		}
+		if ex.RemoteBytes() != ex.RemoteElems*16 {
+			t.Fatal("RemoteBytes mismatch")
+		}
+	}
+}
+
+func TestExchangeChainedRemapsCompose(t *testing.T) {
+	// Two sequential exchanges must equal the direct application of both
+	// swap lists in order (the executor applies remaps one at a time).
+	n, localBits, p := 7, 5, 4
+	rng := rand.New(rand.NewSource(5))
+	v := make([]float64, 1<<uint(n))
+	for i := range v {
+		v[i] = rng.Float64()
+	}
+	s1 := []Swap{{Global: 5, Local: 0}, {Global: 6, Local: 1}}
+	s2 := []Swap{{Global: 6, Local: 2}}
+	e1 := NewExchange(s1, n, localBits, p)
+	e2 := NewExchange(s2, n, localBits, p)
+	got := runExchange(e2, runExchange(e1, v, localBits, p), localBits, p)
+	want := applySwapsDirect(applySwapsDirect(v, s1), s2)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("element %d = %g, want %g", i, got[i], want[i])
+		}
+	}
+}
+
+func TestExchangeIdentity(t *testing.T) {
+	ex := NewExchange(nil, 6, 4, 4)
+	if !ex.Identity() {
+		t.Fatal("empty swap list not identity")
+	}
+	if ex.RemoteElems != 0 {
+		t.Fatalf("identity moved %d elements remotely", ex.RemoteElems)
+	}
+}
