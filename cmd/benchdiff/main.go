@@ -106,17 +106,32 @@ func ratio(cur, base int64) float64 {
 	return float64(cur) / float64(base)
 }
 
+// load reads one bench record file, turning each failure mode into a
+// diagnostic that says what to do about it, since this runs in CI where
+// a bare "no such file" or "unexpected end of JSON input" wastes a
+// debugging round trip.
 func load(path string) ([]record, error) {
 	raw, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, fmt.Errorf("%s: file not found — generate it with: go run ./cmd/svbench -json %s", path, path)
+	}
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	if len(raw) == 0 {
+		return nil, fmt.Errorf("%s: file is empty — an interrupted svbench run? regenerate it with: go run ./cmd/svbench -json %s", path, path)
 	}
 	var recs []record
 	if err := json.Unmarshal(raw, &recs); err != nil {
-		return nil, fmt.Errorf("%s: %v", path, err)
+		return nil, fmt.Errorf("%s: malformed bench records (%v) — the file must be a JSON array as written by svbench -json", path, err)
 	}
 	if len(recs) == 0 {
-		return nil, fmt.Errorf("%s: no bench records", path)
+		return nil, fmt.Errorf("%s: no bench records — the JSON array is empty; regenerate it with: go run ./cmd/svbench -json %s", path, path)
+	}
+	for i := range recs {
+		if recs[i].Workload == "" || recs[i].Backend == "" {
+			return nil, fmt.Errorf("%s: record %d has no workload/backend — is this really an svbench -json file?", path, i)
+		}
 	}
 	return recs, nil
 }

@@ -5,6 +5,7 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -131,5 +132,57 @@ func TestCommandExitCodes(t *testing.T) {
 	ee, ok := err.(*exec.ExitError)
 	if !ok || ee.ExitCode() != 1 {
 		t.Fatalf("regression diff: want exit 1, got %v\n%s", err, out)
+	}
+}
+
+func TestLoadDiagnostics(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	cases := []struct {
+		name string
+		path string
+		want string
+	}{
+		{"missing file", filepath.Join(dir, "absent.json"), "generate it with"},
+		{"empty file", write("empty.json", ""), "interrupted"},
+		{"malformed json", write("garbage.json", "{not json"), "malformed bench records"},
+		{"empty array", write("none.json", "[]"), "no bench records"},
+		{"wrong schema", write("other.json", `[{"foo": 1}]`), "workload/backend"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := load(tc.path)
+			if err == nil {
+				t.Fatal("expected a load error")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestLoadAcceptsValidRecords(t *testing.T) {
+	dir := t.TempDir()
+	raw, err := json.Marshal(baseRecords())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := filepath.Join(dir, "ok.json")
+	if err := os.WriteFile(p, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := load(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != len(baseRecords()) {
+		t.Fatalf("loaded %d records, want %d", len(recs), len(baseRecords()))
 	}
 }

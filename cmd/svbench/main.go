@@ -18,9 +18,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
+	"svsim/internal/cliutil"
 	"svsim/internal/core"
 	"svsim/internal/figures"
 	"svsim/internal/obs"
@@ -66,6 +68,8 @@ func main() {
 	traceFile := flag.String("trace", "", "write a Chrome trace-event timeline of the bench runs to FILE")
 	metricsFile := flag.String("metrics", "", "write the bench runs' metrics registry as JSON to FILE")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on ADDR while benching")
+	ckptEvery := flag.Int("checkpoint-every", 0, "checkpoint the bench runs every N schedule steps, to measure checkpoint overhead (0 = off; needs -checkpoint-dir)")
+	ckptDir := flag.String("checkpoint-dir", "", "checkpoint base directory for -checkpoint-every")
 	flag.Parse()
 
 	if *jsonFile != "" || *workload != "" {
@@ -73,7 +77,18 @@ func main() {
 		if err != nil {
 			fatalf("%v", err)
 		}
-		runBenchMode(*jsonFile, *workload, *backendName, *pes, *coalesced, policy, *traceFile, *metricsFile, *pprofAddr)
+		if err := cliutil.ValidatePEs(*pes); err != nil {
+			fatalf("%v", err)
+		}
+		if *ckptEvery > 0 || *ckptDir != "" {
+			// The bench suite runs core backends only, all of which
+			// support checkpointing; validate the flag pairing and that
+			// the directory is writable before burning bench time.
+			if err := cliutil.ValidateCheckpointing("scale-out", *ckptEvery, *ckptDir, "", 0); err != nil {
+				fatalf("%v", err)
+			}
+		}
+		runBenchMode(*jsonFile, *workload, *backendName, *pes, *coalesced, policy, *traceFile, *metricsFile, *pprofAddr, *ckptEvery, *ckptDir)
 		return
 	}
 
@@ -137,6 +152,11 @@ type benchRecord struct {
 	CommRemoteMsgs  int64  `json:"comm_remote_msgs"`
 	Barriers        int64  `json:"barriers"`
 	HeapAllocBytes  uint64 `json:"heap_alloc_bytes,omitempty"`
+	// Checkpoint activity, present only when -checkpoint-every is on, so
+	// baseline files written without checkpointing are unaffected.
+	CkptCount   int64   `json:"ckpt_count,omitempty"`
+	CkptBytes   int64   `json:"ckpt_bytes,omitempty"`
+	CkptSeconds float64 `json:"ckpt_seconds,omitempty"`
 }
 
 const benchSchema = "svsim-bench/v1"
@@ -163,7 +183,7 @@ var defaultBenchSuite = []benchSpec{
 	{"ghz_state", "single", 1, false, sched.Naive},
 }
 
-func runBenchMode(jsonFile, workload, backend string, pes int, coalesced bool, policy sched.Policy, traceFile, metricsFile, pprofAddr string) {
+func runBenchMode(jsonFile, workload, backend string, pes int, coalesced bool, policy sched.Policy, traceFile, metricsFile, pprofAddr string, ckptEvery int, ckptDir string) {
 	var tracer *obs.Tracer
 	var metrics *obs.Metrics
 	if traceFile != "" {
@@ -186,8 +206,14 @@ func runBenchMode(jsonFile, workload, backend string, pes int, coalesced bool, p
 		suite = []benchSpec{{workload, backend, pes, coalesced, policy}}
 	}
 	records := make([]benchRecord, 0, len(suite))
-	for _, spec := range suite {
-		rec, err := runBenchSpec(spec, tracer, metrics)
+	for i, spec := range suite {
+		dir := ""
+		if ckptEvery > 0 {
+			// One subdirectory per suite entry so checkpoints of
+			// different configurations never collide.
+			dir = filepath.Join(ckptDir, fmt.Sprintf("%02d-%s-%s", i, spec.workload, spec.backend))
+		}
+		rec, err := runBenchSpec(spec, tracer, metrics, ckptEvery, dir)
 		if err != nil {
 			fatalf("%s on %s: %v", spec.workload, spec.backend, err)
 		}
@@ -220,7 +246,7 @@ func runBenchMode(jsonFile, workload, backend string, pes int, coalesced bool, p
 	}
 }
 
-func runBenchSpec(spec benchSpec, tracer *obs.Tracer, metrics *obs.Metrics) (*benchRecord, error) {
+func runBenchSpec(spec benchSpec, tracer *obs.Tracer, metrics *obs.Metrics, ckptEvery int, ckptDir string) (*benchRecord, error) {
 	e, err := qasmbench.ByName(spec.workload)
 	if err != nil {
 		return nil, err
@@ -230,6 +256,7 @@ func runBenchSpec(spec benchSpec, tracer *obs.Tracer, metrics *obs.Metrics) (*be
 		Seed: 1, Style: statevec.Vectorized, PEs: spec.pes,
 		Coalesced: spec.coalesced, Sched: spec.sched,
 		Trace: tracer, Metrics: metrics,
+		CheckpointEvery: ckptEvery, CheckpointDir: ckptDir,
 	}
 	var backend core.Backend
 	switch spec.backend {
@@ -270,6 +297,9 @@ func runBenchSpec(spec benchSpec, tracer *obs.Tracer, metrics *obs.Metrics) (*be
 	if res.Mem != nil {
 		rec.HeapAllocBytes = res.Mem.HeapAllocBytes
 	}
+	rec.CkptCount = res.Ckpt.Count
+	rec.CkptBytes = res.Ckpt.Bytes
+	rec.CkptSeconds = float64(res.Ckpt.NS) / 1e9
 	return rec, nil
 }
 

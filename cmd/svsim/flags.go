@@ -1,0 +1,74 @@
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"svsim/internal/cliutil"
+	"svsim/internal/fault"
+	"svsim/internal/pgas"
+)
+
+// runOpts bundles the flags whose combinations need validating before a
+// run starts, so mistakes fail fast with the flag name in the message.
+type runOpts struct {
+	backend         string
+	pes             int
+	sched           string
+	seed            int64
+	checkpointEvery int
+	checkpointDir   string
+	resume          string
+	maxRestarts     int
+	faultSpec       string
+	barrierTimeout  time.Duration
+	opRetries       int
+}
+
+// validate cross-checks the flag combination.
+func (o *runOpts) validate() error {
+	if err := cliutil.ValidatePEs(o.pes); err != nil {
+		return err
+	}
+	if err := cliutil.ValidateCheckpointing(o.backend, o.checkpointEvery, o.checkpointDir, o.resume, o.maxRestarts); err != nil {
+		return err
+	}
+	if err := cliutil.ValidateResume(o.resume, o.backend, o.pes, o.sched); err != nil {
+		return err
+	}
+	if o.barrierTimeout < 0 {
+		return fmt.Errorf("-barrier-timeout %v: deadline cannot be negative", o.barrierTimeout)
+	}
+	if o.opRetries < 0 {
+		return fmt.Errorf("-op-retries %d: retry budget cannot be negative", o.opRetries)
+	}
+	if o.faultSpec != "" {
+		switch o.backend {
+		case "scale-up", "scale-out", "mpi":
+		default:
+			return fmt.Errorf("-fault needs a communicating backend (scale-up, scale-out, or mpi); backend %q has no fault surface", o.backend)
+		}
+		if _, err := fault.ParseSpec(o.faultSpec, o.seed); err != nil {
+			return fmt.Errorf("-fault %q: %v", o.faultSpec, err)
+		}
+	}
+	return nil
+}
+
+// injector builds the fault injector, nil when no spec was given.
+// validate must have accepted the spec first.
+func (o *runOpts) injector() *fault.Injector {
+	if o.faultSpec == "" {
+		return nil
+	}
+	in, err := fault.ParseSpec(o.faultSpec, o.seed)
+	if err != nil {
+		fatal(err)
+	}
+	return in
+}
+
+// timeouts maps the deadline flags onto the PGAS runtime knobs.
+func (o *runOpts) timeouts() pgas.Timeouts {
+	return pgas.Timeouts{Barrier: o.barrierTimeout, OpRetries: o.opRetries}
+}

@@ -1,0 +1,102 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"svsim/internal/circuit"
+	"svsim/internal/core"
+)
+
+func validOpts() runOpts {
+	return runOpts{backend: "scale-out", pes: 4, sched: "naive", seed: 1, opRetries: 8}
+}
+
+func TestFlagValidation(t *testing.T) {
+	dir := t.TempDir()
+	cases := []struct {
+		name   string
+		mutate func(*runOpts)
+		want   string // empty = valid
+	}{
+		{"defaults", func(o *runOpts) {}, ""},
+		{"checkpointing on", func(o *runOpts) {
+			o.checkpointEvery = 10
+			o.checkpointDir = dir
+			o.maxRestarts = 2
+		}, ""},
+		{"fault spec", func(o *runOpts) { o.faultSpec = "kill:rank=1:op=barrier:after=30" }, ""},
+		{"barrier deadline", func(o *runOpts) { o.barrierTimeout = 5 * time.Second }, ""},
+		{"negative pes", func(o *runOpts) { o.pes = -2 }, "at least 1"},
+		{"non-power-of-two pes", func(o *runOpts) { o.pes = 6 }, "power of two"},
+		{"interval without dir", func(o *runOpts) { o.checkpointEvery = 10 }, "-checkpoint-dir"},
+		{"negative interval", func(o *runOpts) {
+			o.checkpointEvery = -1
+			o.checkpointDir = dir
+		}, "positive"},
+		{"restarts without dir", func(o *runOpts) { o.maxRestarts = 3 }, "-checkpoint-dir"},
+		{"checkpoint on threaded", func(o *runOpts) {
+			o.backend = "threaded"
+			o.checkpointEvery = 10
+			o.checkpointDir = dir
+		}, "does not support"},
+		{"fault on single", func(o *runOpts) {
+			o.backend = "single"
+			o.faultSpec = "kill:rank=0:op=barrier:after=1"
+		}, "fault surface"},
+		{"bad fault spec", func(o *runOpts) { o.faultSpec = "explode:everything" }, "-fault"},
+		{"negative barrier timeout", func(o *runOpts) { o.barrierTimeout = -time.Second }, "negative"},
+		{"negative retries", func(o *runOpts) { o.opRetries = -1 }, "negative"},
+		{"resume from nowhere", func(o *runOpts) { o.resume = dir + "/absent" }, "-resume"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			o := validOpts()
+			tc.mutate(&o)
+			err := o.validate()
+			if tc.want == "" {
+				if err != nil {
+					t.Fatalf("unexpected %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %v, want mention of %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestResumeSchedMismatchRejected writes a real checkpoint and checks
+// the flag-level cross-validation catches a schedule mismatch.
+func TestResumeSchedMismatchRejected(t *testing.T) {
+	dir := t.TempDir()
+	c := circuit.New("probe", 5)
+	c.H(0)
+	for q := 1; q < 5; q++ {
+		c.CX(0, q)
+	}
+	c.H(1).H(2).CX(1, 3).CX(2, 4).H(0)
+	cfg := core.Config{PEs: 4, Seed: 1, CheckpointEvery: 4, CheckpointDir: dir}
+	if _, err := core.NewScaleOut(cfg).Run(c); err != nil {
+		t.Fatal(err)
+	}
+	o := validOpts()
+	o.resume = dir
+	if err := o.validate(); err != nil {
+		t.Fatalf("matching resume rejected: %v", err)
+	}
+	o.sched = "lazy"
+	err := o.validate()
+	if err == nil || !strings.Contains(err.Error(), "-sched") {
+		t.Fatalf("error %v, want mention of -sched", err)
+	}
+	o = validOpts()
+	o.resume = dir
+	o.pes = 8
+	err = o.validate()
+	if err == nil || !strings.Contains(err.Error(), "-pes") {
+		t.Fatalf("error %v, want mention of -pes", err)
+	}
+}

@@ -49,6 +49,14 @@ func main() {
 		traceFile   = flag.String("trace", "", "write a Chrome trace-event timeline (one track per PE) to FILE; view in Perfetto or chrome://tracing")
 		metricsFile = flag.String("metrics", "", "write the metrics registry (gate latency, put/get size, barrier wait histograms) as JSON to FILE")
 		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on ADDR (e.g. localhost:6060) for the duration of the run")
+
+		ckptEvery   = flag.Int("checkpoint-every", 0, "write a coordinated checkpoint every N schedule steps (0 = off; needs -checkpoint-dir)")
+		ckptDir     = flag.String("checkpoint-dir", "", "checkpoint base directory (one ckpt-<step> subdirectory per checkpoint)")
+		resume      = flag.String("resume", "", "restore from a checkpoint: a ckpt-<step> directory or a base directory (latest complete checkpoint)")
+		maxRestarts = flag.Int("max-restarts", 0, "restart from the latest checkpoint up to N times after an injected PE failure")
+		faultSpec   = flag.String("fault", "", "deterministic fault spec, e.g. 'kill:rank=1:op=barrier:after=30' or 'drop:rank=0:op=put:after=5:count=2' (semicolon-separated)")
+		barrierTmo  = flag.Duration("barrier-timeout", 0, "fail a barrier wait after this long, naming the stalled ranks (0 = wait forever)")
+		opRetries   = flag.Int("op-retries", 8, "retry budget for transiently failing one-sided operations")
 	)
 	flag.Parse()
 
@@ -69,6 +77,16 @@ func main() {
 		fatal(err)
 	}
 
+	opts := runOpts{
+		backend: *backendName, pes: *pes, sched: string(policy), seed: *seed,
+		checkpointEvery: *ckptEvery, checkpointDir: *ckptDir, resume: *resume,
+		maxRestarts: *maxRestarts, faultSpec: *faultSpec,
+		barrierTimeout: *barrierTmo, opRetries: *opRetries,
+	}
+	if err := opts.validate(); err != nil {
+		fatal(err)
+	}
+
 	ks := statevec.Vectorized
 	if *style == "scalar" {
 		ks = statevec.Scalar
@@ -78,7 +96,7 @@ func main() {
 	defer telemetry.close()
 
 	if *backendName == "mpi" {
-		runMPI(c, *pes, *seed, ks, *shots, *printState, telemetry)
+		runMPI(c, opts, ks, *shots, *printState, telemetry)
 		return
 	}
 	if *backendName == "remap" {
@@ -100,6 +118,9 @@ func main() {
 	cfg := core.Config{
 		Seed: *seed, Style: ks, PEs: *pes, Coalesced: *coalesced, Fuse: *fuse,
 		Sched: policy, Trace: telemetry.tracer, Metrics: telemetry.metrics,
+		CheckpointEvery: opts.checkpointEvery, CheckpointDir: opts.checkpointDir,
+		Resume: opts.resume, MaxRestarts: opts.maxRestarts,
+		Fault: opts.injector(), Timeouts: opts.timeouts(),
 	}
 	switch *backendName {
 	case "single":
@@ -124,6 +145,9 @@ func main() {
 	fmt.Printf("kernels : gates=%d amps=%d bytes=%d\n", res.SV.Gates, res.SV.AmpsTouched, res.SV.BytesTouched)
 	if res.PEs > 1 {
 		fmt.Printf("comm    : %s\n", res.Comm)
+	}
+	if res.Ckpt.Count > 0 || res.Recoveries > 0 {
+		fmt.Printf("ckpt    : %d checkpoint(s), %d bytes, %d recoveries\n", res.Ckpt.Count, res.Ckpt.Bytes, res.Recoveries)
 	}
 	if c.NumClbits > 0 {
 		fmt.Printf("cbits   : %0*b\n", c.NumClbits, res.Cbits)
@@ -211,8 +235,13 @@ func loadCircuit(name, file string, compact bool) (*circuit.Circuit, error) {
 	}
 }
 
-func runMPI(c *circuit.Circuit, ranks int, seed int64, ks statevec.KernelStyle, shots int, printState bool, telemetry *telemetry) {
-	cfg := mpibase.Config{Ranks: ranks, Seed: seed, Style: ks, Trace: telemetry.tracer, Metrics: telemetry.metrics}
+func runMPI(c *circuit.Circuit, opts runOpts, ks statevec.KernelStyle, shots int, printState bool, telemetry *telemetry) {
+	cfg := mpibase.Config{
+		Ranks: opts.pes, Seed: opts.seed, Style: ks,
+		Trace: telemetry.tracer, Metrics: telemetry.metrics,
+		CheckpointEvery: opts.checkpointEvery, CheckpointDir: opts.checkpointDir,
+		Resume: opts.resume, MaxRestarts: opts.maxRestarts, Fault: opts.injector(),
+	}
 	res, err := mpibase.New(cfg).Run(c)
 	if err != nil {
 		fatal(err)
@@ -221,8 +250,11 @@ func runMPI(c *circuit.Circuit, ranks int, seed int64, ks statevec.KernelStyle, 
 	fmt.Printf("backend : mpi-baseline (%d ranks)\n", res.Ranks)
 	fmt.Printf("elapsed : %v\n", res.Elapsed)
 	fmt.Printf("mpi     : %s\n", res.MPI)
+	if res.Ckpt.Count > 0 || res.Recoveries > 0 {
+		fmt.Printf("ckpt    : %d checkpoint(s), %d bytes, %d recoveries\n", res.Ckpt.Count, res.Ckpt.Bytes, res.Recoveries)
+	}
 	telemetry.flush(res.Mem)
-	report(res.State, seed, shots, printState)
+	report(res.State, opts.seed, shots, printState)
 }
 
 func report(st *statevec.State, seed int64, shots int, printState bool) {

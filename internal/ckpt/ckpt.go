@@ -1,0 +1,296 @@
+// Package ckpt implements the coordinated checkpoint format shared by
+// every SV-Sim backend: one directory per checkpoint holding a
+// CRC-validated state-vector shard per PE plus a JSON manifest carrying
+// the schedule position, RNG replay count, classical register, and (for
+// the lazy executor) the current logical-to-physical qubit permutation.
+//
+// Layout under a checkpoint base directory:
+//
+//	base/ckpt-<step>/shard-<rank>.svs   statevec serialization, one per PE
+//	base/ckpt-<step>/MANIFEST.json     written last, via tmp+rename
+//
+// The manifest's presence marks a checkpoint complete: a crash while
+// shards are being written leaves a directory without a manifest, which
+// Latest skips. Restore validates shard CRCs and sizes against the
+// manifest, so torn or bit-flipped shards surface as typed errors rather
+// than corrupt amplitudes.
+package ckpt
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"hash/fnv"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"svsim/internal/circuit"
+	"svsim/internal/statevec"
+)
+
+// Schema identifies the manifest format.
+const Schema = "svsim-ckpt/v1"
+
+const manifestName = "MANIFEST.json"
+
+// Shard describes one PE's state-vector fragment.
+type Shard struct {
+	Rank  int    `json:"rank"`
+	File  string `json:"file"`
+	Bytes int64  `json:"bytes"`
+	CRC32 uint32 `json:"crc32"`
+}
+
+// Manifest is the checkpoint metadata, written by rank 0 after every
+// shard has landed.
+type Manifest struct {
+	Schema      string `json:"schema"`
+	Backend     string `json:"backend"`
+	Circuit     string `json:"circuit"`
+	CircuitHash uint64 `json:"circuit_hash"`
+	NumQubits   int    `json:"num_qubits"`
+	PEs         int    `json:"pes"`
+	Sched       string `json:"sched"`
+	// Step counts completed schedule positions: gates for the naive
+	// schedules, plan steps for the lazy executor. Resume re-enters the
+	// loop at this index.
+	Step int   `json:"step"`
+	Seed int64 `json:"seed"`
+	// Draws is how many uniform variates each PE's replicated RNG stream
+	// has consumed; restore replays that many to re-synchronize.
+	Draws int64  `json:"rng_draws"`
+	Cbits uint64 `json:"cbits"`
+	// Perm is the lazy executor's logical-to-physical permutation at the
+	// quiesced boundary; empty for naive schedules.
+	Perm   []int   `json:"perm,omitempty"`
+	Shards []Shard `json:"shards"`
+}
+
+// Stats accumulates checkpoint activity for reporting.
+type Stats struct {
+	Count int64 // checkpoints written
+	Bytes int64 // total shard bytes
+	NS    int64 // wall time spent checkpointing
+}
+
+// Add merges o into s.
+func (s *Stats) Add(o Stats) {
+	s.Count += o.Count
+	s.Bytes += o.Bytes
+	s.NS += o.NS
+}
+
+// Fingerprint hashes the structural identity of a circuit (FNV-1a over
+// name, register sizes, and every op) so a resume against a different
+// circuit is rejected instead of producing garbage.
+func Fingerprint(c *circuit.Circuit) uint64 {
+	h := fnv.New64a()
+	buf := make([]byte, 8)
+	wu := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(v >> uint(8*i))
+		}
+		h.Write(buf)
+	}
+	io.WriteString(h, c.Name)
+	wu(uint64(c.NumQubits))
+	wu(uint64(c.NumClbits))
+	for i := range c.Ops {
+		op := &c.Ops[i]
+		wu(uint64(op.G.Kind))
+		wu(uint64(op.G.NQ))
+		for _, q := range op.G.OperandQubits() {
+			wu(uint64(q))
+		}
+		for _, p := range op.G.ParamSlice() {
+			wu(math.Float64bits(p))
+		}
+		wu(uint64(int64(op.G.Cbit)))
+		if op.Cond != nil {
+			wu(uint64(op.Cond.Offset))
+			wu(uint64(op.Cond.Width))
+			wu(op.Cond.Value)
+		}
+	}
+	return h.Sum64()
+}
+
+// StepDir names the directory of the checkpoint taken at a schedule step.
+func StepDir(base string, step int) string {
+	return filepath.Join(base, fmt.Sprintf("ckpt-%d", step))
+}
+
+// ShardFile names a rank's shard file within a checkpoint directory.
+func ShardFile(rank int) string {
+	return fmt.Sprintf("shard-%d.svs", rank)
+}
+
+// WriteShard serializes st into dir as rank's shard and returns its
+// manifest entry (size and CRC32-IEEE of the file contents).
+func WriteShard(dir string, rank int, st *statevec.State) (Shard, error) {
+	name := ShardFile(rank)
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		return Shard{}, err
+	}
+	crc := crc32.NewIEEE()
+	n, err := st.WriteTo(io.MultiWriter(f, crc))
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return Shard{}, fmt.Errorf("ckpt: writing shard %d: %w", rank, err)
+	}
+	return Shard{Rank: rank, File: name, Bytes: n, CRC32: crc.Sum32()}, nil
+}
+
+// ShardError reports a shard that failed validation on restore.
+type ShardError struct {
+	File   string
+	Reason string
+}
+
+func (e *ShardError) Error() string {
+	return fmt.Sprintf("ckpt: shard %s: %s", e.File, e.Reason)
+}
+
+// ReadShard loads and validates one shard against its manifest entry:
+// the file's CRC and size must match, and the state must carry
+// wantQubits qubits (a PE's localBits). All failures are typed.
+func ReadShard(dir string, sh Shard, wantQubits int) (*statevec.State, error) {
+	f, err := os.Open(filepath.Join(dir, sh.File))
+	if err != nil {
+		return nil, fmt.Errorf("ckpt: opening shard: %w", err)
+	}
+	defer f.Close()
+	crc := crc32.NewIEEE()
+	cr := &countReader{r: io.TeeReader(f, crc)}
+	st, err := statevec.ReadState(cr)
+	if err != nil {
+		return nil, &ShardError{File: sh.File, Reason: err.Error()}
+	}
+	// Drain any trailing bytes so size and CRC cover the whole file.
+	if _, err := io.Copy(io.Discard, cr); err != nil {
+		return nil, fmt.Errorf("ckpt: reading shard %s: %w", sh.File, err)
+	}
+	if cr.n != sh.Bytes {
+		return nil, &ShardError{File: sh.File,
+			Reason: fmt.Sprintf("size %d does not match manifest (%d bytes)", cr.n, sh.Bytes)}
+	}
+	if got := crc.Sum32(); got != sh.CRC32 {
+		return nil, &ShardError{File: sh.File,
+			Reason: fmt.Sprintf("CRC32 %08x does not match manifest (%08x)", got, sh.CRC32)}
+	}
+	if st.N != wantQubits {
+		return nil, &ShardError{File: sh.File,
+			Reason: fmt.Sprintf("shard holds %d qubits, partition needs %d", st.N, wantQubits)}
+	}
+	return st, nil
+}
+
+type countReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// WriteManifest atomically publishes the manifest into dir (tmp+rename),
+// marking the checkpoint complete.
+func WriteManifest(dir string, m *Manifest) error {
+	m.Schema = Schema
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := filepath.Join(dir, manifestName+".tmp")
+	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("ckpt: writing manifest: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, manifestName)); err != nil {
+		return fmt.Errorf("ckpt: publishing manifest: %w", err)
+	}
+	return nil
+}
+
+// ReadManifest loads and sanity-checks the manifest of one checkpoint
+// directory.
+func ReadManifest(dir string) (*Manifest, error) {
+	data, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if err != nil {
+		return nil, fmt.Errorf("ckpt: no manifest in %s: %w", dir, err)
+	}
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("ckpt: malformed manifest in %s: %w", dir, err)
+	}
+	if m.Schema != Schema {
+		return nil, fmt.Errorf("ckpt: manifest schema %q in %s, want %q", m.Schema, dir, Schema)
+	}
+	if len(m.Shards) != m.PEs {
+		return nil, fmt.Errorf("ckpt: manifest in %s lists %d shards for %d PEs", dir, len(m.Shards), m.PEs)
+	}
+	return &m, nil
+}
+
+// Resolve accepts either a specific ckpt-<step> directory or a
+// checkpoint base directory (whose latest complete checkpoint is used)
+// and returns the checkpoint directory with its manifest.
+func Resolve(dir string) (string, *Manifest, error) {
+	if m, err := ReadManifest(dir); err == nil {
+		return dir, m, nil
+	} else if _, serr := os.Stat(filepath.Join(dir, manifestName)); serr == nil {
+		return "", nil, err // manifest exists but is unreadable/invalid
+	}
+	stepDir, m, ok, err := Latest(dir)
+	if err != nil {
+		return "", nil, err
+	}
+	if !ok {
+		return "", nil, fmt.Errorf("ckpt: no complete checkpoint under %s", dir)
+	}
+	return stepDir, m, nil
+}
+
+// Latest finds the most recent complete checkpoint (highest step with a
+// manifest) under base. ok is false when none exists.
+func Latest(base string) (dir string, m *Manifest, ok bool, err error) {
+	entries, err := os.ReadDir(base)
+	if os.IsNotExist(err) {
+		return "", nil, false, nil
+	}
+	if err != nil {
+		return "", nil, false, err
+	}
+	best := -1
+	for _, e := range entries {
+		if !e.IsDir() || !strings.HasPrefix(e.Name(), "ckpt-") {
+			continue
+		}
+		step, perr := strconv.Atoi(strings.TrimPrefix(e.Name(), "ckpt-"))
+		if perr != nil || step <= best {
+			continue
+		}
+		if _, serr := os.Stat(filepath.Join(base, e.Name(), manifestName)); serr != nil {
+			continue // incomplete: crashed mid-write
+		}
+		best = step
+	}
+	if best < 0 {
+		return "", nil, false, nil
+	}
+	dir = StepDir(base, best)
+	m, err = ReadManifest(dir)
+	if err != nil {
+		return "", nil, false, err
+	}
+	return dir, m, true, nil
+}

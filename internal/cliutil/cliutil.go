@@ -1,0 +1,108 @@
+// Package cliutil validates flag combinations shared by the svsim and
+// svbench command lines, so misconfigurations fail fast with messages
+// that name the offending flag instead of surfacing later as a
+// mid-run backend error (or worse, after minutes of simulation).
+package cliutil
+
+import (
+	"fmt"
+	"os"
+
+	"svsim/internal/ckpt"
+)
+
+// ckptBackends are the backends with checkpoint/restore support.
+var ckptBackends = map[string]bool{
+	"single":    true,
+	"scale-up":  true,
+	"scale-out": true,
+	"mpi":       true,
+}
+
+// ValidatePEs rejects PE/rank counts the distributed backends cannot
+// partition a state vector across.
+func ValidatePEs(pes int) error {
+	if pes < 1 {
+		return fmt.Errorf("-pes %d: PE count must be at least 1", pes)
+	}
+	if pes&(pes-1) != 0 {
+		return fmt.Errorf("-pes %d: PE count must be a power of two", pes)
+	}
+	return nil
+}
+
+// ValidateCheckpointing checks the checkpoint flag combination for a
+// backend: intervals need a directory, the directory must be writable
+// (probed by creating it and touching a file), and the backend must
+// support checkpoint/restore at all.
+func ValidateCheckpointing(backend string, every int, dir, resume string, maxRestarts int) error {
+	if every == 0 && dir == "" && resume == "" && maxRestarts == 0 {
+		return nil // checkpointing entirely off
+	}
+	if !ckptBackends[backend] {
+		return fmt.Errorf("backend %q does not support checkpoint/restore (supported: single, scale-up, scale-out, mpi)", backend)
+	}
+	if every < 0 {
+		return fmt.Errorf("-checkpoint-every %d: interval must be positive", every)
+	}
+	if maxRestarts < 0 {
+		return fmt.Errorf("-max-restarts %d: restart budget cannot be negative", maxRestarts)
+	}
+	if every > 0 && dir == "" {
+		return fmt.Errorf("-checkpoint-every %d needs -checkpoint-dir to say where checkpoints go", every)
+	}
+	if maxRestarts > 0 && dir == "" {
+		return fmt.Errorf("-max-restarts %d needs -checkpoint-dir: recovery restarts from the latest checkpoint there", maxRestarts)
+	}
+	if dir != "" {
+		if err := EnsureWritableDir(dir); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// EnsureWritableDir creates dir if needed and probes that a file can be
+// created in it, so an unwritable checkpoint target fails before the
+// run instead of at the first checkpoint.
+func EnsureWritableDir(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("checkpoint dir %s: %v", dir, err)
+	}
+	f, err := os.CreateTemp(dir, ".writable-*")
+	if err != nil {
+		return fmt.Errorf("checkpoint dir %s is not writable: %v", dir, err)
+	}
+	name := f.Name()
+	f.Close()
+	os.Remove(name)
+	return nil
+}
+
+// ValidateResume cross-checks a -resume target against the run flags
+// before any state is allocated: the checkpoint's backend, PE count, and
+// schedule must match what the command line asks for. The backends
+// re-validate (including the circuit fingerprint), but here the error
+// can name the flag to change.
+func ValidateResume(resume, backend string, pes int, schedName string) error {
+	if resume == "" {
+		return nil
+	}
+	if !ckptBackends[backend] {
+		return fmt.Errorf("backend %q does not support checkpoint/restore (supported: single, scale-up, scale-out, mpi)", backend)
+	}
+	_, m, err := ckpt.Resolve(resume)
+	if err != nil {
+		return fmt.Errorf("-resume %s: %v", resume, err)
+	}
+	if m.Backend != backend {
+		return fmt.Errorf("-resume checkpoint was taken by backend %q; rerun with -backend %s (got -backend %s)", m.Backend, m.Backend, backend)
+	}
+	if m.PEs != pes {
+		return fmt.Errorf("-resume checkpoint used %d PEs; rerun with -pes %d (got -pes %d)", m.PEs, m.PEs, pes)
+	}
+	if m.Backend != "mpi" && m.Sched != schedName {
+		return fmt.Errorf("-resume checkpoint used the %q schedule; rerun with -sched %s (got -sched %s)", m.Sched, m.Sched, schedName)
+	}
+	return nil
+}

@@ -1,0 +1,149 @@
+package cliutil
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"svsim/internal/circuit"
+	"svsim/internal/ckpt"
+	"svsim/internal/core"
+)
+
+func TestValidatePEs(t *testing.T) {
+	for _, ok := range []int{1, 2, 4, 8, 64} {
+		if err := ValidatePEs(ok); err != nil {
+			t.Errorf("pes=%d: unexpected %v", ok, err)
+		}
+	}
+	cases := []struct {
+		pes  int
+		want string
+	}{
+		{0, "at least 1"},
+		{-4, "at least 1"},
+		{3, "power of two"},
+		{12, "power of two"},
+	}
+	for _, c := range cases {
+		err := ValidatePEs(c.pes)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("pes=%d: error %v, want mention of %q", c.pes, err, c.want)
+		}
+	}
+}
+
+func TestValidateCheckpointing(t *testing.T) {
+	dir := t.TempDir()
+	cases := []struct {
+		name        string
+		backend     string
+		every       int
+		dir, resume string
+		maxRestarts int
+		want        string // empty = valid
+	}{
+		{"all off", "threaded", 0, "", "", 0, ""},
+		{"basic on", "scale-out", 10, dir, "", 2, ""},
+		{"dir only", "single", 0, dir, "", 0, ""},
+		{"negative interval", "scale-out", -5, dir, "", 0, "must be positive"},
+		{"negative restarts", "scale-out", 10, dir, "", -1, "cannot be negative"},
+		{"interval without dir", "scale-out", 10, "", "", 0, "-checkpoint-dir"},
+		{"restarts without dir", "scale-out", 0, "", "", 3, "-checkpoint-dir"},
+		{"unsupported backend", "threaded", 10, dir, "", 0, "does not support"},
+		{"unsupported backend remap", "remap", 10, dir, "", 0, "does not support"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := ValidateCheckpointing(c.backend, c.every, c.dir, c.resume, c.maxRestarts)
+			if c.want == "" {
+				if err != nil {
+					t.Fatalf("unexpected %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("error %v, want mention of %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestEnsureWritableDirCreatesAndProbes(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "a", "b")
+	if err := EnsureWritableDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	if fi, err := os.Stat(dir); err != nil || !fi.IsDir() {
+		t.Fatalf("dir not created: %v", err)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 0 {
+		t.Fatalf("probe file left behind: %v", ents)
+	}
+}
+
+func TestEnsureWritableDirRejectsReadOnly(t *testing.T) {
+	if os.Geteuid() == 0 {
+		t.Skip("root ignores permission bits")
+	}
+	parent := t.TempDir()
+	ro := filepath.Join(parent, "ro")
+	if err := os.Mkdir(ro, 0o555); err != nil {
+		t.Fatal(err)
+	}
+	if err := EnsureWritableDir(ro); err == nil {
+		t.Fatal("expected a writability error")
+	}
+}
+
+// TestValidateResume exercises the flag cross-checks against a real
+// checkpoint written by the scale-out backend.
+func TestValidateResume(t *testing.T) {
+	dir := t.TempDir()
+	c := circuit.New("probe", 5)
+	c.H(0)
+	for q := 1; q < 5; q++ {
+		c.CX(0, q)
+	}
+	c.H(1).H(2).H(3).H(4).CX(1, 3).CX(2, 4).H(0)
+	cfg := core.Config{PEs: 4, Seed: 1, CheckpointEvery: 4, CheckpointDir: dir}
+	if _, err := core.NewScaleOut(cfg).Run(c); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ckpt.Resolve(dir); err != nil {
+		t.Fatalf("no checkpoint to validate against: %v", err)
+	}
+	if err := ValidateResume(dir, "scale-out", 4, "naive"); err != nil {
+		t.Fatalf("matching resume rejected: %v", err)
+	}
+	cases := []struct {
+		name    string
+		backend string
+		pes     int
+		sched   string
+		want    string
+	}{
+		{"backend mismatch", "scale-up", 4, "naive", "-backend"},
+		{"pes mismatch", "scale-out", 8, "naive", "-pes"},
+		{"sched mismatch", "scale-out", 4, "lazy", "-sched"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := ValidateResume(dir, tc.backend, tc.pes, tc.sched)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %v, want mention of %q", err, tc.want)
+			}
+		})
+	}
+	if err := ValidateResume(filepath.Join(dir, "nope"), "scale-out", 4, "naive"); err == nil {
+		t.Fatal("missing resume dir accepted")
+	}
+	if err := ValidateResume("", "anything", 0, ""); err != nil {
+		t.Fatalf("empty resume should be a no-op, got %v", err)
+	}
+}

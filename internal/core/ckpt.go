@@ -1,0 +1,254 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"time"
+
+	"svsim/internal/circuit"
+	"svsim/internal/ckpt"
+	"svsim/internal/fault"
+	"svsim/internal/obs"
+	"svsim/internal/pgas"
+	"svsim/internal/sched"
+	"svsim/internal/statevec"
+)
+
+// Coordinated checkpoint/restore and the failure-recovery loop shared by
+// the distributed executors (dist.go naive, lazy.go scheduled) and, in
+// degenerate single-PE form, the single-device backend.
+
+// RunFailure is the structured terminal error of a distributed run that
+// could not be completed: the PE failure (or other root cause) survives
+// in Cause, and Attempts records how many executions were tried
+// (1 = no recovery was possible or configured).
+type RunFailure struct {
+	Backend  string
+	Attempts int
+	Cause    error
+}
+
+func (e *RunFailure) Error() string {
+	return fmt.Sprintf("core: %s run failed after %d attempt(s): %v", e.Backend, e.Attempts, e.Cause)
+}
+
+// Unwrap exposes the root cause.
+func (e *RunFailure) Unwrap() error { return e.Cause }
+
+// recoverable reports whether err is a PE failure worth restarting from
+// a checkpoint: an injected kill, a stalled barrier, or an exhausted
+// one-sided retry budget. Checkpoint I/O errors and plain validation
+// errors are terminal.
+func recoverable(err error) bool {
+	var ke *fault.KillError
+	var bte *pgas.BarrierTimeoutError
+	var ote *pgas.OpTimeoutError
+	return errors.As(err, &ke) || errors.As(err, &bte) || errors.As(err, &ote)
+}
+
+// ckptWriter drives the coordinated checkpoint protocol inside an SPMD
+// region. One instance is shared by all PEs of a run; the cross-PE slots
+// are synchronized by the protocol's barriers.
+type ckptWriter struct {
+	every int
+	dir   string
+	man   ckpt.Manifest // immutable template fields (backend, circuit, ...)
+
+	// Per-attempt cross-PE scratch.
+	stepDir  string
+	mkdirErr error
+	shards   []ckpt.Shard
+	errs     []error
+	t0       time.Time
+
+	stats ckpt.Stats
+
+	// Optional metrics, nil-safe.
+	mCount *obs.Counter
+	mBytes *obs.Counter
+	mNS    *obs.Counter
+}
+
+// newCkptWriter returns nil when checkpointing is off.
+func newCkptWriter(cfg Config, backend string, c *circuit.Circuit, p int) *ckptWriter {
+	if cfg.CheckpointEvery <= 0 || cfg.CheckpointDir == "" {
+		return nil
+	}
+	w := &ckptWriter{
+		every: cfg.CheckpointEvery,
+		dir:   cfg.CheckpointDir,
+		man: ckpt.Manifest{
+			Backend:     backend,
+			Circuit:     c.Name,
+			CircuitHash: ckpt.Fingerprint(c),
+			NumQubits:   c.NumQubits,
+			PEs:         p,
+			Sched:       schedName(cfg.Sched),
+			Seed:        cfg.Seed,
+		},
+		shards: make([]ckpt.Shard, p),
+		errs:   make([]error, p),
+	}
+	if cfg.Metrics != nil {
+		w.mCount = cfg.Metrics.Counter(obs.MetricCkptCount)
+		w.mBytes = cfg.Metrics.Counter(obs.MetricCkptBytes)
+		w.mNS = cfg.Metrics.Counter(obs.MetricCkptNS)
+	}
+	return w
+}
+
+// due reports whether a checkpoint should be taken before schedule step
+// (i.e. with step positions [0, step) completed).
+func (w *ckptWriter) due(step int) bool {
+	return w != nil && step > 0 && step%w.every == 0
+}
+
+// write runs the coordinated checkpoint protocol; every PE must call it
+// at the same schedule position. The region quiesces at a barrier, each
+// PE writes its shard, and rank 0 publishes the manifest (tmp+rename)
+// only after every shard has landed, so an interrupted checkpoint is
+// never mistaken for a complete one. Any I/O error aborts the run as a
+// terminal (non-recoverable) failure.
+func (w *ckptWriter) write(pe *pgas.PE, local *statevec.State, step int, cbits uint64, draws int64, perm circuit.Permutation) {
+	pe.Barrier() // quiesce: all in-flight one-sided writes are visible
+	if pe.Rank == 0 {
+		w.t0 = time.Now()
+		w.stepDir = ckpt.StepDir(w.dir, step)
+		w.mkdirErr = os.MkdirAll(w.stepDir, 0o755)
+	}
+	pe.Barrier()
+	if w.mkdirErr != nil {
+		if pe.Rank == 0 {
+			pe.Fail(fmt.Errorf("core: checkpoint at step %d: %w", step, w.mkdirErr))
+		}
+		return // peers unwind at their next barrier
+	}
+	w.shards[pe.Rank], w.errs[pe.Rank] = ckpt.WriteShard(w.stepDir, pe.Rank, local)
+	pe.Barrier()
+	if pe.Rank != 0 {
+		pe.Barrier() // matches rank 0's post-manifest barrier below
+		return
+	}
+	for r, err := range w.errs {
+		if err != nil {
+			pe.Fail(fmt.Errorf("core: checkpoint at step %d (rank %d): %w", step, r, err))
+		}
+	}
+	m := w.man // copy the template
+	m.Step = step
+	m.Cbits = cbits
+	m.Draws = draws
+	if perm != nil {
+		m.Perm = append([]int(nil), perm...)
+	}
+	m.Shards = append([]ckpt.Shard(nil), w.shards...)
+	if err := ckpt.WriteManifest(w.stepDir, &m); err != nil {
+		pe.Fail(fmt.Errorf("core: checkpoint at step %d: %w", step, err))
+	}
+	var bytes int64
+	for _, sh := range w.shards {
+		bytes += sh.Bytes
+	}
+	ns := time.Since(w.t0).Nanoseconds()
+	w.stats.Count++
+	w.stats.Bytes += bytes
+	w.stats.NS += ns
+	w.mCount.Add(1)
+	w.mBytes.Add(bytes)
+	w.mNS.Add(ns)
+	pe.Barrier() // nobody proceeds until the checkpoint is published
+}
+
+// schedName normalizes a policy for manifest comparison (the zero value
+// means naive).
+func schedName(p sched.Policy) string {
+	if p == "" {
+		return string(sched.Naive)
+	}
+	return string(p)
+}
+
+// writeLocal is the single-PE (no comm) form of the checkpoint protocol
+// used by the single-device backend.
+func (w *ckptWriter) writeLocal(st *statevec.State, step int, cbits uint64, draws int64) error {
+	t0 := time.Now()
+	dir := ckpt.StepDir(w.dir, step)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("core: checkpoint at step %d: %w", step, err)
+	}
+	sh, err := ckpt.WriteShard(dir, 0, st)
+	if err != nil {
+		return fmt.Errorf("core: checkpoint at step %d: %w", step, err)
+	}
+	m := w.man
+	m.Step = step
+	m.Cbits = cbits
+	m.Draws = draws
+	m.Shards = []ckpt.Shard{sh}
+	if err := ckpt.WriteManifest(dir, &m); err != nil {
+		return fmt.Errorf("core: checkpoint at step %d: %w", step, err)
+	}
+	ns := time.Since(t0).Nanoseconds()
+	w.stats.Count++
+	w.stats.Bytes += sh.Bytes
+	w.stats.NS += ns
+	w.mCount.Add(1)
+	w.mBytes.Add(sh.Bytes)
+	w.mNS.Add(ns)
+	return nil
+}
+
+// resolveResume accepts either a specific ckpt-<step> directory or a
+// checkpoint base directory (whose latest complete checkpoint is used)
+// and returns the manifest.
+func resolveResume(dir string) (string, *ckpt.Manifest, error) {
+	return ckpt.Resolve(dir)
+}
+
+// validateManifest rejects a resume against a run configuration that
+// does not match the checkpointed one.
+func validateManifest(m *ckpt.Manifest, backend string, c *circuit.Circuit, p int, pol sched.Policy) error {
+	if m.Backend != backend {
+		return fmt.Errorf("core: checkpoint was taken by backend %q, resuming on %q", m.Backend, backend)
+	}
+	if m.PEs != p {
+		return fmt.Errorf("core: checkpoint used %d PEs, run has %d", m.PEs, p)
+	}
+	if m.Sched != schedName(pol) {
+		return fmt.Errorf("core: checkpoint used sched %q, run has %q", m.Sched, schedName(pol))
+	}
+	if m.NumQubits != c.NumQubits {
+		return fmt.Errorf("core: checkpoint holds %d qubits, circuit has %d", m.NumQubits, c.NumQubits)
+	}
+	if got := ckpt.Fingerprint(c); m.CircuitHash != got {
+		return fmt.Errorf("core: checkpoint was taken for circuit %q (hash %016x), current circuit hashes %016x",
+			m.Circuit, m.CircuitHash, got)
+	}
+	return nil
+}
+
+// restoreShards loads every validated shard into the symmetric heap
+// partitions.
+func restoreShards(dir string, m *ckpt.Manifest, svRe, svIm *pgas.SymF64, localBits int) error {
+	for _, sh := range m.Shards {
+		if sh.Rank < 0 || sh.Rank >= m.PEs {
+			return fmt.Errorf("core: manifest shard rank %d out of range", sh.Rank)
+		}
+		st, err := ckpt.ReadShard(dir, sh, localBits)
+		if err != nil {
+			return err
+		}
+		copy(svRe.PartitionUnsafe(sh.Rank), st.Re)
+		copy(svIm.PartitionUnsafe(sh.Rank), st.Im)
+	}
+	return nil
+}
+
+// replayDraws advances a replicated RNG stream past the draws already
+// consumed before the checkpoint.
+func replayDraws(rng interface{ Float64() float64 }, n int64) {
+	for i := int64(0); i < n; i++ {
+		rng.Float64()
+	}
+}

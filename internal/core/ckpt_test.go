@@ -1,0 +1,284 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"svsim/internal/circuit"
+	"svsim/internal/ckpt"
+	"svsim/internal/fault"
+	"svsim/internal/sched"
+)
+
+// faultSeed lets CI sweep the injector seed (SVSIM_FAULT_SEED).
+func faultSeed(t *testing.T) int64 {
+	t.Helper()
+	s := os.Getenv("SVSIM_FAULT_SEED")
+	if s == "" {
+		return 1
+	}
+	v, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		t.Fatalf("bad SVSIM_FAULT_SEED %q: %v", s, err)
+	}
+	return v
+}
+
+// ckptTestDir places checkpoints under SVSIM_CKPT_ARTIFACT_DIR when set
+// (so CI can upload manifests of failed runs), else in a temp dir.
+func ckptTestDir(t *testing.T) string {
+	t.Helper()
+	base := os.Getenv("SVSIM_CKPT_ARTIFACT_DIR")
+	if base == "" {
+		return t.TempDir()
+	}
+	d := filepath.Join(base, strings.ReplaceAll(t.Name(), "/", "_"))
+	if err := os.MkdirAll(d, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func measuredCircuit(seed int64, n, gates int) *circuit.Circuit {
+	rng := rand.New(rand.NewSource(seed))
+	c := randomCircuit(rng, n, gates)
+	c.Measure(n-1, 0)
+	c.Measure(0, 1)
+	return c
+}
+
+// TestCrashEquivalence is the kill-and-restore property: a run killed at
+// a gate boundary and auto-restarted from its last checkpoint finishes
+// bit-identical to an uninterrupted run — same amplitudes, same
+// classical bits — on every distributed backend and both schedules (the
+// lazy executor additionally restores its qubit permutation from the
+// manifest).
+func TestCrashEquivalence(t *testing.T) {
+	seed := faultSeed(t)
+	c := measuredCircuit(31, 6, 60)
+	backends := []struct {
+		name string
+		run  func(Config) (*Result, error)
+	}{
+		{"scale-up", func(cfg Config) (*Result, error) { return NewScaleUp(cfg).Run(c) }},
+		{"scale-out", func(cfg Config) (*Result, error) { return NewScaleOut(cfg).Run(c) }},
+	}
+	for _, b := range backends {
+		for _, pol := range []sched.Policy{sched.Naive, sched.Lazy} {
+			t.Run(b.name+"/"+string(pol), func(t *testing.T) {
+				base := Config{PEs: 4, Seed: 7, Sched: pol}
+				ref, err := b.run(base)
+				if err != nil {
+					t.Fatal(err)
+				}
+				in := fault.NewInjector(seed)
+				in.KillAt(1, fault.Barrier, 30)
+				cfg := base
+				cfg.Fault = in
+				cfg.CheckpointEvery = 5
+				cfg.CheckpointDir = ckptTestDir(t)
+				cfg.MaxRestarts = 2
+				got, err := b.run(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got.Recoveries != 1 {
+					t.Fatalf("want 1 recovery, got %d", got.Recoveries)
+				}
+				if got.Ckpt.Count == 0 {
+					t.Fatal("expected checkpoints to be written")
+				}
+				if d := got.State.MaxAbsDiff(ref.State); d != 0 {
+					t.Fatalf("recovered run deviates by %g (want bit-identical)", d)
+				}
+				if got.Cbits != ref.Cbits {
+					t.Fatalf("cbits %b vs %b", got.Cbits, ref.Cbits)
+				}
+			})
+		}
+	}
+}
+
+// TestSingleDeviceResume checks the degenerate single-PE form: a
+// checkpointed run resumed from disk matches an uninterrupted one.
+func TestSingleDeviceResume(t *testing.T) {
+	c := measuredCircuit(32, 6, 50)
+	ref, err := NewSingleDevice(Config{Seed: 13}).Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := ckptTestDir(t)
+	mid, err := NewSingleDevice(Config{Seed: 13, CheckpointEvery: 20, CheckpointDir: dir}).Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mid.Ckpt.Count == 0 {
+		t.Fatal("expected checkpoints to be written")
+	}
+	got, err := NewSingleDevice(Config{Seed: 13, Resume: dir}).Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := got.State.MaxAbsDiff(ref.State); d != 0 {
+		t.Fatalf("resumed run deviates by %g", d)
+	}
+	if got.Cbits != ref.Cbits {
+		t.Fatalf("cbits %b vs %b", got.Cbits, ref.Cbits)
+	}
+}
+
+// TestDistributedResumeExplicit resumes a distributed run explicitly (no
+// fault) from a checkpoint base directory.
+func TestDistributedResumeExplicit(t *testing.T) {
+	c := measuredCircuit(33, 6, 50)
+	for _, pol := range []sched.Policy{sched.Naive, sched.Lazy} {
+		t.Run(string(pol), func(t *testing.T) {
+			base := Config{PEs: 4, Seed: 17, Sched: pol}
+			ref, err := NewScaleOut(base).Run(c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dir := ckptTestDir(t)
+			cfg := base
+			cfg.CheckpointEvery = 15
+			cfg.CheckpointDir = dir
+			if _, err := NewScaleOut(cfg).Run(c); err != nil {
+				t.Fatal(err)
+			}
+			rcfg := base
+			rcfg.Resume = dir
+			got, err := NewScaleOut(rcfg).Run(c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d := got.State.MaxAbsDiff(ref.State); d != 0 {
+				t.Fatalf("resumed run deviates by %g", d)
+			}
+			if got.Cbits != ref.Cbits {
+				t.Fatalf("cbits %b vs %b", got.Cbits, ref.Cbits)
+			}
+		})
+	}
+}
+
+// TestRunFailureWhenNoCheckpoint checks the structured terminal failure
+// when a rank dies with recovery unconfigured.
+func TestRunFailureWhenNoCheckpoint(t *testing.T) {
+	c := measuredCircuit(34, 6, 40)
+	in := fault.NewInjector(faultSeed(t))
+	in.KillAt(0, fault.Barrier, 10)
+	_, err := NewScaleUp(Config{PEs: 4, Seed: 7, Fault: in}).Run(c)
+	var rf *RunFailure
+	if !errors.As(err, &rf) {
+		t.Fatalf("want *RunFailure, got %T: %v", err, err)
+	}
+	if rf.Attempts != 1 {
+		t.Fatalf("want 1 attempt, got %d", rf.Attempts)
+	}
+	var ke *fault.KillError
+	if !errors.As(err, &ke) {
+		t.Fatalf("cause should unwrap to the kill, got %v", err)
+	}
+}
+
+// TestRunFailureWhenRestartsExhausted kills the same rank repeatedly so
+// recovery runs out of restart budget.
+func TestRunFailureWhenRestartsExhausted(t *testing.T) {
+	c := measuredCircuit(35, 6, 60)
+	in := fault.NewInjector(faultSeed(t))
+	// Fire on every barrier from the 30th on: each restart dies again.
+	in.Arm(fault.Fault{Rank: 1, Op: fault.Barrier, Kind: fault.Kill, After: 30, Count: 1 << 30})
+	_, err := NewScaleOut(Config{
+		PEs: 4, Seed: 7, Sched: sched.Lazy, Fault: in,
+		CheckpointEvery: 5, CheckpointDir: ckptTestDir(t), MaxRestarts: 2,
+	}).Run(c)
+	var rf *RunFailure
+	if !errors.As(err, &rf) {
+		t.Fatalf("want *RunFailure, got %T: %v", err, err)
+	}
+	if rf.Attempts != 3 { // initial + 2 restarts
+		t.Fatalf("want 3 attempts, got %d", rf.Attempts)
+	}
+}
+
+// TestResumeValidationRejectsMismatch covers the manifest checks.
+func TestResumeValidationRejectsMismatch(t *testing.T) {
+	c := measuredCircuit(36, 6, 40)
+	dir := ckptTestDir(t)
+	cfg := Config{PEs: 4, Seed: 7, Sched: sched.Naive, CheckpointEvery: 10, CheckpointDir: dir}
+	if _, err := NewScaleOut(cfg).Run(c); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		run  func() error
+		want string
+	}{
+		{"wrong pes", func() error {
+			_, err := NewScaleOut(Config{PEs: 2, Seed: 7, Resume: dir}).Run(c)
+			return err
+		}, "PEs"},
+		{"wrong sched", func() error {
+			_, err := NewScaleOut(Config{PEs: 4, Seed: 7, Sched: sched.Lazy, Resume: dir}).Run(c)
+			return err
+		}, "sched"},
+		{"wrong backend", func() error {
+			_, err := NewScaleUp(Config{PEs: 4, Seed: 7, Resume: dir}).Run(c)
+			return err
+		}, "backend"},
+		{"wrong circuit", func() error {
+			c2 := measuredCircuit(99, 6, 40)
+			_, err := NewScaleOut(Config{PEs: 4, Seed: 7, Resume: dir}).Run(c2)
+			return err
+		}, "circuit"},
+		{"missing dir", func() error {
+			_, err := NewScaleOut(Config{PEs: 4, Seed: 7, Resume: filepath.Join(dir, "absent")}).Run(c)
+			return err
+		}, "checkpoint"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.run()
+			if err == nil {
+				t.Fatal("expected a validation error")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestCorruptShardRejectedOnResume flips one byte in a shard and checks
+// the CRC validation surfaces a typed ShardError.
+func TestCorruptShardRejectedOnResume(t *testing.T) {
+	c := measuredCircuit(37, 6, 40)
+	dir := ckptTestDir(t)
+	cfg := Config{PEs: 4, Seed: 7, CheckpointEvery: 10, CheckpointDir: dir}
+	if _, err := NewScaleOut(cfg).Run(c); err != nil {
+		t.Fatal(err)
+	}
+	step, m, ok, err := ckpt.Latest(dir)
+	if err != nil || !ok {
+		t.Fatalf("no checkpoint: ok=%v err=%v", ok, err)
+	}
+	shard := filepath.Join(step, m.Shards[2].File)
+	data, err := os.ReadFile(shard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x40
+	if err := os.WriteFile(shard, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = NewScaleOut(Config{PEs: 4, Seed: 7, Resume: dir}).Run(c)
+	var se *ckpt.ShardError
+	if !errors.As(err, &se) {
+		t.Fatalf("want *ckpt.ShardError, got %T: %v", err, err)
+	}
+}

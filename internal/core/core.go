@@ -11,6 +11,8 @@ import (
 	"time"
 
 	"svsim/internal/circuit"
+	"svsim/internal/ckpt"
+	"svsim/internal/fault"
 	"svsim/internal/obs"
 	"svsim/internal/pgas"
 	"svsim/internal/sched"
@@ -50,6 +52,28 @@ type Config struct {
 	// gate kind and — through the pgas substrate — put/get size and
 	// barrier wait-time distributions. Nil disables collection.
 	Metrics *obs.Metrics
+
+	// CheckpointEvery, when > 0 together with CheckpointDir, writes a
+	// coordinated checkpoint every that many schedule steps (gates for
+	// the naive schedules, plan steps for the lazy executor).
+	CheckpointEvery int
+	// CheckpointDir is the checkpoint base directory; each checkpoint
+	// becomes a ckpt-<step> subdirectory holding per-PE shards and a
+	// manifest.
+	CheckpointDir string
+	// Resume, when non-empty, restores the run from a checkpoint before
+	// executing: either a specific ckpt-<step> directory or a base
+	// directory whose latest complete checkpoint is used.
+	Resume string
+	// Fault, when non-nil, injects deterministic faults into the
+	// communication substrate (see internal/fault).
+	Fault *fault.Injector
+	// Timeouts configures barrier deadlines and one-sided retry budgets
+	// for the distributed backends; the zero value waits forever.
+	Timeouts pgas.Timeouts
+	// MaxRestarts bounds how many times a run is restarted from its last
+	// checkpoint after a PE failure before giving up with a RunFailure.
+	MaxRestarts int
 }
 
 // observed reports whether any observability sink is attached.
@@ -76,6 +100,10 @@ type Result struct {
 	// Mem is a post-run runtime memory snapshot, captured only when the
 	// run had tracing or metrics attached (nil otherwise).
 	Mem *obs.MemSnapshot
+	// Ckpt counts the checkpoints this run wrote.
+	Ckpt ckpt.Stats
+	// Recoveries counts restarts from a checkpoint after PE failures.
+	Recoveries int
 }
 
 // Backend runs circuits. Implementations: SingleDevice, ScaleUp, ScaleOut.

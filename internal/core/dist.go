@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"svsim/internal/circuit"
+	"svsim/internal/ckpt"
 	"svsim/internal/fusion"
 	"svsim/internal/gate"
 	"svsim/internal/obs"
@@ -50,6 +51,9 @@ type distSim struct {
 	bound      []boundDistGate
 	perPE      []peRun
 
+	ck    *ckptWriter // nil when checkpointing is off
+	start int         // first gate index to execute (non-zero on resume)
+
 	trace *obs.Tracer // nil when tracing is off
 	gm    *gateObs    // nil when metrics are off
 }
@@ -68,11 +72,18 @@ type boundDistGate struct {
 type peRun struct {
 	local *statevec.State // wrapper over the PE's partition
 	rng   *rand.Rand
+	draws int64 // uniform variates consumed, for checkpointed RNG replay
 	cbits uint64
 	extra statevec.Stats // state-vector work done outside the wrapper
 	bufRe []float64      // coalesced-exchange scratch
 	bufIm []float64
 	_     [64]byte
+}
+
+// draw consumes one uniform variate from the replicated stream.
+func (run *peRun) draw() float64 {
+	run.draws++
+	return run.rng.Float64()
 }
 
 func newDistSim(name string, cfg Config, c *circuit.Circuit) (*distSim, error) {
@@ -99,6 +110,9 @@ func newDistSim(name string, cfg Config, c *circuit.Circuit) (*distSim, error) {
 	d.S = d.dim / p
 	d.localBits = n - d.k
 	d.comm = pgas.NewComm(p)
+	d.comm.SetFault(cfg.Fault)
+	d.comm.SetTimeouts(cfg.Timeouts)
+	d.ck = newCkptWriter(cfg, name, c, p)
 	d.trace = cfg.Trace
 	if cfg.Metrics != nil {
 		d.comm.SetMetrics(cfg.Metrics)
@@ -138,6 +152,25 @@ func newDistSim(name string, cfg Config, c *circuit.Circuit) (*distSim, error) {
 			bufIm: make([]float64, d.S),
 		}
 	}
+	if cfg.Resume != "" {
+		dir, m, err := resolveResume(cfg.Resume)
+		if err != nil {
+			return nil, err
+		}
+		if err := validateManifest(m, name, c, p, cfg.Sched); err != nil {
+			return nil, err
+		}
+		if err := restoreShards(dir, m, d.svRe, d.svIm, d.localBits); err != nil {
+			return nil, err
+		}
+		for r := range d.perPE {
+			run := &d.perPE[r]
+			run.cbits = m.Cbits
+			replayDraws(run.rng, m.Draws)
+			run.draws = m.Draws
+		}
+		d.start = m.Step
+	}
 	return d, nil
 }
 
@@ -150,12 +183,15 @@ func log2(p int) int {
 }
 
 // run executes the bound circuit SPMD and returns the gathered result.
-func (d *distSim) run() *Result {
+func (d *distSim) run() (*Result, error) {
 	start := time.Now()
-	d.comm.Run(func(pe *pgas.PE) {
+	err := d.comm.RunChecked(func(pe *pgas.PE) {
 		run := &d.perPE[pe.Rank]
 		trk := d.trace.Track(pe.Rank)
-		for t := range d.bound {
+		for t := d.start; t < len(d.bound); t++ {
+			if t > d.start && d.ck.due(t) {
+				d.ck.write(pe, run.local, t, run.cbits, run.draws, nil)
+			}
 			bg := &d.bound[t]
 			if !condSatisfied(bg.cond, run.cbits) {
 				// All PEs hold identical cbits, so all skip together; no
@@ -187,6 +223,9 @@ func (d *distSim) run() *Result {
 			}
 		}
 	})
+	if err != nil {
+		return nil, err
+	}
 	elapsed := time.Since(start)
 
 	st := statevec.New(d.n)
@@ -200,6 +239,9 @@ func (d *distSim) run() *Result {
 		Elapsed: elapsed,
 		PEs:     d.p,
 	}
+	if d.ck != nil {
+		res.Ckpt = d.ck.stats
+	}
 	for r := range d.perPE {
 		res.SV.Add(d.perPE[r].local.Stats)
 		res.SV.Add(d.perPE[r].extra)
@@ -207,7 +249,7 @@ func (d *distSim) run() *Result {
 	if d.trace != nil || d.gm != nil {
 		res.Mem = obs.TakeMemSnapshot()
 	}
-	return res
+	return res, nil
 }
 
 func (d *distSim) execOp(pe *pgas.PE, run *peRun, bg *boundDistGate) {
@@ -474,7 +516,7 @@ func (d *distSim) measure(pe *pgas.PE, run *peRun, q int) int {
 		}
 	}
 	p1 := pe.AllReduceSum(partial)
-	r := run.rng.Float64()
+	r := run.draw()
 	outcome := 0
 	if r < p1 {
 		outcome = 1
@@ -513,7 +555,29 @@ func (d *distSim) measure(pe *pgas.PE, run *peRun, q int) int {
 	return outcome
 }
 
-// runDistributed builds and executes a distributed simulation.
+// runDistOnce builds and executes one attempt of a distributed
+// simulation (the circuit is already validated and fused).
+func runDistOnce(name string, cfg Config, c *circuit.Circuit) (*Result, error) {
+	if cfg.Sched == sched.Lazy && cfg.PEs > 1 {
+		l, err := newLazySim(name, cfg, c)
+		if err != nil {
+			return nil, err
+		}
+		return l.run()
+	}
+	d, err := newDistSim(name, cfg, c)
+	if err != nil {
+		return nil, err
+	}
+	return d.run()
+}
+
+// runDistributed builds and executes a distributed simulation, driving
+// the graceful-degradation loop: a recoverable PE failure (injected
+// kill, stalled barrier, exhausted retry budget) restarts the run from
+// its latest complete checkpoint up to cfg.MaxRestarts times; without a
+// checkpoint to restart from, or past the budget, the run reports a
+// structured RunFailure.
 func runDistributed(name string, cfg Config, c *circuit.Circuit) (*Result, error) {
 	if err := checkCircuit(c, 64); err != nil {
 		return nil, err
@@ -521,16 +585,34 @@ func runDistributed(name string, cfg Config, c *circuit.Circuit) (*Result, error
 	if cfg.Fuse {
 		c, _ = fusion.Optimize(c)
 	}
-	if cfg.Sched == sched.Lazy && cfg.PEs > 1 {
-		l, err := newLazySim(name, cfg, c)
-		if err != nil {
+	var mFailures, mRecoveries *obs.Counter
+	if cfg.Metrics != nil {
+		mFailures = cfg.Metrics.Counter(obs.MetricPEFailures)
+		mRecoveries = cfg.Metrics.Counter(obs.MetricRecoveries)
+	}
+	attempts, recovered := 0, 0
+	for {
+		attempts++
+		res, err := runDistOnce(name, cfg, c)
+		if err == nil {
+			res.Recoveries = recovered
+			return res, nil
+		}
+		if !recoverable(err) {
+			// Setup/validation problems and checkpoint I/O errors are
+			// terminal; restarting cannot help.
 			return nil, err
 		}
-		return l.run(), nil
+		mFailures.Add(1)
+		if cfg.CheckpointDir == "" || recovered >= cfg.MaxRestarts {
+			return nil, &RunFailure{Backend: name, Attempts: attempts, Cause: err}
+		}
+		dir, _, ok, lerr := ckpt.Latest(cfg.CheckpointDir)
+		if lerr != nil || !ok {
+			return nil, &RunFailure{Backend: name, Attempts: attempts, Cause: err}
+		}
+		cfg.Resume = dir
+		recovered++
+		mRecoveries.Add(1)
 	}
-	d, err := newDistSim(name, cfg, c)
-	if err != nil {
-		return nil, err
-	}
-	return d.run(), nil
 }

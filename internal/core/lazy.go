@@ -48,6 +48,9 @@ type lazySim struct {
 
 	perPE []lazyRun
 
+	ck    *ckptWriter // nil when checkpointing is off
+	start int         // first plan-step index to execute (non-zero on resume)
+
 	trace      *obs.Tracer
 	gm         *gateObs
 	remapBytes *obs.Histogram // per-PE remote bytes of each remap exchange
@@ -59,11 +62,18 @@ type lazySim struct {
 type lazyRun struct {
 	local *statevec.State
 	rng   *rand.Rand
+	draws int64 // uniform variates consumed, for checkpointed RNG replay
 	cbits uint64
 	extra statevec.Stats
 	perm  circuit.Permutation
 	pack  []float64 // remap pack scratch, 2S floats
 	_     [64]byte
+}
+
+// draw consumes one uniform variate from the replicated stream.
+func (run *lazyRun) draw() float64 {
+	run.draws++
+	return run.rng.Float64()
 }
 
 func newLazySim(name string, cfg Config, c *circuit.Circuit) (*lazySim, error) {
@@ -96,6 +106,9 @@ func newLazySim(name string, cfg Config, c *circuit.Circuit) (*lazySim, error) {
 	d.plan = plan
 
 	d.comm = pgas.NewComm(p)
+	d.comm.SetFault(cfg.Fault)
+	d.comm.SetTimeouts(cfg.Timeouts)
+	d.ck = newCkptWriter(cfg, name, c, p)
 	d.trace = cfg.Trace
 	if cfg.Metrics != nil {
 		d.comm.SetMetrics(cfg.Metrics)
@@ -146,6 +159,35 @@ func newLazySim(name string, cfg Config, c *circuit.Circuit) (*lazySim, error) {
 			pack: make([]float64, 2*d.S),
 		}
 	}
+	if cfg.Resume != "" {
+		dir, m, err := resolveResume(cfg.Resume)
+		if err != nil {
+			return nil, err
+		}
+		if err := validateManifest(m, name, c, p, cfg.Sched); err != nil {
+			return nil, err
+		}
+		if len(m.Perm) != n {
+			return nil, fmt.Errorf("core: checkpoint permutation has %d entries, want %d", len(m.Perm), n)
+		}
+		if err := circuit.Permutation(m.Perm).Validate(); err != nil {
+			return nil, fmt.Errorf("core: checkpoint permutation invalid: %w", err)
+		}
+		if m.Step > len(d.plan.Steps) {
+			return nil, fmt.Errorf("core: checkpoint step %d beyond plan length %d", m.Step, len(d.plan.Steps))
+		}
+		if err := restoreShards(dir, m, d.svRe, d.svIm, d.localBits); err != nil {
+			return nil, err
+		}
+		for r := range d.perPE {
+			run := &d.perPE[r]
+			run.cbits = m.Cbits
+			replayDraws(run.rng, m.Draws)
+			run.draws = m.Draws
+			run.perm = circuit.Permutation(m.Perm).Clone()
+		}
+		d.start = m.Step
+	}
 	return d, nil
 }
 
@@ -165,12 +207,15 @@ func remapLabel(swaps []sched.Swap) string {
 }
 
 // run executes the plan SPMD and returns the gathered, un-permuted result.
-func (d *lazySim) run() *Result {
+func (d *lazySim) run() (*Result, error) {
 	start := time.Now()
-	d.comm.Run(func(pe *pgas.PE) {
+	err := d.comm.RunChecked(func(pe *pgas.PE) {
 		run := &d.perPE[pe.Rank]
 		trk := d.trace.Track(pe.Rank)
-		for si := range d.plan.Steps {
+		for si := d.start; si < len(d.plan.Steps); si++ {
+			if si > d.start && d.ck.due(si) {
+				d.ck.write(pe, run.local, si, run.cbits, run.draws, run.perm)
+			}
 			st := &d.plan.Steps[si]
 			if st.Kind == sched.StepGate {
 				op := &d.c.Ops[st.Op]
@@ -225,6 +270,9 @@ func (d *lazySim) run() *Result {
 			}
 		}
 	})
+	if err != nil {
+		return nil, err
+	}
 	elapsed := time.Since(start)
 
 	st := statevec.New(d.n)
@@ -248,6 +296,9 @@ func (d *lazySim) run() *Result {
 		Elapsed: elapsed,
 		PEs:     d.p,
 	}
+	if d.ck != nil {
+		res.Ckpt = d.ck.stats
+	}
 	for r := range d.perPE {
 		res.SV.Add(d.perPE[r].local.Stats)
 		res.SV.Add(d.perPE[r].extra)
@@ -255,7 +306,7 @@ func (d *lazySim) run() *Result {
 	if d.trace != nil || d.gm != nil {
 		res.Mem = obs.TakeMemSnapshot()
 	}
-	return res
+	return res, nil
 }
 
 func (d *lazySim) spanArgs(g *gate.Gate, rank int, c0 pgas.Stats) obs.SpanArgs {
@@ -424,7 +475,7 @@ func (d *lazySim) measure(pe *pgas.PE, run *lazyRun, q int) int {
 	}
 	p1 := pe.AllReduceSum(partial)
 	outcome := 0
-	if run.rng.Float64() < p1 {
+	if run.draw() < p1 {
 		outcome = 1
 	}
 	pnorm := p1

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"svsim/internal/circuit"
+	"svsim/internal/ckpt"
 	"svsim/internal/fusion"
 	"svsim/internal/gate"
 	"svsim/internal/obs"
@@ -34,7 +35,14 @@ func (b *SingleDevice) Name() string { return "single" }
 type rtctx struct {
 	st    *statevec.State
 	rng   *rand.Rand
+	draws int64 // uniform variates consumed, for checkpointed RNG replay
 	cbits uint64
+}
+
+// draw consumes one uniform variate from the measurement stream.
+func (rt *rtctx) draw() float64 {
+	rt.draws++
+	return rt.rng.Float64()
 }
 
 // opFn is the device-function-pointer type (the paper's func_t).
@@ -54,11 +62,11 @@ func buildOpTable() [gate.NumKinds]opFn {
 		}
 	}
 	t[gate.MEASURE] = func(rt *rtctx, g *gate.Gate) {
-		out := rt.st.MeasureQubit(int(g.Qubits[0]), rt.rng.Float64())
+		out := rt.st.MeasureQubit(int(g.Qubits[0]), rt.draw())
 		rt.cbits = setCbit(rt.cbits, int(g.Cbit), out)
 	}
 	t[gate.RESET] = func(rt *rtctx, g *gate.Gate) {
-		rt.st.ResetQubit(int(g.Qubits[0]), rt.rng.Float64())
+		rt.st.ResetQubit(int(g.Qubits[0]), rt.draw())
 	}
 	t[gate.BARRIER] = func(rt *rtctx, g *gate.Gate) {}
 	return t
@@ -100,12 +108,38 @@ func (b *SingleDevice) Run(c *circuit.Circuit) (*Result, error) {
 		rng: newRNG(b.cfg.Seed),
 	}
 	rt.st.Style = b.cfg.Style
+	cw := newCkptWriter(b.cfg, b.Name(), c, 1)
+	startGate := 0
+	if b.cfg.Resume != "" {
+		dir, m, err := resolveResume(b.cfg.Resume)
+		if err != nil {
+			return nil, err
+		}
+		if err := validateManifest(m, b.Name(), c, 1, b.cfg.Sched); err != nil {
+			return nil, err
+		}
+		st, err := ckpt.ReadShard(dir, m.Shards[0], c.NumQubits)
+		if err != nil {
+			return nil, err
+		}
+		st.Style = b.cfg.Style
+		rt.st = st
+		rt.cbits = m.Cbits
+		replayDraws(rt.rng, m.Draws)
+		rt.draws = m.Draws
+		startGate = m.Step
+	}
 	trk := b.cfg.Trace.Track(0)
 	gm := newGateObs(b.cfg.Metrics)
 	start := time.Now()
 	if trk == nil && gm == nil {
 		// The homogeneous run loop: the paper's simulation_kernel.
-		for t := range bound {
+		for t := startGate; t < len(bound); t++ {
+			if t > startGate && cw.due(t) {
+				if err := cw.writeLocal(rt.st, t, rt.cbits, rt.draws); err != nil {
+					return nil, err
+				}
+			}
 			bg := &bound[t]
 			if !condSatisfied(bg.cond, rt.cbits) {
 				continue
@@ -113,7 +147,12 @@ func (b *SingleDevice) Run(c *circuit.Circuit) (*Result, error) {
 			bg.op(rt, &bg.g)
 		}
 	} else {
-		for t := range bound {
+		for t := startGate; t < len(bound); t++ {
+			if t > startGate && cw.due(t) {
+				if err := cw.writeLocal(rt.st, t, rt.cbits, rt.draws); err != nil {
+					return nil, err
+				}
+			}
 			bg := &bound[t]
 			if !condSatisfied(bg.cond, rt.cbits) {
 				continue
@@ -137,6 +176,9 @@ func (b *SingleDevice) Run(c *circuit.Circuit) (*Result, error) {
 		SV:      rt.st.Stats,
 		Elapsed: elapsed,
 		PEs:     1,
+	}
+	if cw != nil {
+		res.Ckpt = cw.stats
 	}
 	if b.cfg.observed() {
 		res.Mem = obs.TakeMemSnapshot()

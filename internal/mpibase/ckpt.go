@@ -1,0 +1,121 @@
+package mpibase
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"svsim/internal/circuit"
+	"svsim/internal/ckpt"
+	"svsim/internal/obs"
+)
+
+// Coordinated checkpointing for the message-passing baseline, using the
+// same on-disk format as the PGAS backends (internal/ckpt) with backend
+// tag "mpi". The protocol mirrors core's: quiesce at a barrier, every
+// rank writes its shard, rank 0 publishes the manifest last so an
+// interrupted checkpoint is never mistaken for a complete one.
+
+// mpiCkpt drives the checkpoint protocol inside the SPMD region; one
+// instance is shared by all ranks, its cross-rank slots synchronized by
+// the protocol's barriers.
+type mpiCkpt struct {
+	every int
+	dir   string
+	man   ckpt.Manifest // immutable template fields
+
+	stepDir  string
+	mkdirErr error
+	shards   []ckpt.Shard
+	errs     []error
+	t0       time.Time
+
+	stats ckpt.Stats
+
+	mCount *obs.Counter
+	mBytes *obs.Counter
+	mNS    *obs.Counter
+}
+
+// newMpiCkpt returns nil when checkpointing is off.
+func (s *Simulator) newMpiCkpt(c *circuit.Circuit, p int) *mpiCkpt {
+	if s.cfg.CheckpointEvery <= 0 || s.cfg.CheckpointDir == "" {
+		return nil
+	}
+	w := &mpiCkpt{
+		every: s.cfg.CheckpointEvery,
+		dir:   s.cfg.CheckpointDir,
+		man: ckpt.Manifest{
+			Backend:     "mpi",
+			Circuit:     c.Name,
+			CircuitHash: ckpt.Fingerprint(c),
+			NumQubits:   c.NumQubits,
+			PEs:         p,
+			Sched:       "naive",
+			Seed:        s.cfg.Seed,
+		},
+		shards: make([]ckpt.Shard, p),
+		errs:   make([]error, p),
+	}
+	if s.cfg.Metrics != nil {
+		w.mCount = s.cfg.Metrics.Counter(obs.MetricCkptCount)
+		w.mBytes = s.cfg.Metrics.Counter(obs.MetricCkptBytes)
+		w.mNS = s.cfg.Metrics.Counter(obs.MetricCkptNS)
+	}
+	return w
+}
+
+// due reports whether a checkpoint should be taken before gate step.
+func (w *mpiCkpt) due(step int) bool {
+	return w != nil && step > 0 && step%w.every == 0
+}
+
+// write runs the coordinated checkpoint protocol; every rank must call
+// it at the same gate position. I/O errors abort the run as terminal
+// (non-recoverable) failures.
+func (w *mpiCkpt) write(r *Rank, run *mpiRun, step int) {
+	r.Barrier() // quiesce: no in-flight exchanges
+	if r.R == 0 {
+		w.t0 = time.Now()
+		w.stepDir = ckpt.StepDir(w.dir, step)
+		w.mkdirErr = os.MkdirAll(w.stepDir, 0o755)
+	}
+	r.Barrier()
+	if w.mkdirErr != nil {
+		if r.R == 0 {
+			r.fail(fmt.Errorf("mpibase: checkpoint at gate %d: %w", step, w.mkdirErr))
+		}
+		return // peers unwind at their next barrier
+	}
+	w.shards[r.R], w.errs[r.R] = ckpt.WriteShard(w.stepDir, r.R, run.local)
+	r.Barrier()
+	if r.R != 0 {
+		r.Barrier() // matches rank 0's post-manifest barrier below
+		return
+	}
+	for rank, err := range w.errs {
+		if err != nil {
+			r.fail(fmt.Errorf("mpibase: checkpoint at gate %d (rank %d): %w", step, rank, err))
+		}
+	}
+	m := w.man
+	m.Step = step
+	m.Cbits = run.cbits
+	m.Draws = run.draws
+	m.Shards = append([]ckpt.Shard(nil), w.shards...)
+	if err := ckpt.WriteManifest(w.stepDir, &m); err != nil {
+		r.fail(fmt.Errorf("mpibase: checkpoint at gate %d: %w", step, err))
+	}
+	var bytes int64
+	for _, sh := range w.shards {
+		bytes += sh.Bytes
+	}
+	ns := time.Since(w.t0).Nanoseconds()
+	w.stats.Count++
+	w.stats.Bytes += bytes
+	w.stats.NS += ns
+	w.mCount.Add(1)
+	w.mBytes.Add(bytes)
+	w.mNS.Add(ns)
+	r.Barrier() // nobody proceeds until the checkpoint is published
+}

@@ -18,6 +18,7 @@ import (
 	"sync"
 	"time"
 
+	"svsim/internal/fault"
 	"svsim/internal/obs"
 )
 
@@ -62,6 +63,13 @@ type Comm struct {
 	ph    *phaser
 	redF  [2][]float64
 
+	// Abort latch: closed on the first rank failure so pending Recvs and
+	// barrier waiters are released instead of hanging (see resilience.go).
+	abortCh   chan struct{}
+	abortOnce sync.Once
+	abortErr  error
+	inj       *fault.Injector // nil when fault injection is off
+
 	// Optional metrics handles, nil when no registry is attached.
 	msgBytes  *obs.Histogram
 	barrierNS *obs.Histogram
@@ -84,7 +92,7 @@ func NewComm(p int) *Comm {
 	if p < 1 {
 		panic("mpibase: communicator needs at least one rank")
 	}
-	c := &Comm{P: p, ph: newPhaser(p)}
+	c := &Comm{P: p, ph: newPhaser(p), abortCh: make(chan struct{})}
 	c.chans = make([][]chan []float64, p)
 	for s := 0; s < p; s++ {
 		c.chans[s] = make([]chan []float64, p)
@@ -102,16 +110,12 @@ func NewComm(p int) *Comm {
 }
 
 // Run launches the SPMD body on every rank and waits for completion.
+// With no injector attached no failure can occur; if one does, Run
+// panics with the RunError (use RunChecked to handle failures).
 func (c *Comm) Run(fn func(r *Rank)) {
-	var wg sync.WaitGroup
-	wg.Add(c.P)
-	for i := 0; i < c.P; i++ {
-		go func(rank int) {
-			defer wg.Done()
-			fn(&Rank{R: rank, comm: c})
-		}(i)
+	if err := c.RunChecked(fn); err != nil {
+		panic(err)
 	}
-	wg.Wait()
 }
 
 // StatsOf returns the counters of a single rank. Safe to call from that
@@ -158,9 +162,16 @@ func (r *Rank) Send(dst int, buf []float64) {
 	r.comm.chans[r.R][dst] <- buf
 }
 
-// Recv blocks for the next message from src.
+// Recv blocks for the next message from src, or unwinds with an
+// AbortError if the fleet fails while waiting (so a dead partner never
+// hangs the receiver).
 func (r *Rank) Recv(src int) []float64 {
-	return <-r.comm.chans[src][r.R]
+	select {
+	case buf := <-r.comm.chans[src][r.R]:
+		return buf
+	case <-r.comm.abortCh:
+		panic(abortPanic{&AbortError{Rank: r.R, Cause: r.comm.abortErr}})
+	}
 }
 
 // SendRecv exchanges buffers with a partner rank (the classic pairwise
@@ -170,16 +181,30 @@ func (r *Rank) SendRecv(peer int, send []float64) []float64 {
 	return r.Recv(peer)
 }
 
-// Barrier synchronizes all ranks.
+// Barrier synchronizes all ranks. A fleet abort releases the waiter
+// with an AbortError instead of hanging it.
 func (r *Rank) Barrier() {
 	r.comm.ranks[r.R].stats.Syncs++
+	if in := r.comm.inj; in != nil {
+		v := in.BarrierEvent(r.R)
+		if v.Delay > 0 {
+			time.Sleep(v.Delay)
+		}
+		if v.Kill != nil {
+			r.fail(v.Kill)
+		}
+	}
+	var err error
 	if h := r.comm.barrierNS; h != nil {
 		t0 := time.Now()
-		r.comm.ph.await()
+		err = r.comm.ph.await()
 		h.Observe(float64(time.Since(t0).Nanoseconds()))
-		return
+	} else {
+		err = r.comm.ph.await()
 	}
-	r.comm.ph.await()
+	if err != nil {
+		panic(abortPanic{&AbortError{Rank: r.R, Cause: err}})
+	}
 }
 
 // AllReduceSum reduces v over all ranks and returns the total everywhere.
@@ -200,13 +225,14 @@ func (r *Rank) AllReduceSum(v float64) float64 {
 	return s
 }
 
-// phaser is a reusable barrier.
+// phaser is a reusable barrier with a fleet-abort latch.
 type phaser struct {
 	mu    sync.Mutex
 	cond  *sync.Cond
 	p     int
 	count int
 	gen   uint64
+	abort error
 }
 
 func newPhaser(p int) *phaser {
@@ -215,19 +241,38 @@ func newPhaser(p int) *phaser {
 	return ph
 }
 
-func (ph *phaser) await() {
+// await returns the abort cause instead of blocking forever once the
+// fleet has failed; an aborted waiter retracts its arrival.
+func (ph *phaser) await() error {
 	ph.mu.Lock()
+	defer ph.mu.Unlock()
+	if ph.abort != nil {
+		return ph.abort
+	}
 	gen := ph.gen
 	ph.count++
 	if ph.count == ph.p {
 		ph.count = 0
 		ph.gen++
 		ph.cond.Broadcast()
-	} else {
-		for gen == ph.gen {
-			ph.cond.Wait()
-		}
+		return nil
 	}
+	for gen == ph.gen && ph.abort == nil {
+		ph.cond.Wait()
+	}
+	if gen == ph.gen { // aborted, not released
+		ph.count--
+		return ph.abort
+	}
+	return nil
+}
+
+func (ph *phaser) setAbort(err error) {
+	ph.mu.Lock()
+	if ph.abort == nil {
+		ph.abort = err
+	}
+	ph.cond.Broadcast()
 	ph.mu.Unlock()
 }
 

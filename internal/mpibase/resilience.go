@@ -1,0 +1,139 @@
+package mpibase
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"svsim/internal/fault"
+)
+
+// Resilience support for the message-passing baseline. The supported
+// fault surface is narrower than the PGAS substrate's: the injector can
+// kill or delay a rank at a barrier event (two-sided transfers complete
+// or deadlock atomically, so per-completion drop/corrupt faults are a
+// PGAS-side concern). What the baseline does guarantee is that a killed
+// rank never hangs the fleet: the abort latch releases barrier waiters
+// and pending Recvs, and RunChecked reports typed failures.
+
+// SetFault attaches a fault injector consulted at every barrier from
+// then on; nil detaches. Call before entering the SPMD region.
+func (c *Comm) SetFault(in *fault.Injector) { c.inj = in }
+
+// AbortError unwinds a rank whose fleet has already failed elsewhere.
+type AbortError struct {
+	Rank  int
+	Cause error
+}
+
+func (e *AbortError) Error() string {
+	return fmt.Sprintf("mpibase: rank %d: aborted: peer failure: %v", e.Rank, e.Cause)
+}
+
+// Unwrap exposes the root failure.
+func (e *AbortError) Unwrap() error { return e.Cause }
+
+// RankFailure is one rank's terminal error within a failed SPMD region.
+type RankFailure struct {
+	Rank int
+	Err  error
+}
+
+// RunError aggregates the failures of an SPMD region; root causes are
+// ordered before secondary AbortErrors.
+type RunError struct {
+	Failures []RankFailure
+}
+
+func (e *RunError) Error() string {
+	parts := make([]string, 0, len(e.Failures))
+	for _, f := range e.Failures {
+		parts = append(parts, f.Err.Error())
+	}
+	return fmt.Sprintf("mpibase: run failed on %d rank(s): %s", len(e.Failures), strings.Join(parts, "; "))
+}
+
+// Unwrap exposes the root cause (the first non-abort failure).
+func (e *RunError) Unwrap() error {
+	if len(e.Failures) == 0 {
+		return nil
+	}
+	return e.Failures[0].Err
+}
+
+// RunFailure is the structured terminal error of a baseline run that
+// could not be completed despite recovery: the rank failure survives in
+// Cause, and Attempts records how many executions were tried (1 = no
+// recovery was possible or configured).
+type RunFailure struct {
+	Attempts int
+	Cause    error
+}
+
+func (e *RunFailure) Error() string {
+	return fmt.Sprintf("mpibase: run failed after %d attempt(s): %v", e.Attempts, e.Cause)
+}
+
+// Unwrap exposes the root cause.
+func (e *RunFailure) Unwrap() error { return e.Cause }
+
+// abortPanic unwinds a rank goroutine; only RunChecked's recover
+// handles it.
+type abortPanic struct{ err error }
+
+// fail records err as the fleet-wide abort cause, releases barrier
+// waiters and pending Recvs, and unwinds the calling rank.
+func (r *Rank) fail(err error) {
+	r.comm.setAbort(err)
+	panic(abortPanic{err})
+}
+
+func (c *Comm) setAbort(err error) {
+	c.abortOnce.Do(func() {
+		c.abortErr = err
+		close(c.abortCh)
+	})
+	c.ph.setAbort(err)
+}
+
+// RunChecked executes fn on every rank concurrently, like Run, but
+// recovers failed ranks and returns a RunError aggregating them; nil
+// when every rank completed. The first failure releases every barrier
+// waiter and pending Recv, so no goroutine is left hung.
+func (c *Comm) RunChecked(fn func(r *Rank)) error {
+	errs := make([]error, c.P)
+	var wg sync.WaitGroup
+	wg.Add(c.P)
+	for i := 0; i < c.P; i++ {
+		go func(rank int) {
+			defer wg.Done()
+			defer func() {
+				if rec := recover(); rec != nil {
+					ap, ok := rec.(abortPanic)
+					if !ok {
+						c.setAbort(fmt.Errorf("mpibase: rank %d panicked: %v", rank, rec))
+						panic(rec)
+					}
+					errs[rank] = ap.err
+				}
+			}()
+			fn(&Rank{R: rank, comm: c})
+		}(i)
+	}
+	wg.Wait()
+	var root, aborted []RankFailure
+	for r, err := range errs {
+		if err == nil {
+			continue
+		}
+		if _, isAbort := err.(*AbortError); isAbort {
+			aborted = append(aborted, RankFailure{Rank: r, Err: err})
+		} else {
+			root = append(root, RankFailure{Rank: r, Err: err})
+		}
+	}
+	if len(root)+len(aborted) == 0 {
+		return nil
+	}
+	return &RunError{Failures: append(root, aborted...)}
+}

@@ -1,12 +1,15 @@
 package mpibase
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
 	"time"
 
 	"svsim/internal/circuit"
+	"svsim/internal/ckpt"
+	"svsim/internal/fault"
 	"svsim/internal/gate"
 	"svsim/internal/obs"
 	"svsim/internal/statevec"
@@ -33,6 +36,19 @@ type Config struct {
 	// Metrics, if non-nil, receives gate latency, message size, and
 	// barrier wait-time histograms.
 	Metrics *obs.Metrics
+	// CheckpointEvery, with CheckpointDir, writes a coordinated
+	// checkpoint every that many gates (same format as the core
+	// backends, see internal/ckpt).
+	CheckpointEvery int
+	// CheckpointDir is the checkpoint base directory.
+	CheckpointDir string
+	// Resume restores from a checkpoint directory before executing.
+	Resume string
+	// Fault injects deterministic faults; the baseline supports barrier
+	// events (kill/delay a rank at its n-th barrier).
+	Fault *fault.Injector
+	// MaxRestarts bounds checkpoint restarts after a rank failure.
+	MaxRestarts int
 }
 
 // Result mirrors core.Result for the baseline.
@@ -46,6 +62,10 @@ type Result struct {
 	// Mem is a post-run runtime memory snapshot, captured only when the
 	// run had tracing or metrics attached (nil otherwise).
 	Mem *obs.MemSnapshot
+	// Ckpt counts the checkpoints this run wrote.
+	Ckpt ckpt.Stats
+	// Recoveries counts restarts from a checkpoint after rank failures.
+	Recoveries int
 }
 
 // New creates a baseline simulator.
@@ -54,13 +74,23 @@ func New(cfg Config) *Simulator { return &Simulator{cfg: cfg} }
 type mpiRun struct {
 	local *statevec.State
 	rng   *rand.Rand
+	draws int64 // uniform variates consumed, for checkpointed RNG replay
 	cbits uint64
 	extra statevec.Stats
 	pack  []float64 // 2S pack buffer (re then im)
 	_     [64]byte
 }
 
-// Run executes the circuit and returns the gathered result.
+// draw consumes one uniform variate from the replicated stream.
+func (run *mpiRun) draw() float64 {
+	run.draws++
+	return run.rng.Float64()
+}
+
+// Run executes the circuit and returns the gathered result. With a fault
+// injector attached, a killed rank aborts the fleet; when checkpointing
+// is configured the run restarts from the latest complete checkpoint, up
+// to MaxRestarts times, before reporting a structured RunFailure.
 func (s *Simulator) Run(c *circuit.Circuit) (*Result, error) {
 	p := s.cfg.Ranks
 	if p < 1 {
@@ -76,6 +106,42 @@ func (s *Simulator) Run(c *circuit.Circuit) (*Result, error) {
 	if n < 1 || 1<<uint(n-1) < p {
 		return nil, fmt.Errorf("mpibase: %d ranks need more qubits than %d", p, n)
 	}
+	var mFailures, mRecoveries *obs.Counter
+	if s.cfg.Metrics != nil {
+		mFailures = s.cfg.Metrics.Counter(obs.MetricPEFailures)
+		mRecoveries = s.cfg.Metrics.Counter(obs.MetricRecoveries)
+	}
+	resume := s.cfg.Resume
+	recovered, attempts := 0, 0
+	for {
+		attempts++
+		res, err := s.runOnce(c, p, resume)
+		if err == nil {
+			res.Recoveries = recovered
+			return res, nil
+		}
+		var ke *fault.KillError
+		if !errors.As(err, &ke) {
+			return nil, err // not a rank failure: terminal
+		}
+		mFailures.Add(1)
+		if s.cfg.CheckpointDir == "" || recovered >= s.cfg.MaxRestarts {
+			return nil, &RunFailure{Attempts: attempts, Cause: err}
+		}
+		dir, _, ok, lerr := ckpt.Latest(s.cfg.CheckpointDir)
+		if lerr != nil || !ok {
+			return nil, &RunFailure{Attempts: attempts, Cause: err}
+		}
+		resume = dir
+		recovered++
+		mRecoveries.Add(1)
+	}
+}
+
+// runOnce is one execution attempt, optionally restoring from a resume
+// checkpoint first.
+func (s *Simulator) runOnce(c *circuit.Circuit, p int, resume string) (*Result, error) {
+	n := c.NumQubits
 	dim := 1 << uint(n)
 	S := dim / p
 	localBits := n - lg(p)
@@ -96,16 +162,51 @@ func (s *Simulator) Run(c *circuit.Circuit) (*Result, error) {
 	}
 	parts[0][0][0] = 1 // |0...0>
 
+	startGate := 0
+	if resume != "" {
+		dir, m, err := ckpt.Resolve(resume)
+		if err != nil {
+			return nil, err
+		}
+		if err := s.validateResume(m, c, p); err != nil {
+			return nil, err
+		}
+		for _, sh := range m.Shards {
+			if sh.Rank < 0 || sh.Rank >= p {
+				return nil, fmt.Errorf("mpibase: manifest shard rank %d out of range", sh.Rank)
+			}
+			st, err := ckpt.ReadShard(dir, sh, localBits)
+			if err != nil {
+				return nil, err
+			}
+			copy(parts[sh.Rank][0], st.Re)
+			copy(parts[sh.Rank][1], st.Im)
+		}
+		for r := range runs {
+			runs[r].cbits = m.Cbits
+			for i := int64(0); i < m.Draws; i++ {
+				runs[r].rng.Float64()
+			}
+			runs[r].draws = m.Draws
+		}
+		startGate = m.Step
+	}
+
 	comm := NewComm(p)
 	comm.SetMetrics(s.cfg.Metrics)
+	comm.SetFault(s.cfg.Fault)
+	cw := s.newMpiCkpt(c, p)
 	gm := newGateObs(s.cfg.Metrics)
 	eng := &mpiEngine{n: n, p: p, S: S, localBits: localBits, dim: dim}
 
 	start := time.Now()
-	comm.Run(func(r *Rank) {
+	runErr := comm.RunChecked(func(r *Rank) {
 		run := &runs[r.R]
 		trk := s.cfg.Trace.Track(r.R)
-		for i := range c.Ops {
+		for i := startGate; i < len(c.Ops); i++ {
+			if i > startGate && cw.due(i) {
+				cw.write(r, run, i)
+			}
 			op := &c.Ops[i]
 			if op.Cond != nil {
 				mask := uint64(1)<<uint(op.Cond.Width) - 1
@@ -128,6 +229,9 @@ func (s *Simulator) Run(c *circuit.Circuit) (*Result, error) {
 		}
 	})
 	elapsed := time.Since(start)
+	if runErr != nil {
+		return nil, runErr
+	}
 
 	st := statevec.New(n)
 	for r := 0; r < p; r++ {
@@ -145,10 +249,31 @@ func (s *Simulator) Run(c *circuit.Circuit) (*Result, error) {
 		res.SV.Add(runs[r].local.Stats)
 		res.SV.Add(runs[r].extra)
 	}
+	if cw != nil {
+		res.Ckpt = cw.stats
+	}
 	if s.cfg.Trace != nil || s.cfg.Metrics != nil {
 		res.Mem = obs.TakeMemSnapshot()
 	}
 	return res, nil
+}
+
+// validateResume rejects a resume manifest that does not match this run.
+func (s *Simulator) validateResume(m *ckpt.Manifest, c *circuit.Circuit, p int) error {
+	if m.Backend != "mpi" {
+		return fmt.Errorf("mpibase: checkpoint was taken by backend %q, resuming on %q", m.Backend, "mpi")
+	}
+	if m.PEs != p {
+		return fmt.Errorf("mpibase: checkpoint used %d ranks, run has %d", m.PEs, p)
+	}
+	if m.NumQubits != c.NumQubits {
+		return fmt.Errorf("mpibase: checkpoint holds %d qubits, circuit has %d", m.NumQubits, c.NumQubits)
+	}
+	if got := ckpt.Fingerprint(c); m.CircuitHash != got {
+		return fmt.Errorf("mpibase: checkpoint was taken for circuit %q (hash %016x), current circuit hashes %016x",
+			m.Circuit, m.CircuitHash, got)
+	}
+	return nil
 }
 
 func lg(p int) int {
@@ -375,7 +500,7 @@ func (e *mpiEngine) measure(r *Rank, run *mpiRun, q int) int {
 		}
 	}
 	p1 := r.AllReduceSum(partial)
-	rd := run.rng.Float64()
+	rd := run.draw()
 	outcome := 0
 	if rd < p1 {
 		outcome = 1

@@ -36,6 +36,20 @@ const (
 	MetricRemoteBytes = "pgas_remote_bytes"
 	// MetricLocalBytes accumulates one-sided local traffic volume (pgas).
 	MetricLocalBytes = "pgas_local_bytes"
+	// MetricOpRetries counts one-sided operations re-issued after a
+	// transient completion failure (fault injection).
+	MetricOpRetries = "pgas_op_retries"
+	// MetricPEFailures counts PE deaths observed by the runtime.
+	MetricPEFailures = "fault_pe_failures"
+	// MetricRecoveries counts successful restarts from a checkpoint
+	// after a PE failure.
+	MetricRecoveries = "fault_recoveries"
+	// MetricCkptCount counts checkpoints written.
+	MetricCkptCount = "ckpt_count"
+	// MetricCkptBytes accumulates checkpoint shard bytes written.
+	MetricCkptBytes = "ckpt_bytes"
+	// MetricCkptNS accumulates wall time spent writing checkpoints.
+	MetricCkptNS = "ckpt_ns"
 )
 
 // LatencyBuckets returns the standard latency histogram bounds:

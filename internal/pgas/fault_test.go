@@ -1,0 +1,274 @@
+package pgas
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"svsim/internal/fault"
+)
+
+// TestBarrierStallTypedTimeout injects a barrier stall on one rank and
+// checks the acceptance criterion: the waiters surface a typed
+// BarrierTimeoutError naming the stalled rank within the configured
+// deadline, and no goroutine hangs (the test itself would trip go test's
+// -timeout if one did).
+func TestBarrierStallTypedTimeout(t *testing.T) {
+	const p = 4
+	const stalled = 2
+	c := NewComm(p)
+	in := fault.NewInjector(1)
+	in.StallBarrier(stalled, 1, 500*time.Millisecond)
+	c.SetFault(in)
+	c.SetTimeouts(Timeouts{Barrier: 30 * time.Millisecond})
+
+	start := time.Now()
+	var unwound [p]time.Duration // each goroutine writes only its own slot
+	err := c.RunChecked(func(pe *PE) {
+		defer func() {
+			if r := recover(); r != nil {
+				unwound[pe.Rank] = time.Since(start)
+				panic(r)
+			}
+		}()
+		pe.Barrier()
+	})
+	if err == nil {
+		t.Fatal("stalled barrier completed without error")
+	}
+	var bte *BarrierTimeoutError
+	if !errors.As(err, &bte) {
+		t.Fatalf("error %v (%T) does not wrap BarrierTimeoutError", err, err)
+	}
+	if len(bte.Stalled) != 1 || bte.Stalled[0] != stalled {
+		t.Fatalf("timeout blames ranks %v, want [%d]", bte.Stalled, stalled)
+	}
+	// Every waiter must surface its error close to the 30ms deadline —
+	// long before the injected 500ms stall releases the sleeper. (The
+	// sleeper itself only unwinds once its sleep ends; RunChecked joins
+	// it, so total wall time is ~500ms, but no waiter hangs.)
+	for r, d := range unwound {
+		if r == stalled {
+			continue
+		}
+		if d >= 400*time.Millisecond {
+			t.Fatalf("rank %d took %v to unwind, deadline was 30ms", r, d)
+		}
+	}
+	var re *RunError
+	if !errors.As(err, &re) || len(re.Failures) == 0 {
+		t.Fatalf("error %v is not a RunError with failures", err)
+	}
+}
+
+// TestKillAtBarrierAbortsFleet kills one PE at its second barrier; every
+// other PE must unwind (no hang) and the RunError must expose the
+// KillError as root cause.
+func TestKillAtBarrierAbortsFleet(t *testing.T) {
+	const p = 4
+	c := NewComm(p)
+	in := fault.NewInjector(1)
+	in.KillAt(1, fault.Barrier, 2)
+	c.SetFault(in)
+
+	err := c.RunChecked(func(pe *PE) {
+		pe.Barrier()
+		pe.Barrier()
+		pe.Barrier()
+	})
+	if err == nil {
+		t.Fatal("killed fleet reported success")
+	}
+	var ke *fault.KillError
+	if !errors.As(err, &ke) || ke.Rank != 1 {
+		t.Fatalf("error %v does not unwrap to KillError{Rank:1}", err)
+	}
+	var re *RunError
+	if !errors.As(err, &re) {
+		t.Fatalf("error %v is not a RunError", err)
+	}
+	if len(re.Failures) != p {
+		t.Fatalf("got %d PE failures, want all %d (kill + aborts)", len(re.Failures), p)
+	}
+	// Root cause ordering: the killed PE's failure comes first.
+	if re.Failures[0].Rank != 1 {
+		t.Fatalf("first failure is rank %d, want the killed rank 1", re.Failures[0].Rank)
+	}
+}
+
+// TestDropRetriesThenSucceeds drops two consecutive put completions; with
+// a retry budget the op must eventually land, the value must be correct,
+// and Stats.Retries must count the re-issues.
+func TestDropRetriesThenSucceeds(t *testing.T) {
+	c := NewComm(2)
+	in := fault.NewInjector(1)
+	in.DropOps(0, fault.Put, 1, 2)
+	c.SetFault(in)
+	c.SetTimeouts(Timeouts{
+		OpRetries:   5,
+		BackoffBase: time.Microsecond,
+		BackoffMax:  10 * time.Microsecond,
+	})
+	s := c.NewSymF64(4)
+	err := c.RunChecked(func(pe *PE) {
+		if pe.Rank == 0 {
+			pe.Put(s, 1, 0, 42)
+		}
+		pe.Barrier()
+	})
+	if err != nil {
+		t.Fatalf("run with retry budget failed: %v", err)
+	}
+	if got := s.PartitionUnsafe(1)[0]; got != 42 {
+		t.Fatalf("put landed %v, want 42", got)
+	}
+	if got := c.StatsOf(0).Retries; got != 2 {
+		t.Fatalf("rank 0 retries = %d, want 2", got)
+	}
+}
+
+// TestDropExhaustsRetryBudget drops more completions than the budget
+// allows; the PE must fail with a typed OpTimeoutError and the fleet must
+// unwind.
+func TestDropExhaustsRetryBudget(t *testing.T) {
+	c := NewComm(2)
+	in := fault.NewInjector(1)
+	in.DropOps(0, fault.Get, 1, 100)
+	c.SetFault(in)
+	c.SetTimeouts(Timeouts{
+		OpRetries:   3,
+		BackoffBase: time.Microsecond,
+		BackoffMax:  10 * time.Microsecond,
+	})
+	s := c.NewSymF64(4)
+	err := c.RunChecked(func(pe *PE) {
+		if pe.Rank == 0 {
+			pe.Get(s, 1, 0)
+		}
+		pe.Barrier()
+	})
+	var ote *OpTimeoutError
+	if !errors.As(err, &ote) {
+		t.Fatalf("error %v does not unwrap to OpTimeoutError", err)
+	}
+	if ote.Rank != 0 || ote.Op != fault.Get || ote.Attempts != 4 {
+		t.Fatalf("OpTimeoutError = %+v, want rank 0, get, 4 attempts", ote)
+	}
+}
+
+// TestCorruptionLandsOnTransferOnly corrupts one put: exactly one element
+// of the landed payload differs by one bit, and the caller's source
+// buffer is untouched.
+func TestCorruptionLandsOnTransferOnly(t *testing.T) {
+	c := NewComm(2)
+	in := fault.NewInjector(7)
+	in.CorruptOp(0, fault.Put, 1)
+	c.SetFault(in)
+	s := c.NewSymF64(8)
+	src := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	orig := append([]float64(nil), src...)
+	err := c.RunChecked(func(pe *PE) {
+		if pe.Rank == 0 {
+			pe.PutV(s, 1, 0, src)
+		}
+		pe.Barrier()
+	})
+	if err != nil {
+		t.Fatalf("corrupting run failed: %v", err)
+	}
+	for i := range src {
+		if src[i] != orig[i] {
+			t.Fatalf("caller's source buffer mutated at %d", i)
+		}
+	}
+	diff := 0
+	for i, v := range s.PartitionUnsafe(1) {
+		if v != orig[i] {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("%d elements corrupted, want exactly 1", diff)
+	}
+	if got := in.Fired()[fault.Corrupt]; got != 1 {
+		t.Fatalf("injector fired %d corruptions, want 1", got)
+	}
+}
+
+// TestDelayInjection delays one get; the run still completes correctly
+// and takes at least the injected latency.
+func TestDelayInjection(t *testing.T) {
+	c := NewComm(2)
+	in := fault.NewInjector(1)
+	in.DelayOps(1, fault.Get, 1, 1, 20*time.Millisecond)
+	c.SetFault(in)
+	s := c.NewSymF64(1)
+	s.PartitionUnsafe(0)[0] = 9
+	start := time.Now()
+	var got float64
+	err := c.RunChecked(func(pe *PE) {
+		if pe.Rank == 1 {
+			got = pe.Get(s, 0, 0)
+		}
+		pe.Barrier()
+	})
+	if err != nil {
+		t.Fatalf("delayed run failed: %v", err)
+	}
+	if got != 9 {
+		t.Fatalf("delayed get returned %v, want 9", got)
+	}
+	if time.Since(start) < 20*time.Millisecond {
+		t.Fatal("run finished before the injected delay elapsed")
+	}
+}
+
+// TestRunCheckedNoFaultsIsClean verifies the resilience layer is inert
+// when nothing is attached: RunChecked returns nil and stats carry no
+// retries.
+func TestRunCheckedNoFaultsIsClean(t *testing.T) {
+	c := NewComm(4)
+	s := c.NewSymF64(4)
+	err := c.RunChecked(func(pe *PE) {
+		pe.Put(s, (pe.Rank+1)%4, 0, float64(pe.Rank))
+		pe.Barrier()
+		_ = pe.Get(s, pe.Rank, 0)
+		pe.Barrier()
+	})
+	if err != nil {
+		t.Fatalf("clean run failed: %v", err)
+	}
+	if got := c.TotalStats().Retries; got != 0 {
+		t.Fatalf("clean run recorded %d retries", got)
+	}
+}
+
+// TestKillMidRegionReleasesBarrierWaiters kills rank 0 on a one-sided op
+// while the other ranks head to a barrier with a deadline; the abort (not
+// the deadline) must release them promptly with AbortError.
+func TestKillMidRegionReleasesBarrierWaiters(t *testing.T) {
+	const p = 4
+	c := NewComm(p)
+	in := fault.NewInjector(1)
+	in.KillAt(0, fault.Put, 1)
+	c.SetFault(in)
+	c.SetTimeouts(Timeouts{Barrier: 5 * time.Second})
+	s := c.NewSymF64(4)
+	start := time.Now()
+	err := c.RunChecked(func(pe *PE) {
+		if pe.Rank == 0 {
+			pe.Put(s, 1, 0, 1)
+		}
+		pe.Barrier()
+	})
+	if err == nil {
+		t.Fatal("killed run reported success")
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("waiters were released by the deadline, not the abort")
+	}
+	var ke *fault.KillError
+	if !errors.As(err, &ke) || ke.Rank != 0 || ke.Op != fault.Put {
+		t.Fatalf("root cause %v, want KillError{Rank:0, Op:put}", err)
+	}
+}

@@ -14,9 +14,11 @@ package pgas
 
 import (
 	"fmt"
+	"math/rand"
 	"sync"
 	"time"
 
+	"svsim/internal/fault"
 	"svsim/internal/obs"
 )
 
@@ -32,6 +34,9 @@ type Stats struct {
 	RemoteBytes int64
 	Barriers    int64
 	Collectives int64
+	// Retries counts one-sided operations re-issued after a transient
+	// completion failure (only fault injection produces those today).
+	Retries int64
 }
 
 // Add merges o into s.
@@ -44,14 +49,19 @@ func (s *Stats) Add(o Stats) {
 	s.RemoteBytes += o.RemoteBytes
 	s.Barriers += o.Barriers
 	s.Collectives += o.Collectives
+	s.Retries += o.Retries
 }
 
 // RemoteMessages returns the total one-sided remote operation count.
 func (s Stats) RemoteMessages() int64 { return s.RemoteGets + s.RemotePuts }
 
 func (s Stats) String() string {
-	return fmt.Sprintf("local(get=%d put=%d bytes=%d) remote(get=%d put=%d bytes=%d) barriers=%d collectives=%d",
+	out := fmt.Sprintf("local(get=%d put=%d bytes=%d) remote(get=%d put=%d bytes=%d) barriers=%d collectives=%d",
 		s.LocalGets, s.LocalPuts, s.LocalBytes, s.RemoteGets, s.RemotePuts, s.RemoteBytes, s.Barriers, s.Collectives)
+	if s.Retries > 0 {
+		out += fmt.Sprintf(" retries=%d", s.Retries)
+	}
+	return out
 }
 
 // peState is the per-PE mutable state, padded so adjacent PEs' counters do
@@ -71,6 +81,10 @@ type Comm struct {
 	scratchF   [2][]float64 // double-buffered collective scratch
 	scratchU   [2][]uint64
 	launchOnce sync.Once
+
+	// Resilience knobs, nil/zero when off (see resilience.go).
+	inj *fault.Injector
+	tmo Timeouts
 
 	// Optional metrics handles, nil when no registry is attached; the
 	// one-sided ops and Barrier pay only a nil check then.
@@ -117,17 +131,13 @@ func NewComm(p int) *Comm {
 
 // Run executes fn on every PE concurrently (the SPMD launch, analogous to
 // nvshmemx_collective_launch in the paper's Listing 5) and blocks until
-// all PEs return.
+// all PEs return. With no injector or timeouts attached no failure can
+// occur; if one does (a fault-injected region launched through Run
+// instead of RunChecked), Run panics with the RunError.
 func (c *Comm) Run(fn func(pe *PE)) {
-	var wg sync.WaitGroup
-	wg.Add(c.P)
-	for r := 0; r < c.P; r++ {
-		go func(rank int) {
-			defer wg.Done()
-			fn(&PE{Rank: rank, comm: c})
-		}(r)
+	if err := c.RunChecked(fn); err != nil {
+		panic(err)
 	}
-	wg.Wait()
 }
 
 // TotalStats aggregates per-PE counters. Call only when no SPMD region is
@@ -156,7 +166,8 @@ type PE struct {
 	Rank int
 	comm *Comm
 
-	collSeq uint64 // collective call sequence for double buffering
+	collSeq uint64     // collective call sequence for double buffering
+	jrng    *rand.Rand // lazily seeded backoff-jitter stream
 }
 
 // NPEs returns the communicator size.
@@ -164,46 +175,100 @@ func (pe *PE) NPEs() int { return pe.comm.P }
 
 // Barrier synchronizes all PEs (shmem_barrier_all). Returns only after
 // every PE has arrived; establishes happens-before for all prior puts.
+// With a Timeouts.Barrier deadline configured, a wait that exceeds it
+// fails this PE with a BarrierTimeoutError naming the stalled ranks and
+// aborts the fleet (see resilience.go); the fleet never hangs.
 func (pe *PE) Barrier() {
 	pe.comm.pes[pe.Rank].stats.Barriers++
+	if in := pe.comm.inj; in != nil {
+		v := in.BarrierEvent(pe.Rank)
+		if v.Delay > 0 {
+			time.Sleep(v.Delay)
+		}
+		if v.Kill != nil {
+			pe.fail(v.Kill)
+		}
+	}
+	var err error
 	if h := pe.comm.barrierNS; h != nil {
 		t0 := time.Now()
-		pe.comm.bar.await()
+		err = pe.comm.bar.await(pe.Rank, pe.comm.tmo.Barrier)
 		h.Observe(float64(time.Since(t0).Nanoseconds()))
-		return
+	} else {
+		err = pe.comm.bar.await(pe.Rank, pe.comm.tmo.Barrier)
 	}
-	pe.comm.bar.await()
+	if err != nil {
+		pe.comm.bar.setAbort(err)
+		panic(abortPanic{err})
+	}
 }
 
-// barrier is a reusable generation-counting barrier.
+// barrier is a reusable generation-counting barrier with optional
+// per-waiter deadlines and a fleet-abort latch.
 type barrier struct {
-	mu    sync.Mutex
-	cond  *sync.Cond
-	p     int
-	count int
-	gen   uint64
+	mu      sync.Mutex
+	cond    *sync.Cond
+	p       int
+	count   int
+	gen     uint64
+	arrived []bool // this generation's arrivals, for stall attribution
+	abort   error  // first fleet failure; wakes and unwinds all waiters
 }
 
 func newBarrier(p int) *barrier {
-	b := &barrier{p: p}
+	b := &barrier{p: p, arrived: make([]bool, p)}
 	b.cond = sync.NewCond(&b.mu)
 	return b
 }
 
-func (b *barrier) await() {
+// await blocks rank until all PEs arrive. It returns a typed error —
+// without releasing the barrier — when the fleet has aborted or the
+// deadline expires; the caller unwinds the PE. A timed-out or aborted
+// waiter retracts its arrival so the barrier stays consistent.
+func (b *barrier) await(rank int, deadline time.Duration) error {
 	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.abort != nil {
+		return &AbortError{Rank: rank, Cause: b.abort}
+	}
 	gen := b.gen
 	b.count++
+	b.arrived[rank] = true
 	if b.count == b.p {
 		b.count = 0
 		b.gen++
-		b.cond.Broadcast()
-	} else {
-		for gen == b.gen {
-			b.cond.Wait()
+		for i := range b.arrived {
+			b.arrived[i] = false
 		}
+		b.cond.Broadcast()
+		return nil
 	}
-	b.mu.Unlock()
+	var expired bool
+	if deadline > 0 {
+		t := time.AfterFunc(deadline, func() {
+			b.mu.Lock()
+			expired = true
+			b.cond.Broadcast()
+			b.mu.Unlock()
+		})
+		defer t.Stop()
+	}
+	for gen == b.gen && b.abort == nil && !expired {
+		b.cond.Wait()
+	}
+	switch {
+	case gen != b.gen: // released normally (even if abort/expiry raced in)
+		return nil
+	case b.abort != nil:
+		b.count--
+		b.arrived[rank] = false
+		return &AbortError{Rank: rank, Cause: b.abort}
+	default: // expired
+		stalled := b.stalledRanks()
+		b.count--
+		b.arrived[rank] = false
+		return &BarrierTimeoutError{Rank: rank, Stalled: stalled, Deadline: deadline}
+	}
 }
 
 // AllReduceSum returns the sum of v over all PEs (shmem collective).

@@ -1,5 +1,7 @@
 package pgas
 
+import "svsim/internal/fault"
+
 // Symmetric heap objects. A SymF64 is the analogue of
 // nvshmem_malloc(len*8) called collectively: every PE owns a same-sized
 // partition and can address any peer's partition through one-sided get/put
@@ -50,7 +52,13 @@ func (pe *PE) Get(s *SymF64, peer, idx int) float64 {
 	if h := pe.comm.getBytes; h != nil {
 		h.Observe(8)
 	}
-	return s.parts[peer][idx]
+	val := s.parts[peer][idx]
+	if pe.comm.inj != nil {
+		if v := pe.injectOneSided(fault.Get, 1); v.Corrupt {
+			val = flipBit(val, v.CorruptBit)
+		}
+	}
+	return val
 }
 
 // Put performs a one-sided store of v into element idx of peer's partition
@@ -68,6 +76,13 @@ func (pe *PE) Put(s *SymF64, peer, idx int, v float64) {
 	}
 	if h := pe.comm.putBytes; h != nil {
 		h.Observe(8)
+	}
+	if pe.comm.inj != nil {
+		// Corruption lands on the transferred value, never the caller's
+		// copy.
+		if vd := pe.injectOneSided(fault.Put, 1); vd.Corrupt {
+			v = flipBit(v, vd.CorruptBit)
+		}
 	}
 	s.parts[peer][idx] = v
 }
@@ -93,6 +108,9 @@ func (pe *PE) GetV(s *SymF64, peer, idx int, dst []float64) {
 		h.Observe(float64(8 * n))
 	}
 	copy(dst, s.parts[peer][idx:idx+len(dst)])
+	if pe.comm.inj != nil {
+		corrupt(pe.injectOneSided(fault.Get, len(dst)), dst)
+	}
 }
 
 // PutV performs one coalesced one-sided store of src into peer's partition
@@ -113,6 +131,10 @@ func (pe *PE) PutV(s *SymF64, peer, idx int, src []float64) {
 		h.Observe(float64(8 * n))
 	}
 	copy(s.parts[peer][idx:idx+len(src)], src)
+	if pe.comm.inj != nil {
+		// Corrupt the landed bytes, not the caller's source buffer.
+		corrupt(pe.injectOneSided(fault.Put, len(src)), s.parts[peer][idx:idx+len(src)])
+	}
 }
 
 // GlobalGet loads global element gidx of a symmetric array laid out in

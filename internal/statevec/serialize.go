@@ -3,6 +3,7 @@ package statevec
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -16,6 +17,22 @@ import (
 // 2*2^n float64 values (all real parts, then all imaginary parts).
 
 var stateMagic = [8]byte{'S', 'V', 'S', 'T', 'A', 'T', 'E', '1'}
+
+// Typed deserialization failures, matchable with errors.Is.
+var (
+	// ErrBadMagic means the input does not start with the format magic.
+	ErrBadMagic = errors.New("statevec: bad magic")
+	// ErrBadHeader means the header is short or carries an impossible
+	// qubit count.
+	ErrBadHeader = errors.New("statevec: bad header")
+	// ErrTruncated means the input ended before all amplitudes arrived.
+	ErrTruncated = errors.New("statevec: truncated state")
+)
+
+// readChunkFloats bounds each amplitude read so a truncated stream whose
+// header claims a huge qubit count fails after allocating roughly what
+// the stream actually delivered, not the 2^n the header promised.
+const readChunkFloats = 32768
 
 // WriteTo serializes the state. It returns the byte count written.
 func (s *State) WriteTo(w io.Writer) (int64, error) {
@@ -40,33 +57,53 @@ func (s *State) WriteTo(w io.Writer) (int64, error) {
 	return n, bw.Flush()
 }
 
-// ReadState deserializes a state written by WriteTo.
+// ReadState deserializes a state written by WriteTo. Failures are typed:
+// ErrBadMagic, ErrBadHeader (short header or impossible qubit count), or
+// ErrTruncated (amplitudes missing). Amplitudes are read in bounded
+// chunks with append-style growth, so a truncated file whose header
+// claims 30 qubits costs memory proportional to the bytes actually
+// present, not the 16 GiB the header promises.
 func ReadState(r io.Reader) (*State, error) {
 	br := bufio.NewReader(r)
 	var magic [8]byte
-	if err := binary.Read(br, binary.LittleEndian, &magic); err != nil {
-		return nil, fmt.Errorf("statevec: reading header: %w", err)
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("%w: reading header: %v", ErrBadHeader, err)
 	}
 	if magic != stateMagic {
-		return nil, fmt.Errorf("statevec: bad magic %q", magic)
+		return nil, fmt.Errorf("%w %q", ErrBadMagic, magic)
 	}
-	var n uint32
-	if err := binary.Read(br, binary.LittleEndian, &n); err != nil {
-		return nil, fmt.Errorf("statevec: reading qubit count: %w", err)
+	var hdr [4]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("%w: reading qubit count: %v", ErrBadHeader, err)
 	}
+	n := binary.LittleEndian.Uint32(hdr[:])
 	if n < 1 || n > MaxQubits {
-		return nil, fmt.Errorf("statevec: qubit count %d out of range", n)
+		return nil, fmt.Errorf("%w: qubit count %d out of range [1,%d]", ErrBadHeader, n, MaxQubits)
 	}
-	s := New(int(n))
-	s.Re[0] = 0
-	for _, part := range [][]float64{s.Re, s.Im} {
-		for i := range part {
-			var bits uint64
-			if err := binary.Read(br, binary.LittleEndian, &bits); err != nil {
-				return nil, fmt.Errorf("statevec: reading amplitudes: %w", err)
+	dim := 1 << uint(n)
+	var parts [2][]float64
+	chunk := make([]byte, minInt(dim, readChunkFloats)*8)
+	for pi := range parts {
+		vals := make([]float64, 0, minInt(dim, readChunkFloats))
+		for remaining := dim; remaining > 0; {
+			k := minInt(remaining, readChunkFloats)
+			b := chunk[:k*8]
+			if _, err := io.ReadFull(br, b); err != nil {
+				return nil, fmt.Errorf("%w: reading amplitudes: %v", ErrTruncated, err)
 			}
-			part[i] = math.Float64frombits(bits)
+			for i := 0; i < k; i++ {
+				vals = append(vals, math.Float64frombits(binary.LittleEndian.Uint64(b[i*8:])))
+			}
+			remaining -= k
 		}
+		parts[pi] = vals
 	}
-	return s, nil
+	return &State{N: int(n), Dim: dim, Re: parts[0], Im: parts[1]}, nil
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
 }

@@ -2,7 +2,9 @@ package statevec
 
 import (
 	"bytes"
+	"errors"
 	"math/rand"
+	"runtime"
 	"strings"
 	"testing"
 
@@ -37,20 +39,57 @@ func TestStateSerializationRoundTrip(t *testing.T) {
 
 func TestReadStateRejectsGarbage(t *testing.T) {
 	cases := []struct {
+		name string
 		data string
 		want string
+		is   error
 	}{
-		{"", "header"},
-		{"NOTMAGIC____", "bad magic"},
-		{"SVSTATE1\xff\xff\xff\xff", "out of range"},
-		{"SVSTATE1\x02\x00\x00\x00shor", "amplitudes"},
+		{"empty", "", "header", ErrBadHeader},
+		{"wrong magic", "NOTMAGIC____", "bad magic", ErrBadMagic},
+		{"short magic", "SVST", "header", ErrBadHeader},
+		{"short qubit count", "SVSTATE1\x02\x00", "qubit count", ErrBadHeader},
+		{"zero qubits", "SVSTATE1\x00\x00\x00\x00", "out of range", ErrBadHeader},
+		{"huge qubit count", "SVSTATE1\xff\xff\xff\xff", "out of range", ErrBadHeader},
+		{"truncated amplitudes", "SVSTATE1\x02\x00\x00\x00shor", "amplitudes", ErrTruncated},
+		{"no amplitudes", "SVSTATE1\x03\x00\x00\x00", "amplitudes", ErrTruncated},
 	}
 	for _, c := range cases {
-		_, err := ReadState(strings.NewReader(c.data))
-		if err == nil || !strings.Contains(err.Error(), c.want) {
-			t.Errorf("data %q: error %v, want mention of %q", c.data, err, c.want)
-		}
+		t.Run(c.name, func(t *testing.T) {
+			_, err := ReadState(strings.NewReader(c.data))
+			if err == nil || !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("data %q: error %v, want mention of %q", c.data, err, c.want)
+			}
+			if !errors.Is(err, c.is) {
+				t.Fatalf("data %q: error %v is not %v", c.data, err, c.is)
+			}
+		})
 	}
+}
+
+// TestReadStateTruncatedClaimIsNotAnAllocationBomb feeds a header that
+// claims the 30-qubit maximum (16 GiB of amplitudes) followed by almost
+// no data. The reader must fail with ErrTruncated after allocating
+// memory proportional to the bytes present, not the claimed dimension.
+func TestReadStateTruncatedClaimIsNotAnAllocationBomb(t *testing.T) {
+	data := append([]byte("SVSTATE1"), 30, 0, 0, 0)
+	data = append(data, make([]byte, 4096)...) // a token amount of payload
+	before := allocatedBytes()
+	_, err := ReadState(bytes.NewReader(data))
+	grew := allocatedBytes() - before
+	if !errors.Is(err, ErrTruncated) {
+		t.Fatalf("want ErrTruncated, got %v", err)
+	}
+	// Chunked reading bounds the growth to a few chunk buffers; 64 MiB of
+	// headroom is generous while 16 GiB would blow far past it.
+	if grew > 64<<20 {
+		t.Fatalf("reader allocated %d bytes for a truncated 30-qubit claim", grew)
+	}
+}
+
+func allocatedBytes() int64 {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return int64(ms.TotalAlloc)
 }
 
 func TestSerializedStateResumesSimulation(t *testing.T) {
