@@ -10,7 +10,7 @@ GO ?= go
 # Short commit hash, or "dev" when not in a git checkout.
 BENCH_TAG := $(shell git rev-parse --short HEAD 2>/dev/null || echo dev)
 
-.PHONY: all build vet test race bench bench-json bench-diff trace evaluate examples fuzz clean
+.PHONY: all build vet test race bench bench-json bench-diff trace evaluate examples fuzz lint clean
 
 all: build vet test
 
@@ -19,6 +19,12 @@ build:
 
 vet:
 	$(GO) vet ./...
+
+# vet plus staticcheck's correctness analyzers (SA*), matching CI's lint
+# job. Requires staticcheck on PATH (CI installs it; the module itself
+# stays stdlib-only).
+lint: vet
+	staticcheck -checks 'SA*' ./...
 
 test:
 	$(GO) test ./...

@@ -26,10 +26,16 @@ type record struct {
 	Backend         string `json:"backend"`
 	PEs             int    `json:"pes"`
 	Coalesced       bool   `json:"coalesced,omitempty"`
+	Fuse            bool   `json:"fuse,omitempty"`
 	Sched           string `json:"sched,omitempty"`
 	ElapsedNS       int64  `json:"elapsed_ns"`
 	CommRemoteBytes int64  `json:"comm_remote_bytes"`
 	Barriers        int64  `json:"barriers"`
+	FusedGates      int64  `json:"fused_gates,omitempty"`
+	Remaps          int64  `json:"remaps,omitempty"`
+	CompileNS       int64  `json:"compile_ns,omitempty"`
+	PlanCacheHits   int64  `json:"plan_cache_hits,omitempty"`
+	PlanCacheMisses int64  `json:"plan_cache_misses,omitempty"`
 }
 
 // key identifies a bench configuration across runs.
@@ -38,8 +44,8 @@ func (r *record) key() string {
 	if sched == "" {
 		sched = "naive"
 	}
-	return fmt.Sprintf("%s/%s/pes=%d/coalesced=%v/sched=%s",
-		r.Workload, r.Backend, r.PEs, r.Coalesced, sched)
+	return fmt.Sprintf("%s/%s/pes=%d/coalesced=%v/fuse=%v/sched=%s",
+		r.Workload, r.Backend, r.PEs, r.Coalesced, r.Fuse, sched)
 }
 
 // regression describes one comparison that exceeded its tolerance.
@@ -83,6 +89,28 @@ func diff(baseline, current []record, byteTol, timeTol float64) (regs []regressi
 		}
 		if r := ratio(c.ElapsedNS, b.ElapsedNS); r > 1+timeTol {
 			regs = append(regs, regression{k, "elapsed_ns", b.ElapsedNS, c.ElapsedNS, r})
+		}
+		// Compile-pipeline trajectory. Fused gate and remap counts are
+		// deterministic for a fixed workload, so they get the tight byte
+		// tolerance; compile wall time gets the noisy time tolerance.
+		if r := ratio(c.FusedGates, b.FusedGates); r > 1+byteTol {
+			regs = append(regs, regression{k, "fused_gates", b.FusedGates, c.FusedGates, r})
+		} else if r < 1 {
+			notes = append(notes, fmt.Sprintf("improved %-55s fused_gates %d -> %d", k, b.FusedGates, c.FusedGates))
+		}
+		if r := ratio(c.Remaps, b.Remaps); r > 1+byteTol {
+			regs = append(regs, regression{k, "remaps", b.Remaps, c.Remaps, r})
+		} else if r < 1 {
+			notes = append(notes, fmt.Sprintf("improved %-55s remaps %d -> %d", k, b.Remaps, c.Remaps))
+		}
+		if r := ratio(c.CompileNS, b.CompileNS); r > 1+timeTol {
+			regs = append(regs, regression{k, "compile_ns", b.CompileNS, c.CompileNS, r})
+		}
+		// Plan-cache hits regress downward: fewer hits than the baseline
+		// means re-binding stopped working for a shape that used to cache.
+		if c.PlanCacheHits < b.PlanCacheHits {
+			regs = append(regs, regression{k, "plan_cache_hits", b.PlanCacheHits, c.PlanCacheHits,
+				ratio(c.PlanCacheHits, b.PlanCacheHits)})
 		}
 	}
 	for i := range current {

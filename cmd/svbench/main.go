@@ -22,13 +22,17 @@ import (
 	"strings"
 	"time"
 
+	"svsim/internal/batch"
 	"svsim/internal/cliutil"
+	"svsim/internal/compile"
 	"svsim/internal/core"
 	"svsim/internal/figures"
+	"svsim/internal/ham"
 	"svsim/internal/obs"
 	"svsim/internal/qasmbench"
 	"svsim/internal/sched"
 	"svsim/internal/statevec"
+	"svsim/internal/vqa"
 )
 
 var experiments = []struct {
@@ -64,6 +68,7 @@ func main() {
 	backendName := flag.String("backend", "single", "backend for -workload: single | threaded | scale-up | scale-out")
 	pes := flag.Int("pes", 1, "device/PE count for -workload on distributed backends")
 	coalesced := flag.Bool("coalesced", false, "coalesced bulk transfers for -workload on the scale-out backend")
+	fuse := flag.Bool("fuse", false, "apply the compile pipeline's gate-fusion pass for -workload")
 	schedName := flag.String("sched", "naive", "gate schedule for -workload on distributed backends: naive | lazy")
 	traceFile := flag.String("trace", "", "write a Chrome trace-event timeline of the bench runs to FILE")
 	metricsFile := flag.String("metrics", "", "write the bench runs' metrics registry as JSON to FILE")
@@ -88,7 +93,7 @@ func main() {
 				fatalf("%v", err)
 			}
 		}
-		runBenchMode(*jsonFile, *workload, *backendName, *pes, *coalesced, policy, *traceFile, *metricsFile, *pprofAddr, *ckptEvery, *ckptDir)
+		runBenchMode(*jsonFile, *workload, *backendName, *pes, *coalesced, *fuse, policy, *traceFile, *metricsFile, *pprofAddr, *ckptEvery, *ckptDir)
 		return
 	}
 
@@ -157,6 +162,16 @@ type benchRecord struct {
 	CkptCount   int64   `json:"ckpt_count,omitempty"`
 	CkptBytes   int64   `json:"ckpt_bytes,omitempty"`
 	CkptSeconds float64 `json:"ckpt_seconds,omitempty"`
+	// Compile-pipeline activity: fusion results, schedule remap count,
+	// compile latency, and plan-cache outcome. FusedGates and Remaps are
+	// deterministic for a fixed workload; CompileNS is wall time.
+	Fuse            bool  `json:"fuse,omitempty"`
+	FusedGates      int   `json:"fused_gates,omitempty"`
+	Remaps          int64 `json:"remaps,omitempty"`
+	CompileNS       int64 `json:"compile_ns,omitempty"`
+	PlanCacheHit    bool  `json:"plan_cache_hit,omitempty"`
+	PlanCacheHits   int64 `json:"plan_cache_hits,omitempty"`
+	PlanCacheMisses int64 `json:"plan_cache_misses,omitempty"`
 }
 
 const benchSchema = "svsim-bench/v1"
@@ -165,25 +180,30 @@ type benchSpec struct {
 	workload, backend string
 	pes               int
 	coalesced         bool
+	fuse              bool
 	sched             sched.Policy
 }
 
 // defaultBenchSuite is the standing perf-trajectory suite: one
 // representative workload per backend class (plus the lazy-scheduled
-// scale-out runs whose remote-byte trajectory CI guards), small enough
+// scale-out runs whose remote-byte trajectory CI guards, and their fused
+// variants whose fused-gate/remap counts CI also guards), small enough
 // to run in CI.
 var defaultBenchSuite = []benchSpec{
-	{"qft_n15", "single", 1, false, sched.Naive},
-	{"qft_n15", "threaded", 4, false, sched.Naive},
-	{"qft_n15", "scale-up", 4, false, sched.Naive},
-	{"qft_n15", "scale-out", 8, true, sched.Naive},
-	{"qft_n15", "scale-out", 8, false, sched.Lazy},
-	{"bv_n14", "scale-out", 4, true, sched.Naive},
-	{"bv_n14", "scale-out", 4, false, sched.Lazy},
-	{"ghz_state", "single", 1, false, sched.Naive},
+	{"qft_n15", "single", 1, false, false, sched.Naive},
+	{"qft_n15", "single", 1, false, true, sched.Naive},
+	{"qft_n15", "threaded", 4, false, false, sched.Naive},
+	{"qft_n15", "scale-up", 4, false, false, sched.Naive},
+	{"qft_n15", "scale-out", 8, true, false, sched.Naive},
+	{"qft_n15", "scale-out", 8, false, false, sched.Lazy},
+	{"qft_n15", "scale-out", 8, false, true, sched.Lazy},
+	{"bv_n14", "scale-out", 4, true, false, sched.Naive},
+	{"bv_n14", "scale-out", 4, false, false, sched.Lazy},
+	{"bv_n14", "scale-out", 4, false, true, sched.Lazy},
+	{"ghz_state", "single", 1, false, false, sched.Naive},
 }
 
-func runBenchMode(jsonFile, workload, backend string, pes int, coalesced bool, policy sched.Policy, traceFile, metricsFile, pprofAddr string, ckptEvery int, ckptDir string) {
+func runBenchMode(jsonFile, workload, backend string, pes int, coalesced, fuse bool, policy sched.Policy, traceFile, metricsFile, pprofAddr string, ckptEvery int, ckptDir string) {
 	var tracer *obs.Tracer
 	var metrics *obs.Metrics
 	if traceFile != "" {
@@ -203,9 +223,14 @@ func runBenchMode(jsonFile, workload, backend string, pes int, coalesced bool, p
 
 	suite := defaultBenchSuite
 	if workload != "" {
-		suite = []benchSpec{{workload, backend, pes, coalesced, policy}}
+		suite = []benchSpec{{workload, backend, pes, coalesced, fuse, policy}}
 	}
-	records := make([]benchRecord, 0, len(suite))
+	// One plan cache for the whole bench run, as a long-lived driver
+	// would hold it; suite entries all differ in shape or config, so the
+	// per-record hit flag stays deterministically false while the VQE
+	// sweep below exercises the hit path.
+	plans := compile.NewCache(compile.DefaultCacheSize)
+	records := make([]benchRecord, 0, len(suite)+1)
 	for i, spec := range suite {
 		dir := ""
 		if ckptEvery > 0 {
@@ -213,13 +238,25 @@ func runBenchMode(jsonFile, workload, backend string, pes int, coalesced bool, p
 			// different configurations never collide.
 			dir = filepath.Join(ckptDir, fmt.Sprintf("%02d-%s-%s", i, spec.workload, spec.backend))
 		}
-		rec, err := runBenchSpec(spec, tracer, metrics, ckptEvery, dir)
+		rec, err := runBenchSpec(spec, plans, tracer, metrics, ckptEvery, dir)
 		if err != nil {
 			fatalf("%s on %s: %v", spec.workload, spec.backend, err)
 		}
 		records = append(records, *rec)
 		fmt.Fprintf(os.Stderr, "svbench: %-12s %-9s pes=%-2d %12d ns  remote=%dB\n",
 			rec.Workload, rec.Backend, rec.PEs, rec.ElapsedNS, rec.CommRemoteBytes)
+	}
+	if workload == "" {
+		// The plan-cache trajectory workload: a VQE parameter sweep over a
+		// fixed-shape ansatz, where every point after the first re-binds
+		// the cached plan.
+		rec, err := runVQESweep()
+		if err != nil {
+			fatalf("vqe sweep: %v", err)
+		}
+		records = append(records, *rec)
+		fmt.Fprintf(os.Stderr, "svbench: %-12s %-9s pes=%-2d %12d ns  plan-cache=%d/%d\n",
+			rec.Workload, rec.Backend, rec.PEs, rec.ElapsedNS, rec.PlanCacheHits, rec.PlanCacheHits+rec.PlanCacheMisses)
 	}
 
 	if jsonFile != "" {
@@ -246,7 +283,7 @@ func runBenchMode(jsonFile, workload, backend string, pes int, coalesced bool, p
 	}
 }
 
-func runBenchSpec(spec benchSpec, tracer *obs.Tracer, metrics *obs.Metrics, ckptEvery int, ckptDir string) (*benchRecord, error) {
+func runBenchSpec(spec benchSpec, plans *compile.Cache, tracer *obs.Tracer, metrics *obs.Metrics, ckptEvery int, ckptDir string) (*benchRecord, error) {
 	e, err := qasmbench.ByName(spec.workload)
 	if err != nil {
 		return nil, err
@@ -254,8 +291,8 @@ func runBenchSpec(spec benchSpec, tracer *obs.Tracer, metrics *obs.Metrics, ckpt
 	c := e.Build()
 	cfg := core.Config{
 		Seed: 1, Style: statevec.Vectorized, PEs: spec.pes,
-		Coalesced: spec.coalesced, Sched: spec.sched,
-		Trace: tracer, Metrics: metrics,
+		Coalesced: spec.coalesced, Fuse: spec.fuse, Sched: spec.sched,
+		Plans: plans, Trace: tracer, Metrics: metrics,
 		CheckpointEvery: ckptEvery, CheckpointDir: ckptDir,
 	}
 	var backend core.Backend
@@ -300,7 +337,56 @@ func runBenchSpec(spec benchSpec, tracer *obs.Tracer, metrics *obs.Metrics, ckpt
 	rec.CkptCount = res.Ckpt.Count
 	rec.CkptBytes = res.Ckpt.Bytes
 	rec.CkptSeconds = float64(res.Ckpt.NS) / 1e9
+	rec.Fuse = spec.fuse
+	if spec.fuse {
+		rec.FusedGates = res.Compile.Fusion.OutputGates
+	}
+	rec.Remaps = int64(res.Compile.Remaps)
+	rec.CompileNS = res.Compile.TotalNS
+	rec.PlanCacheHit = res.Compile.CacheHit
 	return rec, nil
+}
+
+// vqeSweepPoints sizes the plan-cache trajectory workload; with one
+// compile and points-1 re-binds, the expected record is exactly
+// plan_cache_hits = vqeSweepPoints-1, plan_cache_misses = 1.
+const vqeSweepPoints = 64
+
+// runVQESweep measures a batched EnergySweep of the H2 UCCSD ansatz at
+// vqeSweepPoints parameter points sharing one plan cache.
+func runVQESweep() (*benchRecord, error) {
+	h := ham.H2()
+	np := vqa.H2NumParams()
+	params := make([][]float64, vqeSweepPoints)
+	for i := range params {
+		p := make([]float64, np)
+		for j := range p {
+			// Deterministic, generic (non-degenerate) angles.
+			p[j] = 0.15 + 0.045*float64(i) + 0.3*float64(j)
+		}
+		params[i] = p
+	}
+	c := vqa.H2Ansatz(params[0])
+	runner := batch.New(4, core.Config{Seed: 1, Style: statevec.Vectorized, Fuse: true})
+	start := time.Now()
+	if _, err := runner.EnergySweep(h, vqa.H2Ansatz, params); err != nil {
+		return nil, err
+	}
+	elapsed := time.Since(start)
+	cs := runner.PlanCache().Stats()
+	return &benchRecord{
+		Schema:          benchSchema,
+		UnixNS:          time.Now().UnixNano(),
+		Workload:        fmt.Sprintf("vqe_h2_sweep%d", vqeSweepPoints),
+		Backend:         "batch-single",
+		PEs:             1,
+		Fuse:            true,
+		Qubits:          c.NumQubits,
+		Gates:           c.NumGates(),
+		ElapsedNS:       elapsed.Nanoseconds(),
+		PlanCacheHits:   cs.Hits,
+		PlanCacheMisses: cs.Misses,
+	}, nil
 }
 
 func fatalf(format string, args ...any) {

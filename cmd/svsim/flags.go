@@ -16,6 +16,7 @@ type runOpts struct {
 	pes             int
 	sched           string
 	seed            int64
+	fuse            bool
 	checkpointEvery int
 	checkpointDir   string
 	resume          string

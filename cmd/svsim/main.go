@@ -20,8 +20,10 @@ import (
 	"os"
 	"sort"
 	"strings"
+	"time"
 
 	"svsim/internal/circuit"
+	"svsim/internal/compile"
 	"svsim/internal/core"
 	"svsim/internal/mpibase"
 	"svsim/internal/obs"
@@ -78,7 +80,7 @@ func main() {
 	}
 
 	opts := runOpts{
-		backend: *backendName, pes: *pes, sched: string(policy), seed: *seed,
+		backend: *backendName, pes: *pes, sched: string(policy), seed: *seed, fuse: *fuse,
 		checkpointEvery: *ckptEvery, checkpointDir: *ckptDir, resume: *resume,
 		maxRestarts: *maxRestarts, faultSpec: *faultSpec,
 		barrierTimeout: *barrierTmo, opRetries: *opRetries,
@@ -100,7 +102,7 @@ func main() {
 		return
 	}
 	if *backendName == "remap" {
-		mcfg := mpibase.Config{Ranks: *pes, Seed: *seed, Style: ks, Trace: telemetry.tracer, Metrics: telemetry.metrics}
+		mcfg := mpibase.Config{Ranks: *pes, Seed: *seed, Style: ks, Fuse: *fuse, Trace: telemetry.tracer, Metrics: telemetry.metrics}
 		res, err := mpibase.NewRemap(mcfg).Run(c)
 		if err != nil {
 			fatal(err)
@@ -108,6 +110,7 @@ func main() {
 		fmt.Printf("circuit : %s\n", c.Summary())
 		fmt.Printf("backend : remap (%d ranks, %d bit swaps)\n", res.Ranks, res.BitSwaps)
 		fmt.Printf("elapsed : %v\n", res.Elapsed)
+		printCompile(res.Compile, *fuse)
 		fmt.Printf("mpi     : %s\n", res.MPI)
 		telemetry.flush(res.Mem)
 		report(res.State, *seed, *shots, *printState)
@@ -142,6 +145,7 @@ func main() {
 	fmt.Printf("circuit : %s\n", c.Summary())
 	fmt.Printf("backend : %s (%d PE)\n", res.Backend, res.PEs)
 	fmt.Printf("elapsed : %v\n", res.Elapsed)
+	printCompile(res.Compile, *fuse)
 	fmt.Printf("kernels : gates=%d amps=%d bytes=%d\n", res.SV.Gates, res.SV.AmpsTouched, res.SV.BytesTouched)
 	if res.PEs > 1 {
 		fmt.Printf("comm    : %s\n", res.Comm)
@@ -237,7 +241,7 @@ func loadCircuit(name, file string, compact bool) (*circuit.Circuit, error) {
 
 func runMPI(c *circuit.Circuit, opts runOpts, ks statevec.KernelStyle, shots int, printState bool, telemetry *telemetry) {
 	cfg := mpibase.Config{
-		Ranks: opts.pes, Seed: opts.seed, Style: ks,
+		Ranks: opts.pes, Seed: opts.seed, Style: ks, Fuse: opts.fuse,
 		Trace: telemetry.tracer, Metrics: telemetry.metrics,
 		CheckpointEvery: opts.checkpointEvery, CheckpointDir: opts.checkpointDir,
 		Resume: opts.resume, MaxRestarts: opts.maxRestarts, Fault: opts.injector(),
@@ -249,6 +253,7 @@ func runMPI(c *circuit.Circuit, opts runOpts, ks statevec.KernelStyle, shots int
 	fmt.Printf("circuit : %s\n", c.Summary())
 	fmt.Printf("backend : mpi-baseline (%d ranks)\n", res.Ranks)
 	fmt.Printf("elapsed : %v\n", res.Elapsed)
+	printCompile(res.Compile, opts.fuse)
 	fmt.Printf("mpi     : %s\n", res.MPI)
 	if res.Ckpt.Count > 0 || res.Recoveries > 0 {
 		fmt.Printf("ckpt    : %d checkpoint(s), %d bytes, %d recoveries\n", res.Ckpt.Count, res.Ckpt.Bytes, res.Recoveries)
@@ -284,6 +289,23 @@ func report(st *statevec.State, seed int64, shots int, printState bool) {
 			fmt.Printf("  |%0*b>  %d\n", st.N, k, counts[k])
 		}
 	}
+}
+
+// printCompile reports the compile pipeline's work when the fusion pass
+// was requested (without -fuse the pipeline is pass-through and the line
+// would be noise).
+func printCompile(cst compile.Stats, fuse bool) {
+	if !fuse {
+		return
+	}
+	source := "fresh"
+	if cst.CacheHit {
+		source = "cache hit"
+	}
+	fmt.Printf("compile : fuse %d->%d gates (%d runs, %d cancelled), %s, %v\n",
+		cst.Fusion.InputGates, cst.Fusion.OutputGates,
+		cst.Fusion.FusedRuns, cst.Fusion.Cancellations,
+		source, time.Duration(cst.TotalNS))
 }
 
 func newRNG(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

@@ -12,6 +12,7 @@ import (
 	"sync"
 
 	"svsim/internal/circuit"
+	"svsim/internal/compile"
 	"svsim/internal/core"
 	"svsim/internal/ham"
 )
@@ -26,10 +27,16 @@ type Runner struct {
 }
 
 // New creates a batched runner with the given worker count (values < 1
-// mean one worker). Backends are single-device by default.
+// mean one worker). Backends are single-device by default. When the
+// config carries no plan cache, the runner installs one shared across
+// all workers: a parameter sweep over a fixed-shape ansatz then compiles
+// once and re-binds parameters on every subsequent instance.
 func New(workers int, cfg core.Config) *Runner {
 	if workers < 1 {
 		workers = 1
+	}
+	if cfg.Plans == nil {
+		cfg.Plans = compile.NewCache(compile.DefaultCacheSize)
 	}
 	return &Runner{
 		workers: workers,
@@ -37,6 +44,10 @@ func New(workers int, cfg core.Config) *Runner {
 		make:    func(c core.Config) core.Backend { return core.NewSingleDevice(c) },
 	}
 }
+
+// PlanCache exposes the runner's shared compiled-plan cache (never nil
+// after New), e.g. to read hit/miss statistics after a sweep.
+func (r *Runner) PlanCache() *compile.Cache { return r.cfg.Plans }
 
 // WithBackendFactory overrides how per-worker backends are constructed
 // (e.g. to batch over the distributed backends).

@@ -87,6 +87,48 @@ func TestEnergySweepMatchesSerialVQE(t *testing.T) {
 	}
 }
 
+func TestEnergySweepCompilesOnce(t *testing.T) {
+	// The plan-cache acceptance: a 64-point sweep of one ansatz shape
+	// compiles exactly once (63 verified hits), and every energy is
+	// bit-identical to an uncached per-point run.
+	h := ham.H2()
+	const points = 64
+	params := make([][]float64, points)
+	for i := range params {
+		p := make([]float64, vqa.H2NumParams())
+		for j := range p {
+			p[j] = 0.15 + 0.045*float64(i) + 0.3*float64(j)
+		}
+		params[i] = p
+	}
+	runner := New(4, core.Config{Seed: 1, Fuse: true})
+	energies, err := runner.EnergySweep(h, vqa.H2Ansatz, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := runner.PlanCache().Stats()
+	if st.Misses != 1 || st.Hits != points-1 {
+		t.Fatalf("fixed-shape sweep of %d points: want 1 miss / %d hits, got %d / %d",
+			points, points-1, st.Misses, st.Hits)
+	}
+	// Uncached path: same backend configuration, no plan cache.
+	backend := core.NewSingleDevice(core.Config{Seed: 1, Fuse: true})
+	for i, p := range params {
+		res, err := backend.Run(vqa.H2Ansatz(p))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Compile.CacheHit {
+			t.Fatal("uncached reference run hit a cache")
+		}
+		want := h.Expectation(res.State)
+		if math.Float64bits(energies[i]) != math.Float64bits(want) {
+			t.Fatalf("point %d: cached sweep energy %v not bit-identical to uncached %v",
+				i, energies[i], want)
+		}
+	}
+}
+
 func TestBatchErrorPropagates(t *testing.T) {
 	bad := circuit.New("bad", 2)
 	// An out-of-range operand assembled directly (gate.New would panic).

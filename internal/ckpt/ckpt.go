@@ -52,9 +52,14 @@ type Manifest struct {
 	Backend     string `json:"backend"`
 	Circuit     string `json:"circuit"`
 	CircuitHash uint64 `json:"circuit_hash"`
-	NumQubits   int    `json:"num_qubits"`
-	PEs         int    `json:"pes"`
-	Sched       string `json:"sched"`
+	// PlanFingerprint hashes the compiled schedule the run executes
+	// (compile.PlanFingerprint); a resume under a plan with a different
+	// remap sequence would place amplitudes at other PEs, so mismatches
+	// are rejected. Zero in manifests from older builds.
+	PlanFingerprint uint64 `json:"plan_fingerprint,omitempty"`
+	NumQubits       int    `json:"num_qubits"`
+	PEs             int    `json:"pes"`
+	Sched           string `json:"sched"`
 	// Step counts completed schedule positions: gates for the naive
 	// schedules, plan steps for the lazy executor. Resume re-enters the
 	// loop at this index.

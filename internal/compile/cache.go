@@ -1,0 +1,154 @@
+package compile
+
+import (
+	"container/list"
+	"sync"
+
+	"svsim/internal/circuit"
+	"svsim/internal/sched"
+)
+
+// DefaultCacheSize is the plan-cache capacity used when a caller wants
+// caching but has no sizing opinion (batch sweeps hold one skeleton per
+// ansatz shape, so even small caches stay hot).
+const DefaultCacheSize = 64
+
+// entry is one memoized compilation: everything parameter-independent
+// that a verified hit can reuse.
+type entry struct {
+	boundaries []int
+	plan       *sched.Plan
+	exchanges  []*sched.Exchange
+	permTrace  []circuit.Permutation
+	skeletonFP uint64
+	planFP     uint64
+	origSig    uint64 // demand signature of the source stream (block-aware compiles)
+	fusedSig   uint64 // demand signature of the executable stream
+}
+
+// Cache is a thread-safe LRU of compiled plans keyed on circuit
+// skeleton + compile configuration. A single Cache is safe to share
+// across goroutines (batch.Runner workers all compile through one).
+type Cache struct {
+	mu     sync.Mutex
+	cap    int
+	ll     *list.List // front = most recently used
+	byKey  map[uint64]*list.Element
+	hits   int64
+	misses int64
+	// inflight de-duplicates concurrent compiles of the same key
+	// (single-flight): the first misser compiles, later callers wait on
+	// its channel and then retry the lookup. This keeps a concurrent
+	// fixed-shape sweep at exactly one miss.
+	inflight map[uint64]chan struct{}
+}
+
+type lruItem struct {
+	key uint64
+	e   *entry
+}
+
+// NewCache returns an LRU plan cache holding up to capacity skeletons
+// (capacity < 1 is clamped to 1; use DefaultCacheSize when unsure).
+func NewCache(capacity int) *Cache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Cache{
+		cap:      capacity,
+		ll:       list.New(),
+		byKey:    make(map[uint64]*list.Element),
+		inflight: make(map[uint64]chan struct{}),
+	}
+}
+
+// CacheStats is a point-in-time snapshot of cache effectiveness. Hits
+// count verified hits only; a lookup whose signature check failed is a
+// miss.
+type CacheStats struct {
+	Hits    int64
+	Misses  int64
+	Entries int
+}
+
+// Stats snapshots hit/miss counters and the current entry count.
+func (c *Cache) Stats() CacheStats {
+	if c == nil {
+		return CacheStats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{Hits: c.hits, Misses: c.misses, Entries: c.ll.Len()}
+}
+
+func (c *Cache) get(key uint64) (*entry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKey[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*lruItem).e, true
+}
+
+func (c *Cache) put(key uint64, e *entry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[key]; ok {
+		el.Value.(*lruItem).e = e
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.byKey[key] = c.ll.PushFront(&lruItem{key: key, e: e})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.byKey, oldest.Value.(*lruItem).key)
+	}
+}
+
+// begin claims the right to compile key; false means another goroutine
+// already holds it (wait on it with wait, then re-look-up).
+func (c *Cache) begin(key uint64) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, busy := c.inflight[key]; busy {
+		return false
+	}
+	c.inflight[key] = make(chan struct{})
+	return true
+}
+
+// wait blocks until the in-flight compile of key (if any) finishes.
+func (c *Cache) wait(key uint64) {
+	c.mu.Lock()
+	ch, busy := c.inflight[key]
+	c.mu.Unlock()
+	if busy {
+		<-ch
+	}
+}
+
+// end releases a claim taken with begin, waking all waiters.
+func (c *Cache) end(key uint64) {
+	c.mu.Lock()
+	ch := c.inflight[key]
+	delete(c.inflight, key)
+	c.mu.Unlock()
+	if ch != nil {
+		close(ch)
+	}
+}
+
+func (c *Cache) recordHit() {
+	c.mu.Lock()
+	c.hits++
+	c.mu.Unlock()
+}
+
+func (c *Cache) recordMiss() {
+	c.mu.Lock()
+	c.misses++
+	c.mu.Unlock()
+}

@@ -70,8 +70,11 @@ type ckptWriter struct {
 	mNS    *obs.Counter
 }
 
-// newCkptWriter returns nil when checkpointing is off.
-func newCkptWriter(cfg Config, backend string, c *circuit.Circuit, p int) *ckptWriter {
+// newCkptWriter returns nil when checkpointing is off. The manifest
+// records the executable circuit's hash and the compiled plan's
+// fingerprint so a resume under a different gate stream or schedule is
+// rejected.
+func newCkptWriter(cfg Config, backend string, c *circuit.Circuit, p int, planFP uint64) *ckptWriter {
 	if cfg.CheckpointEvery <= 0 || cfg.CheckpointDir == "" {
 		return nil
 	}
@@ -79,13 +82,14 @@ func newCkptWriter(cfg Config, backend string, c *circuit.Circuit, p int) *ckptW
 		every: cfg.CheckpointEvery,
 		dir:   cfg.CheckpointDir,
 		man: ckpt.Manifest{
-			Backend:     backend,
-			Circuit:     c.Name,
-			CircuitHash: ckpt.Fingerprint(c),
-			NumQubits:   c.NumQubits,
-			PEs:         p,
-			Sched:       schedName(cfg.Sched),
-			Seed:        cfg.Seed,
+			Backend:         backend,
+			Circuit:         c.Name,
+			CircuitHash:     ckpt.Fingerprint(c),
+			PlanFingerprint: planFP,
+			NumQubits:       c.NumQubits,
+			PEs:             p,
+			Sched:           schedName(cfg.Sched),
+			Seed:            cfg.Seed,
 		},
 		shards: make([]ckpt.Shard, p),
 		errs:   make([]error, p),
@@ -207,8 +211,10 @@ func resolveResume(dir string) (string, *ckpt.Manifest, error) {
 }
 
 // validateManifest rejects a resume against a run configuration that
-// does not match the checkpointed one.
-func validateManifest(m *ckpt.Manifest, backend string, c *circuit.Circuit, p int, pol sched.Policy) error {
+// does not match the checkpointed one. planFP is the current run's
+// compiled-plan fingerprint; manifests from older builds carry zero and
+// skip that check.
+func validateManifest(m *ckpt.Manifest, backend string, c *circuit.Circuit, p int, pol sched.Policy, planFP uint64) error {
 	if m.Backend != backend {
 		return fmt.Errorf("core: checkpoint was taken by backend %q, resuming on %q", m.Backend, backend)
 	}
@@ -224,6 +230,10 @@ func validateManifest(m *ckpt.Manifest, backend string, c *circuit.Circuit, p in
 	if got := ckpt.Fingerprint(c); m.CircuitHash != got {
 		return fmt.Errorf("core: checkpoint was taken for circuit %q (hash %016x), current circuit hashes %016x",
 			m.Circuit, m.CircuitHash, got)
+	}
+	if m.PlanFingerprint != 0 && planFP != 0 && m.PlanFingerprint != planFP {
+		return fmt.Errorf("core: checkpoint was taken under plan %016x, current compile produced %016x",
+			m.PlanFingerprint, planFP)
 	}
 	return nil
 }

@@ -12,6 +12,7 @@ import (
 
 	"svsim/internal/circuit"
 	"svsim/internal/ckpt"
+	"svsim/internal/compile"
 	"svsim/internal/fault"
 	"svsim/internal/obs"
 	"svsim/internal/pgas"
@@ -44,6 +45,11 @@ type Config struct {
 	// local blocks separated by coalesced all-to-all exchanges). Ignored
 	// by the single-device backend.
 	Sched sched.Policy
+	// Plans, when non-nil, is a shared compile plan cache: circuits with
+	// the same skeleton (gate kinds + qubit pattern, parameter values
+	// excluded) reuse one schedule, so variational sweeps plan once per
+	// ansatz shape. Nil compiles every circuit from scratch.
+	Plans *compile.Cache
 	// Trace, if non-nil, records one span per executed gate onto a
 	// per-PE track (Chrome trace-event timeline with communication
 	// attribution). Nil keeps the run loops on their untimed fast path.
@@ -104,6 +110,9 @@ type Result struct {
 	Ckpt ckpt.Stats
 	// Recoveries counts restarts from a checkpoint after PE failures.
 	Recoveries int
+	// Compile reports what the circuit-preparation pipeline did for this
+	// run: fusion stats, remap count, plan-cache hit, per-stage times.
+	Compile compile.Stats
 }
 
 // Backend runs circuits. Implementations: SingleDevice, ScaleUp, ScaleOut.
@@ -139,6 +148,34 @@ func checkCircuit(c *circuit.Circuit, maxCbits int) error {
 			c.Name, c.NumClbits, maxCbits)
 	}
 	return c.Validate()
+}
+
+// checkPEs validates the distributed partition geometry. It runs before
+// compilation so geometry errors keep their backend-specific wording.
+func checkPEs(p, n int) error {
+	if p < 1 {
+		p = 1
+	}
+	if p&(p-1) != 0 {
+		return fmt.Errorf("core: PE count %d is not a power of two", p)
+	}
+	if 1<<uint(n-1) < p {
+		return fmt.Errorf("core: %d PEs need at least %d qubits (have %d)", p, log2(p)+1, n)
+	}
+	return nil
+}
+
+// compileCircuit routes a backend's circuit preparation through the
+// shared pipeline: fusion (when cfg.Fuse), scheduling, classification,
+// and exchange geometry, consulting cfg.Plans when set.
+func compileCircuit(cfg Config, c *circuit.Circuit, pes int) (*compile.CompiledPlan, compile.Stats, error) {
+	return compile.Compile(c, compile.Config{
+		Fuse:    cfg.Fuse,
+		Sched:   cfg.Sched,
+		PEs:     pes,
+		Cache:   cfg.Plans,
+		Metrics: cfg.Metrics,
+	})
 }
 
 // newRNG builds the deterministic measurement stream shared by every

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"fmt"
 	"math"
 	"math/rand"
 	"sort"
@@ -9,7 +8,7 @@ import (
 
 	"svsim/internal/circuit"
 	"svsim/internal/ckpt"
-	"svsim/internal/fusion"
+	"svsim/internal/compile"
 	"svsim/internal/gate"
 	"svsim/internal/obs"
 	"svsim/internal/pgas"
@@ -86,18 +85,13 @@ func (run *peRun) draw() float64 {
 	return run.rng.Float64()
 }
 
-func newDistSim(name string, cfg Config, c *circuit.Circuit) (*distSim, error) {
+func newDistSim(name string, cfg Config, cp *compile.CompiledPlan) (*distSim, error) {
+	c := cp.Circuit
 	p := cfg.PEs
 	if p < 1 {
 		p = 1
 	}
-	if p&(p-1) != 0 {
-		return nil, fmt.Errorf("core: PE count %d is not a power of two", p)
-	}
 	n := c.NumQubits
-	if 1<<uint(n-1) < p {
-		return nil, fmt.Errorf("core: %d PEs need at least %d qubits (have %d)", p, log2(p)+1, n)
-	}
 	d := &distSim{
 		name:      name,
 		n:         n,
@@ -112,7 +106,7 @@ func newDistSim(name string, cfg Config, c *circuit.Circuit) (*distSim, error) {
 	d.comm = pgas.NewComm(p)
 	d.comm.SetFault(cfg.Fault)
 	d.comm.SetTimeouts(cfg.Timeouts)
-	d.ck = newCkptWriter(cfg, name, c, p)
+	d.ck = newCkptWriter(cfg, name, c, p, cp.PlanFP)
 	d.trace = cfg.Trace
 	if cfg.Metrics != nil {
 		d.comm.SetMetrics(cfg.Metrics)
@@ -126,12 +120,14 @@ func newDistSim(name string, cfg Config, c *circuit.Circuit) (*distSim, error) {
 	for i := range c.Ops {
 		g := c.Ops[i].G
 		bd := boundDistGate{g: g, cond: c.Ops[i].Cond}
-		if g.Kind.Unitary() && g.Kind != gate.BARRIER && g.Kind != gate.GPHASE {
+		if cp.Classes[i] != nil {
+			// Classification was precomputed by the compile pipeline
+			// (the paper's upload step); pure-local gates skip it and
+			// run through the specialized single-device kernels.
 			if g.MaxQubit() < d.localBits {
 				bd.local = true
 			} else {
-				cls := gate.Classify(&g)
-				bd.cls = &cls
+				bd.cls = cp.Classes[i]
 			}
 		}
 		d.bound[i] = bd
@@ -157,7 +153,7 @@ func newDistSim(name string, cfg Config, c *circuit.Circuit) (*distSim, error) {
 		if err != nil {
 			return nil, err
 		}
-		if err := validateManifest(m, name, c, p, cfg.Sched); err != nil {
+		if err := validateManifest(m, name, c, p, cfg.Sched, cp.PlanFP); err != nil {
 			return nil, err
 		}
 		if err := restoreShards(dir, m, d.svRe, d.svIm, d.localBits); err != nil {
@@ -556,16 +552,16 @@ func (d *distSim) measure(pe *pgas.PE, run *peRun, q int) int {
 }
 
 // runDistOnce builds and executes one attempt of a distributed
-// simulation (the circuit is already validated and fused).
-func runDistOnce(name string, cfg Config, c *circuit.Circuit) (*Result, error) {
+// simulation of an already-compiled circuit.
+func runDistOnce(name string, cfg Config, cp *compile.CompiledPlan) (*Result, error) {
 	if cfg.Sched == sched.Lazy && cfg.PEs > 1 {
-		l, err := newLazySim(name, cfg, c)
+		l, err := newLazySim(name, cfg, cp)
 		if err != nil {
 			return nil, err
 		}
 		return l.run()
 	}
-	d, err := newDistSim(name, cfg, c)
+	d, err := newDistSim(name, cfg, cp)
 	if err != nil {
 		return nil, err
 	}
@@ -582,8 +578,14 @@ func runDistributed(name string, cfg Config, c *circuit.Circuit) (*Result, error
 	if err := checkCircuit(c, 64); err != nil {
 		return nil, err
 	}
-	if cfg.Fuse {
-		c, _ = fusion.Optimize(c)
+	if err := checkPEs(cfg.PEs, c.NumQubits); err != nil {
+		return nil, err
+	}
+	// Compile once, outside the recovery loop: restarts re-execute the
+	// same immutable plan.
+	cp, cst, err := compileCircuit(cfg, c, cfg.PEs)
+	if err != nil {
+		return nil, err
 	}
 	var mFailures, mRecoveries *obs.Counter
 	if cfg.Metrics != nil {
@@ -593,9 +595,10 @@ func runDistributed(name string, cfg Config, c *circuit.Circuit) (*Result, error
 	attempts, recovered := 0, 0
 	for {
 		attempts++
-		res, err := runDistOnce(name, cfg, c)
+		res, err := runDistOnce(name, cfg, cp)
 		if err == nil {
 			res.Recoveries = recovered
+			res.Compile = cst
 			return res, nil
 		}
 		if !recoverable(err) {

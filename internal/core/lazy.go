@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"svsim/internal/circuit"
+	"svsim/internal/compile"
 	"svsim/internal/gate"
 	"svsim/internal/obs"
 	"svsim/internal/pgas"
@@ -76,18 +77,13 @@ func (run *lazyRun) draw() float64 {
 	return run.rng.Float64()
 }
 
-func newLazySim(name string, cfg Config, c *circuit.Circuit) (*lazySim, error) {
+func newLazySim(name string, cfg Config, cp *compile.CompiledPlan) (*lazySim, error) {
+	c := cp.Circuit
 	p := cfg.PEs
 	if p < 1 {
 		p = 1
 	}
-	if p&(p-1) != 0 {
-		return nil, fmt.Errorf("core: PE count %d is not a power of two", p)
-	}
 	n := c.NumQubits
-	if 1<<uint(n-1) < p {
-		return nil, fmt.Errorf("core: %d PEs need at least %d qubits (have %d)", p, log2(p)+1, n)
-	}
 	d := &lazySim{
 		name: name,
 		n:    n,
@@ -99,16 +95,18 @@ func newLazySim(name string, cfg Config, c *circuit.Circuit) (*lazySim, error) {
 	d.S = d.dim / p
 	d.localBits = n - d.k
 
-	plan, err := sched.Build(c, d.localBits, sched.Lazy)
-	if err != nil {
-		return nil, err
-	}
-	d.plan = plan
+	// The compile pipeline already did the upload step: plan, per-op
+	// classifications, and every remap's all-to-all geometry arrive
+	// precomputed (and possibly shared with concurrent runs via the
+	// plan cache), so the SPMD loop only executes.
+	d.plan = cp.Plan
+	d.cls = cp.Classes
+	d.exch = cp.Exchanges
 
 	d.comm = pgas.NewComm(p)
 	d.comm.SetFault(cfg.Fault)
 	d.comm.SetTimeouts(cfg.Timeouts)
-	d.ck = newCkptWriter(cfg, name, c, p)
+	d.ck = newCkptWriter(cfg, name, c, p, cp.PlanFP)
 	d.trace = cfg.Trace
 	if cfg.Metrics != nil {
 		d.comm.SetMetrics(cfg.Metrics)
@@ -121,23 +119,11 @@ func newLazySim(name string, cfg Config, c *circuit.Circuit) (*lazySim, error) {
 	d.stage = d.comm.NewSymF64(2 * d.S)
 	d.svRe.PartitionUnsafe(0)[0] = 1 // |0...0>
 
-	// Upload step: classify gates and plan every remap's all-to-all up
-	// front, so the SPMD loop only executes.
-	d.cls = make([]*gate.Class, len(c.Ops))
-	for i := range c.Ops {
-		g := &c.Ops[i].G
-		if g.Kind.Unitary() && g.Kind != gate.BARRIER && g.Kind != gate.GPHASE {
-			cls := gate.Classify(g)
-			d.cls[i] = &cls
-		}
-	}
-	d.exch = make([]*sched.Exchange, len(plan.Steps))
-	d.label = make([]string, len(plan.Steps))
-	for si := range plan.Steps {
-		st := &plan.Steps[si]
+	d.label = make([]string, len(d.plan.Steps))
+	for si := range d.plan.Steps {
+		st := &d.plan.Steps[si]
 		switch st.Kind {
 		case sched.StepRemap:
-			d.exch[si] = sched.NewExchange(st.Swaps, n, d.localBits, p)
 			d.label[si] = remapLabel(st.Swaps)
 		case sched.StepAlias:
 			d.label[si] = "alias q" + strconv.Itoa(st.A) + "<->q" + strconv.Itoa(st.B)
@@ -164,7 +150,7 @@ func newLazySim(name string, cfg Config, c *circuit.Circuit) (*lazySim, error) {
 		if err != nil {
 			return nil, err
 		}
-		if err := validateManifest(m, name, c, p, cfg.Sched); err != nil {
+		if err := validateManifest(m, name, c, p, cfg.Sched, cp.PlanFP); err != nil {
 			return nil, err
 		}
 		if len(m.Perm) != n {

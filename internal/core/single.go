@@ -6,7 +6,6 @@ import (
 
 	"svsim/internal/circuit"
 	"svsim/internal/ckpt"
-	"svsim/internal/fusion"
 	"svsim/internal/gate"
 	"svsim/internal/obs"
 	"svsim/internal/statevec"
@@ -99,23 +98,25 @@ func (b *SingleDevice) Run(c *circuit.Circuit) (*Result, error) {
 	if err := checkCircuit(c, 64); err != nil {
 		return nil, err
 	}
-	if b.cfg.Fuse {
-		c, _ = fusion.Optimize(c)
+	cp, cst, err := compileCircuit(b.cfg, c, 1)
+	if err != nil {
+		return nil, err
 	}
+	c = cp.Circuit
 	bound := bind(c)
 	rt := &rtctx{
 		st:  statevec.New(c.NumQubits),
 		rng: newRNG(b.cfg.Seed),
 	}
 	rt.st.Style = b.cfg.Style
-	cw := newCkptWriter(b.cfg, b.Name(), c, 1)
+	cw := newCkptWriter(b.cfg, b.Name(), c, 1, cp.PlanFP)
 	startGate := 0
 	if b.cfg.Resume != "" {
 		dir, m, err := resolveResume(b.cfg.Resume)
 		if err != nil {
 			return nil, err
 		}
-		if err := validateManifest(m, b.Name(), c, 1, b.cfg.Sched); err != nil {
+		if err := validateManifest(m, b.Name(), c, 1, b.cfg.Sched, cp.PlanFP); err != nil {
 			return nil, err
 		}
 		st, err := ckpt.ReadShard(dir, m.Shards[0], c.NumQubits)
@@ -176,6 +177,7 @@ func (b *SingleDevice) Run(c *circuit.Circuit) (*Result, error) {
 		SV:      rt.st.Stats,
 		Elapsed: elapsed,
 		PEs:     1,
+		Compile: cst,
 	}
 	if cw != nil {
 		res.Ckpt = cw.stats

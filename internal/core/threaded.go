@@ -4,7 +4,6 @@ import (
 	"time"
 
 	"svsim/internal/circuit"
-	"svsim/internal/fusion"
 	"svsim/internal/gate"
 	"svsim/internal/obs"
 	"svsim/internal/statevec"
@@ -31,9 +30,11 @@ func (b *Threaded) Run(c *circuit.Circuit) (*Result, error) {
 	if err := checkCircuit(c, 64); err != nil {
 		return nil, err
 	}
-	if b.cfg.Fuse {
-		c, _ = fusion.Optimize(c)
+	cp, cst, err := compileCircuit(b.cfg, c, 1)
+	if err != nil {
+		return nil, err
 	}
+	c = cp.Circuit
 	workers := b.cfg.PEs
 	if workers < 1 {
 		workers = 1
@@ -98,6 +99,7 @@ func (b *Threaded) Run(c *circuit.Circuit) (*Result, error) {
 		SV:      st.Stats,
 		Elapsed: elapsed,
 		PEs:     workers,
+		Compile: cst,
 	}
 	if b.cfg.observed() {
 		res.Mem = obs.TakeMemSnapshot()

@@ -11,6 +11,7 @@ package fusion
 import (
 	"math"
 	"math/cmplx"
+	"sort"
 
 	"svsim/internal/circuit"
 	"svsim/internal/gate"
@@ -25,32 +26,63 @@ type Stats struct {
 	Cancellations int // adjacent self-inverse pairs removed
 }
 
+// Span records which source ops an output op was produced from, as a
+// closed range [First, Last] of indices into the input circuit.
+// Synthesized ops with no single source (the trailing accumulated
+// gphase) carry {-1, -1}.
+type Span struct {
+	First, Last int
+}
+
+// Synthetic reports a span with no source range (the trailing gphase).
+func (s Span) Synthetic() bool { return s.First < 0 }
+
+// Crosses reports whether the span straddles a block boundary b, i.e.
+// the output op merges source ops from both sides of b (a boundary at b
+// means "a remap happens immediately before source op b").
+func (s Span) Crosses(b int) bool { return !s.Synthetic() && s.First < b && b <= s.Last }
+
 // Optimize returns a semantically identical circuit with single-qubit
 // runs fused and trivial pairs cancelled, plus the transformation stats.
 func Optimize(c *circuit.Circuit) (*circuit.Circuit, Stats) {
-	st := Stats{InputGates: c.NumGates()}
-	fused := fuse1Q(c, &st)
-	out := cancelPairs(fused, &st)
-	st.OutputGates = out.NumGates()
+	out, _, st := OptimizeBlocks(c, nil)
 	return out, st
+}
+
+// OptimizeBlocks is Optimize constrained to scheduler blocks: boundaries
+// lists source-op indices (ascending) at which a remap occurs, and no
+// output op may merge or cancel gates across such an index — the fused
+// stream must preserve the locality structure the planner derived. Each
+// output op carries a Span naming its source range. With nil boundaries
+// this is exactly Optimize.
+func OptimizeBlocks(c *circuit.Circuit, boundaries []int) (*circuit.Circuit, []Span, Stats) {
+	st := Stats{InputGates: c.NumGates()}
+	fused, spans := fuse1Q(c, boundaries, &st)
+	out, spans := cancelPairs(fused, spans, boundaries, &st)
+	st.OutputGates = out.NumGates()
+	return out, spans, st
 }
 
 // pending is an accumulated 1-qubit unitary awaiting flush.
 type pending struct {
-	active bool
-	count  int       // source gates accumulated
-	first  gate.Gate // the original gate, emitted verbatim for runs of one
-	u      [4]complex128
+	active   bool
+	count    int       // source gates accumulated
+	first    gate.Gate // the original gate, emitted verbatim for runs of one
+	firstIdx int       // source index of the first accumulated gate
+	lastIdx  int       // source index of the last accumulated gate
+	u        [4]complex128
 }
 
 func (p *pending) reset() {
 	*p = pending{}
 }
 
-func (p *pending) mul(g gate.Gate, u gate.Matrix) {
+func (p *pending) mul(g gate.Gate, u gate.Matrix, idx int) {
 	if !p.active {
 		p.active = true
 		p.first = g
+		p.firstIdx = idx
+		p.lastIdx = idx
 		p.u = [4]complex128{u.Data[0], u.Data[1], u.Data[2], u.Data[3]}
 		p.count = 1
 		return
@@ -60,13 +92,15 @@ func (p *pending) mul(g gate.Gate, u gate.Matrix) {
 	p.u[1] = u.Data[0]*a[1] + u.Data[1]*a[3]
 	p.u[2] = u.Data[2]*a[0] + u.Data[3]*a[2]
 	p.u[3] = u.Data[2]*a[1] + u.Data[3]*a[3]
+	p.lastIdx = idx
 	p.count++
 }
 
 // fuse1Q performs the run-fusion pass.
-func fuse1Q(c *circuit.Circuit, st *Stats) *circuit.Circuit {
+func fuse1Q(c *circuit.Circuit, boundaries []int, st *Stats) (*circuit.Circuit, []Span) {
 	out := &circuit.Circuit{Name: c.Name, NumQubits: c.NumQubits, NumClbits: c.NumClbits}
 	pend := make([]pending, c.NumQubits)
+	var spans []Span
 	var phase float64
 
 	flush := func(q int) {
@@ -77,6 +111,7 @@ func fuse1Q(c *circuit.Circuit, st *Stats) *circuit.Circuit {
 		if p.count == 1 {
 			// A run of one keeps its original (specialized) gate.
 			out.Append(p.first)
+			spans = append(spans, Span{p.firstIdx, p.lastIdx})
 			p.reset()
 			return
 		}
@@ -89,11 +124,23 @@ func fuse1Q(c *circuit.Circuit, st *Stats) *circuit.Circuit {
 				st.FusedRuns++
 			}
 			out.Append(g)
+			spans = append(spans, Span{p.firstIdx, p.lastIdx})
 		}
 		p.reset()
 	}
 
+	nextBoundary := 0
 	for i := range c.Ops {
+		// A block boundary before op i: a remap happens here, so no
+		// accumulated run may extend past it. Flush everything.
+		for nextBoundary < len(boundaries) && boundaries[nextBoundary] <= i {
+			if boundaries[nextBoundary] == i {
+				for q := 0; q < c.NumQubits; q++ {
+					flush(q)
+				}
+			}
+			nextBoundary++
+		}
 		op := &c.Ops[i]
 		g := &op.G
 		// Conditioned ops and non-unitary ops act as barriers for their
@@ -102,7 +149,7 @@ func fuse1Q(c *circuit.Circuit, st *Stats) *circuit.Circuit {
 		fusable := op.Cond == nil && g.Kind.Unitary() &&
 			g.Kind != gate.BARRIER && g.Kind != gate.GPHASE && g.NQ == 1
 		if fusable {
-			pend[g.Qubits[0]].mul(*g, gate.Unitary(*g))
+			pend[g.Qubits[0]].mul(*g, gate.Unitary(*g), i)
 			continue
 		}
 		if g.Kind == gate.GPHASE && op.Cond == nil {
@@ -126,14 +173,16 @@ func fuse1Q(c *circuit.Circuit, st *Stats) *circuit.Circuit {
 		} else {
 			out.Append(*g)
 		}
+		spans = append(spans, Span{i, i})
 	}
 	for q := 0; q < c.NumQubits; q++ {
 		flush(q)
 	}
 	if math.Abs(math.Mod(phase, 2*math.Pi)) > 1e-12 {
 		out.Append(gate.NewGPhase(phase))
+		spans = append(spans, Span{-1, -1})
 	}
-	return out
+	return out, spans
 }
 
 // decomposeU3 factors a 2x2 unitary as e^{i alpha} * u3(theta, phi,
@@ -167,9 +216,18 @@ func decomposeU3(u [4]complex128, q int) (alpha float64, g gate.Gate, isID bool)
 
 // cancelPairs removes adjacent identical self-inverse multi-qubit gates
 // (CX;CX, CZ;CZ, SWAP;SWAP, CCX;CCX, ...). "Adjacent" means no
-// intervening op touches any operand of the pair.
-func cancelPairs(c *circuit.Circuit, st *Stats) *circuit.Circuit {
+// intervening op touches any operand of the pair. With boundaries set,
+// a pair may only cancel when both ops live in the same sched block —
+// cancellation across a remap would change which gates each block
+// demands and invalidate the plan.
+func cancelPairs(c *circuit.Circuit, spans []Span, boundaries []int, st *Stats) (*circuit.Circuit, []Span) {
 	ops := append([]circuit.Op(nil), c.Ops...)
+	sps := append([]Span(nil), spans...)
+	// blockOf maps a source span to its sched block: the number of
+	// boundaries at or before its first source op.
+	blockOf := func(s Span) int {
+		return sort.SearchInts(boundaries, s.First+1)
+	}
 	changed := true
 	for changed {
 		changed = false
@@ -190,7 +248,8 @@ func cancelPairs(c *circuit.Circuit, st *Stats) *circuit.Circuit {
 					ops[j].G.Kind.Unitary() {
 					continue // independent; keep scanning
 				}
-				if sameSelfInverse(&ops[i], &ops[j]) {
+				if sameSelfInverse(&ops[i], &ops[j]) &&
+					blockOf(sps[i]) == blockOf(sps[j]) {
 					alive[i], alive[j] = false, false
 					st.Cancellations++
 					changed = true
@@ -199,15 +258,17 @@ func cancelPairs(c *circuit.Circuit, st *Stats) *circuit.Circuit {
 			}
 		}
 		var next []circuit.Op
+		var nextSp []Span
 		for i, ok := range alive {
 			if ok {
 				next = append(next, ops[i])
+				nextSp = append(nextSp, sps[i])
 			}
 		}
-		ops = next
+		ops, sps = next, nextSp
 	}
 	out := &circuit.Circuit{Name: c.Name, NumQubits: c.NumQubits, NumClbits: c.NumClbits, Ops: ops}
-	return out
+	return out, sps
 }
 
 func cancellable(op *circuit.Op) bool {

@@ -38,7 +38,7 @@ type mpiCkpt struct {
 }
 
 // newMpiCkpt returns nil when checkpointing is off.
-func (s *Simulator) newMpiCkpt(c *circuit.Circuit, p int) *mpiCkpt {
+func (s *Simulator) newMpiCkpt(c *circuit.Circuit, p int, planFP uint64) *mpiCkpt {
 	if s.cfg.CheckpointEvery <= 0 || s.cfg.CheckpointDir == "" {
 		return nil
 	}
@@ -46,13 +46,14 @@ func (s *Simulator) newMpiCkpt(c *circuit.Circuit, p int) *mpiCkpt {
 		every: s.cfg.CheckpointEvery,
 		dir:   s.cfg.CheckpointDir,
 		man: ckpt.Manifest{
-			Backend:     "mpi",
-			Circuit:     c.Name,
-			CircuitHash: ckpt.Fingerprint(c),
-			NumQubits:   c.NumQubits,
-			PEs:         p,
-			Sched:       "naive",
-			Seed:        s.cfg.Seed,
+			Backend:         "mpi",
+			Circuit:         c.Name,
+			CircuitHash:     ckpt.Fingerprint(c),
+			PlanFingerprint: planFP,
+			NumQubits:       c.NumQubits,
+			PEs:             p,
+			Sched:           "naive",
+			Seed:            s.cfg.Seed,
 		},
 		shards: make([]ckpt.Shard, p),
 		errs:   make([]error, p),

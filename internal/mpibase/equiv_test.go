@@ -47,74 +47,70 @@ func randomMeasuredCircuit(rng *rand.Rand, n, ops int) *circuit.Circuit {
 // property: seeded random circuits run under naive vs lazy scheduling on
 // the single, scale-up, scale-out, and mpibase backends must produce the
 // same amplitudes and, seed for seed, the same measurement outcomes
-// (hence identical measurement distributions).
+// (hence identical measurement distributions). The sweep runs with
+// fusion off and on — through the shared compile pipeline -fuse behaves
+// identically on every backend, so a fused reference must be reproduced
+// by every fused variant.
 func TestSchedulesEquivalentAcrossBackends(t *testing.T) {
 	rng := rand.New(rand.NewSource(17))
 	for trial := 0; trial < 3; trial++ {
 		c := randomMeasuredCircuit(rng, 8, 80)
-		for seed := int64(0); seed < 4; seed++ {
-			ref, err := core.NewSingleDevice(core.Config{Seed: seed}).Run(c)
-			if err != nil {
-				t.Fatal(err)
-			}
-			type variant struct {
-				name string
-				run  func() (*statevec.State, uint64, error)
-			}
-			variants := []variant{
-				{"scale-up/naive", func() (*statevec.State, uint64, error) {
-					r, err := core.NewScaleUp(core.Config{Seed: seed, PEs: 4}).Run(c)
-					if err != nil {
-						return nil, 0, err
-					}
-					return r.State, r.Cbits, nil
-				}},
-				{"scale-up/lazy", func() (*statevec.State, uint64, error) {
-					r, err := core.NewScaleUp(core.Config{Seed: seed, PEs: 4, Sched: sched.Lazy}).Run(c)
-					if err != nil {
-						return nil, 0, err
-					}
-					return r.State, r.Cbits, nil
-				}},
-				{"scale-out/naive", func() (*statevec.State, uint64, error) {
-					r, err := core.NewScaleOut(core.Config{Seed: seed, PEs: 4, Coalesced: true}).Run(c)
-					if err != nil {
-						return nil, 0, err
-					}
-					return r.State, r.Cbits, nil
-				}},
-				{"scale-out/lazy", func() (*statevec.State, uint64, error) {
-					r, err := core.NewScaleOut(core.Config{Seed: seed, PEs: 4, Sched: sched.Lazy}).Run(c)
-					if err != nil {
-						return nil, 0, err
-					}
-					return r.State, r.Cbits, nil
-				}},
-				{"mpibase/naive", func() (*statevec.State, uint64, error) {
-					r, err := New(Config{Seed: seed, Ranks: 4}).Run(c)
-					if err != nil {
-						return nil, 0, err
-					}
-					return r.State, r.Cbits, nil
-				}},
-				{"mpibase/lazy-remap", func() (*statevec.State, uint64, error) {
-					r, err := NewRemap(Config{Seed: seed, Ranks: 4}).Run(c)
-					if err != nil {
-						return nil, 0, err
-					}
-					return r.State, r.Cbits, nil
-				}},
-			}
-			for _, v := range variants {
-				st, cb, err := v.run()
+		for _, fuse := range []bool{false, true} {
+			for seed := int64(0); seed < 4; seed++ {
+				ref, err := core.NewSingleDevice(core.Config{Seed: seed, Fuse: fuse}).Run(c)
 				if err != nil {
-					t.Fatalf("trial %d seed %d %s: %v", trial, seed, v.name, err)
+					t.Fatal(err)
 				}
-				if cb != ref.Cbits {
-					t.Fatalf("trial %d seed %d %s: cbits %b, want %b", trial, seed, v.name, cb, ref.Cbits)
+				type variant struct {
+					name string
+					run  func() (*statevec.State, uint64, error)
 				}
-				if d := st.MaxAbsDiff(ref.State); d > 1e-9 {
-					t.Fatalf("trial %d seed %d %s: state deviates by %g", trial, seed, v.name, d)
+				coreVariant := func(cfg core.Config, coal bool) func() (*statevec.State, uint64, error) {
+					return func() (*statevec.State, uint64, error) {
+						var b core.Backend
+						if coal {
+							b = core.NewScaleOut(cfg)
+						} else {
+							b = core.NewScaleUp(cfg)
+						}
+						r, err := b.Run(c)
+						if err != nil {
+							return nil, 0, err
+						}
+						return r.State, r.Cbits, nil
+					}
+				}
+				variants := []variant{
+					{"scale-up/naive", coreVariant(core.Config{Seed: seed, PEs: 4, Fuse: fuse}, false)},
+					{"scale-up/lazy", coreVariant(core.Config{Seed: seed, PEs: 4, Fuse: fuse, Sched: sched.Lazy}, false)},
+					{"scale-out/naive", coreVariant(core.Config{Seed: seed, PEs: 4, Fuse: fuse, Coalesced: true}, true)},
+					{"scale-out/lazy", coreVariant(core.Config{Seed: seed, PEs: 4, Fuse: fuse, Sched: sched.Lazy}, true)},
+					{"mpibase/naive", func() (*statevec.State, uint64, error) {
+						r, err := New(Config{Seed: seed, Ranks: 4, Fuse: fuse}).Run(c)
+						if err != nil {
+							return nil, 0, err
+						}
+						return r.State, r.Cbits, nil
+					}},
+					{"mpibase/lazy-remap", func() (*statevec.State, uint64, error) {
+						r, err := NewRemap(Config{Seed: seed, Ranks: 4, Fuse: fuse}).Run(c)
+						if err != nil {
+							return nil, 0, err
+						}
+						return r.State, r.Cbits, nil
+					}},
+				}
+				for _, v := range variants {
+					st, cb, err := v.run()
+					if err != nil {
+						t.Fatalf("trial %d seed %d fuse=%v %s: %v", trial, seed, fuse, v.name, err)
+					}
+					if cb != ref.Cbits {
+						t.Fatalf("trial %d seed %d fuse=%v %s: cbits %b, want %b", trial, seed, fuse, v.name, cb, ref.Cbits)
+					}
+					if d := st.MaxAbsDiff(ref.State); d > 1e-9 {
+						t.Fatalf("trial %d seed %d fuse=%v %s: state deviates by %g", trial, seed, fuse, v.name, d)
+					}
 				}
 			}
 		}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"svsim/internal/circuit"
+	"svsim/internal/compile"
 	"svsim/internal/gate"
 	"svsim/internal/obs"
 	"svsim/internal/sched"
@@ -58,21 +59,24 @@ func (s *RemapSimulator) Run(c *circuit.Circuit) (*RemapResult, error) {
 	S := dim / p
 	localBits := n - lg(p)
 
-	plan, err := sched.Build(c, localBits, sched.Lazy)
+	// One compile pass: block-aware fusion, the communication-avoiding
+	// schedule, and the per-op classification (the upload step) all come
+	// from the shared pipeline, possibly served from the plan cache.
+	cp, cst, err := compile.Compile(c, compile.Config{
+		Fuse:    s.cfg.Fuse,
+		Sched:   sched.Lazy,
+		PEs:     p,
+		Cache:   s.cfg.Plans,
+		Metrics: s.cfg.Metrics,
+	})
 	if err != nil {
 		return nil, err
 	}
+	c = cp.Circuit
+	plan := cp.Plan
+	cls := cp.Classes
 
 	eng := &remapEngine{n: n, p: p, S: S, localBits: localBits}
-	// Classify once per op (the upload step); non-unitary kinds keep nil.
-	cls := make([]*gate.Class, len(c.Ops))
-	for i := range c.Ops {
-		g := &c.Ops[i].G
-		if g.Kind.Unitary() && g.Kind != gate.BARRIER && g.Kind != gate.GPHASE {
-			k := gate.Classify(g)
-			cls[i] = &k
-		}
-	}
 
 	eng.re = make([][]float64, p)
 	eng.im = make([][]float64, p)
@@ -152,6 +156,7 @@ func (s *RemapSimulator) Run(c *circuit.Circuit) (*RemapResult, error) {
 	}
 	res := &RemapResult{BitSwaps: int64(plan.BitSwaps), Remaps: int64(plan.Remaps)}
 	res.State = st
+	res.Compile = cst
 	res.Cbits = runs[0].cbits
 	res.MPI = comm.TotalStats()
 	res.Elapsed = elapsed

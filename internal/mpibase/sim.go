@@ -9,9 +9,11 @@ import (
 
 	"svsim/internal/circuit"
 	"svsim/internal/ckpt"
+	"svsim/internal/compile"
 	"svsim/internal/fault"
 	"svsim/internal/gate"
 	"svsim/internal/obs"
+	"svsim/internal/sched"
 	"svsim/internal/statevec"
 )
 
@@ -30,6 +32,14 @@ type Config struct {
 	Ranks int
 	Seed  int64
 	Style statevec.KernelStyle
+	// Fuse runs the compile pipeline's gate-fusion pass before execution,
+	// exactly as the core backends do, so -fuse behaves identically on
+	// every backend.
+	Fuse bool
+	// Plans, if non-nil, is a shared compiled-plan cache (see
+	// internal/compile); repeated runs of same-shape circuits reuse their
+	// plan.
+	Plans *compile.Cache
 	// Trace, if non-nil, records one span per executed gate onto a
 	// per-rank track with two-sided message attribution.
 	Trace *obs.Tracer
@@ -66,6 +76,9 @@ type Result struct {
 	Ckpt ckpt.Stats
 	// Recoveries counts restarts from a checkpoint after rank failures.
 	Recoveries int
+	// Compile reports the compile pipeline's stage timings and plan-cache
+	// outcome for this run.
+	Compile compile.Stats
 }
 
 // New creates a baseline simulator.
@@ -106,6 +119,22 @@ func (s *Simulator) Run(c *circuit.Circuit) (*Result, error) {
 	if n < 1 || 1<<uint(n-1) < p {
 		return nil, fmt.Errorf("mpibase: %d ranks need more qubits than %d", p, n)
 	}
+	// Compile once, outside the recovery loop: restarts re-execute the
+	// same immutable plan. The baseline executes gate-indexed (it does
+	// not walk the plan's steps), but compiling through the shared
+	// pipeline gives it the same fusion pass, plan fingerprint, and cache
+	// as every other backend.
+	cp, cst, err := compile.Compile(c, compile.Config{
+		Fuse:    s.cfg.Fuse,
+		Sched:   sched.Naive,
+		PEs:     p,
+		Cache:   s.cfg.Plans,
+		Metrics: s.cfg.Metrics,
+	})
+	if err != nil {
+		return nil, err
+	}
+	c = cp.Circuit
 	var mFailures, mRecoveries *obs.Counter
 	if s.cfg.Metrics != nil {
 		mFailures = s.cfg.Metrics.Counter(obs.MetricPEFailures)
@@ -115,9 +144,10 @@ func (s *Simulator) Run(c *circuit.Circuit) (*Result, error) {
 	recovered, attempts := 0, 0
 	for {
 		attempts++
-		res, err := s.runOnce(c, p, resume)
+		res, err := s.runOnce(c, p, resume, cp.PlanFP)
 		if err == nil {
 			res.Recoveries = recovered
+			res.Compile = cst
 			return res, nil
 		}
 		var ke *fault.KillError
@@ -140,7 +170,7 @@ func (s *Simulator) Run(c *circuit.Circuit) (*Result, error) {
 
 // runOnce is one execution attempt, optionally restoring from a resume
 // checkpoint first.
-func (s *Simulator) runOnce(c *circuit.Circuit, p int, resume string) (*Result, error) {
+func (s *Simulator) runOnce(c *circuit.Circuit, p int, resume string, planFP uint64) (*Result, error) {
 	n := c.NumQubits
 	dim := 1 << uint(n)
 	S := dim / p
@@ -168,7 +198,7 @@ func (s *Simulator) runOnce(c *circuit.Circuit, p int, resume string) (*Result, 
 		if err != nil {
 			return nil, err
 		}
-		if err := s.validateResume(m, c, p); err != nil {
+		if err := s.validateResume(m, c, p, planFP); err != nil {
 			return nil, err
 		}
 		for _, sh := range m.Shards {
@@ -195,7 +225,7 @@ func (s *Simulator) runOnce(c *circuit.Circuit, p int, resume string) (*Result, 
 	comm := NewComm(p)
 	comm.SetMetrics(s.cfg.Metrics)
 	comm.SetFault(s.cfg.Fault)
-	cw := s.newMpiCkpt(c, p)
+	cw := s.newMpiCkpt(c, p, planFP)
 	gm := newGateObs(s.cfg.Metrics)
 	eng := &mpiEngine{n: n, p: p, S: S, localBits: localBits, dim: dim}
 
@@ -259,7 +289,7 @@ func (s *Simulator) runOnce(c *circuit.Circuit, p int, resume string) (*Result, 
 }
 
 // validateResume rejects a resume manifest that does not match this run.
-func (s *Simulator) validateResume(m *ckpt.Manifest, c *circuit.Circuit, p int) error {
+func (s *Simulator) validateResume(m *ckpt.Manifest, c *circuit.Circuit, p int, planFP uint64) error {
 	if m.Backend != "mpi" {
 		return fmt.Errorf("mpibase: checkpoint was taken by backend %q, resuming on %q", m.Backend, "mpi")
 	}
@@ -272,6 +302,10 @@ func (s *Simulator) validateResume(m *ckpt.Manifest, c *circuit.Circuit, p int) 
 	if got := ckpt.Fingerprint(c); m.CircuitHash != got {
 		return fmt.Errorf("mpibase: checkpoint was taken for circuit %q (hash %016x), current circuit hashes %016x",
 			m.Circuit, m.CircuitHash, got)
+	}
+	if m.PlanFingerprint != 0 && planFP != 0 && m.PlanFingerprint != planFP {
+		return fmt.Errorf("mpibase: checkpoint was taken under plan %016x, current compile produced %016x",
+			m.PlanFingerprint, planFP)
 	}
 	return nil
 }

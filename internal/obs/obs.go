@@ -50,6 +50,24 @@ const (
 	MetricCkptBytes = "ckpt_bytes"
 	// MetricCkptNS accumulates wall time spent writing checkpoints.
 	MetricCkptNS = "ckpt_ns"
+	// MetricPlanCacheHits counts verified compile plan-cache hits.
+	MetricPlanCacheHits = "plan_cache_hits"
+	// MetricPlanCacheMisses counts compile plan-cache misses (including
+	// lookups whose demand-signature verification failed).
+	MetricPlanCacheMisses = "plan_cache_misses"
+	// MetricCompileNS accumulates total wall time spent in the compile
+	// pipeline; the per-stage counters below break it down.
+	MetricCompileNS = "compile_ns"
+	// MetricCompileFuseNS accumulates time in the fusion stage.
+	MetricCompileFuseNS = "compile_fuse_ns"
+	// MetricCompilePlanNS accumulates time in sched planning (both the
+	// provisional boundary pass and the final plan).
+	MetricCompilePlanNS = "compile_plan_ns"
+	// MetricCompileClassifyNS accumulates time classifying gates.
+	MetricCompileClassifyNS = "compile_classify_ns"
+	// MetricCompileExchangeNS accumulates time precomputing remap
+	// all-to-all geometry.
+	MetricCompileExchangeNS = "compile_exchange_ns"
 )
 
 // LatencyBuckets returns the standard latency histogram bounds:

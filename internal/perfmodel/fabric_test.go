@@ -1,0 +1,90 @@
+package perfmodel
+
+import (
+	"testing"
+
+	"svsim/internal/compile"
+	"svsim/internal/qasmbench"
+	"svsim/internal/sched"
+)
+
+func compiledLazy(t *testing.T, name string, pes int) *compile.CompiledPlan {
+	t.Helper()
+	e, err := qasmbench.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := e.Build().StripNonUnitary()
+	cp, _, err := compile.Compile(c, compile.Config{Sched: sched.Lazy, PEs: pes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cp
+}
+
+func TestEstimateCommPlanMatchesLazy(t *testing.T) {
+	// The plan-based estimator is the same computation EstimateCommLazy
+	// performs after compiling; handing it an existing plan must agree.
+	cp := compiledLazy(t, "qft_n15", 8)
+	fromPlan := EstimateCommPlan(cp)
+	direct, err := EstimateCommLazy(cp.Source, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fromPlan != direct {
+		t.Fatalf("plan-based estimate %+v, direct %+v", fromPlan, direct)
+	}
+	if fromPlan.Structured {
+		t.Fatal("EstimateCommPlan must not claim a node-structured split")
+	}
+}
+
+func TestEstimateCommPlanFabricSplitsByNode(t *testing.T) {
+	cp := compiledLazy(t, "qft_n15", 8)
+	flat := EstimateCommPlan(cp)
+	if flat.RemoteBytes == 0 || flat.RemoteMsgs == 0 {
+		t.Fatal("qft_n15 @8 PEs produced no remap traffic; test is vacuous")
+	}
+	// Two nodes of four PEs: the split must be exhaustive and exact.
+	split := EstimateCommPlanFabric(cp, 4)
+	if !split.Structured {
+		t.Fatal("fabric estimate not marked Structured")
+	}
+	if split.IntraNodeBytes+split.InterNodeBytes != flat.RemoteBytes {
+		t.Fatalf("node split %d + %d does not partition remote bytes %d",
+			split.IntraNodeBytes, split.InterNodeBytes, flat.RemoteBytes)
+	}
+	if split.InterNodeMsgs > split.RemoteMsgs {
+		t.Fatalf("inter-node messages %d exceed total %d", split.InterNodeMsgs, split.RemoteMsgs)
+	}
+	if split.InterNodeBytes == 0 {
+		t.Fatal("two-node placement priced all traffic intra-node")
+	}
+	// All eight PEs on one node: nothing crosses the network.
+	oneNode := EstimateCommPlanFabric(cp, 8)
+	if oneNode.InterNodeBytes != 0 || oneNode.InterNodeMsgs != 0 {
+		t.Fatalf("single-node placement still prices inter-node traffic: %+v", oneNode)
+	}
+	if oneNode.IntraNodeBytes != flat.RemoteBytes {
+		t.Fatalf("single-node intra bytes %d, want %d", oneNode.IntraNodeBytes, flat.RemoteBytes)
+	}
+}
+
+func TestScaleOutSecondsUsesInjectionCap(t *testing.T) {
+	// With a vanishing message rate the structured model must be bound by
+	// injection latency, not bandwidth: dropping MsgRateGps by 100x must
+	// grow the predicted time for a message-heavy remap schedule.
+	cp := compiledLazy(t, "qft_n15", 64)
+	est := EstimateCommPlanFabric(cp, SummitCPU.PEsPerNode)
+	if est.InterNodeMsgs == 0 {
+		t.Fatal("no inter-node messages at 64 PEs; test is vacuous")
+	}
+	tr := TraceEstimate(cp.Source)
+	fast := ScaleOutSeconds(tr, est, SummitCPU, 64)
+	slowFab := SummitCPU
+	slowFab.MsgRateGps = SummitCPU.MsgRateGps / 100
+	slow := ScaleOutSeconds(tr, est, slowFab, 64)
+	if slow <= fast {
+		t.Fatalf("injection-rate cap not applied: %g s at 1/100 msg rate vs %g s", slow, fast)
+	}
+}

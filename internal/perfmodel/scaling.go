@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"svsim/internal/circuit"
+	"svsim/internal/compile"
 	"svsim/internal/gate"
 	"svsim/internal/sched"
 )
@@ -121,6 +122,16 @@ type CommEstimate struct {
 	RemoteBytes int64
 	RemoteMsgs  int64
 	Barriers    int64
+
+	// Node-structured split, filled by EstimateCommPlanFabric from the
+	// exchange geometry: every compatible (src, dst) block is priced
+	// intra- or inter-node by the ranks' node ids, so the split is exact
+	// rather than the uniform-peer heuristic ScaleOutSeconds otherwise
+	// applies. Structured marks these fields as populated.
+	IntraNodeBytes int64
+	InterNodeBytes int64
+	InterNodeMsgs  int64
+	Structured     bool
 }
 
 // EstimateComm predicts the one-sided traffic of running c on p PEs.
@@ -172,40 +183,74 @@ func EstimateComm(c *circuit.Circuit, p int) CommEstimate {
 // between block boundaries are free, and each remap step costs one
 // coalesced all-to-all whose volume the exchange plan gives exactly. The
 // prediction is exact for the PGAS lazy executor (the package tests hold
-// it to the measured counters).
+// it to the measured counters). The plan comes from the shared compile
+// pipeline; pass a cache via EstimateCommPlan to amortize it.
 func EstimateCommLazy(c *circuit.Circuit, p int) (CommEstimate, error) {
 	if p <= 1 {
 		return CommEstimate{}, nil
 	}
-	n := c.NumQubits
-	k := 0
-	for 1<<uint(k) < p {
-		k++
-	}
-	localBits := n - k
-	plan, err := sched.Build(c, localBits, sched.Lazy)
+	cp, _, err := compile.Compile(c, compile.Config{Sched: sched.Lazy, PEs: p})
 	if err != nil {
 		return CommEstimate{}, err
 	}
+	return EstimateCommPlan(cp), nil
+}
+
+// EstimateCommPlan reads the exact one-sided traffic off an already
+// compiled plan: each remap step's exchange geometry gives the coalesced
+// put count (one per compatible remote (src, dst) pair) and byte volume
+// directly, with no re-planning.
+func EstimateCommPlan(cp *compile.CompiledPlan) CommEstimate {
+	return estimateFromPlan(cp, 0)
+}
+
+// EstimateCommPlanFabric is EstimateCommPlan with the fabric's node
+// grouping applied: ranks s and d share a node iff s/pesPerNode ==
+// d/pesPerNode (the natural high-order-bit placement), so every block of
+// the all-to-all is priced on the link it actually crosses. The returned
+// estimate has Structured set and ScaleOutSeconds uses the exact split
+// instead of its uniform-peer approximation.
+func EstimateCommPlanFabric(cp *compile.CompiledPlan, pesPerNode int) CommEstimate {
+	if pesPerNode < 1 {
+		pesPerNode = 1
+	}
+	est := estimateFromPlan(cp, pesPerNode)
+	est.Structured = true
+	return est
+}
+
+func estimateFromPlan(cp *compile.CompiledPlan, pesPerNode int) CommEstimate {
 	var est CommEstimate
-	for i := range plan.Steps {
-		st := &plan.Steps[i]
-		if st.Kind != sched.StepRemap {
+	p := cp.PEs
+	if p <= 1 || cp.Plan == nil {
+		return est
+	}
+	for i := range cp.Plan.Steps {
+		if cp.Plan.Steps[i].Kind != sched.StepRemap {
 			continue
 		}
-		ex := sched.NewExchange(st.Swaps, n, localBits, p)
-		est.RemoteBytes += ex.RemoteBytes()
-		// One coalesced put per compatible remote (src, dst) pair.
+		ex := cp.Exchanges[i]
+		blockBytes := int64(ex.BlockLen) * 16
 		for s := 0; s < p; s++ {
 			for d := 0; d < p; d++ {
-				if s != d && ex.Compat[s][d] {
-					est.RemoteMsgs++
+				if s == d || !ex.Compat[s][d] {
+					continue
+				}
+				est.RemoteMsgs++
+				est.RemoteBytes += blockBytes
+				if pesPerNode > 0 {
+					if s/pesPerNode == d/pesPerNode {
+						est.IntraNodeBytes += blockBytes
+					} else {
+						est.InterNodeBytes += blockBytes
+						est.InterNodeMsgs++
+					}
 				}
 			}
 		}
 		est.Barriers += int64(2 * p) // pack/put barrier + unpack barrier
 	}
-	return est, nil
+	return est
 }
 
 // NetFabric models an inter-node network for the scale-out figures.
@@ -257,7 +302,20 @@ func ScaleOutSeconds(tr Trace, est CommEstimate, f NetFabric, pes int) float64 {
 	compute := float64(tr.Amps) * f.ComputeNsPerAmp / float64(pes)
 
 	var commNs float64
-	if pes > 1 {
+	switch {
+	case pes > 1 && est.Structured:
+		// Exact node split from the exchange geometry: every coalesced
+		// put is priced on the link it crosses, and the inter-node puts
+		// pay the per-node injection-rate cap directly (the remap's
+		// latency floor when blocks are small).
+		intraNs := float64(est.IntraNodeBytes) / (float64(nodes) * f.IntraGBps)
+		aggNet := f.NodeGBps * math.Pow(float64(nodes), f.BisectionExp)
+		interNs := float64(est.InterNodeBytes) / aggNet
+		if injNs := float64(est.InterNodeMsgs) / (float64(nodes) * f.MsgRateGps); injNs > interNs {
+			interNs = injNs
+		}
+		commNs = intraNs + interNs
+	case pes > 1:
 		// Fraction of remote traffic that stays inside a node: with the
 		// state split by high-order bits, a peer differing in a low
 		// rank bit shares the node.
