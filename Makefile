@@ -10,7 +10,7 @@ GO ?= go
 # Short commit hash, or "dev" when not in a git checkout.
 BENCH_TAG := $(shell git rev-parse --short HEAD 2>/dev/null || echo dev)
 
-.PHONY: all build vet test race bench bench-json bench-diff trace evaluate examples fuzz lint clean
+.PHONY: all build vet test race bench bench-json bench-diff bench-html trace metrics evaluate examples fuzz lint clean
 
 all: build vet test
 
@@ -45,6 +45,15 @@ trace:
 	$(GO) run ./cmd/svsim -circuit qft_n15 -backend scale-out -pes 8 \
 		-trace trace.json -metrics metrics.json
 
+# Full service-telemetry artifact set from one distributed run: an
+# OpenMetrics dump (metrics.om), a phase-attribution report
+# (phase_report.json, summary printed to the terminal), and the flight
+# recorder trail (flight.jsonl). Add -metrics-listen ADDR to scrape
+# /metrics live instead.
+metrics:
+	$(GO) run ./cmd/svsim -circuit qft_n15 -backend scale-out -pes 8 -sched lazy \
+		-metrics-out metrics.om -phase-report phase_report.json -flight flight.jsonl
+
 # Machine-readable measured bench records for perf-trajectory tracking.
 bench-json:
 	$(GO) run ./cmd/svbench -json BENCH_$(BENCH_TAG).json
@@ -52,6 +61,10 @@ bench-json:
 # Compare a fresh bench run against the committed baseline (the CI gate).
 bench-diff: bench-json
 	$(GO) run ./cmd/benchdiff -baseline BENCH_baseline.json -current BENCH_$(BENCH_TAG).json -time-tol 1.0
+
+# Self-contained perf-trajectory page from the baseline plus a fresh run.
+bench-html: bench-json
+	$(GO) run ./cmd/benchdiff -html bench_trajectory.html BENCH_baseline.json BENCH_$(BENCH_TAG).json
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -1,0 +1,149 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeSnapshots lays down a three-commit trajectory: the lazy config
+// improves, the coalesced config regresses, and a new config appears in
+// the last snapshot only.
+func writeSnapshots(t *testing.T, dir string) []string {
+	t.Helper()
+	commits := []string{"aaaaaaaaaaaa", "bbbbbbbbbbbb", "cccccccccccc"}
+	var paths []string
+	for i, commit := range commits {
+		recs := baseRecords()
+		for j := range recs {
+			recs[j].GitCommit = commit
+			recs[j].ElapsedNS += int64(i) * 5_000_000
+		}
+		recs[1].CommRemoteBytes -= int64(i) * 100_000
+		if i == len(commits)-1 {
+			recs = append(recs, record{Workload: "bv_n14", Backend: "scale-out", PEs: 4,
+				Sched: "lazy", ElapsedNS: 3_000_000, CommRemoteBytes: 229_376})
+		}
+		raw, err := json.Marshal(recs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := filepath.Join(dir, "BENCH_"+commit[:4]+".json")
+		if err := os.WriteFile(p, raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		paths = append(paths, p)
+	}
+	return paths
+}
+
+func TestTrajectoryHTML(t *testing.T) {
+	dir := t.TempDir()
+	paths := writeSnapshots(t, dir)
+	out := filepath.Join(dir, "traj.html")
+	if err := writeTrajectoryHTML(out, paths); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := string(raw)
+
+	// Self-contained: no external fetches of any kind.
+	for _, banned := range []string{"http://", "https://", "<script", "src="} {
+		if strings.Contains(doc, banned) {
+			t.Errorf("report is not self-contained: found %q", banned)
+		}
+	}
+	// One chart per tracked metric.
+	for _, m := range trajMetrics {
+		if !strings.Contains(doc, "<h2>"+m.name+"</h2>") {
+			t.Errorf("missing chart for %s", m.name)
+		}
+	}
+	if got := strings.Count(doc, "<svg"); got != len(trajMetrics) {
+		t.Errorf("got %d svg charts, want %d", got, len(trajMetrics))
+	}
+	// Snapshots labeled by their stamped commits, in order.
+	a := strings.Index(doc, "aaaaaaaaaaaa")
+	b := strings.Index(doc, "bbbbbbbbbbbb")
+	c := strings.Index(doc, "cccccccccccc")
+	if a < 0 || b < 0 || c < 0 || !(a < b && b < c) {
+		t.Errorf("commit labels missing or out of order: %d %d %d", a, b, c)
+	}
+	// Every configuration appears in the legend, including the one that
+	// only exists in the final snapshot.
+	for _, key := range []string{
+		"qft_n15/scale-out/pes=8/coalesced=true/fuse=false/sched=naive",
+		"qft_n15/scale-out/pes=8/coalesced=false/fuse=false/sched=lazy",
+		"ghz_state/single/pes=1/coalesced=false/fuse=false/sched=naive",
+		"bv_n14/scale-out/pes=4/coalesced=false/fuse=false/sched=lazy",
+	} {
+		if !strings.Contains(doc, key) {
+			t.Errorf("legend missing config %s", key)
+		}
+	}
+	// The sparse config draws a point but no multi-point line (it has a
+	// single snapshot), while full series draw polylines.
+	if !strings.Contains(doc, "<polyline") {
+		t.Error("no polylines rendered")
+	}
+}
+
+// TestTrajectoryLabelFallback covers record files from before commit
+// stamping: the snapshot label falls back to the file name.
+func TestTrajectoryLabelFallback(t *testing.T) {
+	dir := t.TempDir()
+	raw, err := json.Marshal(baseRecords()) // no GitCommit set
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1 := filepath.Join(dir, "BENCH_old.json")
+	p2 := filepath.Join(dir, "BENCH_new.json")
+	for _, p := range []string{p1, p2} {
+		if err := os.WriteFile(p, raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out := filepath.Join(dir, "traj.html")
+	if err := writeTrajectoryHTML(out, []string{p1, p2}); err != nil {
+		t.Fatal(err)
+	}
+	doc, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, label := range []string{"BENCH_old", "BENCH_new"} {
+		if !strings.Contains(string(doc), label) {
+			t.Errorf("fallback label %s missing", label)
+		}
+	}
+}
+
+// TestTrajectoryZeroMetric keeps the all-zero compile_ns series (the
+// suite without -fuse) from dividing by zero.
+func TestTrajectoryZeroMetric(t *testing.T) {
+	dir := t.TempDir()
+	recs := baseRecords()
+	for i := range recs {
+		recs[i].CompileNS = 0
+	}
+	raw, err := json.Marshal(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1 := filepath.Join(dir, "a.json")
+	p2 := filepath.Join(dir, "b.json")
+	for _, p := range []string{p1, p2} {
+		if err := os.WriteFile(p, raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out := filepath.Join(dir, "traj.html")
+	if err := writeTrajectoryHTML(out, []string{p1, p2}); err != nil {
+		t.Fatal(err)
+	}
+}

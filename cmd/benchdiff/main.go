@@ -22,6 +22,8 @@ import (
 // Unknown fields are ignored so the schema can grow compatibly.
 type record struct {
 	Schema          string `json:"schema"`
+	GitCommit       string `json:"git_commit,omitempty"`
+	UnixNS          int64  `json:"unix_ns,omitempty"`
 	Workload        string `json:"workload"`
 	Backend         string `json:"backend"`
 	PEs             int    `json:"pes"`
@@ -169,7 +171,21 @@ func main() {
 	curPath := flag.String("current", "", "bench records from the current build (required)")
 	byteTol := flag.Float64("byte-tol", 0.15, "allowed fractional growth in remote communication bytes")
 	timeTol := flag.Float64("time-tol", 0.15, "allowed fractional growth in wall time")
+	htmlOut := flag.String("html", "", "trajectory mode: render the positional per-commit BENCH files (oldest first) as a self-contained HTML report to FILE")
 	flag.Parse()
+
+	if *htmlOut != "" {
+		if flag.NArg() < 2 {
+			fmt.Fprintln(os.Stderr, "benchdiff: -html needs at least two BENCH record files (oldest first)")
+			os.Exit(2)
+		}
+		if err := writeTrajectoryHTML(*htmlOut, flag.Args()); err != nil {
+			fmt.Fprintln(os.Stderr, "benchdiff:", err)
+			os.Exit(2)
+		}
+		fmt.Printf("benchdiff: wrote %s (%d snapshots)\n", *htmlOut, flag.NArg())
+		return
+	}
 
 	if *curPath == "" {
 		fmt.Fprintln(os.Stderr, "benchdiff: -current is required")

@@ -18,7 +18,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
 	"path/filepath"
+	"runtime/debug"
 	"strings"
 	"time"
 
@@ -137,9 +139,13 @@ func names() []string {
 
 // benchRecord is the machine-readable result of one measured workload
 // run; one JSON array of these per -json file, schema-tagged so future
-// fields can be added compatibly.
+// fields can be added compatibly. GitCommit ties a record file to the
+// tree it measured, so per-commit BENCH artifacts can be lined up into
+// a trajectory (see benchdiff -html) without trusting file names.
 type benchRecord struct {
 	Schema          string `json:"schema"`
+	SchemaVersion   int    `json:"schema_version"`
+	GitCommit       string `json:"git_commit,omitempty"`
 	UnixNS          int64  `json:"unix_ns"`
 	Workload        string `json:"workload"`
 	Backend         string `json:"backend"`
@@ -174,7 +180,43 @@ type benchRecord struct {
 	PlanCacheMisses int64 `json:"plan_cache_misses,omitempty"`
 }
 
-const benchSchema = "svsim-bench/v1"
+// benchSchema names the record family; benchSchemaVersion counts its
+// compatible revisions (v2 added schema_version and git_commit).
+const (
+	benchSchema        = "svsim-bench/v2"
+	benchSchemaVersion = 2
+)
+
+// buildCommit identifies the measured tree: the VCS revision the Go
+// toolchain stamped into the binary when available, otherwise git itself
+// (covers `go run`, whose build omits VCS stamping), otherwise "" for
+// exported tarballs with no .git.
+func buildCommit() string {
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		var rev, dirty string
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				rev = s.Value
+			case "vcs.modified":
+				if s.Value == "true" {
+					dirty = "-dirty"
+				}
+			}
+		}
+		if rev != "" {
+			if len(rev) > 12 {
+				rev = rev[:12]
+			}
+			return rev + dirty
+		}
+	}
+	out, err := exec.Command("git", "rev-parse", "--short=12", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
+}
 
 type benchSpec struct {
 	workload, backend string
@@ -259,6 +301,11 @@ func runBenchMode(jsonFile, workload, backend string, pes int, coalesced, fuse b
 			rec.Workload, rec.Backend, rec.PEs, rec.ElapsedNS, rec.PlanCacheHits, rec.PlanCacheHits+rec.PlanCacheMisses)
 	}
 
+	commit := buildCommit()
+	for i := range records {
+		records[i].GitCommit = commit
+	}
+
 	if jsonFile != "" {
 		out, err := json.MarshalIndent(records, "", "  ")
 		if err != nil {
@@ -314,6 +361,7 @@ func runBenchSpec(spec benchSpec, plans *compile.Cache, tracer *obs.Tracer, metr
 	}
 	rec := &benchRecord{
 		Schema:          benchSchema,
+		SchemaVersion:   benchSchemaVersion,
 		UnixNS:          time.Now().UnixNano(),
 		Workload:        spec.workload,
 		Backend:         res.Backend,
@@ -376,6 +424,7 @@ func runVQESweep() (*benchRecord, error) {
 	cs := runner.PlanCache().Stats()
 	return &benchRecord{
 		Schema:          benchSchema,
+		SchemaVersion:   benchSchemaVersion,
 		UnixNS:          time.Now().UnixNano(),
 		Workload:        fmt.Sprintf("vqe_h2_sweep%d", vqeSweepPoints),
 		Backend:         "batch-single",

@@ -16,6 +16,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
 	"sort"
@@ -50,6 +51,10 @@ func main() {
 		fuse        = flag.Bool("fuse", false, "apply the gate-fusion optimization pass before running")
 		traceFile   = flag.String("trace", "", "write a Chrome trace-event timeline (one track per PE) to FILE; view in Perfetto or chrome://tracing")
 		metricsFile = flag.String("metrics", "", "write the metrics registry (gate latency, put/get size, barrier wait histograms) as JSON to FILE")
+		metricsOut  = flag.String("metrics-out", "", "write the metrics registry as OpenMetrics text exposition to FILE at run end (also on abort)")
+		metricsAddr = flag.String("metrics-listen", "", "serve OpenMetrics on ADDR/metrics for the duration of the run (shares a mux with /debug/flight and /debug/pprof)")
+		phaseFile   = flag.String("phase-report", "", "write a phase-attribution report (per-PE wall-time split) as JSON to FILE and print the summary table")
+		flightFile  = flag.String("flight", "", "write the flight recorder's event ring as JSONL to FILE at run end (also on abort)")
 		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on ADDR (e.g. localhost:6060) for the duration of the run")
 
 		ckptEvery   = flag.Int("checkpoint-every", 0, "write a coordinated checkpoint every N schedule steps (0 = off; needs -checkpoint-dir)")
@@ -94,7 +99,10 @@ func main() {
 		ks = statevec.Scalar
 	}
 
-	telemetry := newTelemetry(*traceFile, *metricsFile, *pprofAddr)
+	telemetry := newTelemetry(telemetryOpts{
+		trace: *traceFile, metrics: *metricsFile, metricsOut: *metricsOut,
+		listen: *metricsAddr, phase: *phaseFile, flight: *flightFile, pprof: *pprofAddr,
+	})
 	defer telemetry.close()
 
 	if *backendName == "mpi" {
@@ -102,17 +110,19 @@ func main() {
 		return
 	}
 	if *backendName == "remap" {
-		mcfg := mpibase.Config{Ranks: *pes, Seed: *seed, Style: ks, Fuse: *fuse, Trace: telemetry.tracer, Metrics: telemetry.metrics}
+		mcfg := mpibase.Config{Ranks: *pes, Seed: *seed, Style: ks, Fuse: *fuse,
+			Trace: telemetry.tracer, Metrics: telemetry.metrics, Flight: telemetry.flight}
+		telemetry.beginRun("remap", c.Name, *pes)
 		res, err := mpibase.NewRemap(mcfg).Run(c)
 		if err != nil {
-			fatal(err)
+			telemetry.fail(err)
 		}
 		fmt.Printf("circuit : %s\n", c.Summary())
 		fmt.Printf("backend : remap (%d ranks, %d bit swaps)\n", res.Ranks, res.BitSwaps)
 		fmt.Printf("elapsed : %v\n", res.Elapsed)
 		printCompile(res.Compile, *fuse)
 		fmt.Printf("mpi     : %s\n", res.MPI)
-		telemetry.flush(res.Mem)
+		telemetry.finish(res.Elapsed.Nanoseconds(), res.Compile.TotalNS, res.Mem)
 		report(res.State, *seed, *shots, *printState)
 		return
 	}
@@ -121,6 +131,7 @@ func main() {
 	cfg := core.Config{
 		Seed: *seed, Style: ks, PEs: *pes, Coalesced: *coalesced, Fuse: *fuse,
 		Sched: policy, Trace: telemetry.tracer, Metrics: telemetry.metrics,
+		Flight:          telemetry.flight,
 		CheckpointEvery: opts.checkpointEvery, CheckpointDir: opts.checkpointDir,
 		Resume: opts.resume, MaxRestarts: opts.maxRestarts,
 		Fault: opts.injector(), Timeouts: opts.timeouts(),
@@ -138,9 +149,10 @@ func main() {
 		fatal(fmt.Errorf("unknown backend %q", *backendName))
 	}
 
+	telemetry.beginRun(*backendName, c.Name, *pes)
 	res, err := backend.Run(c)
 	if err != nil {
-		fatal(err)
+		telemetry.fail(err)
 	}
 	fmt.Printf("circuit : %s\n", c.Summary())
 	fmt.Printf("backend : %s (%d PE)\n", res.Backend, res.PEs)
@@ -156,63 +168,169 @@ func main() {
 	if c.NumClbits > 0 {
 		fmt.Printf("cbits   : %0*b\n", c.NumClbits, res.Cbits)
 	}
-	telemetry.flush(res.Mem)
+	telemetry.finish(res.Elapsed.Nanoseconds(), res.Compile.TotalNS, res.Mem)
 	report(res.State, *seed, *shots, *printState)
 }
 
-// telemetry bundles the optional observability sinks selected by flags.
-type telemetry struct {
-	tracer      *obs.Tracer
-	metrics     *obs.Metrics
-	traceFile   string
-	metricsFile string
-	stopPprof   func() error
+// telemetryOpts is the flag surface that selects observability sinks.
+type telemetryOpts struct {
+	trace      string // Chrome trace file
+	metrics    string // metrics registry as JSON
+	metricsOut string // metrics registry as OpenMetrics text
+	listen     string // OpenMetrics + flight + pprof HTTP listener
+	phase      string // phase-attribution report (JSON)
+	flight     string // flight recorder dump (JSONL)
+	pprof      string // standalone pprof listener
 }
 
-func newTelemetry(traceFile, metricsFile, pprofAddr string) *telemetry {
-	t := &telemetry{traceFile: traceFile, metricsFile: metricsFile}
-	if traceFile != "" {
+// telemetry bundles the optional observability sinks selected by flags
+// and knows how to drain all of them on both the clean and abort exits.
+type telemetry struct {
+	tracer  *obs.Tracer
+	metrics *obs.Metrics
+	flight  *obs.FlightRecorder
+	opts    telemetryOpts
+
+	// Run identity captured by beginRun so an abort can still stamp a
+	// phase report when the backend never returned a Result.
+	backend  string
+	workload string
+	pes      int
+	runStart time.Time
+
+	stops []func() error
+}
+
+func newTelemetry(o telemetryOpts) *telemetry {
+	t := &telemetry{opts: o}
+	if o.trace != "" || o.phase != "" {
 		t.tracer = obs.NewTracer()
 	}
-	if metricsFile != "" {
+	if o.metrics != "" || o.metricsOut != "" || o.listen != "" {
 		t.metrics = obs.NewMetrics()
 	}
-	if pprofAddr != "" {
-		addr, stop, err := obs.StartPprof(pprofAddr)
+	if o.flight != "" || o.listen != "" {
+		t.flight = obs.NewFlightRecorder(obs.DefaultFlightCap)
+	}
+	if o.listen != "" {
+		addr, stop, err := obs.StartServer(o.listen, obs.ServeOpts{
+			Metrics: t.metrics, Flight: t.flight, Pprof: true,
+		})
 		if err != nil {
 			fatal(err)
 		}
-		t.stopPprof = stop
+		t.stops = append(t.stops, stop)
+		fmt.Printf("metrics : serving http://%s/metrics\n", addr)
+	}
+	if o.pprof != "" {
+		addr, stop, err := obs.StartPprof(o.pprof)
+		if err != nil {
+			fatal(err)
+		}
+		t.stops = append(t.stops, stop)
 		fmt.Printf("pprof   : serving http://%s/debug/pprof/\n", addr)
 	}
 	return t
 }
 
-// flush writes the trace and metrics files after a run and reports the
-// post-run memory snapshot.
-func (t *telemetry) flush(mem *obs.MemSnapshot) {
-	if t.tracer != nil {
-		if err := t.tracer.WriteFile(t.traceFile); err != nil {
-			fatal(err)
-		}
-		fmt.Printf("trace   : wrote %s (%d spans, %d tracks)\n",
-			t.traceFile, t.tracer.TotalEvents(), len(t.tracer.Tracks()))
-	}
-	if t.metrics != nil {
-		if err := t.metrics.WriteFile(t.metricsFile); err != nil {
-			fatal(err)
-		}
-		fmt.Printf("metrics : wrote %s\n", t.metricsFile)
+// beginRun records the run identity used to stamp phase reports; the
+// abort path measures wall time from here when no Result exists.
+func (t *telemetry) beginRun(backend, workload string, pes int) {
+	t.backend, t.workload, t.pes, t.runStart = backend, workload, pes, time.Now()
+}
+
+// finish drains every sink after a successful run and reports the
+// post-run memory snapshot. Sink write failures are fatal, matching the
+// rest of the CLI's error handling.
+func (t *telemetry) finish(wallNS, compileNS int64, mem *obs.MemSnapshot) {
+	t.phaseReport(wallNS, compileNS, os.Stdout)
+	if err := t.writeSinks(os.Stdout); err != nil {
+		fatal(err)
 	}
 	if mem != nil {
 		fmt.Printf("mem     : %s\n", mem)
 	}
 }
 
-func (t *telemetry) close() {
-	if t.stopPprof != nil {
-		t.stopPprof() //nolint:errcheck // shutting down on exit
+// fail drains every sink before exiting: the abort path is exactly when
+// the trace, metrics, and flight recorder matter most, so a failed run
+// must not lose them. Sink write errors are reported but do not mask
+// the run failure.
+func (t *telemetry) fail(err error) {
+	t.flight.Record(-1, obs.EventRunFailed, err.Error(), 0)
+	t.phaseReport(time.Since(t.runStart).Nanoseconds(), 0, os.Stderr)
+	if werr := t.writeSinks(os.Stderr); werr != nil {
+		fmt.Fprintln(os.Stderr, "svsim: telemetry:", werr)
 	}
+	t.close()
+	fatal(err)
+}
+
+// phaseReport builds the phase-attribution report when requested,
+// writes the JSON artifact, and prints the summary table to w.
+func (t *telemetry) phaseReport(wallNS, compileNS int64, w io.Writer) {
+	if t.opts.phase == "" {
+		return
+	}
+	rep := obs.BuildPhaseReport(t.tracer, obs.PhaseReportOpts{
+		Backend: t.backend, Workload: t.workload, PEs: t.pes,
+		WallNS: wallNS, CompileNS: compileNS,
+	})
+	if err := rep.WriteFile(t.opts.phase); err != nil {
+		fmt.Fprintln(os.Stderr, "svsim: telemetry:", err)
+		return
+	}
+	fmt.Fprint(w, rep.Summary())
+	fmt.Fprintf(w, "phases  : wrote %s\n", t.opts.phase)
+}
+
+// writeSinks drains the file-backed sinks, announcing each artifact on
+// w; it keeps going past failures and returns the first error.
+func (t *telemetry) writeSinks(w io.Writer) error {
+	var firstErr error
+	keep := func(err error) {
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if t.tracer != nil && t.opts.trace != "" {
+		if err := t.tracer.WriteFile(t.opts.trace); err != nil {
+			keep(err)
+		} else {
+			fmt.Fprintf(w, "trace   : wrote %s (%d spans, %d tracks)\n",
+				t.opts.trace, t.tracer.TotalEvents(), len(t.tracer.Tracks()))
+		}
+	}
+	if t.metrics != nil && t.opts.metrics != "" {
+		if err := t.metrics.WriteFile(t.opts.metrics); err != nil {
+			keep(err)
+		} else {
+			fmt.Fprintf(w, "metrics : wrote %s\n", t.opts.metrics)
+		}
+	}
+	if t.metrics != nil && t.opts.metricsOut != "" {
+		if err := t.metrics.WriteOpenMetricsFile(t.opts.metricsOut); err != nil {
+			keep(err)
+		} else {
+			fmt.Fprintf(w, "openmet : wrote %s\n", t.opts.metricsOut)
+		}
+	}
+	if t.flight != nil && t.opts.flight != "" {
+		if err := t.flight.WriteFile(t.opts.flight); err != nil {
+			keep(err)
+		} else {
+			fmt.Fprintf(w, "flight  : wrote %s (%d events, %d dropped)\n",
+				t.opts.flight, t.flight.Len(), t.flight.Dropped())
+		}
+	}
+	return firstErr
+}
+
+func (t *telemetry) close() {
+	for _, stop := range t.stops {
+		stop() //nolint:errcheck // shutting down on exit
+	}
+	t.stops = nil
 }
 
 func loadCircuit(name, file string, compact bool) (*circuit.Circuit, error) {
@@ -242,13 +360,14 @@ func loadCircuit(name, file string, compact bool) (*circuit.Circuit, error) {
 func runMPI(c *circuit.Circuit, opts runOpts, ks statevec.KernelStyle, shots int, printState bool, telemetry *telemetry) {
 	cfg := mpibase.Config{
 		Ranks: opts.pes, Seed: opts.seed, Style: ks, Fuse: opts.fuse,
-		Trace: telemetry.tracer, Metrics: telemetry.metrics,
+		Trace: telemetry.tracer, Metrics: telemetry.metrics, Flight: telemetry.flight,
 		CheckpointEvery: opts.checkpointEvery, CheckpointDir: opts.checkpointDir,
 		Resume: opts.resume, MaxRestarts: opts.maxRestarts, Fault: opts.injector(),
 	}
+	telemetry.beginRun("mpi", c.Name, opts.pes)
 	res, err := mpibase.New(cfg).Run(c)
 	if err != nil {
-		fatal(err)
+		telemetry.fail(err)
 	}
 	fmt.Printf("circuit : %s\n", c.Summary())
 	fmt.Printf("backend : mpi-baseline (%d ranks)\n", res.Ranks)
@@ -258,7 +377,7 @@ func runMPI(c *circuit.Circuit, opts runOpts, ks statevec.KernelStyle, shots int
 	if res.Ckpt.Count > 0 || res.Recoveries > 0 {
 		fmt.Printf("ckpt    : %d checkpoint(s), %d bytes, %d recoveries\n", res.Ckpt.Count, res.Ckpt.Bytes, res.Recoveries)
 	}
-	telemetry.flush(res.Mem)
+	telemetry.finish(res.Elapsed.Nanoseconds(), res.Compile.TotalNS, res.Mem)
 	report(res.State, opts.seed, shots, printState)
 }
 

@@ -1,11 +1,14 @@
 package svsim_test
 
 import (
+	"encoding/json"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"svsim/internal/obs"
 )
 
 // End-to-end smoke tests: build the real binaries and drive them the way
@@ -90,4 +93,136 @@ func TestCLIEndToEnd(t *testing.T) {
 	if !strings.Contains(out, "fig17") || !strings.Contains(out, "24") {
 		t.Fatalf("svbench output:\n%s", out)
 	}
+}
+
+// TestTelemetryArtifacts drives the full telemetry surface end to end,
+// on both exits. A clean run must leave a trace, an OpenMetrics dump,
+// a flight JSONL, and a phase report; a run aborted by an injected kill
+// must leave the same artifacts rather than losing them — with the
+// flight trail naming the fault and the phase report's per-PE rows
+// summing to the wall time they split.
+func TestTelemetryArtifacts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("e2e skipped in -short mode")
+	}
+	dir := t.TempDir()
+	svsim := buildTool(t, dir, "svsim/cmd/svsim")
+
+	paths := func(prefix string) (flight, phase, om, trace string) {
+		return filepath.Join(dir, prefix+"-flight.jsonl"),
+			filepath.Join(dir, prefix+"-phase.json"),
+			filepath.Join(dir, prefix+"-metrics.om"),
+			filepath.Join(dir, prefix+"-trace.json")
+	}
+
+	// Clean exit.
+	flight, phase, om, trace := paths("clean")
+	out := runTool(t, svsim, "-circuit", "qft_n15", "-backend", "scale-out", "-pes", "4",
+		"-sched", "lazy", "-flight", flight, "-phase-report", phase, "-metrics-out", om, "-trace", trace)
+	if !strings.Contains(out, "phase attribution") || !strings.Contains(out, "critical path") {
+		t.Fatalf("no phase summary in output:\n%s", out)
+	}
+	checkTelemetryArtifacts(t, flight, phase, om, trace)
+
+	// Abort exit: an injected kill must still flush every sink.
+	flight, phase, om, trace = paths("fault")
+	cmd := exec.Command(svsim, "-circuit", "qft_n15", "-backend", "scale-out", "-pes", "4",
+		"-fault", "kill:rank=1:op=barrier:after=30",
+		"-flight", flight, "-phase-report", phase, "-metrics-out", om, "-trace", trace)
+	outB, err := cmd.CombinedOutput()
+	ee, ok := err.(*exec.ExitError)
+	if !ok || ee.ExitCode() != 1 {
+		t.Fatalf("fault run: want exit 1, got %v\n%s", err, outB)
+	}
+	if !strings.Contains(string(outB), "injected kill") {
+		t.Fatalf("fault run output does not name the fault:\n%s", outB)
+	}
+	events := checkTelemetryArtifacts(t, flight, phase, om, trace)
+	for _, kind := range []string{"fault_injected", "pe_failure", "run_failed"} {
+		if !strings.Contains(events, `"kind":"`+kind+`"`) {
+			t.Errorf("flight trail missing %s event:\n%s", kind, events)
+		}
+	}
+}
+
+// checkTelemetryArtifacts validates the four artifact files and returns
+// the flight dump for event-level assertions.
+func checkTelemetryArtifacts(t *testing.T, flight, phase, om, trace string) string {
+	t.Helper()
+
+	raw, err := os.ReadFile(flight)
+	if err != nil {
+		t.Fatalf("flight dump: %v", err)
+	}
+	lines := strings.Split(strings.TrimRight(string(raw), "\n"), "\n")
+	if len(lines) == 0 || lines[0] == "" {
+		t.Fatal("flight dump is empty")
+	}
+	for i, line := range lines {
+		var ev map[string]any
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("flight line %d is not JSON: %v\n%s", i, err, line)
+		}
+	}
+
+	var rep struct {
+		SchemaVersion int   `json:"schema_version"`
+		WallNS        int64 `json:"wall_ns"`
+		PerPE         []struct {
+			PE       int              `json:"pe"`
+			WallNS   int64            `json:"wall_ns"`
+			PhasesNS map[string]int64 `json:"phases_ns"`
+		} `json:"per_pe"`
+	}
+	rawRep, err := os.ReadFile(phase)
+	if err != nil {
+		t.Fatalf("phase report: %v", err)
+	}
+	if err := json.Unmarshal(rawRep, &rep); err != nil {
+		t.Fatalf("phase report not valid JSON: %v", err)
+	}
+	if rep.SchemaVersion != 1 || rep.WallNS <= 0 || len(rep.PerPE) != 4 {
+		t.Fatalf("phase report malformed: version=%d wall=%d rows=%d",
+			rep.SchemaVersion, rep.WallNS, len(rep.PerPE))
+	}
+	for _, pp := range rep.PerPE {
+		var sum int64
+		for _, d := range pp.PhasesNS {
+			sum += d
+		}
+		if diff := sum - pp.WallNS; diff < -pp.WallNS/20 || diff > pp.WallNS/20 {
+			t.Errorf("PE %d phase sum %d vs wall %d: off by more than 5%%", pp.PE, sum, pp.WallNS)
+		}
+	}
+
+	rawOM, err := os.ReadFile(om)
+	if err != nil {
+		t.Fatalf("openmetrics dump: %v", err)
+	}
+	if _, err := obs.ParseOpenMetrics(rawOM); err != nil {
+		t.Fatalf("openmetrics dump rejected: %v", err)
+	}
+
+	rawTrace, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatalf("trace: %v", err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Ph string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(rawTrace, &doc); err != nil {
+		t.Fatalf("trace not valid JSON: %v", err)
+	}
+	spans := 0
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "X" {
+			spans++
+		}
+	}
+	if spans == 0 {
+		t.Fatal("trace has no spans")
+	}
+	return string(raw)
 }

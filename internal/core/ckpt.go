@@ -64,10 +64,11 @@ type ckptWriter struct {
 
 	stats ckpt.Stats
 
-	// Optional metrics, nil-safe.
+	// Optional metrics and flight recorder, nil-safe.
 	mCount *obs.Counter
 	mBytes *obs.Counter
 	mNS    *obs.Counter
+	rec    *obs.FlightRecorder
 }
 
 // newCkptWriter returns nil when checkpointing is off. The manifest
@@ -99,6 +100,7 @@ func newCkptWriter(cfg Config, backend string, c *circuit.Circuit, p int, planFP
 		w.mBytes = cfg.Metrics.Counter(obs.MetricCkptBytes)
 		w.mNS = cfg.Metrics.Counter(obs.MetricCkptNS)
 	}
+	w.rec = cfg.Flight
 	return w
 }
 
@@ -161,6 +163,7 @@ func (w *ckptWriter) write(pe *pgas.PE, local *statevec.State, step int, cbits u
 	w.mCount.Add(1)
 	w.mBytes.Add(bytes)
 	w.mNS.Add(ns)
+	w.rec.Record(pe.Rank, obs.EventCheckpoint, fmt.Sprintf("step %d", step), bytes)
 	pe.Barrier() // nobody proceeds until the checkpoint is published
 }
 
@@ -200,6 +203,7 @@ func (w *ckptWriter) writeLocal(st *statevec.State, step int, cbits uint64, draw
 	w.mCount.Add(1)
 	w.mBytes.Add(sh.Bytes)
 	w.mNS.Add(ns)
+	w.rec.Record(0, obs.EventCheckpoint, fmt.Sprintf("step %d", step), sh.Bytes)
 	return nil
 }
 

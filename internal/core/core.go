@@ -58,6 +58,10 @@ type Config struct {
 	// gate kind and — through the pgas substrate — put/get size and
 	// barrier wait-time distributions. Nil disables collection.
 	Metrics *obs.Metrics
+	// Flight, if non-nil, receives structured runtime events (remaps,
+	// checkpoints, injected faults, retries, barrier timeouts, restarts)
+	// into a bounded ring for post-mortem JSONL dumps. Nil disables it.
+	Flight *obs.FlightRecorder
 
 	// CheckpointEvery, when > 0 together with CheckpointDir, writes a
 	// coordinated checkpoint every that many schedule steps (gates for

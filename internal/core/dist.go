@@ -106,6 +106,7 @@ func newDistSim(name string, cfg Config, cp *compile.CompiledPlan) (*distSim, er
 	d.comm = pgas.NewComm(p)
 	d.comm.SetFault(cfg.Fault)
 	d.comm.SetTimeouts(cfg.Timeouts)
+	d.comm.SetRecorder(cfg.Flight)
 	d.ck = newCkptWriter(cfg, name, c, p, cp.PlanFP)
 	d.trace = cfg.Trace
 	if cfg.Metrics != nil {
@@ -166,6 +167,7 @@ func newDistSim(name string, cfg Config, cp *compile.CompiledPlan) (*distSim, er
 			run.draws = m.Draws
 		}
 		d.start = m.Step
+		cfg.Flight.Record(-1, obs.EventRestore, dir, int64(m.Step))
 	}
 	return d, nil
 }
@@ -186,7 +188,14 @@ func (d *distSim) run() (*Result, error) {
 		trk := d.trace.Track(pe.Rank)
 		for t := d.start; t < len(d.bound); t++ {
 			if t > d.start && d.ck.due(t) {
-				d.ck.write(pe, run.local, t, run.cbits, run.draws, nil)
+				if trk != nil {
+					k0 := time.Now()
+					d.ck.write(pe, run.local, t, run.cbits, run.draws, nil)
+					trk.SpanAt("checkpoint", k0, time.Now(),
+						obs.SpanArgs{Kind: "checkpoint", Phase: obs.PhaseCheckpoint})
+				} else {
+					d.ck.write(pe, run.local, t, run.cbits, run.draws, nil)
+				}
 			}
 			bg := &d.bound[t]
 			if !condSatisfied(bg.cond, run.cbits) {
@@ -595,6 +604,7 @@ func runDistributed(name string, cfg Config, c *circuit.Circuit) (*Result, error
 	attempts, recovered := 0, 0
 	for {
 		attempts++
+		cfg.Flight.Record(-1, obs.EventRunStart, name, int64(attempts))
 		res, err := runDistOnce(name, cfg, cp)
 		if err == nil {
 			res.Recoveries = recovered
@@ -606,6 +616,7 @@ func runDistributed(name string, cfg Config, c *circuit.Circuit) (*Result, error
 			// terminal; restarting cannot help.
 			return nil, err
 		}
+		cfg.Flight.Record(-1, obs.EventRunFailed, err.Error(), int64(attempts))
 		mFailures.Add(1)
 		if cfg.CheckpointDir == "" || recovered >= cfg.MaxRestarts {
 			return nil, &RunFailure{Backend: name, Attempts: attempts, Cause: err}
@@ -617,5 +628,6 @@ func runDistributed(name string, cfg Config, c *circuit.Circuit) (*Result, error
 		cfg.Resume = dir
 		recovered++
 		mRecoveries.Add(1)
+		cfg.Flight.Record(-1, obs.EventRestart, "resume from "+dir, int64(recovered))
 	}
 }

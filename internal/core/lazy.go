@@ -41,11 +41,12 @@ type lazySim struct {
 	svRe, svIm *pgas.SymF64
 	stage      *pgas.SymF64 // 2S staging floats per PE for remap exchanges
 
-	c     *circuit.Circuit
-	plan  *sched.Plan
-	cls   []*gate.Class     // per op: classification, nil for non-unitary kinds
-	exch  []*sched.Exchange // per step: all-to-all plan for remap steps
-	label []string          // per step: trace span label, "" when untraced kind
+	c       *circuit.Circuit
+	plan    *sched.Plan
+	cls     []*gate.Class     // per op: classification, nil for non-unitary kinds
+	exch    []*sched.Exchange // per step: all-to-all plan for remap steps
+	label   []string          // per step: trace span label, "" when untraced kind
+	blockOf []int             // per step: 1-based schedule block for attribution
 
 	perPE []lazyRun
 
@@ -54,6 +55,7 @@ type lazySim struct {
 
 	trace      *obs.Tracer
 	gm         *gateObs
+	flight     *obs.FlightRecorder
 	remapBytes *obs.Histogram // per-PE remote bytes of each remap exchange
 	remapCount *obs.Counter
 }
@@ -106,8 +108,10 @@ func newLazySim(name string, cfg Config, cp *compile.CompiledPlan) (*lazySim, er
 	d.comm = pgas.NewComm(p)
 	d.comm.SetFault(cfg.Fault)
 	d.comm.SetTimeouts(cfg.Timeouts)
+	d.comm.SetRecorder(cfg.Flight)
 	d.ck = newCkptWriter(cfg, name, c, p, cp.PlanFP)
 	d.trace = cfg.Trace
+	d.flight = cfg.Flight
 	if cfg.Metrics != nil {
 		d.comm.SetMetrics(cfg.Metrics)
 		d.gm = newGateObs(cfg.Metrics)
@@ -120,11 +124,15 @@ func newLazySim(name string, cfg Config, cp *compile.CompiledPlan) (*lazySim, er
 	d.svRe.PartitionUnsafe(0)[0] = 1 // |0...0>
 
 	d.label = make([]string, len(d.plan.Steps))
+	d.blockOf = make([]int, len(d.plan.Steps))
+	block := 1
 	for si := range d.plan.Steps {
 		st := &d.plan.Steps[si]
+		d.blockOf[si] = block
 		switch st.Kind {
 		case sched.StepRemap:
 			d.label[si] = remapLabel(st.Swaps)
+			block++ // a remap closes the block it belongs to
 		case sched.StepAlias:
 			d.label[si] = "alias q" + strconv.Itoa(st.A) + "<->q" + strconv.Itoa(st.B)
 		}
@@ -173,6 +181,7 @@ func newLazySim(name string, cfg Config, cp *compile.CompiledPlan) (*lazySim, er
 			run.perm = circuit.Permutation(m.Perm).Clone()
 		}
 		d.start = m.Step
+		cfg.Flight.Record(-1, obs.EventRestore, dir, int64(m.Step))
 	}
 	return d, nil
 }
@@ -200,7 +209,14 @@ func (d *lazySim) run() (*Result, error) {
 		trk := d.trace.Track(pe.Rank)
 		for si := d.start; si < len(d.plan.Steps); si++ {
 			if si > d.start && d.ck.due(si) {
-				d.ck.write(pe, run.local, si, run.cbits, run.draws, run.perm)
+				if trk != nil {
+					k0 := time.Now()
+					d.ck.write(pe, run.local, si, run.cbits, run.draws, run.perm)
+					trk.SpanAt("checkpoint", k0, time.Now(), obs.SpanArgs{
+						Kind: "checkpoint", Phase: obs.PhaseCheckpoint, Block: d.blockOf[si]})
+				} else {
+					d.ck.write(pe, run.local, si, run.cbits, run.draws, run.perm)
+				}
 			}
 			st := &d.plan.Steps[si]
 			if st.Kind == sched.StepGate {
@@ -218,7 +234,9 @@ func (d *lazySim) run() (*Result, error) {
 				g1 := time.Now()
 				d.gm.observe(op.G.Kind, g1.Sub(g0))
 				if trk != nil {
-					trk.SpanAt(gateLabel(&op.G), g0, g1, d.spanArgs(&op.G, pe.Rank, c0))
+					args := d.spanArgs(&op.G, pe.Rank, c0)
+					args.Block = d.blockOf[si]
+					trk.SpanAt(gateLabel(&op.G), g0, g1, args)
 				}
 				continue
 			}
@@ -226,16 +244,21 @@ func (d *lazySim) run() (*Result, error) {
 				run.perm.SwapLogical(st.A, st.B)
 				if trk != nil {
 					now := time.Now()
-					trk.SpanAt(d.label[si], now, now, obs.SpanArgs{Kind: "alias"})
+					trk.SpanAt(d.label[si], now, now, obs.SpanArgs{Kind: "alias", Block: d.blockOf[si]})
 				}
 				continue
 			}
-			// Remap step: always executed, always on every PE.
+			// Remap step: always executed, always on every PE. The traced
+			// variant replaces the single remap span with pack/wire/
+			// barrier/unpack sub-spans so phase attribution sees inside
+			// the exchange (the parent span would double-count).
 			ex := d.exch[si]
 			c0 := d.comm.StatsOf(pe.Rank)
-			g0 := time.Now()
-			d.execRemap(pe, run, ex)
-			g1 := time.Now()
+			if trk != nil {
+				d.execRemapTraced(pe, run, ex, trk, d.label[si], d.blockOf[si])
+			} else {
+				d.execRemap(pe, run, ex)
+			}
 			for _, sw := range st.Swaps {
 				run.perm.SwapPhysical(sw.Global, sw.Local)
 			}
@@ -244,16 +267,7 @@ func (d *lazySim) run() (*Result, error) {
 			if pe.Rank == 0 {
 				d.remapCount.Add(1)
 			}
-			if trk != nil {
-				trk.SpanAt(d.label[si], g0, g1, obs.SpanArgs{
-					Kind:        "remap",
-					LocalBytes:  c1.LocalBytes - c0.LocalBytes,
-					RemoteBytes: c1.RemoteBytes - c0.RemoteBytes,
-					LocalMsgs:   (c1.LocalGets + c1.LocalPuts) - (c0.LocalGets + c0.LocalPuts),
-					RemoteMsgs:  c1.RemoteMessages() - c0.RemoteMessages(),
-					Barriers:    c1.Barriers - c0.Barriers,
-				})
-			}
+			d.flight.Record(pe.Rank, obs.EventRemap, d.label[si], c1.RemoteBytes-c0.RemoteBytes)
 		}
 	})
 	if err != nil {
@@ -438,6 +452,77 @@ func (d *lazySim) execRemap(pe *pgas.PE, run *lazyRun, ex *sched.Exchange) {
 	run.extra.BytesTouched += 2 * int64(d.S) * 16
 	// All staging reads must finish before the next exchange overwrites it.
 	pe.Barrier()
+}
+
+// execRemapTraced is execRemap with phase-attributed sub-spans: the
+// pack/put loop is split into a pack span (the accumulated buffer-fill
+// time, drawn contiguously from the loop start) and a wire span (the
+// remainder, covering the coalesced puts), then barrier, unpack, and the
+// trailing barrier get spans of their own. The untraced execRemap stays
+// the zero-overhead path.
+func (d *lazySim) execRemapTraced(pe *pgas.PE, run *lazyRun, ex *sched.Exchange, trk *obs.Track, label string, block int) {
+	s := pe.Rank
+	re, im := run.local.Re, run.local.Im
+	B := ex.BlockLen
+	c0 := d.comm.StatsOf(s)
+	loopStart := time.Now()
+	var packNS, packBytes int64
+	for dst := 0; dst < d.p; dst++ {
+		if !ex.Compat[s][dst] {
+			continue
+		}
+		pinned := ex.PinnedVal(dst, d.localBits)
+		buf := run.pack[:2*B]
+		p0 := time.Now()
+		for t := 0; t < B; t++ {
+			i := pinned | sched.Spread(t, ex.FreeBits)
+			buf[t] = re[i]
+			buf[B+t] = im[i]
+		}
+		packNS += time.Since(p0).Nanoseconds()
+		packBytes += int64(2*B) * 8
+		pe.PutV(d.stage, dst, 2*ex.OffElems[s][dst], buf)
+	}
+	loopEnd := time.Now()
+	packEnd := loopStart.Add(time.Duration(packNS))
+	cw := d.comm.StatsOf(s)
+	trk.SpanAt(label+" pack", loopStart, packEnd, obs.SpanArgs{
+		Kind: "pack", Phase: obs.PhasePack, Block: block, PackBytes: packBytes})
+	trk.SpanAt(label+" wire", packEnd, loopEnd, obs.SpanArgs{
+		Kind: "wire", Phase: obs.PhaseWire, Block: block,
+		LocalBytes:  cw.LocalBytes - c0.LocalBytes,
+		RemoteBytes: cw.RemoteBytes - c0.RemoteBytes,
+		LocalMsgs:   (cw.LocalGets + cw.LocalPuts) - (c0.LocalGets + c0.LocalPuts),
+		RemoteMsgs:  cw.RemoteMessages() - c0.RemoteMessages(),
+	})
+	// All blocks must land before anyone reads its staging.
+	b0 := time.Now()
+	pe.Barrier()
+	trk.SpanAt(label+" barrier", b0, time.Now(), obs.SpanArgs{
+		Kind: "barrier", Phase: obs.PhaseBarrier, Block: block, Barriers: 1})
+	stg := d.stage.PartitionUnsafe(s)
+	u0 := time.Now()
+	for src := 0; src < d.p; src++ {
+		if !ex.Compat[src][s] {
+			continue
+		}
+		off := 2 * ex.OffElems[src][s]
+		base := ex.InBase[src]
+		for t := 0; t < B; t++ {
+			j := base | sched.Spread(t, ex.ImgFree)
+			re[j] = stg[off+t]
+			im[j] = stg[off+B+t]
+		}
+	}
+	trk.SpanAt(label+" unpack", u0, time.Now(), obs.SpanArgs{
+		Kind: "unpack", Phase: obs.PhaseUnpack, Block: block, PackBytes: packBytes})
+	run.extra.AmpsTouched += 2 * int64(d.S)
+	run.extra.BytesTouched += 2 * int64(d.S) * 16
+	// All staging reads must finish before the next exchange overwrites it.
+	b1 := time.Now()
+	pe.Barrier()
+	trk.SpanAt(label+" barrier", b1, time.Now(), obs.SpanArgs{
+		Kind: "barrier", Phase: obs.PhaseBarrier, Block: block, Barriers: 1})
 }
 
 // measure performs a distributed projective measurement of logical qubit

@@ -35,6 +35,7 @@ type mpiCkpt struct {
 	mCount *obs.Counter
 	mBytes *obs.Counter
 	mNS    *obs.Counter
+	rec    *obs.FlightRecorder
 }
 
 // newMpiCkpt returns nil when checkpointing is off.
@@ -63,6 +64,7 @@ func (s *Simulator) newMpiCkpt(c *circuit.Circuit, p int, planFP uint64) *mpiCkp
 		w.mBytes = s.cfg.Metrics.Counter(obs.MetricCkptBytes)
 		w.mNS = s.cfg.Metrics.Counter(obs.MetricCkptNS)
 	}
+	w.rec = s.cfg.Flight
 	return w
 }
 
@@ -118,5 +120,6 @@ func (w *mpiCkpt) write(r *Rank, run *mpiRun, step int) {
 	w.mCount.Add(1)
 	w.mBytes.Add(bytes)
 	w.mNS.Add(ns)
+	w.rec.Record(r.R, obs.EventCheckpoint, fmt.Sprintf("gate %d", step), bytes)
 	r.Barrier() // nobody proceeds until the checkpoint is published
 }

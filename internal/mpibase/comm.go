@@ -73,6 +73,7 @@ type Comm struct {
 	// Optional metrics handles, nil when no registry is attached.
 	msgBytes  *obs.Histogram
 	barrierNS *obs.Histogram
+	rec       *obs.FlightRecorder
 }
 
 // SetMetrics attaches a metrics registry: message payload sizes and
@@ -86,6 +87,11 @@ func (c *Comm) SetMetrics(m *obs.Metrics) {
 	c.msgBytes = m.Histogram(obs.MetricMsgBytes, obs.SizeBuckets())
 	c.barrierNS = m.Histogram(obs.MetricBarrierWaitNS, obs.LatencyBuckets())
 }
+
+// SetRecorder attaches a flight recorder that receives structured events
+// for injected faults and rank failures; nil detaches. Call before
+// entering the SPMD region.
+func (c *Comm) SetRecorder(r *obs.FlightRecorder) { c.rec = r }
 
 // NewComm creates a communicator with p ranks.
 func NewComm(p int) *Comm {
@@ -188,9 +194,13 @@ func (r *Rank) Barrier() {
 	if in := r.comm.inj; in != nil {
 		v := in.BarrierEvent(r.R)
 		if v.Delay > 0 {
+			r.comm.rec.Record(r.R, obs.EventFaultInjected,
+				"barrier delay "+v.Delay.String(), 0)
 			time.Sleep(v.Delay)
 		}
 		if v.Kill != nil {
+			r.comm.rec.Record(r.R, obs.EventFaultInjected,
+				"barrier kill: "+v.Kill.Error(), 0)
 			r.fail(v.Kill)
 		}
 	}

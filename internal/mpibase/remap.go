@@ -92,8 +92,20 @@ func (s *RemapSimulator) Run(c *circuit.Circuit) (*RemapResult, error) {
 	}
 	eng.re[0][0] = 1
 
+	// blockOf attributes each plan step to a 1-based schedule block; a
+	// remap closes the block it belongs to.
+	blockOf := make([]int, len(plan.Steps))
+	blk := 1
+	for si := range plan.Steps {
+		blockOf[si] = blk
+		if plan.Steps[si].Kind == sched.StepRemap {
+			blk++
+		}
+	}
+
 	comm := NewComm(p)
 	comm.SetMetrics(s.cfg.Metrics)
+	comm.SetRecorder(s.cfg.Flight)
 	gm := newGateObs(s.cfg.Metrics)
 	start := time.Now()
 	comm.Run(func(r *Rank) {
@@ -106,21 +118,25 @@ func (s *RemapSimulator) Run(c *circuit.Circuit) (*RemapResult, error) {
 				run.perm.SwapLogical(st.A, st.B)
 			case sched.StepRemap:
 				c0 := comm.StatsOf(r.R)
-				g0 := time.Now()
+				label := remapStepLabel(st.Swaps)
+				// The traced variant replaces the single remap span with
+				// per-swap pack/wire/unpack sub-spans plus a barrier span,
+				// so phase attribution sees inside the exchange.
 				for _, sw := range st.Swaps {
-					eng.swapBits(r, run, sw.Global, sw.Local)
+					if trk != nil {
+						eng.swapBitsTraced(r, run, sw.Global, sw.Local, trk, label, blockOf[si])
+					} else {
+						eng.swapBits(r, run, sw.Global, sw.Local)
+					}
 				}
+				b0 := time.Now()
 				r.Barrier()
 				if trk != nil {
-					c1 := comm.StatsOf(r.R)
-					trk.SpanAt(remapStepLabel(st.Swaps), g0, time.Now(), obs.SpanArgs{
-						Kind:      "remap",
-						Msgs:      c1.Messages - c0.Messages,
-						MsgBytes:  c1.MsgBytes - c0.MsgBytes,
-						PackBytes: c1.PackBytes - c0.PackBytes,
-						Barriers:  c1.Syncs - c0.Syncs,
-					})
+					trk.SpanAt(label+" barrier", b0, time.Now(), obs.SpanArgs{
+						Kind: "barrier", Phase: obs.PhaseBarrier, Block: blockOf[si], Barriers: 1})
 				}
+				c1 := comm.StatsOf(r.R)
+				s.cfg.Flight.Record(r.R, obs.EventRemap, label, c1.MsgBytes-c0.MsgBytes)
 			case sched.StepGate:
 				op := &c.Ops[st.Op]
 				if op.Cond != nil {
@@ -139,7 +155,9 @@ func (s *RemapSimulator) Run(c *circuit.Circuit) (*RemapResult, error) {
 				g1 := time.Now()
 				gm.observe(op.G.Kind, g1.Sub(g0))
 				if trk != nil {
-					trk.SpanAt(gateLabel(&op.G), g0, g1, spanArgs(&op.G, c0, comm.StatsOf(r.R)))
+					args := spanArgs(&op.G, c0, comm.StatsOf(r.R))
+					args.Block = blockOf[si]
+					trk.SpanAt(gateLabel(&op.G), g0, g1, args)
 				}
 			}
 		}
@@ -271,6 +289,47 @@ func (e *remapEngine) swapBits(r *Rank, run *remapRun, gBit, lBit int) {
 		}
 	}
 	r.notePack(int64(e.S) * 8)
+	run.perm.SwapPhysical(gBit, lBit)
+}
+
+// swapBitsTraced is swapBits with phase-attributed pack/wire/unpack
+// sub-spans on the rank's track.
+func (e *remapEngine) swapBitsTraced(r *Rank, run *remapRun, gBit, lBit int, trk *obs.Track, label string, block int) {
+	b := gBit - e.localBits
+	beta := r.R >> uint(b) & 1
+	partner := r.R ^ 1<<uint(b)
+
+	re, im := e.re[r.R], e.im[r.R]
+	buf := make([]float64, e.S) // S/2 re + S/2 im
+	p0 := time.Now()
+	k := 0
+	for i := 0; i < e.S; i++ {
+		if i>>uint(lBit)&1 != beta {
+			buf[k] = re[i]
+			buf[k+e.S/2] = im[i]
+			k++
+		}
+	}
+	r.notePack(int64(e.S) * 8)
+	p1 := time.Now()
+	trk.SpanAt(label+" pack", p0, p1, obs.SpanArgs{
+		Kind: "pack", Phase: obs.PhasePack, Block: block, PackBytes: int64(e.S) * 8})
+	in := r.SendRecv(partner, buf)
+	w1 := time.Now()
+	trk.SpanAt(label+" wire", p1, w1, obs.SpanArgs{
+		Kind: "wire", Phase: obs.PhaseWire, Block: block,
+		Msgs: 1, MsgBytes: int64(e.S) * 8})
+	k = 0
+	for i := 0; i < e.S; i++ {
+		if i>>uint(lBit)&1 != beta {
+			re[i] = in[k]
+			im[i] = in[k+e.S/2]
+			k++
+		}
+	}
+	r.notePack(int64(e.S) * 8)
+	trk.SpanAt(label+" unpack", w1, time.Now(), obs.SpanArgs{
+		Kind: "unpack", Phase: obs.PhaseUnpack, Block: block, PackBytes: int64(e.S) * 8})
 	run.perm.SwapPhysical(gBit, lBit)
 }
 

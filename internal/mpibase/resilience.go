@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"svsim/internal/fault"
+	"svsim/internal/obs"
 )
 
 // Resilience support for the message-passing baseline. The supported
@@ -84,6 +85,9 @@ type abortPanic struct{ err error }
 // fail records err as the fleet-wide abort cause, releases barrier
 // waiters and pending Recvs, and unwinds the calling rank.
 func (r *Rank) fail(err error) {
+	if _, isAbort := err.(*AbortError); !isAbort {
+		r.comm.rec.Record(r.R, obs.EventPEFailure, err.Error(), 0)
+	}
 	r.comm.setAbort(err)
 	panic(abortPanic{err})
 }

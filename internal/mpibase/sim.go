@@ -46,6 +46,9 @@ type Config struct {
 	// Metrics, if non-nil, receives gate latency, message size, and
 	// barrier wait-time histograms.
 	Metrics *obs.Metrics
+	// Flight, if non-nil, receives structured runtime events (remaps,
+	// checkpoints, injected faults, restarts) for post-mortem JSONL dumps.
+	Flight *obs.FlightRecorder
 	// CheckpointEvery, with CheckpointDir, writes a coordinated
 	// checkpoint every that many gates (same format as the core
 	// backends, see internal/ckpt).
@@ -91,7 +94,13 @@ type mpiRun struct {
 	cbits uint64
 	extra statevec.Stats
 	pack  []float64 // 2S pack buffer (re then im)
-	_     [64]byte
+
+	// trk is this rank's trace track (nil when tracing is off); spanned
+	// is set by an exec path that emitted its own phase sub-spans, so the
+	// outer loop skips the parent gate span (it would double-count).
+	trk     *obs.Track
+	spanned bool
+	_       [64]byte
 }
 
 // draw consumes one uniform variate from the replicated stream.
@@ -144,6 +153,7 @@ func (s *Simulator) Run(c *circuit.Circuit) (*Result, error) {
 	recovered, attempts := 0, 0
 	for {
 		attempts++
+		s.cfg.Flight.Record(-1, obs.EventRunStart, "mpi", int64(attempts))
 		res, err := s.runOnce(c, p, resume, cp.PlanFP)
 		if err == nil {
 			res.Recoveries = recovered
@@ -154,6 +164,7 @@ func (s *Simulator) Run(c *circuit.Circuit) (*Result, error) {
 		if !errors.As(err, &ke) {
 			return nil, err // not a rank failure: terminal
 		}
+		s.cfg.Flight.Record(-1, obs.EventRunFailed, err.Error(), int64(attempts))
 		mFailures.Add(1)
 		if s.cfg.CheckpointDir == "" || recovered >= s.cfg.MaxRestarts {
 			return nil, &RunFailure{Attempts: attempts, Cause: err}
@@ -165,6 +176,7 @@ func (s *Simulator) Run(c *circuit.Circuit) (*Result, error) {
 		resume = dir
 		recovered++
 		mRecoveries.Add(1)
+		s.cfg.Flight.Record(-1, obs.EventRestart, "resume from "+dir, int64(recovered))
 	}
 }
 
@@ -220,11 +232,13 @@ func (s *Simulator) runOnce(c *circuit.Circuit, p int, resume string, planFP uin
 			runs[r].draws = m.Draws
 		}
 		startGate = m.Step
+		s.cfg.Flight.Record(-1, obs.EventRestore, dir, int64(m.Step))
 	}
 
 	comm := NewComm(p)
 	comm.SetMetrics(s.cfg.Metrics)
 	comm.SetFault(s.cfg.Fault)
+	comm.SetRecorder(s.cfg.Flight)
 	cw := s.newMpiCkpt(c, p, planFP)
 	gm := newGateObs(s.cfg.Metrics)
 	eng := &mpiEngine{n: n, p: p, S: S, localBits: localBits, dim: dim}
@@ -233,9 +247,17 @@ func (s *Simulator) runOnce(c *circuit.Circuit, p int, resume string, planFP uin
 	runErr := comm.RunChecked(func(r *Rank) {
 		run := &runs[r.R]
 		trk := s.cfg.Trace.Track(r.R)
+		run.trk = trk
 		for i := startGate; i < len(c.Ops); i++ {
 			if i > startGate && cw.due(i) {
-				cw.write(r, run, i)
+				if trk != nil {
+					k0 := time.Now()
+					cw.write(r, run, i)
+					trk.SpanAt("checkpoint", k0, time.Now(),
+						obs.SpanArgs{Kind: "checkpoint", Phase: obs.PhaseCheckpoint})
+				} else {
+					cw.write(r, run, i)
+				}
 			}
 			op := &c.Ops[i]
 			if op.Cond != nil {
@@ -253,7 +275,9 @@ func (s *Simulator) runOnce(c *circuit.Circuit, p int, resume string, planFP uin
 			eng.exec(r, run, &op.G)
 			g1 := time.Now()
 			gm.observe(op.G.Kind, g1.Sub(g0))
-			if trk != nil {
+			if run.spanned {
+				run.spanned = false // sub-spans already cover this gate
+			} else if trk != nil {
 				trk.SpanAt(gateLabel(&op.G), g0, g1, spanArgs(&op.G, c0, comm.StatsOf(r.R)))
 			}
 		}
@@ -361,6 +385,15 @@ func (e *mpiEngine) exec(r *Rank, run *mpiRun, g *gate.Gate) {
 		r.Barrier()
 		return
 	}
+	if run.trk != nil {
+		e.applyGroupExchangeTraced(r, run, &cls)
+		b0 := time.Now()
+		r.Barrier()
+		run.trk.SpanAt("barrier", b0, time.Now(),
+			obs.SpanArgs{Kind: "barrier", Phase: obs.PhaseBarrier, Barriers: 1})
+		run.spanned = true
+		return
+	}
 	e.applyGroupExchange(r, run, &cls)
 	r.Barrier()
 }
@@ -432,19 +465,57 @@ func (e *mpiEngine) applyTargetsLocal(r *Rank, run *mpiRun, cls *gate.Class) {
 // transportation" pattern whose waiting and staging costs the paper calls
 // out (§1, §2.1).
 func (e *mpiEngine) applyGroupExchange(r *Rank, run *mpiRun, cls *gate.Class) {
-	var groupMask int // rank-space bits that vary across the group
+	e.packPartition(r, run)
+	bufs := e.exchangeGroup(r, run, e.groupMask(cls))
+	e.computeExchanged(r, run, cls, bufs)
+}
+
+// applyGroupExchangeTraced is applyGroupExchange with phase-attributed
+// sub-spans (pack / wire / compute) in place of the single parent gate
+// span; the caller sets run.spanned so the outer loop skips the parent.
+func (e *mpiEngine) applyGroupExchangeTraced(r *Rank, run *mpiRun, cls *gate.Class) {
+	c0 := r.comm.StatsOf(r.R)
+	p0 := time.Now()
+	e.packPartition(r, run)
+	p1 := time.Now()
+	run.trk.SpanAt("pack", p0, p1, obs.SpanArgs{
+		Kind: "pack", Phase: obs.PhasePack, PackBytes: int64(2*e.S) * 8})
+	bufs := e.exchangeGroup(r, run, e.groupMask(cls))
+	w1 := time.Now()
+	cw := r.comm.StatsOf(r.R)
+	run.trk.SpanAt("wire", p1, w1, obs.SpanArgs{
+		Kind: "wire", Phase: obs.PhaseWire,
+		Msgs:     cw.Messages - c0.Messages,
+		MsgBytes: cw.MsgBytes - c0.MsgBytes,
+	})
+	e.computeExchanged(r, run, cls, bufs)
+	run.trk.SpanAt("exchange compute", w1, time.Now(), obs.SpanArgs{
+		Kind: "compute", Phase: obs.PhaseCompute})
+}
+
+// groupMask returns the rank-space bits that vary across the exchange
+// group of a gate's global targets.
+func (e *mpiEngine) groupMask(cls *gate.Class) int {
+	var mask int
 	for _, t := range cls.Targets {
 		if t >= e.localBits {
-			groupMask |= 1 << uint(t-e.localBits)
+			mask |= 1 << uint(t-e.localBits)
 		}
 	}
-	// Pack own partition: one pass over 2S floats (plus modeled staging).
-	re, im := run.local.Re, run.local.Im
-	copy(run.pack[:e.S], re)
-	copy(run.pack[e.S:], im)
-	r.notePack(int64(2*e.S) * 8)
+	return mask
+}
 
-	// Exchange within the group.
+// packPartition copies the rank's whole partition into its pack buffer:
+// one pass over 2S floats (plus modeled staging).
+func (e *mpiEngine) packPartition(r *Rank, run *mpiRun) {
+	copy(run.pack[:e.S], run.local.Re)
+	copy(run.pack[e.S:], run.local.Im)
+	r.notePack(int64(2*e.S) * 8)
+}
+
+// exchangeGroup sends the packed partition to every group member and
+// collects their snapshots.
+func (e *mpiEngine) exchangeGroup(r *Rank, run *mpiRun, groupMask int) map[int][]float64 {
 	bufs := map[int][]float64{r.R: run.pack}
 	for bits := 1; bits <= groupMask; bits++ {
 		if bits&^groupMask != 0 {
@@ -454,7 +525,13 @@ func (e *mpiEngine) applyGroupExchange(r *Rank, run *mpiRun, cls *gate.Class) {
 		bufs[peer] = r.SendRecv(peer, run.pack)
 		r.notePack(int64(2*e.S) * 8) // unpack pass on arrival
 	}
+	return bufs
+}
 
+// computeExchanged computes the rank's new partition from the group's
+// snapshots.
+func (e *mpiEngine) computeExchanged(r *Rank, run *mpiRun, cls *gate.Class, bufs map[int][]float64) {
+	re, im := run.local.Re, run.local.Im
 	off := r.R * e.S
 	var cmask int
 	for _, c := range cls.Ctrls {

@@ -1,0 +1,130 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestFlightRecorderOrderAndFields(t *testing.T) {
+	f := NewFlightRecorder(16)
+	f.Record(-1, EventRunStart, "qft", 1)
+	f.Record(2, EventRemap, "remap g4<->l1", 4096)
+	f.Record(0, EventCheckpoint, "step 10", 1<<20)
+	evs := f.Events()
+	if len(evs) != 3 {
+		t.Fatalf("got %d events, want 3", len(evs))
+	}
+	for i, ev := range evs {
+		if ev.Seq != int64(i+1) {
+			t.Fatalf("event %d has seq %d", i, ev.Seq)
+		}
+		if i > 0 && ev.TNS < evs[i-1].TNS {
+			t.Fatalf("timestamps not monotone: %d after %d", ev.TNS, evs[i-1].TNS)
+		}
+	}
+	if evs[0].PE != -1 || evs[0].Kind != EventRunStart || evs[0].N != 1 {
+		t.Fatalf("run_start fields wrong: %+v", evs[0])
+	}
+	if evs[1].PE != 2 || evs[1].N != 4096 {
+		t.Fatalf("remap fields wrong: %+v", evs[1])
+	}
+	if f.Dropped() != 0 {
+		t.Fatalf("dropped = %d, want 0", f.Dropped())
+	}
+}
+
+// TestFlightRecorderWrap fills a small ring past capacity: the oldest
+// events are evicted, sequence numbers keep counting, and the unwrapped
+// order is preserved.
+func TestFlightRecorderWrap(t *testing.T) {
+	f := NewFlightRecorder(4)
+	for i := 1; i <= 10; i++ {
+		f.Record(i, EventRetry, fmt.Sprintf("attempt %d", i), int64(i))
+	}
+	if f.Len() != 4 {
+		t.Fatalf("len = %d, want 4", f.Len())
+	}
+	if f.Dropped() != 6 {
+		t.Fatalf("dropped = %d, want 6", f.Dropped())
+	}
+	evs := f.Events()
+	for i, ev := range evs {
+		want := int64(7 + i)
+		if ev.Seq != want || ev.N != want {
+			t.Fatalf("event %d: seq=%d n=%d, want %d (oldest evicted first)", i, ev.Seq, ev.N, want)
+		}
+	}
+}
+
+func TestFlightRecorderNilSafe(t *testing.T) {
+	var f *FlightRecorder
+	f.Record(0, EventRemap, "ignored", 1) // must not panic
+	if f.Events() != nil || f.Len() != 0 || f.Dropped() != 0 {
+		t.Fatal("nil recorder leaked state")
+	}
+}
+
+func TestFlightRecorderJSONL(t *testing.T) {
+	f := NewFlightRecorder(8)
+	f.Record(-1, EventRunStart, "bv", 1)
+	f.Record(1, EventFaultInjected, `kill: "rank 1"`, 0)
+	f.Record(1, EventPEFailure, "injected kill", 0)
+	var buf bytes.Buffer
+	if err := f.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d JSONL lines, want 3:\n%s", len(lines), buf.String())
+	}
+	for i, line := range lines {
+		var ev FlightEvent
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("line %d is not valid JSON: %v\n%s", i, err, line)
+		}
+		if ev.Seq != int64(i+1) {
+			t.Fatalf("line %d has seq %d", i, ev.Seq)
+		}
+	}
+	// The quoted detail must survive the round trip.
+	var second FlightEvent
+	if err := json.Unmarshal([]byte(lines[1]), &second); err != nil {
+		t.Fatal(err)
+	}
+	if second.Detail != `kill: "rank 1"` {
+		t.Fatalf("detail mangled: %q", second.Detail)
+	}
+}
+
+// TestFlightRecorderConcurrent hammers Record from many goroutines;
+// meaningful mainly under -race, but also checks nothing is lost below
+// capacity.
+func TestFlightRecorderConcurrent(t *testing.T) {
+	f := NewFlightRecorder(4096)
+	var wg sync.WaitGroup
+	const pes, each = 8, 100
+	for pe := 0; pe < pes; pe++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				f.Record(rank, EventRetry, "", int64(i))
+			}
+		}(pe)
+	}
+	wg.Wait()
+	if f.Len() != pes*each {
+		t.Fatalf("len = %d, want %d", f.Len(), pes*each)
+	}
+	seen := make(map[int64]bool)
+	for _, ev := range f.Events() {
+		if seen[ev.Seq] {
+			t.Fatalf("duplicate seq %d", ev.Seq)
+		}
+		seen[ev.Seq] = true
+	}
+}

@@ -11,13 +11,15 @@ import (
 	"sync/atomic"
 )
 
-// Metrics is a registry of named counters and fixed-bucket histograms.
-// Registration (Counter/Histogram) takes a lock and should happen once
-// per run per instrument; recording on the returned handles is lock-free
-// (atomic adds), so PE goroutines share handles safely.
+// Metrics is a registry of named counters, gauges, and fixed-bucket
+// histograms. Registration (Counter/Gauge/Histogram) takes a lock and
+// should happen once per run per instrument; recording on the returned
+// handles is lock-free (atomic adds), so PE goroutines share handles
+// safely.
 type Metrics struct {
 	mu       sync.Mutex
 	counters map[string]*Counter
+	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
 }
 
@@ -25,6 +27,7 @@ type Metrics struct {
 func NewMetrics() *Metrics {
 	return &Metrics{
 		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
 		hists:    make(map[string]*Histogram),
 	}
 }
@@ -60,6 +63,42 @@ func (m *Metrics) Histogram(name string, bounds []float64) *Histogram {
 		m.hists[name] = h
 	}
 	return h
+}
+
+// Gauge returns the named gauge, creating it on first use. A nil
+// registry returns a nil gauge, which drops all sets.
+func (m *Metrics) Gauge(name string) *Gauge {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	g := m.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		m.gauges[name] = g
+	}
+	return g
+}
+
+// Gauge is an instantaneous float64 value that can go up or down
+// (current heap bytes, uptime, active PEs). Set and Value are lock-free.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores v. Nil gauges drop the set.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Value returns the current value (0 for nil).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
 }
 
 // Counter is a monotonically increasing atomic counter.
@@ -173,6 +212,7 @@ type HistogramSnapshot struct {
 // Snapshot is the exported form of the whole registry.
 type Snapshot struct {
 	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]float64           `json:"gauges,omitempty"`
 	Histograms map[string]HistogramSnapshot `json:"histograms"`
 }
 
@@ -180,6 +220,7 @@ type Snapshot struct {
 func (m *Metrics) Snapshot() Snapshot {
 	s := Snapshot{
 		Counters:   make(map[string]int64),
+		Gauges:     make(map[string]float64),
 		Histograms: make(map[string]HistogramSnapshot),
 	}
 	if m == nil {
@@ -189,6 +230,9 @@ func (m *Metrics) Snapshot() Snapshot {
 	defer m.mu.Unlock()
 	for name, c := range m.counters {
 		s.Counters[name] = c.Value()
+	}
+	for name, g := range m.gauges {
+		s.Gauges[name] = g.Value()
 	}
 	for name, h := range m.hists {
 		s.Histograms[name] = HistogramSnapshot{

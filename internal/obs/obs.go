@@ -1,13 +1,18 @@
 // Package obs is the observability layer of the simulator: a low-overhead
 // per-gate tracer (Chrome trace-event JSON, one track per PE, loadable in
-// Perfetto or chrome://tracing), a metrics registry of counters and
-// fixed-bucket histograms with JSON export, and profiling hooks (an
-// optional net/http/pprof listener and runtime.MemStats snapshots).
+// Perfetto or chrome://tracing), a metrics registry of counters, gauges,
+// and fixed-bucket histograms with JSON and OpenMetrics export (scrapable
+// from the shared HTTP listener, see server.go), phase-attribution
+// reports that split per-PE wall time into compile/compute/pack/wire/
+// unpack/barrier/checkpoint (phases.go), a bounded flight recorder of
+// structured runtime events dumped as JSONL on aborts (flight.go), and
+// profiling hooks (net/http/pprof on the same listener).
 //
 // The design contract with the execution backends is "nil means off": a
-// nil *Tracer, *Metrics, *Track, *Counter, or *Histogram is a valid
-// receiver on every recording method and does nothing, so hot loops carry
-// only a branch-predictable nil check when observability is disabled.
+// nil *Tracer, *Metrics, *Track, *Counter, *Gauge, *Histogram, or
+// *FlightRecorder is a valid receiver on every recording method and does
+// nothing, so hot loops carry only a branch-predictable nil check when
+// observability is disabled.
 // All recording methods on non-nil receivers are safe for concurrent use
 // except Track.SpanAt, which is owned by one PE goroutine by construction
 // (each PE records only onto its own track).
@@ -68,6 +73,14 @@ const (
 	// MetricCompileExchangeNS accumulates time precomputing remap
 	// all-to-all geometry.
 	MetricCompileExchangeNS = "compile_exchange_ns"
+	// MetricUptimeSeconds is a scrape-time gauge of process uptime.
+	MetricUptimeSeconds = "process_uptime_seconds"
+	// MetricHeapAllocBytes is a scrape-time gauge of live heap bytes.
+	MetricHeapAllocBytes = "process_heap_alloc_bytes"
+	// MetricGoroutines is a scrape-time gauge of live goroutines.
+	MetricGoroutines = "process_goroutines"
+	// MetricFlightEvents counts events recorded by the flight recorder.
+	MetricFlightEvents = "flight_events"
 )
 
 // LatencyBuckets returns the standard latency histogram bounds:

@@ -1,0 +1,143 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// span is a test-local shorthand for recording a span of an exact
+// duration at a given offset from base.
+func span(trk *Track, base time.Time, offMS, durMS int, args SpanArgs) {
+	start := base.Add(time.Duration(offMS) * time.Millisecond)
+	trk.SpanAt("s", start, start.Add(time.Duration(durMS)*time.Millisecond), args)
+}
+
+// TestBuildPhaseReportSums builds a two-PE trace with known phase
+// durations and checks the attribution invariants: per-PE rows sum to
+// wall (the remainder landing in "other"), BusyNS excludes barrier
+// time, and the run-level percentages follow from the busy times.
+func TestBuildPhaseReportSums(t *testing.T) {
+	tr := NewTracer()
+	base := time.Now()
+	const wall = int64(100 * time.Millisecond)
+
+	t0 := tr.Track(0)
+	span(t0, base, 0, 50, SpanArgs{})                                  // unlabeled -> compute
+	span(t0, base, 50, 20, SpanArgs{Phase: PhasePack, Block: 1})       //
+	span(t0, base, 70, 10, SpanArgs{Phase: PhaseBarrier, Block: 1})    //
+	t1 := tr.Track(1)                                                  //
+	span(t1, base, 0, 20, SpanArgs{Phase: PhaseCompute})               //
+	span(t1, base, 20, 40, SpanArgs{Phase: PhaseBarrier, Block: 1})    //
+	span(t1, base, 60, 10, SpanArgs{Phase: PhaseCheckpoint, Block: 2}) //
+
+	rep := BuildPhaseReport(tr, PhaseReportOpts{
+		Backend: "scale-out", Workload: "qft", PEs: 2,
+		WallNS: wall, CompileNS: int64(5 * time.Millisecond),
+	})
+
+	if rep.SchemaVersion != PhaseReportSchemaVersion {
+		t.Fatalf("schema_version = %d", rep.SchemaVersion)
+	}
+	if rep.TotalNS != wall+int64(5*time.Millisecond) {
+		t.Fatalf("total_ns = %d", rep.TotalNS)
+	}
+	if len(rep.PerPE) != 2 {
+		t.Fatalf("per_pe rows = %d, want 2", len(rep.PerPE))
+	}
+	for _, pp := range rep.PerPE {
+		var sum int64
+		for _, d := range pp.PhasesNS {
+			sum += d
+		}
+		if sum != pp.WallNS {
+			t.Fatalf("PE %d phases sum to %d, wall is %d", pp.PE, sum, pp.WallNS)
+		}
+	}
+	pe0, pe1 := rep.PerPE[0], rep.PerPE[1]
+	ms := func(n int) int64 { return int64(n) * int64(time.Millisecond) }
+	if pe0.PhasesNS[PhaseCompute] != ms(50) || pe0.PhasesNS[PhasePack] != ms(20) ||
+		pe0.PhasesNS[PhaseBarrier] != ms(10) || pe0.PhasesNS[PhaseOther] != ms(20) {
+		t.Fatalf("PE 0 attribution wrong: %v", pe0.PhasesNS)
+	}
+	if pe0.BusyNS != ms(70) { // compute + pack, barrier excluded
+		t.Fatalf("PE 0 busy = %d, want %d", pe0.BusyNS, ms(70))
+	}
+	if pe1.BusyNS != ms(30) { // compute + checkpoint
+		t.Fatalf("PE 1 busy = %d, want %d", pe1.BusyNS, ms(30))
+	}
+	// Critical path: max busy / wall = 70%; imbalance: (70-50)/70 = 28.57%.
+	if got := rep.CriticalPathPct; got < 69.9 || got > 70.1 {
+		t.Fatalf("critical path = %.2f%%, want 70%%", got)
+	}
+	if got := rep.LoadImbalancePct; got < 28.4 || got > 28.7 {
+		t.Fatalf("imbalance = %.2f%%, want ~28.57%%", got)
+	}
+
+	// Block aggregation: block 0 holds the unattributed spans, block 1
+	// the pack+barriers, block 2 the checkpoint.
+	byBlock := make(map[int]map[string]int64)
+	for _, b := range rep.PerBlock {
+		byBlock[b.Block] = b.PhasesNS
+	}
+	if byBlock[0][PhaseCompute] != ms(70) {
+		t.Fatalf("block 0 compute = %d", byBlock[0][PhaseCompute])
+	}
+	if byBlock[1][PhasePack] != ms(20) || byBlock[1][PhaseBarrier] != ms(50) {
+		t.Fatalf("block 1 wrong: %v", byBlock[1])
+	}
+	if byBlock[2][PhaseCheckpoint] != ms(10) {
+		t.Fatalf("block 2 wrong: %v", byBlock[2])
+	}
+}
+
+// TestBuildPhaseReportOverAttributed keeps a PE whose span sums exceed
+// wall (overlapping spans would be a backend bug) from reporting
+// negative "other" time.
+func TestBuildPhaseReportOverAttributed(t *testing.T) {
+	tr := NewTracer()
+	base := time.Now()
+	trk := tr.Track(0)
+	span(trk, base, 0, 30, SpanArgs{})
+	rep := BuildPhaseReport(tr, PhaseReportOpts{PEs: 1, WallNS: int64(10 * time.Millisecond)})
+	pp := rep.PerPE[0]
+	if other, ok := pp.PhasesNS[PhaseOther]; ok && other < 0 {
+		t.Fatalf("negative other bucket: %d", other)
+	}
+	if _, ok := pp.PhasesNS[PhaseOther]; ok {
+		t.Fatalf("over-attributed PE must omit other, got %v", pp.PhasesNS)
+	}
+}
+
+func TestBuildPhaseReportNilTracer(t *testing.T) {
+	rep := BuildPhaseReport(nil, PhaseReportOpts{Backend: "single", PEs: 1, WallNS: 100})
+	if len(rep.PerPE) != 0 {
+		t.Fatalf("nil tracer produced rows: %v", rep.PerPE)
+	}
+	if rep.CriticalPathPct != 0 || rep.LoadImbalancePct != 0 {
+		t.Fatal("nil tracer produced nonzero run-level stats")
+	}
+}
+
+func TestPhaseReportSummary(t *testing.T) {
+	tr := NewTracer()
+	base := time.Now()
+	trk := tr.Track(0)
+	span(trk, base, 0, 60, SpanArgs{})
+	span(trk, base, 60, 40, SpanArgs{Phase: PhaseBarrier})
+	rep := BuildPhaseReport(tr, PhaseReportOpts{
+		Backend: "threaded", Workload: "ghz", PEs: 1, WallNS: int64(100 * time.Millisecond),
+	})
+	s := rep.Summary()
+	for _, want := range []string{"threaded", "ghz", "compute", "barrier", "critical path", "60.0%", "40.0%"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("summary missing %q:\n%s", want, s)
+		}
+	}
+	// Phases with no time anywhere stay out of the table.
+	for _, absent := range []string{PhasePack, PhaseUnpack, PhaseCheckpoint} {
+		if strings.Contains(s, absent) {
+			t.Errorf("summary shows inactive phase %q:\n%s", absent, s)
+		}
+	}
+}

@@ -1,28 +1,10 @@
 package obs
 
-import (
-	"net"
-	"net/http"
-	"net/http/pprof"
-	"time"
-)
-
 // StartPprof serves the standard net/http/pprof endpoints on addr (e.g.
 // "localhost:6060") on a private mux, so importing this package does not
 // pollute http.DefaultServeMux. It returns the bound address (useful
-// with ":0") and a stop function that shuts the listener down.
+// with ":0") and a stop function that shuts the listener down. It is the
+// profiling-only form of StartServer.
 func StartPprof(addr string) (boundAddr string, stop func() error, err error) {
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return "", nil, err
-	}
-	mux := http.NewServeMux()
-	mux.HandleFunc("/debug/pprof/", pprof.Index)
-	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
-	go srv.Serve(ln) //nolint:errcheck // Serve returns ErrServerClosed on stop
-	return ln.Addr().String(), srv.Close, nil
+	return StartServer(addr, ServeOpts{Pprof: true})
 }

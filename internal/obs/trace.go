@@ -93,6 +93,8 @@ type SpanEvent struct {
 type SpanArgs struct {
 	Kind        string // gate mnemonic
 	Qubits      string // operand qubits, e.g. "2,14"
+	Phase       string // wall-time phase bucket (see phases.go); "" = compute
+	Block       int    // 1-based schedule block; 0 = unattributed
 	LocalBytes  int64  // one-sided bytes to the PE's own partition
 	RemoteBytes int64  // one-sided bytes to peer partitions
 	LocalMsgs   int64  // one-sided local operations
@@ -139,6 +141,8 @@ type chromeArgs struct {
 	SortIndex   int    `json:"sort_index,omitempty"`
 	Kind        string `json:"kind,omitempty"`
 	Qubits      string `json:"qubits,omitempty"`
+	Phase       string `json:"phase,omitempty"`
+	Block       int    `json:"block,omitempty"`
 	LocalBytes  int64  `json:"local_bytes,omitempty"`
 	RemoteBytes int64  `json:"remote_bytes,omitempty"`
 	LocalMsgs   int64  `json:"local_msgs,omitempty"`
@@ -178,6 +182,8 @@ func (t *Tracer) WriteJSON(w io.Writer) error {
 				Args: chromeArgs{
 					Kind:        e.Args.Kind,
 					Qubits:      e.Args.Qubits,
+					Phase:       e.Args.Phase,
+					Block:       e.Args.Block,
 					LocalBytes:  e.Args.LocalBytes,
 					RemoteBytes: e.Args.RemoteBytes,
 					LocalMsgs:   e.Args.LocalMsgs,

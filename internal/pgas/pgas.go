@@ -85,6 +85,7 @@ type Comm struct {
 	// Resilience knobs, nil/zero when off (see resilience.go).
 	inj *fault.Injector
 	tmo Timeouts
+	rec *obs.FlightRecorder
 
 	// Optional metrics handles, nil when no registry is attached; the
 	// one-sided ops and Barrier pay only a nil check then.
@@ -183,9 +184,13 @@ func (pe *PE) Barrier() {
 	if in := pe.comm.inj; in != nil {
 		v := in.BarrierEvent(pe.Rank)
 		if v.Delay > 0 {
+			pe.comm.rec.Record(pe.Rank, obs.EventFaultInjected,
+				"barrier delay "+v.Delay.String(), 0)
 			time.Sleep(v.Delay)
 		}
 		if v.Kill != nil {
+			pe.comm.rec.Record(pe.Rank, obs.EventFaultInjected,
+				"barrier kill: "+v.Kill.Error(), 0)
 			pe.fail(v.Kill)
 		}
 	}
@@ -198,8 +203,7 @@ func (pe *PE) Barrier() {
 		err = pe.comm.bar.await(pe.Rank, pe.comm.tmo.Barrier)
 	}
 	if err != nil {
-		pe.comm.bar.setAbort(err)
-		panic(abortPanic{err})
+		pe.fail(err)
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"svsim/internal/fault"
+	"svsim/internal/obs"
 )
 
 // Resilience layer: fault-injection hooks, one-sided retry with
@@ -62,6 +63,11 @@ func (c *Comm) SetFault(in *fault.Injector) { c.inj = in }
 // SetTimeouts configures deadlines and retry budgets. Call before
 // entering an SPMD region.
 func (c *Comm) SetTimeouts(t Timeouts) { c.tmo = t }
+
+// SetRecorder attaches a flight recorder that receives structured
+// events for injected faults, retries, barrier timeouts, and PE
+// failures; nil detaches. Call before entering an SPMD region.
+func (c *Comm) SetRecorder(r *obs.FlightRecorder) { c.rec = r }
 
 // BarrierTimeoutError reports a barrier whose deadline expired, naming
 // the ranks that had not arrived.
@@ -140,6 +146,15 @@ type abortPanic struct{ err error }
 // fail records err as the fleet-wide abort cause (first writer wins),
 // wakes every barrier waiter, and unwinds the calling PE.
 func (pe *PE) fail(err error) {
+	// Secondary aborts (peers unwinding after someone else's failure) are
+	// not recorded: one root cause should leave one trail, not P of them.
+	switch err.(type) {
+	case *AbortError:
+	case *BarrierTimeoutError:
+		pe.comm.rec.Record(pe.Rank, obs.EventBarrierTimeout, err.Error(), 0)
+	default:
+		pe.comm.rec.Record(pe.Rank, obs.EventPEFailure, err.Error(), 0)
+	}
 	pe.comm.bar.setAbort(err)
 	panic(abortPanic{err})
 }
@@ -171,9 +186,15 @@ func (pe *PE) injectOneSided(op fault.Op, n int) fault.Verdict {
 			time.Sleep(v.Delay)
 		}
 		if v.Kill != nil {
+			c.rec.Record(pe.Rank, obs.EventFaultInjected,
+				fmt.Sprintf("%s kill: %v", op, v.Kill), 0)
 			pe.fail(v.Kill)
 		}
 		if !v.Fail {
+			if v.Corrupt {
+				c.rec.Record(pe.Rank, obs.EventFaultInjected,
+					fmt.Sprintf("%s corrupt elem=%d bit=%d", op, v.CorruptElem, v.CorruptBit), 0)
+			}
 			return v
 		}
 		attempts++
@@ -181,6 +202,7 @@ func (pe *PE) injectOneSided(op fault.Op, n int) fault.Verdict {
 			pe.fail(&OpTimeoutError{Rank: pe.Rank, Op: op, Attempts: attempts})
 		}
 		pe.comm.pes[pe.Rank].stats.Retries++
+		c.rec.Record(pe.Rank, obs.EventRetry, op.String(), int64(attempts))
 		time.Sleep(c.tmo.backoff(attempts, pe.jitter()))
 	}
 }
