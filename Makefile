@@ -10,7 +10,7 @@ GO ?= go
 # Short commit hash, or "dev" when not in a git checkout.
 BENCH_TAG := $(shell git rev-parse --short HEAD 2>/dev/null || echo dev)
 
-.PHONY: all build vet test race bench bench-json bench-diff bench-html trace metrics evaluate examples fuzz lint clean
+.PHONY: all build vet test race bench bench-json bench-diff bench-html trace metrics evaluate examples fuzz lint doccheck clean
 
 all: build vet test
 
@@ -28,6 +28,11 @@ lint: vet
 
 test:
 	$(GO) test ./...
+
+# Documentation gate: every exported identifier in the packages the
+# design docs lean on must carry a godoc comment (runs in CI's lint job).
+doccheck:
+	$(GO) run ./cmd/doccheck internal/compile internal/sched internal/statevec internal/obs
 
 race:
 	$(GO) test -race -short ./...

@@ -30,7 +30,9 @@ type record struct {
 	Coalesced       bool   `json:"coalesced,omitempty"`
 	Fuse            bool   `json:"fuse,omitempty"`
 	Sched           string `json:"sched,omitempty"`
+	Tile            bool   `json:"tile,omitempty"`
 	ElapsedNS       int64  `json:"elapsed_ns"`
+	BytesTouched    int64  `json:"bytes_touched"`
 	CommRemoteBytes int64  `json:"comm_remote_bytes"`
 	Barriers        int64  `json:"barriers"`
 	FusedGates      int64  `json:"fused_gates,omitempty"`
@@ -40,14 +42,20 @@ type record struct {
 	PlanCacheMisses int64  `json:"plan_cache_misses,omitempty"`
 }
 
-// key identifies a bench configuration across runs.
+// key identifies a bench configuration across runs. The "/tile" suffix
+// appears only on tiled records so keys in pre-tile baseline files are
+// unchanged.
 func (r *record) key() string {
 	sched := r.Sched
 	if sched == "" {
 		sched = "naive"
 	}
-	return fmt.Sprintf("%s/%s/pes=%d/coalesced=%v/fuse=%v/sched=%s",
+	k := fmt.Sprintf("%s/%s/pes=%d/coalesced=%v/fuse=%v/sched=%s",
 		r.Workload, r.Backend, r.PEs, r.Coalesced, r.Fuse, sched)
+	if r.Tile {
+		k += "/tile"
+	}
+	return k
 }
 
 // regression describes one comparison that exceeded its tolerance.
@@ -91,6 +99,14 @@ func diff(baseline, current []record, byteTol, timeTol float64) (regs []regressi
 		}
 		if r := ratio(c.ElapsedNS, b.ElapsedNS); r > 1+timeTol {
 			regs = append(regs, regression{k, "elapsed_ns", b.ElapsedNS, c.ElapsedNS, r})
+		}
+		// State-vector memory traffic is deterministic for a fixed workload
+		// and execution mode; growth means cache-blocking (or the kernels'
+		// byte accounting) regressed.
+		if r := ratio(c.BytesTouched, b.BytesTouched); r > 1+byteTol {
+			regs = append(regs, regression{k, "bytes_touched", b.BytesTouched, c.BytesTouched, r})
+		} else if r < 1 {
+			notes = append(notes, fmt.Sprintf("improved %-55s bytes_touched %d -> %d", k, b.BytesTouched, c.BytesTouched))
 		}
 		// Compile-pipeline trajectory. Fused gate and remap counts are
 		// deterministic for a fixed workload, so they get the tight byte

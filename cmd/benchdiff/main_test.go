@@ -63,6 +63,48 @@ func TestZeroBaselineGainingTrafficFails(t *testing.T) {
 	}
 }
 
+func TestBytesTouchedRegressionFails(t *testing.T) {
+	// The tiled-execution trajectory gate: >15% growth in state-vector
+	// memory traffic fails, shrinkage is an improvement note.
+	base := baseRecords()
+	for i := range base {
+		base[i].BytesTouched = 1_000_000
+	}
+	cur := append([]record(nil), base...)
+	cur[0].BytesTouched = 1_200_000 // +20%
+	regs, _ := diff(base, cur, 0.15, 0.15)
+	if len(regs) != 1 || regs[0].Metric != "bytes_touched" {
+		t.Fatalf("bytes_touched regression not flagged: %v", regs)
+	}
+	cur = append([]record(nil), base...)
+	cur[0].BytesTouched = 250_000 // the tile win
+	regs, notes := diff(base, cur, 0.15, 0.15)
+	if len(regs) != 0 {
+		t.Fatalf("bytes_touched improvement flagged as regression: %v", regs)
+	}
+	if len(notes) == 0 {
+		t.Fatal("bytes_touched improvement not noted")
+	}
+}
+
+func TestTileKeySuffix(t *testing.T) {
+	// Tiled records get their own key so per-gate and tiled runs of the
+	// same configuration track separately; non-tiled keys are unchanged
+	// from pre-tile baseline files.
+	plain := record{Workload: "qft_n15", Backend: "single", PEs: 1}
+	tiled := plain
+	tiled.Tile = true
+	if plain.key() == tiled.key() {
+		t.Fatal("tiled and per-gate records share a key")
+	}
+	if strings.Contains(plain.key(), "tile") {
+		t.Fatalf("non-tiled key mentions tile: %s", plain.key())
+	}
+	if !strings.HasSuffix(tiled.key(), "/tile") {
+		t.Fatalf("tiled key missing /tile suffix: %s", tiled.key())
+	}
+}
+
 func TestMissingConfigFails(t *testing.T) {
 	base := baseRecords()
 	cur := baseRecords()[:2]

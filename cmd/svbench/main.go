@@ -71,6 +71,7 @@ func main() {
 	pes := flag.Int("pes", 1, "device/PE count for -workload on distributed backends")
 	coalesced := flag.Bool("coalesced", false, "coalesced bulk transfers for -workload on the scale-out backend")
 	fuse := flag.Bool("fuse", false, "apply the compile pipeline's gate-fusion pass for -workload")
+	tile := flag.Bool("tile", false, "cache-blocked tiled execution for -workload on the single-node backends")
 	schedName := flag.String("sched", "naive", "gate schedule for -workload on distributed backends: naive | lazy")
 	traceFile := flag.String("trace", "", "write a Chrome trace-event timeline of the bench runs to FILE")
 	metricsFile := flag.String("metrics", "", "write the bench runs' metrics registry as JSON to FILE")
@@ -95,7 +96,7 @@ func main() {
 				fatalf("%v", err)
 			}
 		}
-		runBenchMode(*jsonFile, *workload, *backendName, *pes, *coalesced, *fuse, policy, *traceFile, *metricsFile, *pprofAddr, *ckptEvery, *ckptDir)
+		runBenchMode(*jsonFile, *workload, *backendName, *pes, *coalesced, *fuse, *tile, policy, *traceFile, *metricsFile, *pprofAddr, *ckptEvery, *ckptDir)
 		return
 	}
 
@@ -143,26 +144,33 @@ func names() []string {
 // tree it measured, so per-commit BENCH artifacts can be lined up into
 // a trajectory (see benchdiff -html) without trusting file names.
 type benchRecord struct {
-	Schema          string `json:"schema"`
-	SchemaVersion   int    `json:"schema_version"`
-	GitCommit       string `json:"git_commit,omitempty"`
-	UnixNS          int64  `json:"unix_ns"`
-	Workload        string `json:"workload"`
-	Backend         string `json:"backend"`
-	PEs             int    `json:"pes"`
-	Coalesced       bool   `json:"coalesced,omitempty"`
-	Sched           string `json:"sched,omitempty"`
-	Qubits          int    `json:"qubits"`
-	Gates           int    `json:"gates"`
-	ElapsedNS       int64  `json:"elapsed_ns"`
-	KernelGates     int64  `json:"kernel_gates"`
-	AmpsTouched     int64  `json:"amps_touched"`
-	BytesTouched    int64  `json:"bytes_touched"`
-	CommLocalBytes  int64  `json:"comm_local_bytes"`
-	CommRemoteBytes int64  `json:"comm_remote_bytes"`
-	CommRemoteMsgs  int64  `json:"comm_remote_msgs"`
-	Barriers        int64  `json:"barriers"`
-	HeapAllocBytes  uint64 `json:"heap_alloc_bytes,omitempty"`
+	Schema        string `json:"schema"`
+	SchemaVersion int    `json:"schema_version"`
+	GitCommit     string `json:"git_commit,omitempty"`
+	UnixNS        int64  `json:"unix_ns"`
+	Workload      string `json:"workload"`
+	Backend       string `json:"backend"`
+	PEs           int    `json:"pes"`
+	Coalesced     bool   `json:"coalesced,omitempty"`
+	Sched         string `json:"sched,omitempty"`
+	Tile          bool   `json:"tile,omitempty"`
+	Qubits        int    `json:"qubits"`
+	Gates         int    `json:"gates"`
+	ElapsedNS     int64  `json:"elapsed_ns"`
+	KernelGates   int64  `json:"kernel_gates"`
+	AmpsTouched   int64  `json:"amps_touched"`
+	BytesTouched  int64  `json:"bytes_touched"`
+	// Sweeps counts full passes over the state vector (one per gate on
+	// the per-gate path, one per tiled group under -tile); GatesPerByte is
+	// kernel gates divided by bytes touched, the arithmetic-intensity
+	// figure cache-blocked execution raises.
+	Sweeps          int64   `json:"sweeps,omitempty"`
+	GatesPerByte    float64 `json:"gates_per_byte,omitempty"`
+	CommLocalBytes  int64   `json:"comm_local_bytes"`
+	CommRemoteBytes int64   `json:"comm_remote_bytes"`
+	CommRemoteMsgs  int64   `json:"comm_remote_msgs"`
+	Barriers        int64   `json:"barriers"`
+	HeapAllocBytes  uint64  `json:"heap_alloc_bytes,omitempty"`
 	// Checkpoint activity, present only when -checkpoint-every is on, so
 	// baseline files written without checkpointing are unaffected.
 	CkptCount   int64   `json:"ckpt_count,omitempty"`
@@ -181,10 +189,11 @@ type benchRecord struct {
 }
 
 // benchSchema names the record family; benchSchemaVersion counts its
-// compatible revisions (v2 added schema_version and git_commit).
+// compatible revisions (v2 added schema_version and git_commit; v3 added
+// tile, sweeps, and gates_per_byte).
 const (
-	benchSchema        = "svsim-bench/v2"
-	benchSchemaVersion = 2
+	benchSchema        = "svsim-bench/v3"
+	benchSchemaVersion = 3
 )
 
 // buildCommit identifies the measured tree: the VCS revision the Go
@@ -224,6 +233,7 @@ type benchSpec struct {
 	coalesced         bool
 	fuse              bool
 	sched             sched.Policy
+	tile              bool
 }
 
 // defaultBenchSuite is the standing perf-trajectory suite: one
@@ -232,20 +242,23 @@ type benchSpec struct {
 // variants whose fused-gate/remap counts CI also guards), small enough
 // to run in CI.
 var defaultBenchSuite = []benchSpec{
-	{"qft_n15", "single", 1, false, false, sched.Naive},
-	{"qft_n15", "single", 1, false, true, sched.Naive},
-	{"qft_n15", "threaded", 4, false, false, sched.Naive},
-	{"qft_n15", "scale-up", 4, false, false, sched.Naive},
-	{"qft_n15", "scale-out", 8, true, false, sched.Naive},
-	{"qft_n15", "scale-out", 8, false, false, sched.Lazy},
-	{"qft_n15", "scale-out", 8, false, true, sched.Lazy},
-	{"bv_n14", "scale-out", 4, true, false, sched.Naive},
-	{"bv_n14", "scale-out", 4, false, false, sched.Lazy},
-	{"bv_n14", "scale-out", 4, false, true, sched.Lazy},
-	{"ghz_state", "single", 1, false, false, sched.Naive},
+	{"qft_n15", "single", 1, false, false, sched.Naive, false},
+	{"qft_n15", "single", 1, false, true, sched.Naive, false},
+	{"qft_n15", "single", 1, false, false, sched.Naive, true},
+	{"qft_n15", "single", 1, false, true, sched.Naive, true},
+	{"qft_n15", "threaded", 4, false, false, sched.Naive, false},
+	{"qft_n15", "threaded", 4, false, false, sched.Naive, true},
+	{"qft_n15", "scale-up", 4, false, false, sched.Naive, false},
+	{"qft_n15", "scale-out", 8, true, false, sched.Naive, false},
+	{"qft_n15", "scale-out", 8, false, false, sched.Lazy, false},
+	{"qft_n15", "scale-out", 8, false, true, sched.Lazy, false},
+	{"bv_n14", "scale-out", 4, true, false, sched.Naive, false},
+	{"bv_n14", "scale-out", 4, false, false, sched.Lazy, false},
+	{"bv_n14", "scale-out", 4, false, true, sched.Lazy, false},
+	{"ghz_state", "single", 1, false, false, sched.Naive, false},
 }
 
-func runBenchMode(jsonFile, workload, backend string, pes int, coalesced, fuse bool, policy sched.Policy, traceFile, metricsFile, pprofAddr string, ckptEvery int, ckptDir string) {
+func runBenchMode(jsonFile, workload, backend string, pes int, coalesced, fuse, tile bool, policy sched.Policy, traceFile, metricsFile, pprofAddr string, ckptEvery int, ckptDir string) {
 	var tracer *obs.Tracer
 	var metrics *obs.Metrics
 	if traceFile != "" {
@@ -265,7 +278,7 @@ func runBenchMode(jsonFile, workload, backend string, pes int, coalesced, fuse b
 
 	suite := defaultBenchSuite
 	if workload != "" {
-		suite = []benchSpec{{workload, backend, pes, coalesced, fuse, policy}}
+		suite = []benchSpec{{workload, backend, pes, coalesced, fuse, policy, tile}}
 	}
 	// One plan cache for the whole bench run, as a long-lived driver
 	// would hold it; suite entries all differ in shape or config, so the
@@ -339,7 +352,7 @@ func runBenchSpec(spec benchSpec, plans *compile.Cache, tracer *obs.Tracer, metr
 	cfg := core.Config{
 		Seed: 1, Style: statevec.Vectorized, PEs: spec.pes,
 		Coalesced: spec.coalesced, Fuse: spec.fuse, Sched: spec.sched,
-		Plans: plans, Trace: tracer, Metrics: metrics,
+		Tile: spec.tile, Plans: plans, Trace: tracer, Metrics: metrics,
 		CheckpointEvery: ckptEvery, CheckpointDir: ckptDir,
 	}
 	var backend core.Backend
@@ -368,16 +381,21 @@ func runBenchSpec(spec benchSpec, plans *compile.Cache, tracer *obs.Tracer, metr
 		PEs:             res.PEs,
 		Coalesced:       spec.coalesced,
 		Sched:           string(spec.sched),
+		Tile:            spec.tile,
 		Qubits:          c.NumQubits,
 		Gates:           c.NumGates(),
 		ElapsedNS:       res.Elapsed.Nanoseconds(),
 		KernelGates:     res.SV.Gates,
 		AmpsTouched:     res.SV.AmpsTouched,
 		BytesTouched:    res.SV.BytesTouched,
+		Sweeps:          res.SV.Sweeps,
 		CommLocalBytes:  res.Comm.LocalBytes,
 		CommRemoteBytes: res.Comm.RemoteBytes,
 		CommRemoteMsgs:  res.Comm.RemoteMessages(),
 		Barriers:        res.Comm.Barriers,
+	}
+	if rec.BytesTouched > 0 {
+		rec.GatesPerByte = float64(rec.KernelGates) / float64(rec.BytesTouched)
 	}
 	if res.Mem != nil {
 		rec.HeapAllocBytes = res.Mem.HeapAllocBytes

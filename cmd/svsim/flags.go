@@ -17,6 +17,8 @@ type runOpts struct {
 	sched           string
 	seed            int64
 	fuse            bool
+	tile            bool
+	tileBits        int
 	checkpointEvery int
 	checkpointDir   string
 	resume          string
@@ -36,6 +38,19 @@ func (o *runOpts) validate() error {
 	}
 	if err := cliutil.ValidateResume(o.resume, o.backend, o.pes, o.sched); err != nil {
 		return err
+	}
+	if o.tile {
+		switch o.backend {
+		case "single", "threaded":
+		default:
+			return fmt.Errorf("-tile is a single-node execution mode (single, threaded); backend %q partitions the state instead", o.backend)
+		}
+	}
+	if o.tileBits != 0 && !o.tile {
+		return fmt.Errorf("-tile-bits %d has no effect without -tile", o.tileBits)
+	}
+	if o.tileBits < 0 {
+		return fmt.Errorf("-tile-bits %d: tile size exponent cannot be negative", o.tileBits)
 	}
 	if o.barrierTimeout < 0 {
 		return fmt.Errorf("-barrier-timeout %v: deadline cannot be negative", o.barrierTimeout)

@@ -49,6 +49,8 @@ func main() {
 		printState  = flag.Bool("state", false, "print non-negligible final amplitudes")
 		compact     = flag.Bool("compact", false, "run the compact (compound-gate) form of a named workload")
 		fuse        = flag.Bool("fuse", false, "apply the gate-fusion optimization pass before running")
+		tile        = flag.Bool("tile", false, "cache-blocked execution on the single-node backends: apply whole gate runs per cache-resident tile instead of one full state sweep per gate (bit-identical result)")
+		tileBits    = flag.Int("tile-bits", 0, "tile size exponent (amplitudes per tile = 2^N); 0 derives it from the circuit's target strides")
 		traceFile   = flag.String("trace", "", "write a Chrome trace-event timeline (one track per PE) to FILE; view in Perfetto or chrome://tracing")
 		metricsFile = flag.String("metrics", "", "write the metrics registry (gate latency, put/get size, barrier wait histograms) as JSON to FILE")
 		metricsOut  = flag.String("metrics-out", "", "write the metrics registry as OpenMetrics text exposition to FILE at run end (also on abort)")
@@ -86,6 +88,7 @@ func main() {
 
 	opts := runOpts{
 		backend: *backendName, pes: *pes, sched: string(policy), seed: *seed, fuse: *fuse,
+		tile: *tile, tileBits: *tileBits,
 		checkpointEvery: *ckptEvery, checkpointDir: *ckptDir, resume: *resume,
 		maxRestarts: *maxRestarts, faultSpec: *faultSpec,
 		barrierTimeout: *barrierTmo, opRetries: *opRetries,
@@ -130,6 +133,7 @@ func main() {
 	var backend core.Backend
 	cfg := core.Config{
 		Seed: *seed, Style: ks, PEs: *pes, Coalesced: *coalesced, Fuse: *fuse,
+		Tile: *tile, TileBits: *tileBits,
 		Sched: policy, Trace: telemetry.tracer, Metrics: telemetry.metrics,
 		Flight:          telemetry.flight,
 		CheckpointEvery: opts.checkpointEvery, CheckpointDir: opts.checkpointDir,
@@ -158,7 +162,8 @@ func main() {
 	fmt.Printf("backend : %s (%d PE)\n", res.Backend, res.PEs)
 	fmt.Printf("elapsed : %v\n", res.Elapsed)
 	printCompile(res.Compile, *fuse)
-	fmt.Printf("kernels : gates=%d amps=%d bytes=%d\n", res.SV.Gates, res.SV.AmpsTouched, res.SV.BytesTouched)
+	fmt.Printf("kernels : gates=%d amps=%d bytes=%d sweeps=%d\n",
+		res.SV.Gates, res.SV.AmpsTouched, res.SV.BytesTouched, res.SV.Sweeps)
 	if res.PEs > 1 {
 		fmt.Printf("comm    : %s\n", res.Comm)
 	}

@@ -8,8 +8,51 @@
 // performance model that regenerates every figure of the paper's
 // evaluation from measured execution traces.
 //
+// # Pipeline: compile, execute, observe
+//
+// Every run, on every backend, flows through the same three stages:
+//
+//   - Compile (internal/compile). One locality-aware pass sequences gate
+//     fusion (internal/fusion) and communication-avoiding scheduling
+//     (internal/sched) and emits an immutable CompiledPlan: the
+//     executable gate stream, per-gate classifications, the schedule's
+//     block/remap step list, precomputed all-to-all exchange geometry,
+//     the logical-to-physical permutation trace, and — for the tiled
+//     single-node path — a TilePlan of gate runs that fit cache-resident
+//     tiles of the amplitude arrays. Plans are memoized in an LRU
+//     compile.Cache keyed on the parameter-free circuit skeleton, so
+//     variational sweeps plan once per ansatz shape and re-bind
+//     parameters into verified cache hits.
+//
+//   - Execute (internal/core and friends). Six execution engines consume
+//     the one CompiledPlan: single (one goroutine, specialized SoA
+//     kernels), threaded (a shared-state worker pool), scale-up (peer
+//     pointer array, the paper's Listing 4), scale-out (SHMEM one-sided,
+//     Listing 5, over internal/pgas), and the two traditional baselines
+//     in internal/mpibase (pack-exchange and JUQCS-style remapping).
+//     The single-node engines additionally support cache-blocked tile
+//     execution: per schedule block, every tile-compatible run of gates
+//     is applied to one cache-resident tile at a time, cutting memory
+//     traffic by a factor near the run length while remaining
+//     bit-identical to per-gate execution.
+//
+//   - Observe (internal/obs). Per-gate Chrome-trace timelines, a metrics
+//     registry with OpenMetrics export, phase-attribution reports,
+//     a flight recorder for post-mortem debugging, and checkpoint/fault
+//     counters — all zero-cost when off (hot loops see one nil check),
+//     and all flushed on both clean and aborted exits.
+//
+// Around that spine sit the frontends (internal/qasm, internal/qir,
+// internal/circuit), the workload suite (internal/qasmbench), fault
+// tolerance (internal/fault injection, internal/ckpt coordinated
+// checkpoint/restore), the comparator simulators of Fig. 14
+// (internal/baseline), and the analytic platform model
+// (internal/perfmodel) that prices measured traces into the paper's
+// latency figures.
+//
 // The public surface lives in the subpackages under internal/ (this is a
 // research reproduction, versioned as a single module); cmd/svsim,
-// cmd/svbench, and cmd/qasmdump are the executables, and examples/ holds
-// runnable walkthroughs. See README.md, DESIGN.md, and EXPERIMENTS.md.
+// cmd/svbench, cmd/qasmdump, cmd/benchdiff, and cmd/doccheck are the
+// executables, and examples/ holds runnable walkthroughs. See README.md,
+// DESIGN.md, and EXPERIMENTS.md.
 package svsim

@@ -27,6 +27,17 @@
 // falls back to a full compile, counted as a miss. A verified hit is
 // bit-identical to a fresh compile because sched.Build is a pure
 // function of the demand signature.
+//
+// With Config.Tile set, the pipeline additionally attaches a TilePlan
+// (tile.go): per schedule block, maximal runs of gates whose kernels
+// stay inside one cache-resident tile of the amplitude arrays, so the
+// single-node executors can apply a whole run of gates to each tile
+// before moving to the next — one pass over the state vector per run
+// instead of one per gate. Tile runs never split a fused gate and never
+// cross a remap or relabeling boundary; gates that straddle tiles
+// (a non-diagonal target at or above the tile size) fall back to
+// per-gate execution. The TilePlan is derived per compile call, so a
+// cache hit still tiles according to the hitting caller's Config.
 package compile
 
 import (
@@ -52,6 +63,12 @@ type Config struct {
 	// PEs is the partition count the plan targets (a power of two;
 	// values <= 1 compile for a single device).
 	PEs int
+	// Tile attaches a cache-blocking TilePlan to the compiled plan for
+	// the tiled single-node executors (see tile.go).
+	Tile bool
+	// TileBits overrides the tile size exponent when > 0; zero derives
+	// it from the plan's target-qubit strides. Ignored unless Tile.
+	TileBits int
 	// Cache, when non-nil, memoizes plans keyed on the circuit skeleton
 	// so parameter re-binds skip planning.
 	Cache *Cache
@@ -85,6 +102,9 @@ type CompiledPlan struct {
 	// PermTrace records the logical-to-physical permutation after each
 	// remap, in remap order.
 	PermTrace []circuit.Permutation
+	// Tiles is the cache-blocking schedule for the tiled executors; nil
+	// unless the plan was compiled with Config.Tile.
+	Tiles *TilePlan
 
 	Fusion fusion.Stats
 
@@ -147,6 +167,12 @@ func Compile(c *circuit.Circuit, cfg Config) (*CompiledPlan, Stats, error) {
 			present := false
 			if _, present = cfg.Cache.get(key); present {
 				if cp, ok := tryCached(c, cfg, key, pol, p, localBits, blockAware, &st); ok {
+					if cfg.Tile {
+						// tryCached builds a fresh CompiledPlan per hit
+						// (only Plan/Exchanges/PermTrace are shared), so
+						// attaching the tile schedule is hit-local.
+						cp.Tiles = BuildTilePlan(cp, cfg.TileBits)
+					}
 					st.CacheHit = true
 					st.TotalNS = time.Since(t0).Nanoseconds()
 					cfg.Cache.recordHit()
@@ -168,6 +194,9 @@ func Compile(c *circuit.Circuit, cfg Config) (*CompiledPlan, Stats, error) {
 	cp, e, err := compileFresh(c, cfg, pol, p, localBits, blockAware, &st)
 	if err != nil {
 		return nil, Stats{}, err
+	}
+	if cfg.Tile {
+		cp.Tiles = BuildTilePlan(cp, cfg.TileBits)
 	}
 	if cfg.Cache != nil {
 		cfg.Cache.recordMiss()

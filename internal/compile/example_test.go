@@ -1,0 +1,55 @@
+package compile_test
+
+import (
+	"fmt"
+
+	"svsim/internal/circuit"
+	"svsim/internal/compile"
+	"svsim/internal/sched"
+)
+
+// ansatz builds one fixed-shape parameterized circuit: a layer of RY
+// rotations plus a CX entangler chain. Every call with the same qubit
+// count shares a skeleton (gate kinds + qubit pattern); only the angles
+// differ — exactly the access pattern of a variational sweep.
+func ansatz(theta float64) *circuit.Circuit {
+	c := circuit.New("ry-ansatz", 6)
+	for q := 0; q < 6; q++ {
+		c.RY(theta*float64(q+1), q)
+	}
+	for q := 0; q < 5; q++ {
+		c.CX(q, q+1)
+	}
+	return c
+}
+
+// ExampleCache shows plan caching across a parameter sweep: the first
+// compile of an ansatz shape is a miss that plans from scratch; every
+// re-bind of new parameter values into the same shape is a verified hit
+// that skips scheduling and exchange-geometry precompute.
+func ExampleCache() {
+	cache := compile.NewCache(compile.DefaultCacheSize)
+	cfg := compile.Config{
+		Fuse:  true,
+		Sched: sched.Lazy,
+		PEs:   4,
+		Cache: cache,
+	}
+
+	for i, theta := range []float64{0.1, 0.7, 1.3, 2.9} {
+		plan, _, err := compile.Compile(ansatz(theta), cfg)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("point %d: %d executable gates\n", i, len(plan.Circuit.Ops))
+	}
+
+	st := cache.Stats()
+	fmt.Printf("misses=%d hits=%d entries=%d\n", st.Misses, st.Hits, st.Entries)
+	// Output:
+	// point 0: 11 executable gates
+	// point 1: 11 executable gates
+	// point 2: 11 executable gates
+	// point 3: 11 executable gates
+	// misses=1 hits=3 entries=1
+}

@@ -45,6 +45,17 @@ type Config struct {
 	// local blocks separated by coalesced all-to-all exchanges). Ignored
 	// by the single-device backend.
 	Sched sched.Policy
+	// Tile enables cache-blocked execution on the single-node backends
+	// (single, threaded): compatible gate runs execute as one homogeneous
+	// pass over cache-resident tiles of the state instead of one full
+	// state sweep per gate. The final state is bit-identical to the
+	// per-gate path of the same backend. Ignored by the distributed
+	// backends.
+	Tile bool
+	// TileBits overrides the tile size (amplitudes per tile = 1<<TileBits)
+	// when > 0; 0 lets the planner derive it from the circuit's target
+	// strides. Only meaningful with Tile.
+	TileBits int
 	// Plans, when non-nil, is a shared compile plan cache: circuits with
 	// the same skeleton (gate kinds + qubit pattern, parameter values
 	// excluded) reuse one schedule, so variational sweeps plan once per
@@ -174,11 +185,13 @@ func checkPEs(p, n int) error {
 // and exchange geometry, consulting cfg.Plans when set.
 func compileCircuit(cfg Config, c *circuit.Circuit, pes int) (*compile.CompiledPlan, compile.Stats, error) {
 	return compile.Compile(c, compile.Config{
-		Fuse:    cfg.Fuse,
-		Sched:   cfg.Sched,
-		PEs:     pes,
-		Cache:   cfg.Plans,
-		Metrics: cfg.Metrics,
+		Fuse:     cfg.Fuse,
+		Sched:    cfg.Sched,
+		PEs:      pes,
+		Tile:     cfg.Tile,
+		TileBits: cfg.TileBits,
+		Cache:    cfg.Plans,
+		Metrics:  cfg.Metrics,
 	})
 }
 

@@ -133,7 +133,11 @@ func (b *SingleDevice) Run(c *circuit.Circuit) (*Result, error) {
 	trk := b.cfg.Trace.Track(0)
 	gm := newGateObs(b.cfg.Metrics)
 	start := time.Now()
-	if trk == nil && gm == nil {
+	if b.cfg.Tile && cp.Tiles != nil {
+		if err := runTiledSingle(cp, bound, rt, cw, trk, gm, b.cfg.Metrics, startGate); err != nil {
+			return nil, err
+		}
+	} else if trk == nil && gm == nil {
 		// The homogeneous run loop: the paper's simulation_kernel.
 		for t := startGate; t < len(bound); t++ {
 			if t > startGate && cw.due(t) {

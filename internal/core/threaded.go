@@ -66,7 +66,9 @@ func (b *Threaded) Run(c *circuit.Circuit) (*Result, error) {
 	}
 
 	start := time.Now()
-	if trk == nil && gm == nil {
+	if b.cfg.Tile && cp.Tiles != nil {
+		runTiledShared(cp, st, pool, rng, &cbits, trk, gm, b.cfg.Metrics)
+	} else if trk == nil && gm == nil {
 		for i := range c.Ops {
 			op := &c.Ops[i]
 			if !condSatisfied(op.Cond, cbits) {

@@ -1,0 +1,230 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"time"
+
+	"svsim/internal/compile"
+	"svsim/internal/gate"
+	"svsim/internal/obs"
+	"svsim/internal/statevec"
+)
+
+// Cache-blocked (tiled) execution for the single-node backends. The
+// per-gate loops sweep the full state vector once per gate; with
+// Config.Tile the compiled plan carries a TilePlan that partitions the
+// schedule into groups, and each tiled group executes as ONE homogeneous
+// pass: every cache-resident tile of the SoA amplitude arrays has the
+// whole gate run replayed over it before the executor moves on. Memory
+// traffic per group drops from gates×state to 1×state; everything the
+// planner excluded (straddling gates, measurements, short runs) runs on
+// the unchanged per-gate path, so the final state is bit-identical to a
+// per-gate run of the same backend.
+
+// runTiledGroup executes one tiled group as a single homogeneous pass.
+// ops lists the op indices whose conditions passed (conditions are
+// stable inside a group: the planner never admits a MEASURE). With a
+// pool the tile index space is split across the workers — parallelism
+// over tiles, not over one gate's index space — using the
+// classification-generic shared kernels; without one the tiles run in
+// order with the specialized kernels. Returns the bytes charged.
+func runTiledGroup(st *statevec.State, pool *statevec.Pool, cp *compile.CompiledPlan, ops []int) int64 {
+	if len(ops) == 0 {
+		return 0
+	}
+	tb := uint(cp.Tiles.TileBits)
+	tdim := 1 << tb
+	numTiles := st.Dim >> tb
+	var amps, flops int64
+	if pool != nil {
+		amps, flops = pool.ForTiles(numTiles, func(tile int) (int64, int64) {
+			lo := tile << tb
+			var a, f int64
+			for _, oi := range ops {
+				ga, gf := st.ApplyTileShared(&cp.Circuit.Ops[oi].G, cp.Classes[oi], lo, lo+tdim)
+				a += ga
+				f += gf
+			}
+			return a, f
+		})
+	} else {
+		for tile := 0; tile < numTiles; tile++ {
+			lo := tile << tb
+			for _, oi := range ops {
+				ga, gf := st.ApplyTile(&cp.Circuit.Ops[oi].G, lo, lo+tdim)
+				amps += ga
+				flops += gf
+			}
+		}
+	}
+	gates := int64(0)
+	for _, oi := range ops {
+		if cp.Circuit.Ops[oi].G.Kind != gate.BARRIER {
+			gates++
+		}
+	}
+	st.Stats.AddTileWork(gates, amps, flops)
+	st.Stats.AddSweep(int64(st.Dim))
+	return int64(st.Dim) * 16
+}
+
+// activeOps filters a group's ops through their classical conditions,
+// evaluated once up front — valid because tiled groups contain no
+// MEASURE, so the classical register cannot change mid-group.
+func activeOps(cp *compile.CompiledPlan, grp compile.TileGroup, cbits uint64) []int {
+	ops := make([]int, 0, grp.End-grp.Start)
+	for si := grp.Start; si < grp.End; si++ {
+		oi := cp.Plan.Steps[si].Op
+		if condSatisfied(cp.Circuit.Ops[oi].Cond, cbits) {
+			ops = append(ops, oi)
+		}
+	}
+	return ops
+}
+
+// tiledGroupObs wraps runTiledGroup with the observability sinks: one
+// span per group in the "tile" phase (individual gate latencies do not
+// exist inside a homogeneous pass) and the per-block bytes counter.
+func tiledGroupObs(st *statevec.State, pool *statevec.Pool, cp *compile.CompiledPlan,
+	grp compile.TileGroup, cbits uint64, trk *obs.Track, m *obs.Metrics, block int) {
+	ops := activeOps(cp, grp, cbits)
+	if trk == nil && m == nil {
+		runTiledGroup(st, pool, cp, ops)
+		return
+	}
+	g0 := time.Now()
+	bytes := runTiledGroup(st, pool, cp, ops)
+	g1 := time.Now()
+	if trk != nil {
+		trk.SpanAt(fmt.Sprintf("tile run (%d gates)", len(ops)), g0, g1, obs.SpanArgs{
+			Kind: "tile", Phase: obs.PhaseTile, Block: block,
+		})
+	}
+	if m != nil {
+		m.Counter(obs.MetricBytesTouched + ".block" + strconv.Itoa(block)).Add(bytes)
+	}
+}
+
+// runTiledSingle drives the single-device tile mode: tiled groups run as
+// homogeneous passes with the specialized tile kernels; every other step
+// (straddlers, measurements, short runs) executes exactly as the
+// per-gate loop would, tracing and checkpoints included. Checkpoint
+// cadence quantizes to group boundaries — mid-pass state is not a valid
+// cut point — and a resume that lands inside a tiled group finishes that
+// group per-gate (bit-identical by construction) before re-entering
+// tiled execution at the next group.
+func runTiledSingle(cp *compile.CompiledPlan, bound []boundGate, rt *rtctx,
+	cw *ckptWriter, trk *obs.Track, gm *gateObs, m *obs.Metrics, startGate int) error {
+	st := rt.st
+	startBytes := st.Stats.BytesTouched
+	startSweeps := st.Stats.Sweeps
+	perGate := func(t int) error {
+		if t > startGate && cw.due(t) {
+			if err := cw.writeLocal(st, t, rt.cbits, rt.draws); err != nil {
+				return err
+			}
+		}
+		bg := &bound[cp.Plan.Steps[t].Op]
+		if !condSatisfied(bg.cond, rt.cbits) {
+			return nil
+		}
+		if trk == nil && gm == nil {
+			bg.op(rt, &bg.g)
+			return nil
+		}
+		g0 := time.Now()
+		bg.op(rt, &bg.g)
+		g1 := time.Now()
+		gm.observe(bg.g.Kind, g1.Sub(g0))
+		if trk != nil {
+			trk.SpanAt(gateLabel(&bg.g), g0, g1, obs.SpanArgs{
+				Kind: bg.g.Kind.String(), Qubits: qubitList(&bg.g),
+			})
+		}
+		return nil
+	}
+	for _, grp := range cp.Tiles.Groups {
+		if grp.End <= startGate {
+			continue
+		}
+		if !grp.Tiled || startGate > grp.Start {
+			from := grp.Start
+			if startGate > from {
+				from = startGate
+			}
+			for t := from; t < grp.End; t++ {
+				if err := perGate(t); err != nil {
+					return err
+				}
+			}
+			continue
+		}
+		if grp.Start > startGate && cw.due(grp.Start) {
+			if err := cw.writeLocal(st, grp.Start, rt.cbits, rt.draws); err != nil {
+				return err
+			}
+		}
+		tiledGroupObs(st, nil, cp, grp, rt.cbits, trk, m, 0)
+	}
+	if m != nil {
+		m.Counter(obs.MetricBytesTouched).Add(st.Stats.BytesTouched - startBytes)
+		m.Counter(obs.MetricTileSweeps).Add(st.Stats.Sweeps - startSweeps)
+	}
+	return nil
+}
+
+// runTiledShared drives the threaded tile mode: tiled groups parallelize
+// over tiles (each worker replays the whole gate run on its own tiles,
+// one barrier per group instead of per gate) with the shared-arithmetic
+// tile kernels; everything else falls back to the unchanged per-gate
+// Pool.ApplyShared path.
+func runTiledShared(cp *compile.CompiledPlan, st *statevec.State, pool *statevec.Pool,
+	rng *rand.Rand, cbits *uint64, trk *obs.Track, gm *gateObs, m *obs.Metrics) {
+	startBytes := st.Stats.BytesTouched
+	startSweeps := st.Stats.Sweeps
+	perGate := func(oi int) {
+		op := &cp.Circuit.Ops[oi]
+		if !condSatisfied(op.Cond, *cbits) {
+			return
+		}
+		apply := func() {
+			switch op.G.Kind {
+			case gate.MEASURE:
+				out := st.MeasureQubit(int(op.G.Qubits[0]), rng.Float64())
+				*cbits = setCbit(*cbits, int(op.G.Cbit), out)
+			case gate.RESET:
+				st.ResetQubit(int(op.G.Qubits[0]), rng.Float64())
+			default:
+				pool.ApplyShared(st, &op.G)
+			}
+		}
+		if trk == nil && gm == nil {
+			apply()
+			return
+		}
+		g0 := time.Now()
+		apply()
+		g1 := time.Now()
+		gm.observe(op.G.Kind, g1.Sub(g0))
+		if trk != nil {
+			trk.SpanAt(gateLabel(&op.G), g0, g1, obs.SpanArgs{
+				Kind: op.G.Kind.String(), Qubits: qubitList(&op.G),
+			})
+		}
+	}
+	for _, grp := range cp.Tiles.Groups {
+		if !grp.Tiled {
+			for si := grp.Start; si < grp.End; si++ {
+				perGate(cp.Plan.Steps[si].Op)
+			}
+			continue
+		}
+		tiledGroupObs(st, pool, cp, grp, *cbits, trk, m, 0)
+	}
+	if m != nil {
+		m.Counter(obs.MetricBytesTouched).Add(st.Stats.BytesTouched - startBytes)
+		m.Counter(obs.MetricTileSweeps).Add(st.Stats.Sweeps - startSweeps)
+	}
+}

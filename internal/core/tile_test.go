@@ -1,0 +1,212 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"svsim/internal/circuit"
+	"svsim/internal/gate"
+	"svsim/internal/sched"
+)
+
+// mixedCircuit builds a circuit over all unitary kinds plus measurements,
+// resets, and conditioned gates, so tiled runs must break around the
+// non-unitary ops and freeze conditions per group.
+func mixedCircuit(rng *rand.Rand, n, gates int) *circuit.Circuit {
+	c := circuit.New("mixed", n)
+	c.NumClbits = 4 // conditions below may reference any of the 4 bits
+	kinds := unitaryKinds()
+	for i := 0; i < gates; i++ {
+		switch rng.Intn(16) {
+		case 0:
+			q := rng.Intn(n)
+			c.Measure(q, q%4)
+			continue
+		case 1:
+			c.Reset(rng.Intn(n))
+			continue
+		}
+		k := kinds[rng.Intn(len(kinds))]
+		perm := rng.Perm(n)
+		ps := make([]float64, k.NumParams())
+		for j := range ps {
+			ps[j] = (rng.Float64()*2 - 1) * 2 * math.Pi
+		}
+		g := gate.New(k, perm[:k.NumQubits()], ps...)
+		if rng.Intn(10) == 0 {
+			c.AppendCond(g, circuit.Condition{Offset: rng.Intn(4), Width: 1, Value: uint64(rng.Intn(2))})
+		} else {
+			c.Append(g)
+		}
+	}
+	return c
+}
+
+// qftCircuit is the textbook QFT: H plus a controlled-phase ladder per
+// qubit, then the bit-reversal swaps — the workload tiling exists for
+// (diagonal ladder compatible everywhere, H straddlers only at the top
+// qubits).
+func qftCircuit(n int) *circuit.Circuit {
+	c := circuit.New("qft", n)
+	for q := n - 1; q >= 0; q-- {
+		c.H(q)
+		for j := q - 1; j >= 0; j-- {
+			c.CU1(math.Pi/float64(int(1)<<uint(q-j)), j, q)
+		}
+	}
+	for q := 0; q < n/2; q++ {
+		c.Swap(q, n-1-q)
+	}
+	return c
+}
+
+// TestTileMatchesPerGate is the cross-mode equivalence property: for
+// both single-node backends, every schedule policy, and fusion on or
+// off, -tile produces a final state and classical register bit-identical
+// to the per-gate path of the same backend (MaxAbsDiff exactly 0).
+func TestTileMatchesPerGate(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 3; trial++ {
+		c := mixedCircuit(rng, 8, 150)
+		for _, threaded := range []bool{false, true} {
+			for _, pol := range []sched.Policy{sched.Naive, sched.Lazy} {
+				for _, fuse := range []bool{false, true} {
+					for _, tileBits := range []int{0, 3} {
+						base := Config{Seed: 11, Sched: pol, Fuse: fuse}
+						tiled := base
+						tiled.Tile = true
+						tiled.TileBits = tileBits
+						var ref, got *Result
+						var err error
+						if threaded {
+							base.PEs, tiled.PEs = 3, 3
+							ref, err = NewThreaded(base).Run(c)
+							if err == nil {
+								got, err = NewThreaded(tiled).Run(c)
+							}
+						} else {
+							ref, err = NewSingleDevice(base).Run(c)
+							if err == nil {
+								got, err = NewSingleDevice(tiled).Run(c)
+							}
+						}
+						if err != nil {
+							t.Fatal(err)
+						}
+						if got.Cbits != ref.Cbits {
+							t.Fatalf("threaded=%v sched=%v fuse=%v tb=%d: cbits %b vs %b",
+								threaded, pol, fuse, tileBits, got.Cbits, ref.Cbits)
+						}
+						if d := got.State.MaxAbsDiff(ref.State); d != 0 {
+							t.Fatalf("threaded=%v sched=%v fuse=%v tb=%d: tile deviates by %g (want bit-identical)",
+								threaded, pol, fuse, tileBits, d)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestTileCutsBytesTouched pins the acceptance number: on qft_n15 the
+// tiled single-device run must touch at least 4x fewer state-vector
+// bytes than the per-gate run, with a bit-identical final state.
+func TestTileCutsBytesTouched(t *testing.T) {
+	c := qftCircuit(15)
+	ref, err := NewSingleDevice(Config{Seed: 1}).Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := NewSingleDevice(Config{Seed: 1, Tile: true}).Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := got.State.MaxAbsDiff(ref.State); d != 0 {
+		t.Fatalf("tiled qft deviates by %g", d)
+	}
+	if got.SV.BytesTouched*4 > ref.SV.BytesTouched {
+		t.Fatalf("bytes touched: tile %d vs per-gate %d — less than the required 4x cut",
+			got.SV.BytesTouched, ref.SV.BytesTouched)
+	}
+	if got.SV.Sweeps >= ref.SV.Sweeps {
+		t.Fatalf("sweeps: tile %d vs per-gate %d", got.SV.Sweeps, ref.SV.Sweeps)
+	}
+	if got.SV.Gates != ref.SV.Gates {
+		t.Fatalf("gate counts diverge: tile %d vs per-gate %d", got.SV.Gates, ref.SV.Gates)
+	}
+}
+
+// TestTileCheckpointInterop checks checkpoint compatibility across
+// execution modes: a tiled run writes checkpoints at group boundaries
+// that a per-gate run can resume from, and a tiled run can resume from a
+// per-gate checkpoint that lands mid-group (finishing that group
+// per-gate). Both resumes must reproduce the uninterrupted final state
+// exactly.
+func TestTileCheckpointInterop(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	c := mixedCircuit(rng, 7, 120)
+	ref, err := NewSingleDevice(Config{Seed: 3}).Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Tiled run writing checkpoints -> per-gate resume.
+	dir := t.TempDir()
+	tiled, err := NewSingleDevice(Config{Seed: 3, Tile: true, TileBits: 3,
+		CheckpointEvery: 13, CheckpointDir: dir}).Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := tiled.State.MaxAbsDiff(ref.State); d != 0 {
+		t.Fatalf("tiled checkpointing run deviates by %g", d)
+	}
+	if tiled.Ckpt.Count == 0 {
+		t.Fatal("tiled run wrote no checkpoints; interop test is vacuous")
+	}
+	for _, ck := range ckptDirs(t, dir) {
+		res, err := NewSingleDevice(Config{Seed: 3, Resume: ck}).Run(c)
+		if err != nil {
+			t.Fatalf("per-gate resume from %s: %v", ck, err)
+		}
+		if d := res.State.MaxAbsDiff(ref.State); d != 0 {
+			t.Fatalf("per-gate resume from %s deviates by %g", ck, d)
+		}
+	}
+
+	// Per-gate run writing checkpoints -> tiled resume (mid-group landings).
+	dir2 := t.TempDir()
+	if _, err := NewSingleDevice(Config{Seed: 3,
+		CheckpointEvery: 7, CheckpointDir: dir2}).Run(c); err != nil {
+		t.Fatal(err)
+	}
+	for _, ck := range ckptDirs(t, dir2) {
+		res, err := NewSingleDevice(Config{Seed: 3, Tile: true, TileBits: 3, Resume: ck}).Run(c)
+		if err != nil {
+			t.Fatalf("tiled resume from %s: %v", ck, err)
+		}
+		if d := res.State.MaxAbsDiff(ref.State); d != 0 {
+			t.Fatalf("tiled resume from %s deviates by %g", ck, d)
+		}
+	}
+}
+
+func ckptDirs(t *testing.T, base string) []string {
+	t.Helper()
+	ents, err := os.ReadDir(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dirs []string
+	for _, e := range ents {
+		if e.IsDir() {
+			dirs = append(dirs, filepath.Join(base, e.Name()))
+		}
+	}
+	if len(dirs) == 0 {
+		t.Fatal("no checkpoints written")
+	}
+	return dirs
+}

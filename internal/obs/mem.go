@@ -35,6 +35,7 @@ func TakeMemSnapshot() *MemSnapshot {
 	}
 }
 
+// String renders the snapshot as the one-line summary the CLIs print.
 func (s *MemSnapshot) String() string {
 	return fmt.Sprintf("heap=%dB sys=%dB cumAlloc=%dB gc=%d pause=%dns",
 		s.HeapAllocBytes, s.HeapSysBytes, s.TotalAllocBytes, s.NumGC, s.PauseTotalNS)

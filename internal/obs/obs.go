@@ -81,6 +81,14 @@ const (
 	MetricGoroutines = "process_goroutines"
 	// MetricFlightEvents counts events recorded by the flight recorder.
 	MetricFlightEvents = "flight_events"
+	// MetricBytesTouched accumulates state-vector memory traffic, with
+	// per-schedule-block families appended as "sv_bytes_touched.block<k>".
+	// Fed by the tiled executors; the headline number that cache-blocked
+	// execution exists to shrink.
+	MetricBytesTouched = "sv_bytes_touched"
+	// MetricTileSweeps counts homogeneous state sweeps executed (one per
+	// tiled group, one per gate on the per-gate path).
+	MetricTileSweeps = "tile_sweeps"
 )
 
 // LatencyBuckets returns the standard latency histogram bounds:

@@ -20,8 +20,12 @@ import (
 
 // Phase labels carried in SpanArgs.Phase.
 const (
-	PhaseCompile    = "compile"
-	PhaseCompute    = "compute"
+	PhaseCompile = "compile"
+	PhaseCompute = "compute"
+	// PhaseTile is cache-blocked tiled group execution (the single-node
+	// -tile path): one span covers a whole gate run replayed tile by
+	// tile, so it is attributed separately from per-gate compute.
+	PhaseTile       = "tile"
 	PhasePack       = "pack"
 	PhaseWire       = "wire"
 	PhaseUnpack     = "unpack"
@@ -32,8 +36,8 @@ const (
 
 // Phases lists the attribution buckets in canonical display order.
 func Phases() []string {
-	return []string{PhaseCompile, PhaseCompute, PhasePack, PhaseWire,
-		PhaseUnpack, PhaseBarrier, PhaseCheckpoint, PhaseOther}
+	return []string{PhaseCompile, PhaseCompute, PhaseTile, PhasePack,
+		PhaseWire, PhaseUnpack, PhaseBarrier, PhaseCheckpoint, PhaseOther}
 }
 
 // PEPhases is one PE's wall-time split. PhasesNS sums (with OtherNS

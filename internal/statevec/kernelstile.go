@@ -1,0 +1,646 @@
+package statevec
+
+import (
+	"fmt"
+	"math"
+
+	"svsim/internal/gate"
+)
+
+// Tile-scoped kernels for cache-blocked execution: each entry point
+// applies one gate restricted to the aligned amplitude tile [lo, hi),
+// so a run of gates can replay over a cache-resident tile before the
+// executor moves to the next one ("one homogeneous pass" instead of one
+// full state sweep per gate).
+//
+// Two entry points mirror the repo's two per-gate execution paths
+// bit-for-bit, because the two paths round differently (e.g. the
+// specialized H computes s2i*(r0+r1) where the generic 2x2 computes
+// s2i*r0 + s2i*r1):
+//
+//   - ApplyTile replicates the specialized per-kind kernels used by the
+//     single-device backend (Apply), so single+tile is bit-identical to
+//     single+per-gate.
+//   - ApplyTileShared replicates Pool.ApplyShared's classification-
+//     generic arithmetic used by the threaded backend, so threaded+tile
+//     is bit-identical to threaded+per-gate.
+//
+// Preconditions (guaranteed by compile.BuildTilePlan): every
+// non-element-wise target bit of the gate lies below the tile size
+// exponent, so no kernel couples amplitudes across a tile boundary.
+// Control bits may sit anywhere — a control at or above the tile
+// boundary makes whole tiles uniformly active or inactive, which the
+// enumerators detect up front and skip in O(1).
+//
+// Tile kernels return the (amplitudes, flops) they visited instead of
+// updating State.Stats directly: the threaded executor runs them from
+// worker goroutines, and the single homogeneous sweep's memory traffic
+// is charged once per group by the executor (Stats.AddSweep), not once
+// per gate.
+
+// tilePairs enumerates the (p0, p1) amplitude pairs of target bit t
+// inside [lo, hi), restricted to indices with every cmask bit set, and
+// returns the pair count. It requires t below the tile size exponent.
+func (s *State) tilePairs(t, lo, hi, cmask int, body func(p0, p1 int)) int {
+	high := cmask &^ (hi - lo - 1)
+	if lo&high != high {
+		return 0
+	}
+	low := cmask &^ high
+	stride := 1 << uint(t)
+	n := 0
+	for base := lo; base < hi; base += stride << 1 {
+		for p0 := base; p0 < base+stride; p0++ {
+			if p0&low == low {
+				body(p0, p0+stride)
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// tileMasked enumerates the indices in [lo, hi) with every mask bit set
+// (the element-wise diagonal-gate predicate) and returns the count.
+// Mask bits may sit anywhere, including at or above the tile boundary.
+func (s *State) tileMasked(mask, lo, hi int, body func(p int)) int {
+	high := mask &^ (hi - lo - 1)
+	if lo&high != high {
+		return 0
+	}
+	low := mask &^ high
+	n := 0
+	for p := lo; p < hi; p++ {
+		if p&low == low {
+			body(p)
+			n++
+		}
+	}
+	return n
+}
+
+// tileBases2 enumerates base indices in [lo, hi) with zero bits at the
+// two target positions a and b (both below the tile size exponent) and
+// every cmask bit set, returning the count. The two-target kernels
+// (SWAP, RXX, CSWAP) address their quads relative to these bases.
+func (s *State) tileBases2(a, b, lo, hi, cmask int, body func(base int)) int {
+	high := cmask &^ (hi - lo - 1)
+	if lo&high != high {
+		return 0
+	}
+	low := cmask &^ high
+	zero := 1<<uint(a) | 1<<uint(b)
+	n := 0
+	for p := lo; p < hi; p++ {
+		if p&zero == 0 && p&low == low {
+			body(p)
+			n++
+		}
+	}
+	return n
+}
+
+// tileMatrix applies an arbitrary k-qubit unitary inside one tile with
+// ApplyMatrix's exact gather/multiply/scatter arithmetic. Every operand
+// bit must lie below the tile size exponent.
+func (s *State) tileMatrix(u gate.Matrix, qubits []int, lo, hi int) (amps, flops int64) {
+	dim := u.N
+	ampR := make([]float64, dim)
+	ampI := make([]float64, dim)
+	outR := make([]float64, dim)
+	outI := make([]float64, dim)
+	var opmask int
+	offsets := make([]int, dim)
+	for a := 0; a < dim; a++ {
+		off := 0
+		for j, q := range qubits {
+			if a>>uint(j)&1 == 1 {
+				off |= 1 << uint(q)
+			}
+		}
+		offsets[a] = off
+	}
+	for _, q := range qubits {
+		opmask |= 1 << uint(q)
+	}
+	re, im := s.Re, s.Im
+	orbits := int64(0)
+	for base := lo; base < hi; base++ {
+		if base&opmask != 0 {
+			continue
+		}
+		orbits++
+		for a := 0; a < dim; a++ {
+			p := base | offsets[a]
+			ampR[a], ampI[a] = re[p], im[p]
+		}
+		for a := 0; a < dim; a++ {
+			var sr, si float64
+			row := u.Data[a*dim : (a+1)*dim]
+			for b, v := range row {
+				vr, vi := real(v), imag(v)
+				sr += vr*ampR[b] - vi*ampI[b]
+				si += vr*ampI[b] + vi*ampR[b]
+			}
+			outR[a], outI[a] = sr, si
+		}
+		for a := 0; a < dim; a++ {
+			p := base | offsets[a]
+			re[p], im[p] = outR[a], outI[a]
+		}
+	}
+	d := int64(dim)
+	return orbits * d, orbits * 4 * d * d
+}
+
+// tileU3Pairs applies a generic complex 2x2 over the pairs of target t
+// inside the tile, using exactly the body of ApplyU3/ApplyCU3/ApplyMC1Q.
+func (s *State) tileU3Pairs(ar, ai, br, bi, cr, ci, dr, di float64, t, lo, hi, cmask int) int {
+	re, im := s.Re, s.Im
+	return s.tilePairs(t, lo, hi, cmask, func(p0, p1 int) {
+		r0, i0 := re[p0], im[p0]
+		r1, i1 := re[p1], im[p1]
+		re[p0] = ar*r0 - ai*i0 + br*r1 - bi*i1
+		im[p0] = ar*i0 + ai*r0 + br*i1 + bi*r1
+		re[p1] = cr*r0 - ci*i0 + dr*r1 - di*i1
+		im[p1] = cr*i0 + ci*r0 + dr*i1 + di*r1
+	})
+}
+
+// ApplyTile applies one unitary gate to the amplitude tile [lo, hi)
+// with the specialized per-kind kernel arithmetic of Apply, and returns
+// the amplitudes and flops visited. The caller is responsible for the
+// tile-compatibility precondition (see the file comment) and for stats
+// accounting (AddTileWork + AddSweep).
+func (s *State) ApplyTile(g *gate.Gate, lo, hi int) (amps, flops int64) {
+	re, im := s.Re, s.Im
+	q := g.Qubits
+	pr := g.Params
+	switch g.Kind {
+	case gate.X:
+		n := s.tilePairs(int(q[0]), lo, hi, 0, func(p0, p1 int) {
+			re[p0], re[p1] = re[p1], re[p0]
+			im[p0], im[p1] = im[p1], im[p0]
+		})
+		return int64(2 * n), 0
+	case gate.Y:
+		n := s.tilePairs(int(q[0]), lo, hi, 0, func(p0, p1 int) {
+			r0, i0 := re[p0], im[p0]
+			r1, i1 := re[p1], im[p1]
+			re[p0], im[p0] = i1, -r1
+			re[p1], im[p1] = -i0, r0
+		})
+		return int64(2 * n), int64(2 * n)
+	case gate.Z:
+		m := s.tileMasked(1<<uint(q[0]), lo, hi, func(p int) {
+			re[p] = -re[p]
+			im[p] = -im[p]
+		})
+		return int64(m), int64(2 * m)
+	case gate.H:
+		n := s.tilePairs(int(q[0]), lo, hi, 0, func(p0, p1 int) {
+			r0, i0 := re[p0], im[p0]
+			r1, i1 := re[p1], im[p1]
+			re[p0], im[p0] = s2i*(r0+r1), s2i*(i0+i1)
+			re[p1], im[p1] = s2i*(r0-r1), s2i*(i0-i1)
+		})
+		return int64(2 * n), int64(6 * n)
+	case gate.S:
+		m := s.tileMasked(1<<uint(q[0]), lo, hi, func(p int) {
+			re[p], im[p] = -im[p], re[p]
+		})
+		return int64(m), 0
+	case gate.SDG:
+		m := s.tileMasked(1<<uint(q[0]), lo, hi, func(p int) {
+			re[p], im[p] = im[p], -re[p]
+		})
+		return int64(m), 0
+	case gate.T:
+		m := s.tileMasked(1<<uint(q[0]), lo, hi, func(p int) {
+			r1, i1 := re[p], im[p]
+			re[p] = s2i * (r1 - i1)
+			im[p] = s2i * (r1 + i1)
+		})
+		return int64(m), int64(4 * m)
+	case gate.TDG:
+		m := s.tileMasked(1<<uint(q[0]), lo, hi, func(p int) {
+			r1, i1 := re[p], im[p]
+			re[p] = s2i * (r1 + i1)
+			im[p] = s2i * (i1 - r1)
+		})
+		return int64(m), int64(4 * m)
+	case gate.SX:
+		n := s.tilePairs(int(q[0]), lo, hi, 0, func(p0, p1 int) {
+			r0, i0 := re[p0], im[p0]
+			r1, i1 := re[p1], im[p1]
+			re[p0] = 0.5 * (r0 - i0 + r1 + i1)
+			im[p0] = 0.5 * (r0 + i0 - r1 + i1)
+			re[p1] = 0.5 * (r0 + i0 + r1 - i1)
+			im[p1] = 0.5 * (-r0 + i0 + r1 + i1)
+		})
+		return int64(2 * n), int64(8 * n)
+	case gate.SXDG:
+		n := s.tilePairs(int(q[0]), lo, hi, 0, func(p0, p1 int) {
+			r0, i0 := re[p0], im[p0]
+			r1, i1 := re[p1], im[p1]
+			re[p0] = 0.5 * (r0 + i0 + r1 - i1)
+			im[p0] = 0.5 * (-r0 + i0 + r1 + i1)
+			re[p1] = 0.5 * (r0 - i0 + r1 + i1)
+			im[p1] = 0.5 * (r0 + i0 - r1 + i1)
+		})
+		return int64(2 * n), int64(8 * n)
+	case gate.U1:
+		cl, sl := math.Cos(pr[0]), math.Sin(pr[0])
+		m := s.tileMasked(1<<uint(q[0]), lo, hi, func(p int) {
+			r1, i1 := re[p], im[p]
+			re[p] = cl*r1 - sl*i1
+			im[p] = sl*r1 + cl*i1
+		})
+		return int64(m), int64(6 * m)
+	case gate.RZ:
+		c, sn := math.Cos(pr[0]/2), math.Sin(pr[0]/2)
+		t := uint(q[0])
+		m := 0
+		for p := lo; p < hi; p++ {
+			m++
+			r, i := re[p], im[p]
+			if p>>t&1 == 0 {
+				re[p] = c*r + sn*i
+				im[p] = -sn*r + c*i
+			} else {
+				re[p] = c*r - sn*i
+				im[p] = sn*r + c*i
+			}
+		}
+		return int64(m), int64(6 * m)
+	case gate.RX:
+		c, sn := math.Cos(pr[0]/2), math.Sin(pr[0]/2)
+		n := s.tilePairs(int(q[0]), lo, hi, 0, func(p0, p1 int) {
+			r0, i0 := re[p0], im[p0]
+			r1, i1 := re[p1], im[p1]
+			re[p0] = c*r0 + sn*i1
+			im[p0] = c*i0 - sn*r1
+			re[p1] = c*r1 + sn*i0
+			im[p1] = c*i1 - sn*r0
+		})
+		return int64(2 * n), int64(8 * n)
+	case gate.RY:
+		c, sn := math.Cos(pr[0]/2), math.Sin(pr[0]/2)
+		n := s.tilePairs(int(q[0]), lo, hi, 0, func(p0, p1 int) {
+			r0, i0 := re[p0], im[p0]
+			r1, i1 := re[p1], im[p1]
+			re[p0] = c*r0 - sn*r1
+			im[p0] = c*i0 - sn*i1
+			re[p1] = sn*r0 + c*r1
+			im[p1] = sn*i0 + c*i1
+		})
+		return int64(2 * n), int64(8 * n)
+	case gate.U3:
+		ar, ai, br, bi, cr, ci, dr, di := u3Coeffs(pr[0], pr[1], pr[2])
+		n := s.tileU3Pairs(ar, ai, br, bi, cr, ci, dr, di, int(q[0]), lo, hi, 0)
+		return int64(2 * n), int64(28 * n)
+	case gate.U2:
+		ar, ai, br, bi, cr, ci, dr, di := u3Coeffs(math.Pi/2, pr[0], pr[1])
+		n := s.tileU3Pairs(ar, ai, br, bi, cr, ci, dr, di, int(q[0]), lo, hi, 0)
+		return int64(2 * n), int64(28 * n)
+	case gate.GPHASE:
+		c, sn := math.Cos(pr[0]), math.Sin(pr[0])
+		for p := lo; p < hi; p++ {
+			r, ii := re[p], im[p]
+			re[p] = c*r - sn*ii
+			im[p] = sn*r + c*ii
+		}
+		m := hi - lo
+		return int64(m), int64(6 * m)
+	case gate.ID, gate.BARRIER:
+		return 0, 0
+	case gate.CX:
+		n := s.tilePairs(int(q[1]), lo, hi, 1<<uint(q[0]), func(p0, p1 int) {
+			re[p0], re[p1] = re[p1], re[p0]
+			im[p0], im[p1] = im[p1], im[p0]
+		})
+		return int64(2 * n), 0
+	case gate.CY:
+		n := s.tilePairs(int(q[1]), lo, hi, 1<<uint(q[0]), func(p0, p1 int) {
+			r0, i0 := re[p0], im[p0]
+			r1, i1 := re[p1], im[p1]
+			re[p0], im[p0] = i1, -r1
+			re[p1], im[p1] = -i0, r0
+		})
+		return int64(2 * n), int64(2 * n)
+	case gate.CZ:
+		m := s.tileMasked(1<<uint(q[0])|1<<uint(q[1]), lo, hi, func(p int) {
+			re[p] = -re[p]
+			im[p] = -im[p]
+		})
+		return int64(m), int64(2 * m)
+	case gate.CH:
+		n := s.tilePairs(int(q[1]), lo, hi, 1<<uint(q[0]), func(p0, p1 int) {
+			r0, i0 := re[p0], im[p0]
+			r1, i1 := re[p1], im[p1]
+			re[p0], im[p0] = s2i*(r0+r1), s2i*(i0+i1)
+			re[p1], im[p1] = s2i*(r0-r1), s2i*(i0-i1)
+		})
+		return int64(2 * n), int64(6 * n)
+	case gate.CU1:
+		cl, sl := math.Cos(pr[0]), math.Sin(pr[0])
+		m := s.tileMasked(1<<uint(q[0])|1<<uint(q[1]), lo, hi, func(p int) {
+			r1, i1 := re[p], im[p]
+			re[p] = cl*r1 - sl*i1
+			im[p] = sl*r1 + cl*i1
+		})
+		return int64(m), int64(3 * m)
+	case gate.CRZ:
+		co, sn := math.Cos(pr[0]/2), math.Sin(pr[0]/2)
+		t := uint(q[1])
+		m := s.tileMasked(1<<uint(q[0]), lo, hi, func(p int) {
+			r, i := re[p], im[p]
+			if p>>t&1 == 0 {
+				re[p] = co*r + sn*i
+				im[p] = -sn*r + co*i
+			} else {
+				re[p] = co*r - sn*i
+				im[p] = sn*r + co*i
+			}
+		})
+		return int64(m), int64(3 * m)
+	case gate.CRX:
+		co, sn := math.Cos(pr[0]/2), math.Sin(pr[0]/2)
+		n := s.tilePairs(int(q[1]), lo, hi, 1<<uint(q[0]), func(p0, p1 int) {
+			r0, i0 := re[p0], im[p0]
+			r1, i1 := re[p1], im[p1]
+			re[p0] = co*r0 + sn*i1
+			im[p0] = co*i0 - sn*r1
+			re[p1] = co*r1 + sn*i0
+			im[p1] = co*i1 - sn*r0
+		})
+		return int64(2 * n), int64(4 * n)
+	case gate.CRY:
+		co, sn := math.Cos(pr[0]/2), math.Sin(pr[0]/2)
+		n := s.tilePairs(int(q[1]), lo, hi, 1<<uint(q[0]), func(p0, p1 int) {
+			r0, i0 := re[p0], im[p0]
+			r1, i1 := re[p1], im[p1]
+			re[p0] = co*r0 - sn*r1
+			im[p0] = co*i0 - sn*i1
+			re[p1] = sn*r0 + co*r1
+			im[p1] = sn*i0 + co*i1
+		})
+		return int64(2 * n), int64(4 * n)
+	case gate.CU3:
+		ar, ai, br, bi, cr, ci, dr, di := u3Coeffs(pr[0], pr[1], pr[2])
+		n := s.tileU3Pairs(ar, ai, br, bi, cr, ci, dr, di, int(q[1]), lo, hi, 1<<uint(q[0]))
+		return int64(2 * n), int64(28 * n)
+	case gate.CS:
+		m := s.tileMasked(1<<uint(q[0])|1<<uint(q[1]), lo, hi, func(p int) {
+			re[p], im[p] = -im[p], re[p]
+		})
+		return int64(m), 0
+	case gate.CSDG:
+		m := s.tileMasked(1<<uint(q[0])|1<<uint(q[1]), lo, hi, func(p int) {
+			re[p], im[p] = im[p], -re[p]
+		})
+		return int64(m), 0
+	case gate.CT:
+		m := s.tileMasked(1<<uint(q[0])|1<<uint(q[1]), lo, hi, func(p int) {
+			r1, i1 := re[p], im[p]
+			re[p] = s2i * (r1 - i1)
+			im[p] = s2i * (r1 + i1)
+		})
+		return int64(m), int64(2 * m)
+	case gate.CTDG:
+		m := s.tileMasked(1<<uint(q[0])|1<<uint(q[1]), lo, hi, func(p int) {
+			r1, i1 := re[p], im[p]
+			re[p] = s2i * (r1 + i1)
+			im[p] = s2i * (i1 - r1)
+		})
+		return int64(m), int64(2 * m)
+	case gate.SWAP:
+		abit, bbit := 1<<uint(q[0]), 1<<uint(q[1])
+		n := s.tileBases2(int(q[0]), int(q[1]), lo, hi, 0, func(base int) {
+			p01 := base | abit
+			p10 := base | bbit
+			re[p01], re[p10] = re[p10], re[p01]
+			im[p01], im[p10] = im[p10], im[p01]
+		})
+		return int64(2 * n), 0
+	case gate.RZZ:
+		cl, sl := math.Cos(pr[0]), math.Sin(pr[0])
+		a, b := uint(q[0]), uint(q[1])
+		m := 0
+		for p := lo; p < hi; p++ {
+			if (p>>a&1)^(p>>b&1) == 0 {
+				continue
+			}
+			m++
+			r, i := re[p], im[p]
+			re[p] = cl*r - sl*i
+			im[p] = sl*r + cl*i
+		}
+		return int64(m), int64(3 * m)
+	case gate.RXX:
+		co, sn := math.Cos(pr[0]/2), math.Sin(pr[0]/2)
+		abit, bbit := 1<<uint(q[0]), 1<<uint(q[1])
+		mix := func(p, qq int) {
+			rp, ip := re[p], im[p]
+			rq, iq := re[qq], im[qq]
+			re[p] = co*rp + sn*iq
+			im[p] = co*ip - sn*rq
+			re[qq] = co*rq + sn*ip
+			im[qq] = co*iq - sn*rp
+		}
+		n := s.tileBases2(int(q[0]), int(q[1]), lo, hi, 0, func(base int) {
+			mix(base, base|abit|bbit)
+			mix(base|abit, base|bbit)
+		})
+		return int64(4 * n), int64(8 * n)
+	case gate.CCX:
+		cmask := 1<<uint(q[0]) | 1<<uint(q[1])
+		n := s.tilePairs(int(q[2]), lo, hi, cmask, func(p0, p1 int) {
+			re[p0], re[p1] = re[p1], re[p0]
+			im[p0], im[p1] = im[p1], im[p0]
+		})
+		return int64(2 * n), 0
+	case gate.CSWAP:
+		abit, bbit := 1<<uint(q[1]), 1<<uint(q[2])
+		n := s.tileBases2(int(q[1]), int(q[2]), lo, hi, 1<<uint(q[0]), func(base int) {
+			p01 := base | abit
+			p10 := base | bbit
+			re[p01], re[p10] = re[p10], re[p01]
+			im[p01], im[p10] = im[p10], im[p01]
+		})
+		return int64(2 * n), 0
+	case gate.C3X:
+		cmask := 1<<uint(q[0]) | 1<<uint(q[1]) | 1<<uint(q[2])
+		n := s.tilePairs(int(q[3]), lo, hi, cmask, func(p0, p1 int) {
+			re[p0], re[p1] = re[p1], re[p0]
+			im[p0], im[p1] = im[p1], im[p0]
+		})
+		return int64(2 * n), 0
+	case gate.C4X:
+		cmask := 1<<uint(q[0]) | 1<<uint(q[1]) | 1<<uint(q[2]) | 1<<uint(q[3])
+		n := s.tilePairs(int(q[4]), lo, hi, cmask, func(p0, p1 int) {
+			re[p0], re[p1] = re[p1], re[p0]
+			im[p0], im[p1] = im[p1], im[p0]
+		})
+		return int64(2 * n), 0
+	case gate.C3SQRTX:
+		cmask := 1<<uint(q[0]) | 1<<uint(q[1]) | 1<<uint(q[2])
+		u := sxMatrix
+		ar, ai := real(u.At(0, 0)), imag(u.At(0, 0))
+		br, bi := real(u.At(0, 1)), imag(u.At(0, 1))
+		cr, ci := real(u.At(1, 0)), imag(u.At(1, 0))
+		dr, di := real(u.At(1, 1)), imag(u.At(1, 1))
+		n := s.tileU3Pairs(ar, ai, br, bi, cr, ci, dr, di, int(q[3]), lo, hi, cmask)
+		return int64(2 * n), int64(14 * n)
+	case gate.RCCX:
+		rccxOnce.Do(func() { rccxU = gate.Unitary(gate.NewRCCX(0, 1, 2)) })
+		return s.tileMatrix(rccxU, []int{int(q[0]), int(q[1]), int(q[2])}, lo, hi)
+	case gate.RC3X:
+		rc3xOnce.Do(func() { rc3xU = gate.Unitary(gate.NewRC3X(0, 1, 2, 3)) })
+		return s.tileMatrix(rc3xU, []int{int(q[0]), int(q[1]), int(q[2]), int(q[3])}, lo, hi)
+	default:
+		panic(fmt.Sprintf("statevec: ApplyTile cannot execute kind %s", g.Kind))
+	}
+}
+
+// ApplyTileShared applies one classified gate to the amplitude tile
+// [lo, hi) with Pool.ApplyShared's classification-generic arithmetic
+// (diagonal element-wise / single-target pair / multi-target orbit), so
+// the threaded tiled path rounds identically to the threaded per-gate
+// path. cls may be nil only for kinds ApplyShared handles without a
+// classification (BARRIER, ID, GPHASE). Returns amplitudes and flops
+// visited; the caller owns stats accounting.
+func (s *State) ApplyTileShared(g *gate.Gate, cls *gate.Class, lo, hi int) (amps, flops int64) {
+	re, im := s.Re, s.Im
+	switch g.Kind {
+	case gate.BARRIER, gate.ID:
+		return 0, 0
+	case gate.GPHASE:
+		u := gate.Unitary(*g)
+		fr, fi := real(u.At(0, 0)), imag(u.At(0, 0))
+		for i := lo; i < hi; i++ {
+			r, ii := re[i], im[i]
+			re[i] = fr*r - fi*ii
+			im[i] = fr*ii + fi*r
+		}
+		m := hi - lo
+		return int64(m), int64(6 * m)
+	}
+	var cmask int
+	for _, c := range cls.Ctrls {
+		cmask |= 1 << uint(c)
+	}
+	switch {
+	case cls.Diag:
+		return s.tileDiagShared(cls, cmask, lo, hi)
+	case len(cls.Targets) == 1:
+		return s.tilePairShared(cls, cmask, lo, hi)
+	default:
+		return s.tileOrbitShared(cls, cmask, lo, hi)
+	}
+}
+
+// tileDiagShared is applyDiagShared restricted to one tile: the same
+// full-index sub-state lookup, so diagonal targets may sit at any bit
+// position.
+func (s *State) tileDiagShared(cls *gate.Class, cmask, lo, hi int) (amps, flops int64) {
+	high := cmask &^ (hi - lo - 1)
+	if lo&high != high {
+		return 0, 0
+	}
+	re, im := s.Re, s.Im
+	m := int64(0)
+	for i := lo; i < hi; i++ {
+		if i&cmask != cmask {
+			continue
+		}
+		m++
+		sub := 0
+		for j, t := range cls.Targets {
+			if i>>uint(t)&1 == 1 {
+				sub |= 1 << uint(j)
+			}
+		}
+		f := cls.U.At(sub, sub)
+		if f == 1 {
+			continue
+		}
+		fr, fi := real(f), imag(f)
+		r, ii := re[i], im[i]
+		re[i] = fr*r - fi*ii
+		im[i] = fr*ii + fi*r
+	}
+	return m, 3 * m
+}
+
+// tilePairShared is applyPairShared restricted to one tile: the same
+// generic 2x2 body over the target-bit pairs whose controls are set.
+func (s *State) tilePairShared(cls *gate.Class, cmask, lo, hi int) (amps, flops int64) {
+	u := cls.U
+	ar, ai := real(u.At(0, 0)), imag(u.At(0, 0))
+	br, bi := real(u.At(0, 1)), imag(u.At(0, 1))
+	cr, ci := real(u.At(1, 0)), imag(u.At(1, 0))
+	dr, di := real(u.At(1, 1)), imag(u.At(1, 1))
+	n := s.tileU3Pairs(ar, ai, br, bi, cr, ci, dr, di, cls.Targets[0], lo, hi, cmask)
+	return int64(2 * n), int64(14 * n)
+}
+
+// tileOrbitShared is applyOrbitShared restricted to one tile: identical
+// gather/multiply/scatter over each control-set orbit whose target bits
+// (all below the tile boundary) are zero at the base.
+func (s *State) tileOrbitShared(cls *gate.Class, cmask, lo, hi int) (amps, flops int64) {
+	high := cmask &^ (hi - lo - 1)
+	if lo&high != high {
+		return 0, 0
+	}
+	low := cmask &^ high
+	k := len(cls.Targets)
+	sub := 1 << uint(k)
+	offsets := make([]int, sub)
+	var tmask int
+	for a := 0; a < sub; a++ {
+		off := 0
+		for j, t := range cls.Targets {
+			if a>>uint(j)&1 == 1 {
+				off |= 1 << uint(t)
+			}
+		}
+		offsets[a] = off
+	}
+	for _, t := range cls.Targets {
+		tmask |= 1 << uint(t)
+	}
+	ampR := make([]float64, sub)
+	ampI := make([]float64, sub)
+	outR := make([]float64, sub)
+	outI := make([]float64, sub)
+	re, im := s.Re, s.Im
+	u := cls.U
+	orbits := int64(0)
+	for base := lo; base < hi; base++ {
+		if base&tmask != 0 || base&low != low {
+			continue
+		}
+		orbits++
+		for a := 0; a < sub; a++ {
+			pidx := base | offsets[a]
+			ampR[a], ampI[a] = re[pidx], im[pidx]
+		}
+		for a := 0; a < sub; a++ {
+			var sr, si float64
+			row := u.Data[a*sub : (a+1)*sub]
+			for b2, v := range row {
+				vr, vi := real(v), imag(v)
+				sr += vr*ampR[b2] - vi*ampI[b2]
+				si += vr*ampI[b2] + vi*ampR[b2]
+			}
+			outR[a], outI[a] = sr, si
+		}
+		for a := 0; a < sub; a++ {
+			pidx := base | offsets[a]
+			re[pidx], im[pidx] = outR[a], outI[a]
+		}
+	}
+	sb := int64(sub)
+	return orbits * sb, orbits * 4 * sb * sb
+}

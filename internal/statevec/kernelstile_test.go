@@ -1,0 +1,189 @@
+package statevec
+
+import (
+	"math/rand"
+	"testing"
+
+	"svsim/internal/gate"
+)
+
+// tileDiagKind mirrors the compile planner's static element-wise list:
+// kinds whose tile kernels read the full basis index and never couple
+// two amplitudes, so their operands place no constraint on tile size.
+func tileDiagKind(k gate.Kind) bool {
+	switch k {
+	case gate.ID, gate.Z, gate.S, gate.SDG, gate.T, gate.TDG, gate.U1,
+		gate.RZ, gate.CZ, gate.CU1, gate.CRZ, gate.CS, gate.CSDG,
+		gate.CT, gate.CTDG, gate.RZZ, gate.GPHASE, gate.BARRIER:
+		return true
+	}
+	return false
+}
+
+// sampleTileGate draws a random gate of kind k whose classified targets
+// respect the tile constraint (below tileBits); controls land anywhere.
+func sampleTileGate(t *testing.T, rng *rand.Rand, k gate.Kind, n, tileBits int) gate.Gate {
+	t.Helper()
+	for try := 0; try < 100000; try++ {
+		ops := sampleOperands(rng, k, n)
+		g := gate.New(k, ops, randAngles(rng, k.NumParams())...)
+		if tileDiagKind(k) {
+			return g
+		}
+		cls := gate.Classify(&g)
+		ok := true
+		for _, tq := range cls.Targets {
+			if tq >= tileBits {
+				ok = false
+			}
+		}
+		if ok {
+			return g
+		}
+	}
+	t.Fatalf("kind %s: no tile-compatible operand assignment found", k)
+	return gate.Gate{}
+}
+
+// applyOverTiles applies g to every aligned tile of s in order and
+// returns the summed (amps, flops).
+func applyOverTiles(s *State, g *gate.Gate, tileBits int, shared bool, cls *gate.Class) (int64, int64) {
+	tdim := 1 << uint(tileBits)
+	var amps, flops int64
+	for lo := 0; lo < s.Dim; lo += tdim {
+		var a, f int64
+		if shared {
+			a, f = s.ApplyTileShared(g, cls, lo, lo+tdim)
+		} else {
+			a, f = s.ApplyTile(g, lo, lo+tdim)
+		}
+		amps += a
+		flops += f
+	}
+	return amps, flops
+}
+
+// TestApplyTileMatchesApply checks that replaying a gate over every tile
+// with the specialized tile kernels produces a state bit-identical to one
+// full-sweep Apply, and that the returned work counters match Apply's
+// stats, for every unitary kind at several tile sizes.
+func TestApplyTileMatchesApply(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	n := 7
+	kinds := append(kernelKinds(), gate.GPHASE, gate.BARRIER)
+	for _, tileBits := range []int{4, 5, n} {
+		for _, k := range kinds {
+			if !tileDiagKind(k) && k.NumQubits() > tileBits {
+				continue // cannot place all targets below the boundary
+			}
+			for trial := 0; trial < 3; trial++ {
+				var g gate.Gate
+				if k == gate.GPHASE {
+					g = gate.NewGPhase(rng.Float64()*4 - 2)
+				} else {
+					g = sampleTileGate(t, rng, k, n, tileBits)
+				}
+				got := randomState(rng, n, Scalar)
+				want := got.Clone()
+				want.Apply(&g)
+				amps, flops := applyOverTiles(got, &g, tileBits, false, nil)
+				if d := got.MaxAbsDiff(want); d != 0 {
+					t.Fatalf("tileBits=%d kind=%s: tiled state deviates by %g (want bit-identical)",
+						tileBits, k, d)
+				}
+				if amps != want.Stats.AmpsTouched || flops != want.Stats.FlopEst {
+					t.Fatalf("tileBits=%d kind=%s: tile counters (amps=%d flops=%d) != Apply stats (amps=%d flops=%d)",
+						tileBits, k, amps, flops, want.Stats.AmpsTouched, want.Stats.FlopEst)
+				}
+			}
+		}
+	}
+}
+
+// TestApplyTileSharedMatchesPool checks that the classification-generic
+// tile kernels replayed over every tile are bit-identical to the
+// threaded per-gate path (Pool.ApplyShared), whose rounding differs from
+// the specialized kernels, and that amplitude counters agree.
+func TestApplyTileSharedMatchesPool(t *testing.T) {
+	rng := rand.New(rand.NewSource(67))
+	n := 7
+	pool := NewPool(3)
+	defer pool.Close()
+	kinds := append(kernelKinds(), gate.GPHASE, gate.BARRIER)
+	for _, tileBits := range []int{4, 5, n} {
+		for _, k := range kinds {
+			if !tileDiagKind(k) && k.NumQubits() > tileBits {
+				continue
+			}
+			for trial := 0; trial < 3; trial++ {
+				var g gate.Gate
+				if k == gate.GPHASE {
+					g = gate.NewGPhase(rng.Float64()*4 - 2)
+				} else {
+					g = sampleTileGate(t, rng, k, n, tileBits)
+				}
+				var cls *gate.Class
+				if k != gate.GPHASE && k != gate.BARRIER {
+					c := gate.Classify(&g)
+					cls = &c
+				}
+				got := randomState(rng, n, Scalar)
+				want := got.Clone()
+				pool.ApplyShared(want, &g)
+				amps, _ := applyOverTiles(got, &g, tileBits, true, cls)
+				if d := got.MaxAbsDiff(want); d != 0 {
+					t.Fatalf("tileBits=%d kind=%s: tiled shared state deviates by %g (want bit-identical)",
+						tileBits, k, d)
+				}
+				if k != gate.ID && amps != want.Stats.AmpsTouched {
+					t.Fatalf("tileBits=%d kind=%s: tile amps %d != shared stats amps %d",
+						tileBits, k, amps, want.Stats.AmpsTouched)
+				}
+			}
+		}
+	}
+}
+
+// TestApplyTileUnalignedRanges checks that a tile decomposition at any
+// aligned granularity — including one covering the whole state — visits
+// each pair exactly once: composing two half-state tiles equals one
+// full-range ApplyTile call.
+func TestApplyTileUnalignedRanges(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	n := 6
+	for _, k := range kernelKinds() {
+		g := sampleTileGate(t, rng, k, n, 4)
+		a := randomState(rng, n, Scalar)
+		b := a.Clone()
+		a.ApplyTile(&g, 0, a.Dim)
+		half := b.Dim / 2
+		b.ApplyTile(&g, 0, half)
+		b.ApplyTile(&g, half, b.Dim)
+		if d := a.MaxAbsDiff(b); d != 0 {
+			t.Fatalf("kind=%s: half-tile composition deviates by %g", k, d)
+		}
+	}
+}
+
+// TestStatsTileAccounting checks the Stats helpers used by the tiled
+// executors: AddTileWork charges gates/amps/flops without memory
+// traffic, AddSweep charges one homogeneous pass, Add merges Sweeps.
+func TestStatsTileAccounting(t *testing.T) {
+	var s Stats
+	s.AddTileWork(5, 100, 700)
+	if s.Gates != 5 || s.AmpsTouched != 100 || s.FlopEst != 700 {
+		t.Fatalf("AddTileWork: %+v", s)
+	}
+	if s.BytesTouched != 0 || s.Sweeps != 0 {
+		t.Fatalf("AddTileWork must not charge bytes or sweeps: %+v", s)
+	}
+	s.AddSweep(1 << 10)
+	if s.Sweeps != 1 || s.BytesTouched != 1<<10*16 {
+		t.Fatalf("AddSweep: %+v", s)
+	}
+	var o Stats
+	o.Add(s)
+	if o.Sweeps != 1 || o.BytesTouched != s.BytesTouched || o.Gates != 5 {
+		t.Fatalf("Add must merge tile counters: %+v", o)
+	}
+}

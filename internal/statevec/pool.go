@@ -78,6 +78,29 @@ func (p *Pool) parallelFor(n int, body func(lo, hi int)) {
 	done.Wait()
 }
 
+// ForTiles splits the tile index space [0, numTiles) across the workers
+// and blocks until every tile is processed: one barrier per tiled group
+// instead of one per gate. The body applies a whole gate run to its tile
+// and returns the (amplitudes, flops) visited; ForTiles sums the
+// contributions worker-locally and returns the totals, so tile kernels
+// never touch State.Stats from worker goroutines.
+func (p *Pool) ForTiles(numTiles int, body func(tile int) (amps, flops int64)) (amps, flops int64) {
+	var mu sync.Mutex
+	p.parallelFor(numTiles, func(lo, hi int) {
+		var a, f int64
+		for t := lo; t < hi; t++ {
+			ta, tf := body(t)
+			a += ta
+			f += tf
+		}
+		mu.Lock()
+		amps += a
+		flops += f
+		mu.Unlock()
+	})
+	return amps, flops
+}
+
 // ApplyShared executes one unitary gate on the shared state with the
 // paper's parallel-for structure. It covers the full gate set through the
 // control/target/unitary classification: diagonal gates run element-wise,

@@ -37,6 +37,7 @@ type Stats struct {
 	AmpsTouched  int64 // state-vector amplitudes read+written
 	BytesTouched int64 // memory traffic in bytes (16 bytes per amplitude)
 	FlopEst      int64 // floating-point operation estimate
+	Sweeps       int64 // full-state memory sweeps (tiled runs count one per group)
 }
 
 func (s *Stats) add(amps, flops int64) {
@@ -44,6 +45,25 @@ func (s *Stats) add(amps, flops int64) {
 	s.AmpsTouched += amps
 	s.BytesTouched += amps * 16
 	s.FlopEst += flops
+	s.Sweeps++
+}
+
+// AddTileWork folds the compute side of one tiled group pass into the
+// stats: the gates applied and the amplitudes/flops their kernels
+// actually visited. Memory traffic is NOT charged here — a tiled group
+// streams the state once regardless of how many gates replay over each
+// tile, so the executor charges it separately with AddSweep.
+func (s *Stats) AddTileWork(gates, amps, flops int64) {
+	s.Gates += gates
+	s.AmpsTouched += amps
+	s.FlopEst += flops
+}
+
+// AddSweep charges the memory traffic of one homogeneous pass over amps
+// amplitudes (16 bytes each: one float64 real + one imag).
+func (s *Stats) AddSweep(amps int64) {
+	s.Sweeps++
+	s.BytesTouched += amps * 16
 }
 
 // Add merges another counter set into s.
@@ -52,6 +72,7 @@ func (s *Stats) Add(o Stats) {
 	s.AmpsTouched += o.AmpsTouched
 	s.BytesTouched += o.BytesTouched
 	s.FlopEst += o.FlopEst
+	s.Sweeps += o.Sweeps
 }
 
 // State is a dense n-qubit pure state.
