@@ -31,9 +31,12 @@ type record struct {
 	Fuse            bool   `json:"fuse,omitempty"`
 	Sched           string `json:"sched,omitempty"`
 	Tile            bool   `json:"tile,omitempty"`
+	PPN             int    `json:"ppn,omitempty"`
 	ElapsedNS       int64  `json:"elapsed_ns"`
 	BytesTouched    int64  `json:"bytes_touched"`
 	CommRemoteBytes int64  `json:"comm_remote_bytes"`
+	IntraBytes      int64  `json:"intra_bytes,omitempty"`
+	InterBytes      int64  `json:"inter_bytes,omitempty"`
 	Barriers        int64  `json:"barriers"`
 	FusedGates      int64  `json:"fused_gates,omitempty"`
 	Remaps          int64  `json:"remaps,omitempty"`
@@ -42,9 +45,9 @@ type record struct {
 	PlanCacheMisses int64  `json:"plan_cache_misses,omitempty"`
 }
 
-// key identifies a bench configuration across runs. The "/tile" suffix
-// appears only on tiled records so keys in pre-tile baseline files are
-// unchanged.
+// key identifies a bench configuration across runs. The "/tile" and
+// "/ppn=N" suffixes appear only on tiled and topology records, so keys
+// in older baseline files are unchanged.
 func (r *record) key() string {
 	sched := r.Sched
 	if sched == "" {
@@ -54,6 +57,9 @@ func (r *record) key() string {
 		r.Workload, r.Backend, r.PEs, r.Coalesced, r.Fuse, sched)
 	if r.Tile {
 		k += "/tile"
+	}
+	if r.PPN > 0 {
+		k += fmt.Sprintf("/ppn=%d", r.PPN)
 	}
 	return k
 }
@@ -77,7 +83,7 @@ func (g regression) String() string {
 // silently blind the trajectory); extra current configurations are
 // reported but allowed, so new workloads can land with their baseline
 // refresh in the same change.
-func diff(baseline, current []record, byteTol, timeTol float64) (regs []regression, notes []string) {
+func diff(baseline, current []record, byteTol, timeTol, interTol float64) (regs []regression, notes []string) {
 	cur := make(map[string]*record, len(current))
 	for i := range current {
 		cur[current[i].key()] = &current[i]
@@ -123,6 +129,20 @@ func diff(baseline, current []record, byteTol, timeTol float64) (regs []regressi
 		}
 		if r := ratio(c.CompileNS, b.CompileNS); r > 1+timeTol {
 			regs = append(regs, regression{k, "compile_ns", b.CompileNS, c.CompileNS, r})
+		}
+		// The two-level exchange split is deterministic for a fixed
+		// workload and topology; inter-node bytes are the expensive wire,
+		// so they get their own (tight) tolerance, while intra-node bytes
+		// share the byte tolerance.
+		if r := ratio(c.InterBytes, b.InterBytes); r > 1+interTol {
+			regs = append(regs, regression{k, "inter_bytes", b.InterBytes, c.InterBytes, r})
+		} else if r < 1 {
+			notes = append(notes, fmt.Sprintf("improved %-55s inter_bytes %d -> %d", k, b.InterBytes, c.InterBytes))
+		}
+		if r := ratio(c.IntraBytes, b.IntraBytes); r > 1+byteTol {
+			regs = append(regs, regression{k, "intra_bytes", b.IntraBytes, c.IntraBytes, r})
+		} else if r < 1 {
+			notes = append(notes, fmt.Sprintf("improved %-55s intra_bytes %d -> %d", k, b.IntraBytes, c.IntraBytes))
 		}
 		// Plan-cache hits regress downward: fewer hits than the baseline
 		// means re-binding stopped working for a shape that used to cache.
@@ -187,6 +207,7 @@ func main() {
 	curPath := flag.String("current", "", "bench records from the current build (required)")
 	byteTol := flag.Float64("byte-tol", 0.15, "allowed fractional growth in remote communication bytes")
 	timeTol := flag.Float64("time-tol", 0.15, "allowed fractional growth in wall time")
+	interTol := flag.Float64("inter-tol", 0.15, "allowed fractional growth in inter-node exchange bytes on topology records")
 	htmlOut := flag.String("html", "", "trajectory mode: render the positional per-commit BENCH files (oldest first) as a self-contained HTML report to FILE")
 	flag.Parse()
 
@@ -218,7 +239,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	regs, notes := diff(baseline, current, *byteTol, *timeTol)
+	regs, notes := diff(baseline, current, *byteTol, *timeTol, *interTol)
 	for _, n := range notes {
 		fmt.Println(n)
 	}

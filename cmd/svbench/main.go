@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"svsim/internal/batch"
+	"svsim/internal/circuit"
 	"svsim/internal/cliutil"
 	"svsim/internal/compile"
 	"svsim/internal/core"
@@ -69,6 +70,7 @@ func main() {
 	workload := flag.String("workload", "", "bench a single named workload instead of the default suite")
 	backendName := flag.String("backend", "single", "backend for -workload: single | threaded | scale-up | scale-out")
 	pes := flag.Int("pes", 1, "device/PE count for -workload on distributed backends")
+	ppn := flag.Int("ppn", 0, "PEs per node for -workload: group the fleet into nodes and run remaps as two-level exchanges (0 = flat)")
 	coalesced := flag.Bool("coalesced", false, "coalesced bulk transfers for -workload on the scale-out backend")
 	fuse := flag.Bool("fuse", false, "apply the compile pipeline's gate-fusion pass for -workload")
 	tile := flag.Bool("tile", false, "cache-blocked tiled execution for -workload on the single-node backends")
@@ -96,7 +98,10 @@ func main() {
 				fatalf("%v", err)
 			}
 		}
-		runBenchMode(*jsonFile, *workload, *backendName, *pes, *coalesced, *fuse, *tile, policy, *traceFile, *metricsFile, *pprofAddr, *ckptEvery, *ckptDir)
+		if err := (sched.Topology{PEsPerNode: *ppn}).Validate(); err != nil {
+			fatalf("%v", err)
+		}
+		runBenchMode(*jsonFile, *workload, *backendName, *pes, *ppn, *coalesced, *fuse, *tile, policy, *traceFile, *metricsFile, *pprofAddr, *ckptEvery, *ckptDir)
 		return
 	}
 
@@ -154,12 +159,14 @@ type benchRecord struct {
 	Coalesced     bool   `json:"coalesced,omitempty"`
 	Sched         string `json:"sched,omitempty"`
 	Tile          bool   `json:"tile,omitempty"`
-	Qubits        int    `json:"qubits"`
-	Gates         int    `json:"gates"`
-	ElapsedNS     int64  `json:"elapsed_ns"`
-	KernelGates   int64  `json:"kernel_gates"`
-	AmpsTouched   int64  `json:"amps_touched"`
-	BytesTouched  int64  `json:"bytes_touched"`
+	// PPN is the configured PEs-per-node topology (0 = flat fleet).
+	PPN          int   `json:"ppn,omitempty"`
+	Qubits       int   `json:"qubits"`
+	Gates        int   `json:"gates"`
+	ElapsedNS    int64 `json:"elapsed_ns"`
+	KernelGates  int64 `json:"kernel_gates"`
+	AmpsTouched  int64 `json:"amps_touched"`
+	BytesTouched int64 `json:"bytes_touched"`
 	// Sweeps counts full passes over the state vector (one per gate on
 	// the per-gate path, one per tiled group under -tile); GatesPerByte is
 	// kernel gates divided by bytes touched, the arithmetic-intensity
@@ -170,7 +177,16 @@ type benchRecord struct {
 	CommRemoteBytes int64   `json:"comm_remote_bytes"`
 	CommRemoteMsgs  int64   `json:"comm_remote_msgs"`
 	Barriers        int64   `json:"barriers"`
-	HeapAllocBytes  uint64  `json:"heap_alloc_bytes,omitempty"`
+	// Two-level exchange trajectory (topology runs only): the measured
+	// intra-node and inter-node one-sided volume, the number of exchange
+	// phases executed, and the analytic inter-node volume the FLAT
+	// realization would have moved under the same node grouping — the
+	// denominator of the hierarchical remap's headline reduction.
+	IntraBytes     int64  `json:"intra_bytes,omitempty"`
+	InterBytes     int64  `json:"inter_bytes,omitempty"`
+	ExchangePhases int64  `json:"exchange_phases,omitempty"`
+	FlatInterBytes int64  `json:"flat_inter_bytes,omitempty"`
+	HeapAllocBytes uint64 `json:"heap_alloc_bytes,omitempty"`
 	// Checkpoint activity, present only when -checkpoint-every is on, so
 	// baseline files written without checkpointing are unaffected.
 	CkptCount   int64   `json:"ckpt_count,omitempty"`
@@ -190,10 +206,12 @@ type benchRecord struct {
 
 // benchSchema names the record family; benchSchemaVersion counts its
 // compatible revisions (v2 added schema_version and git_commit; v3 added
-// tile, sweeps, and gates_per_byte).
+// tile, sweeps, and gates_per_byte; v4 added ppn, intra_bytes,
+// inter_bytes, exchange_phases, and flat_inter_bytes for the two-level
+// remap trajectory).
 const (
-	benchSchema        = "svsim-bench/v3"
-	benchSchemaVersion = 3
+	benchSchema        = "svsim-bench/v4"
+	benchSchemaVersion = 4
 )
 
 // buildCommit identifies the measured tree: the VCS revision the Go
@@ -234,6 +252,9 @@ type benchSpec struct {
 	fuse              bool
 	sched             sched.Policy
 	tile              bool
+	// ppn groups the fleet into nodes of ppn PEs and runs the remaps as
+	// hierarchical two-level exchanges (0 = flat).
+	ppn int
 }
 
 // defaultBenchSuite is the standing perf-trajectory suite: one
@@ -242,23 +263,27 @@ type benchSpec struct {
 // variants whose fused-gate/remap counts CI also guards), small enough
 // to run in CI.
 var defaultBenchSuite = []benchSpec{
-	{"qft_n15", "single", 1, false, false, sched.Naive, false},
-	{"qft_n15", "single", 1, false, true, sched.Naive, false},
-	{"qft_n15", "single", 1, false, false, sched.Naive, true},
-	{"qft_n15", "single", 1, false, true, sched.Naive, true},
-	{"qft_n15", "threaded", 4, false, false, sched.Naive, false},
-	{"qft_n15", "threaded", 4, false, false, sched.Naive, true},
-	{"qft_n15", "scale-up", 4, false, false, sched.Naive, false},
-	{"qft_n15", "scale-out", 8, true, false, sched.Naive, false},
-	{"qft_n15", "scale-out", 8, false, false, sched.Lazy, false},
-	{"qft_n15", "scale-out", 8, false, true, sched.Lazy, false},
-	{"bv_n14", "scale-out", 4, true, false, sched.Naive, false},
-	{"bv_n14", "scale-out", 4, false, false, sched.Lazy, false},
-	{"bv_n14", "scale-out", 4, false, true, sched.Lazy, false},
-	{"ghz_state", "single", 1, false, false, sched.Naive, false},
+	{"qft_n15", "single", 1, false, false, sched.Naive, false, 0},
+	{"qft_n15", "single", 1, false, true, sched.Naive, false, 0},
+	{"qft_n15", "single", 1, false, false, sched.Naive, true, 0},
+	{"qft_n15", "single", 1, false, true, sched.Naive, true, 0},
+	{"qft_n15", "threaded", 4, false, false, sched.Naive, false, 0},
+	{"qft_n15", "threaded", 4, false, false, sched.Naive, true, 0},
+	{"qft_n15", "scale-up", 4, false, false, sched.Naive, false, 0},
+	{"qft_n15", "scale-out", 8, true, false, sched.Naive, false, 0},
+	{"qft_n15", "scale-out", 8, false, false, sched.Lazy, false, 0},
+	{"qft_n15", "scale-out", 8, false, true, sched.Lazy, false, 0},
+	// The two-level remap trajectory: same lazy scale-out workloads on a
+	// 2-node (ppn=4) fleet, whose inter_bytes CI guards against regression.
+	{"qft_n15", "scale-out", 8, false, false, sched.Lazy, false, 4},
+	{"bv_n14", "scale-out", 4, true, false, sched.Naive, false, 0},
+	{"bv_n14", "scale-out", 4, false, false, sched.Lazy, false, 0},
+	{"bv_n14", "scale-out", 4, false, true, sched.Lazy, false, 0},
+	{"bv_n14", "scale-out", 4, false, false, sched.Lazy, false, 2},
+	{"ghz_state", "single", 1, false, false, sched.Naive, false, 0},
 }
 
-func runBenchMode(jsonFile, workload, backend string, pes int, coalesced, fuse, tile bool, policy sched.Policy, traceFile, metricsFile, pprofAddr string, ckptEvery int, ckptDir string) {
+func runBenchMode(jsonFile, workload, backend string, pes, ppn int, coalesced, fuse, tile bool, policy sched.Policy, traceFile, metricsFile, pprofAddr string, ckptEvery int, ckptDir string) {
 	var tracer *obs.Tracer
 	var metrics *obs.Metrics
 	if traceFile != "" {
@@ -278,7 +303,7 @@ func runBenchMode(jsonFile, workload, backend string, pes int, coalesced, fuse, 
 
 	suite := defaultBenchSuite
 	if workload != "" {
-		suite = []benchSpec{{workload, backend, pes, coalesced, fuse, policy, tile}}
+		suite = []benchSpec{{workload, backend, pes, coalesced, fuse, policy, tile, ppn}}
 	}
 	// One plan cache for the whole bench run, as a long-lived driver
 	// would hold it; suite entries all differ in shape or config, so the
@@ -352,7 +377,8 @@ func runBenchSpec(spec benchSpec, plans *compile.Cache, tracer *obs.Tracer, metr
 	cfg := core.Config{
 		Seed: 1, Style: statevec.Vectorized, PEs: spec.pes,
 		Coalesced: spec.coalesced, Fuse: spec.fuse, Sched: spec.sched,
-		Tile: spec.tile, Plans: plans, Trace: tracer, Metrics: metrics,
+		Tile: spec.tile, Topology: sched.Topology{PEsPerNode: spec.ppn},
+		Plans: plans, Trace: tracer, Metrics: metrics,
 		CheckpointEvery: ckptEvery, CheckpointDir: ckptDir,
 	}
 	var backend core.Backend
@@ -410,7 +436,42 @@ func runBenchSpec(spec benchSpec, plans *compile.Cache, tracer *obs.Tracer, metr
 	rec.Remaps = int64(res.Compile.Remaps)
 	rec.CompileNS = res.Compile.TotalNS
 	rec.PlanCacheHit = res.Compile.CacheHit
+	if spec.ppn > 0 {
+		rec.PPN = spec.ppn
+		rec.IntraBytes = res.IntraBytes
+		rec.InterBytes = res.InterBytes
+		rec.ExchangePhases = res.ExchangePhases
+		fib, err := flatInterBytes(c, spec, plans)
+		if err != nil {
+			return nil, err
+		}
+		rec.FlatInterBytes = fib
+	}
 	return rec, nil
+}
+
+// flatInterBytes prices the FLAT realization of the spec's schedule
+// under its node grouping: the inter-node volume the run would have
+// moved had every remap stayed a single stop-the-world all-to-all. The
+// classification is analytic (exchange geometry + node ids), so the
+// baseline costs one compile, not a second run.
+func flatInterBytes(c *circuit.Circuit, spec benchSpec, plans *compile.Cache) (int64, error) {
+	cp, _, err := compile.Compile(c, compile.Config{
+		Fuse: spec.fuse, Sched: spec.sched, PEs: spec.pes, Cache: plans,
+	})
+	if err != nil {
+		return 0, err
+	}
+	topo := sched.Topology{PEsPerNode: spec.ppn}
+	var inter int64
+	for _, ex := range cp.Exchanges {
+		if ex == nil {
+			continue
+		}
+		_, ib, _ := ex.NodeSplit(cp.PEs, topo)
+		inter += ib
+	}
+	return inter, nil
 }
 
 // vqeSweepPoints sizes the plan-cache trajectory workload; with one

@@ -41,6 +41,7 @@ func main() {
 		listNames   = flag.Bool("list", false, "list available named workloads and exit")
 		backendName = flag.String("backend", "single", "backend: single | threaded | scale-up | scale-out | mpi | remap")
 		pes         = flag.Int("pes", 1, "device/PE/rank count for distributed backends (power of two)")
+		ppn         = flag.Int("ppn", 0, "PEs per node (power of two): group the fleet into nodes and run remaps as hierarchical two-level exchanges (0 = flat; bit-identical either way)")
 		coalesced   = flag.Bool("coalesced", false, "use coalesced bulk transfers in the scale-out backend")
 		schedName   = flag.String("sched", "naive", "gate schedule for distributed backends: naive | lazy (communication-avoiding remap)")
 		style       = flag.String("style", "vector", "kernel loop style: scalar | vector")
@@ -85,6 +86,10 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	topo := sched.Topology{PEsPerNode: *ppn}
+	if err := topo.Validate(); err != nil {
+		fatal(err)
+	}
 
 	opts := runOpts{
 		backend: *backendName, pes: *pes, sched: string(policy), seed: *seed, fuse: *fuse,
@@ -114,7 +119,8 @@ func main() {
 	}
 	if *backendName == "remap" {
 		mcfg := mpibase.Config{Ranks: *pes, Seed: *seed, Style: ks, Fuse: *fuse,
-			Trace: telemetry.tracer, Metrics: telemetry.metrics, Flight: telemetry.flight}
+			Topology: topo,
+			Trace:    telemetry.tracer, Metrics: telemetry.metrics, Flight: telemetry.flight}
 		telemetry.beginRun("remap", c.Name, *pes)
 		res, err := mpibase.NewRemap(mcfg).Run(c)
 		if err != nil {
@@ -122,6 +128,10 @@ func main() {
 		}
 		fmt.Printf("circuit : %s\n", c.Summary())
 		fmt.Printf("backend : remap (%d ranks, %d bit swaps)\n", res.Ranks, res.BitSwaps)
+		if topo.Enabled() {
+			fmt.Printf("topology: %d PEs/node, %d folded remap(s), intra=%dB inter=%dB\n",
+				topo.PEsPerNode, res.Folded, res.IntraBytes, res.InterBytes)
+		}
 		fmt.Printf("elapsed : %v\n", res.Elapsed)
 		printCompile(res.Compile, *fuse)
 		fmt.Printf("mpi     : %s\n", res.MPI)
@@ -133,7 +143,7 @@ func main() {
 	var backend core.Backend
 	cfg := core.Config{
 		Seed: *seed, Style: ks, PEs: *pes, Coalesced: *coalesced, Fuse: *fuse,
-		Tile: *tile, TileBits: *tileBits,
+		Tile: *tile, TileBits: *tileBits, Topology: topo,
 		Sched: policy, Trace: telemetry.tracer, Metrics: telemetry.metrics,
 		Flight:          telemetry.flight,
 		CheckpointEvery: opts.checkpointEvery, CheckpointDir: opts.checkpointDir,
@@ -166,6 +176,10 @@ func main() {
 		res.SV.Gates, res.SV.AmpsTouched, res.SV.BytesTouched, res.SV.Sweeps)
 	if res.PEs > 1 {
 		fmt.Printf("comm    : %s\n", res.Comm)
+	}
+	if topo.Enabled() && res.PEs > 1 {
+		fmt.Printf("topology: %d PEs/node, %d exchange phase(s), intra=%dB inter=%dB\n",
+			topo.PEsPerNode, res.ExchangePhases, res.IntraBytes, res.InterBytes)
 	}
 	if res.Ckpt.Count > 0 || res.Recoveries > 0 {
 		fmt.Printf("ckpt    : %d checkpoint(s), %d bytes, %d recoveries\n", res.Ckpt.Count, res.Ckpt.Bytes, res.Recoveries)

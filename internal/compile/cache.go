@@ -19,6 +19,7 @@ type entry struct {
 	boundaries []int
 	plan       *sched.Plan
 	exchanges  []*sched.Exchange
+	twoLevels  []*sched.TwoLevel
 	permTrace  []circuit.Permutation
 	skeletonFP uint64
 	planFP     uint64

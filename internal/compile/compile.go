@@ -69,6 +69,13 @@ type Config struct {
 	// TileBits overrides the tile size exponent when > 0; zero derives
 	// it from the plan's target-qubit strides. Ignored unless Tile.
 	TileBits int
+	// Topo, when enabled, annotates the plan with the fleet's node
+	// structure: remap steps gain a hierarchical two-level realization
+	// (intra-node phase, then minimal inter-node phase) and provably
+	// data-free initial remaps are folded into the starting layout. The
+	// schedule itself is unchanged — same steps, same swaps, same plan
+	// fingerprint — so checkpoints interoperate with flat plans.
+	Topo sched.Topology
 	// Cache, when non-nil, memoizes plans keyed on the circuit skeleton
 	// so parameter re-binds skip planning.
 	Cache *Cache
@@ -92,6 +99,14 @@ type CompiledPlan struct {
 	// parallel to Plan.Steps; nil except at remap steps, and nil
 	// entirely for single-partition compiles.
 	Exchanges []*sched.Exchange
+	// TwoLevels holds the hierarchical two-level realization per plan
+	// step, parallel to Plan.Steps; nil except at remap steps of a
+	// multi-partition compile with Config.Topo enabled. Executors that
+	// find a non-nil entry run the intra phase then the inter phase in
+	// place of the flat exchange at the same step.
+	TwoLevels []*sched.TwoLevel
+	// Topo is the node topology the plan was compiled for (zero = flat).
+	Topo sched.Topology
 	// Spans maps each executable op to the source-op range it was fused
 	// from; nil when fusion is off.
 	Spans []fusion.Span
@@ -151,11 +166,14 @@ func Compile(c *circuit.Circuit, cfg Config) (*CompiledPlan, Stats, error) {
 	if localBits < 0 {
 		return nil, Stats{}, fmt.Errorf("compile: %d PEs need at least %d qubits (have %d)", p, log2(p), n)
 	}
+	if err := cfg.Topo.Validate(); err != nil {
+		return nil, Stats{}, err
+	}
 	// Block-aware fusion only matters when remaps can actually occur.
 	blockAware := cfg.Fuse && pol == sched.Lazy && localBits < n
 
 	var st Stats
-	key := cacheKey(SkeletonFingerprint(c), cfg.Fuse, pol, p, localBits)
+	key := cacheKey(SkeletonFingerprint(c), cfg.Fuse, pol, p, localBits, cfg.Topo.PEsPerNode)
 	owner := false
 	if cfg.Cache != nil {
 		// Single-flight lookup loop: a verified hit returns immediately;
@@ -248,6 +266,8 @@ func tryCached(c *circuit.Circuit, cfg Config, key uint64, pol sched.Policy, p, 
 		Classes:     classes,
 		Plan:        e.plan,
 		Exchanges:   e.exchanges,
+		TwoLevels:   e.twoLevels,
+		Topo:        cfg.Topo,
 		Spans:       spans,
 		Boundaries:  e.boundaries,
 		PermTrace:   e.permTrace,
@@ -294,7 +314,7 @@ func compileFresh(c *circuit.Circuit, cfg Config, pol sched.Policy, p, localBits
 	st.ClassifyNS = time.Since(tc).Nanoseconds()
 
 	tp := time.Now()
-	plan, err := sched.Build(exec, localBits, pol)
+	plan, err := sched.BuildTopo(exec, localBits, pol, cfg.Topo)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -302,15 +322,22 @@ func compileFresh(c *circuit.Circuit, cfg Config, pol sched.Policy, p, localBits
 
 	te := time.Now()
 	var exchanges []*sched.Exchange
+	var twoLevels []*sched.TwoLevel
 	var permTrace []circuit.Permutation
 	if p > 1 {
 		exchanges = make([]*sched.Exchange, len(plan.Steps))
+		if cfg.Topo.Enabled() {
+			twoLevels = make([]*sched.TwoLevel, len(plan.Steps))
+		}
 		perm := circuit.IdentityPermutation(n)
 		for si := range plan.Steps {
 			step := &plan.Steps[si]
 			switch step.Kind {
 			case sched.StepRemap:
 				exchanges[si] = sched.NewExchange(step.Swaps, n, localBits, p)
+				if twoLevels != nil {
+					twoLevels[si] = sched.SplitExchange(step.Swaps, n, localBits, p, cfg.Topo)
+				}
 				for _, sw := range step.Swaps {
 					perm.SwapPhysical(sw.Global, sw.Local)
 				}
@@ -331,6 +358,8 @@ func compileFresh(c *circuit.Circuit, cfg Config, pol sched.Policy, p, localBits
 		Classes:     classes,
 		Plan:        plan,
 		Exchanges:   exchanges,
+		TwoLevels:   twoLevels,
+		Topo:        cfg.Topo,
 		Spans:       spans,
 		Boundaries:  boundaries,
 		PermTrace:   permTrace,
@@ -348,6 +377,7 @@ func compileFresh(c *circuit.Circuit, cfg Config, pol sched.Policy, p, localBits
 		boundaries: boundaries,
 		plan:       plan,
 		exchanges:  exchanges,
+		twoLevels:  twoLevels,
 		permTrace:  permTrace,
 		skeletonFP: skel,
 		planFP:     cp.PlanFP,
@@ -495,7 +525,7 @@ func demandSignature(c *circuit.Circuit, classes []*gate.Class, n, localBits int
 	return h.sum()
 }
 
-func cacheKey(skeleton uint64, fuse bool, pol sched.Policy, pes, localBits int) uint64 {
+func cacheKey(skeleton uint64, fuse bool, pol sched.Policy, pes, localBits, pesPerNode int) uint64 {
 	h := newHash()
 	h.u64(skeleton)
 	if fuse {
@@ -506,6 +536,9 @@ func cacheKey(skeleton uint64, fuse bool, pol sched.Policy, pes, localBits int) 
 	h.str(string(pol))
 	h.u64(uint64(pes))
 	h.u64(uint64(localBits))
+	// Topology-annotated plans cache separately: the step list is shared
+	// in spirit, but the Folded marks and TwoLevels artifacts are not.
+	h.u64(uint64(pesPerNode))
 	return h.sum()
 }
 

@@ -1,0 +1,145 @@
+package compile
+
+import (
+	"math/rand"
+	"testing"
+
+	"svsim/internal/circuit"
+	"svsim/internal/sched"
+)
+
+// globalFirstCircuit opens on the highest qubit so the lazy schedule
+// emits a remap before any gate executes (the foldable kind), then runs
+// a local body and demands locality again so a second, unfoldable remap
+// follows.
+func globalFirstCircuit(n int) *circuit.Circuit {
+	c := circuit.New("globalfirst", n)
+	c.H(n - 1)
+	for q := 0; q < n; q++ {
+		c.H(q)
+		c.T(q)
+	}
+	for q := 0; q < n-1; q++ {
+		c.CX(q, q+1)
+	}
+	c.H(n - 1)
+	return c
+}
+
+// TestCompileTopoArtifacts checks the topology-annotated compile: every
+// remap step of a multi-partition plan carries a TwoLevel realization,
+// initial remaps are folded, and — crucially for checkpoint interop —
+// the plan fingerprint is identical to the flat compile's, since the
+// topology changes how exchanges are realized, never what the schedule
+// does.
+func TestCompileTopoArtifacts(t *testing.T) {
+	c := globalFirstCircuit(8)
+	topo := sched.Topology{PEsPerNode: 2}
+	// Fusion off: block-aware fusion can absorb the opening global gate
+	// into a later block, and the fold assertions need the up-front remap.
+	flat, _, err := Compile(c, Config{Sched: sched.Lazy, PEs: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, _, err := Compile(c, Config{Sched: sched.Lazy, PEs: 8, Topo: topo})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.PlanFP != flat.PlanFP {
+		t.Fatal("topology changed the plan fingerprint; checkpoints would not interoperate")
+	}
+	if cp.Topo != topo {
+		t.Fatalf("plan topology %+v, want %+v", cp.Topo, topo)
+	}
+	if len(cp.TwoLevels) != len(cp.Plan.Steps) {
+		t.Fatalf("TwoLevels length %d, want one per step (%d)", len(cp.TwoLevels), len(cp.Plan.Steps))
+	}
+	if cp.Plan.Folded == 0 {
+		t.Fatal("circuit opens on a global qubit; expected a folded initial remap")
+	}
+	if cp.Plan.Folded == cp.Plan.Remaps {
+		t.Fatal("every remap folded; the fold rule must stop at the first gate")
+	}
+	remaps := 0
+	for si, st := range cp.Plan.Steps {
+		if st.Kind == sched.StepRemap {
+			remaps++
+			if cp.TwoLevels[si] == nil {
+				t.Fatalf("remap step %d has no two-level realization", si)
+			}
+			if cp.TwoLevels[si].Phases() == 0 {
+				t.Fatalf("remap step %d split into zero phases", si)
+			}
+		} else if cp.TwoLevels[si] != nil {
+			t.Fatalf("non-remap step %d carries a two-level realization", si)
+		}
+	}
+	if remaps == 0 {
+		t.Fatal("plan has no remaps; test circuit too local")
+	}
+	if flat.TwoLevels != nil {
+		t.Fatal("flat compile grew TwoLevels")
+	}
+}
+
+// TestCompileTopoCacheSeparation checks that topology-annotated plans
+// occupy distinct cache slots: a flat hit must never hand back a plan
+// with Folded marks or TwoLevels, and vice versa.
+func TestCompileTopoCacheSeparation(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	cache := NewCache(DefaultCacheSize)
+	c := testAnsatz(8, randomParams(rng, 5))
+	topo := sched.Topology{PEsPerNode: 4}
+
+	flat, st1, err := Compile(c, Config{Fuse: true, Sched: sched.Lazy, PEs: 8, Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st1.CacheHit {
+		t.Fatal("cold cache reported a hit")
+	}
+	topoCP, st2, err := Compile(c, Config{Fuse: true, Sched: sched.Lazy, PEs: 8, Cache: cache, Topo: topo})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.CacheHit {
+		t.Fatal("topology compile hit the flat entry")
+	}
+	if topoCP.TwoLevels == nil {
+		t.Fatal("topology compile missing its TwoLevels artifact")
+	}
+	if flat.TwoLevels != nil {
+		t.Fatal("flat compile carries topology artifacts")
+	}
+	// Re-binding the same shapes hits the matching entries.
+	c2 := testAnsatz(8, randomParams(rng, 5))
+	again, st3, err := Compile(c2, Config{Fuse: true, Sched: sched.Lazy, PEs: 8, Cache: cache, Topo: topo})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st3.CacheHit {
+		t.Fatal("same shape, same topology: expected a cache hit")
+	}
+	if again.TwoLevels == nil {
+		t.Fatal("cache hit dropped the topology artifacts")
+	}
+	_, st4, err := Compile(c2, Config{Fuse: true, Sched: sched.Lazy, PEs: 8, Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st4.CacheHit {
+		t.Fatal("same shape, flat: expected a cache hit on the flat entry")
+	}
+}
+
+// TestCompileTopoValidation rejects unrealizable topologies.
+func TestCompileTopoValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	c := testAnsatz(8, randomParams(rng, 3))
+	if _, _, err := Compile(c, Config{Sched: sched.Lazy, PEs: 8, Topo: sched.Topology{PEsPerNode: 3}}); err == nil {
+		t.Fatal("non-power-of-two PEsPerNode accepted")
+	}
+	if _, _, err := Compile(c, Config{Sched: sched.Lazy, PEs: 8, Topo: sched.Topology{PEsPerNode: -2}}); err == nil {
+		t.Fatal("negative PEsPerNode accepted")
+	}
+}

@@ -95,6 +95,14 @@ type Config struct {
 	// MaxRestarts bounds how many times a run is restarted from its last
 	// checkpoint after a PE failure before giving up with a RunFailure.
 	MaxRestarts int
+	// Topology describes how PEs map onto nodes (PEs-per-node). When
+	// enabled, the lazy executor runs each remap as a hierarchical
+	// two-level exchange — an intra-node phase first, then a minimal
+	// inter-node phase — and elides initial remaps that act on |0...0>.
+	// The schedule, plan fingerprint, and final state are identical to
+	// the flat exchange; only the realization of the data movement (and
+	// its intra/inter accounting) changes. The zero value is flat.
+	Topology sched.Topology
 }
 
 // observed reports whether any observability sink is attached.
@@ -128,6 +136,14 @@ type Result struct {
 	// Compile reports what the circuit-preparation pipeline did for this
 	// run: fusion stats, remap count, plan-cache hit, per-stage times.
 	Compile compile.Stats
+	// IntraBytes and InterBytes split Comm.RemoteBytes by node locality
+	// under Config.Topology: traffic between PEs of the same node vs
+	// node-crossing traffic. Both zero when no topology is configured.
+	IntraBytes int64
+	InterBytes int64
+	// ExchangePhases counts exchange phases executed by two-level remaps
+	// across the run (a flat or folded remap contributes none).
+	ExchangePhases int64
 }
 
 // Backend runs circuits. Implementations: SingleDevice, ScaleUp, ScaleOut.
@@ -192,6 +208,7 @@ func compileCircuit(cfg Config, c *circuit.Circuit, pes int) (*compile.CompiledP
 		TileBits: cfg.TileBits,
 		Cache:    cfg.Plans,
 		Metrics:  cfg.Metrics,
+		Topo:     cfg.Topology,
 	})
 }
 

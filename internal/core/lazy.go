@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -48,7 +49,14 @@ type lazySim struct {
 	label   []string          // per step: trace span label, "" when untraced kind
 	blockOf []int             // per step: 1-based schedule block for attribution
 
-	perPE []lazyRun
+	// Two-level remap state, zero/nil on a flat (topology-less) run.
+	topo    sched.Topology
+	tl      []*sched.TwoLevel // per step: hierarchical split, nil => flat exchange
+	nodeGrp []*pgas.Group     // per node: barrier domain of that node's PEs
+	railGrp []*pgas.Group     // per within-node position: its ranks across nodes
+
+	perPE     []lazyRun
+	phasesRun int64 // exchange phases executed by two-level remaps (rank 0 only)
 
 	ck    *ckptWriter // nil when checkpointing is off
 	start int         // first plan-step index to execute (non-zero on resume)
@@ -58,6 +66,9 @@ type lazySim struct {
 	flight     *obs.FlightRecorder
 	remapBytes *obs.Histogram // per-PE remote bytes of each remap exchange
 	remapCount *obs.Counter
+	intraBytes *obs.Counter // node-local share of remap remote traffic
+	interBytes *obs.Counter // node-crossing share of remap remote traffic
+	exchPhases *obs.Counter // two-level exchange phases executed
 }
 
 // lazyRun is the per-PE mutable state; each PE replays its own copy of
@@ -69,8 +80,12 @@ type lazyRun struct {
 	cbits uint64
 	extra statevec.Stats
 	perm  circuit.Permutation
-	pack  []float64 // remap pack scratch, 2S floats
-	_     [64]byte
+	pack  []float64 // remap pack scratch, 2S floats (two 2B halves when pipelined)
+	// intraBytes/interBytes split this PE's remap remote traffic by node
+	// locality under the run's topology; zero on a flat run.
+	intraBytes int64
+	interBytes int64
+	_          [64]byte
 }
 
 // draw consumes one uniform variate from the replicated stream.
@@ -104,6 +119,8 @@ func newLazySim(name string, cfg Config, cp *compile.CompiledPlan) (*lazySim, er
 	d.plan = cp.Plan
 	d.cls = cp.Classes
 	d.exch = cp.Exchanges
+	d.topo = cp.Topo
+	d.tl = cp.TwoLevels
 
 	d.comm = pgas.NewComm(p)
 	d.comm.SetFault(cfg.Fault)
@@ -117,6 +134,37 @@ func newLazySim(name string, cfg Config, cp *compile.CompiledPlan) (*lazySim, er
 		d.gm = newGateObs(cfg.Metrics)
 		d.remapBytes = cfg.Metrics.Histogram(obs.MetricRemapBytes, obs.SizeBuckets())
 		d.remapCount = cfg.Metrics.Counter(obs.MetricRemapCount)
+		if d.topo.Enabled() {
+			d.intraBytes = cfg.Metrics.Counter(obs.MetricRemoteBytesIntra)
+			d.interBytes = cfg.Metrics.Counter(obs.MetricRemoteBytesInter)
+			d.exchPhases = cfg.Metrics.Counter(obs.MetricExchangePhases)
+		}
+	}
+	if d.topo.Enabled() && p > 1 {
+		// Barrier domains for the two-level exchange: one group per node
+		// (its consecutive ranks) and one per within-node position (its
+		// "rail" of ranks across nodes). Each phase synchronizes only the
+		// ranks it couples instead of stopping the whole fleet.
+		ppn := d.topo.PEsPerNode
+		if ppn > p {
+			ppn = p
+		}
+		d.nodeGrp = make([]*pgas.Group, d.topo.Nodes(p))
+		for nd := range d.nodeGrp {
+			ranks := make([]int, ppn)
+			for i := range ranks {
+				ranks[i] = nd*ppn + i
+			}
+			d.nodeGrp[nd] = d.comm.Group(ranks)
+		}
+		d.railGrp = make([]*pgas.Group, ppn)
+		for w := range d.railGrp {
+			var ranks []int
+			for r := w; r < p; r += ppn {
+				ranks = append(ranks, r)
+			}
+			d.railGrp[w] = d.comm.Group(ranks)
+		}
 	}
 	d.svRe = d.comm.NewSymF64(d.S)
 	d.svIm = d.comm.NewSymF64(d.S)
@@ -248,15 +296,32 @@ func (d *lazySim) run() (*Result, error) {
 				}
 				continue
 			}
-			// Remap step: always executed, always on every PE. The traced
-			// variant replaces the single remap span with pack/wire/
-			// barrier/unpack sub-spans so phase attribution sees inside
-			// the exchange (the parent span would double-count).
+			// Remap step: always executed, always on every PE. A folded
+			// remap acts on |0...0>, which every bit permutation fixes,
+			// so its data movement is elided and only the permutation
+			// bookkeeping applies. The traced variants replace the single
+			// remap span with pack/wire/barrier/unpack sub-spans so phase
+			// attribution sees inside the exchange (the parent span would
+			// double-count).
+			if st.Folded {
+				for _, sw := range st.Swaps {
+					run.perm.SwapPhysical(sw.Global, sw.Local)
+				}
+				d.flight.Record(pe.Rank, obs.EventRemap, d.label[si]+" folded", 0)
+				continue
+			}
 			ex := d.exch[si]
+			tl := d.twoLevelAt(si)
 			c0 := d.comm.StatsOf(pe.Rank)
-			if trk != nil {
+			i0, e0 := run.intraBytes, run.interBytes
+			switch {
+			case tl != nil && trk != nil:
+				d.execRemapTwoLevelTraced(pe, run, tl, trk, d.label[si], d.blockOf[si])
+			case tl != nil:
+				d.execRemapTwoLevel(pe, run, tl)
+			case trk != nil:
 				d.execRemapTraced(pe, run, ex, trk, d.label[si], d.blockOf[si])
-			} else {
+			default:
 				d.execRemap(pe, run, ex)
 			}
 			for _, sw := range st.Swaps {
@@ -264,8 +329,15 @@ func (d *lazySim) run() (*Result, error) {
 			}
 			c1 := d.comm.StatsOf(pe.Rank)
 			d.remapBytes.Observe(float64(c1.RemoteBytes - c0.RemoteBytes))
+			d.intraBytes.Add(run.intraBytes - i0)
+			d.interBytes.Add(run.interBytes - e0)
 			if pe.Rank == 0 {
 				d.remapCount.Add(1)
+				if tl != nil {
+					ph := int64(tl.Phases())
+					d.phasesRun += ph
+					d.exchPhases.Add(ph)
+				}
 			}
 			d.flight.Record(pe.Rank, obs.EventRemap, d.label[si], c1.RemoteBytes-c0.RemoteBytes)
 		}
@@ -302,7 +374,10 @@ func (d *lazySim) run() (*Result, error) {
 	for r := range d.perPE {
 		res.SV.Add(d.perPE[r].local.Stats)
 		res.SV.Add(d.perPE[r].extra)
+		res.IntraBytes += d.perPE[r].intraBytes
+		res.InterBytes += d.perPE[r].interBytes
 	}
+	res.ExchangePhases = d.phasesRun
 	if d.trace != nil || d.gm != nil {
 		res.Mem = obs.TakeMemSnapshot()
 	}
@@ -523,6 +598,245 @@ func (d *lazySim) execRemapTraced(pe *pgas.PE, run *lazyRun, ex *sched.Exchange,
 	pe.Barrier()
 	trk.SpanAt(label+" barrier", b1, time.Now(), obs.SpanArgs{
 		Kind: "barrier", Phase: obs.PhaseBarrier, Block: block, Barriers: 1})
+}
+
+// twoLevelAt returns the hierarchical split of a remap step, nil when
+// the step (or the whole run) executes the flat exchange.
+func (d *lazySim) twoLevelAt(si int) *sched.TwoLevel {
+	if si < len(d.tl) {
+		return d.tl[si]
+	}
+	return nil
+}
+
+// phaseGroup returns the barrier domain one exchange phase couples: the
+// PE's node group for the intra phase, its rail — the ranks holding the
+// same within-node position across all nodes — for the inter phase.
+func (d *lazySim) phaseGroup(rank int, intra bool) *pgas.Group {
+	if intra {
+		return d.nodeGrp[d.topo.Node(rank)]
+	}
+	return d.railGrp[rank%len(d.railGrp)]
+}
+
+// execRemapTwoLevel performs one remap as the hierarchical two-level
+// exchange: the intra-node phase first (all its compatible pairs share a
+// node), then the minimal inter-node phase. The phases realize disjoint
+// transpositions, so their composition lands every amplitude exactly
+// where the flat exchange would — bit-identically — while the fleet-wide
+// stop-the-world barriers of the flat path are replaced by per-phase
+// group synchronization over only the ranks each phase couples.
+func (d *lazySim) execRemapTwoLevel(pe *pgas.PE, run *lazyRun, tl *sched.TwoLevel) {
+	if tl.Intra != nil {
+		d.execPhase(pe, run, tl.Intra, d.phaseGroup(pe.Rank, true), true)
+	}
+	if tl.Inter != nil {
+		d.execPhase(pe, run, tl.Inter, d.phaseGroup(pe.Rank, false), false)
+	}
+}
+
+// execPhase runs one phase of a two-level remap over its barrier group.
+// The per-phase protocol is: entry group barrier, pipelined pack+put,
+// mid group barrier (all of this phase's blocks have landed), unpack —
+// and no exit barrier, because the next phase's (or the next remap's)
+// entry barrier already orders every later write into this PE's staging
+// area after the unpack reads below. The entry barrier is what makes the
+// single staging buffer safe: a peer can only reach its puts after every
+// member of the group — in particular every PE it targets — has finished
+// reading its staging from the previous phase.
+//
+// The pack/put loop is double-buffered: block k+1 is packed into the
+// half of the scratch buffer the in-flight put is not reading, then
+// put k is joined and put k+1 launched, so the pack of block k+1
+// overlaps the wire transfer of block k. Every phase exchange moves at
+// least one local bit out, so 2 blocks fit the 2S-float scratch.
+func (d *lazySim) execPhase(pe *pgas.PE, run *lazyRun, ex *sched.Exchange, grp *pgas.Group, intra bool) {
+	s := pe.Rank
+	re, im := run.local.Re, run.local.Im
+	B := ex.BlockLen
+	grp.Barrier(pe)
+	var join func()
+	half := 0
+	for dst := 0; dst < d.p; dst++ {
+		if !ex.Compat[s][dst] {
+			continue
+		}
+		pinned := ex.PinnedVal(dst, d.localBits)
+		buf := run.pack[half : half+2*B]
+		for t := 0; t < B; t++ {
+			i := pinned | sched.Spread(t, ex.FreeBits)
+			buf[t] = re[i]
+			buf[B+t] = im[i]
+		}
+		if join != nil {
+			join()
+		}
+		join = d.asyncPut(pe, dst, 2*ex.OffElems[s][dst], buf)
+		half ^= 2 * B
+		if dst != s {
+			if intra {
+				run.intraBytes += int64(2*B) * 8
+			} else {
+				run.interBytes += int64(2*B) * 8
+			}
+		}
+	}
+	if join != nil {
+		join()
+	}
+	grp.Barrier(pe)
+	stg := d.stage.PartitionUnsafe(s)
+	for src := 0; src < d.p; src++ {
+		if !ex.Compat[src][s] {
+			continue
+		}
+		off := 2 * ex.OffElems[src][s]
+		base := ex.InBase[src]
+		for t := 0; t < B; t++ {
+			j := base | sched.Spread(t, ex.ImgFree)
+			re[j] = stg[off+t]
+			im[j] = stg[off+B+t]
+		}
+	}
+	run.extra.AmpsTouched += 2 * int64(d.S)
+	run.extra.BytesTouched += 2 * int64(d.S) * 16
+}
+
+// asyncPut issues pe.PutV from a helper goroutine so the caller can pack
+// the next block while this one is on the wire, returning the join that
+// must run before the buffer half is reused. At most one put is ever in
+// flight per PE (the caller joins before launching the next), so the
+// PE's statistics stay effectively single-writer, and the channel
+// handoff publishes them back to the PE goroutine. A failure inside the
+// put (an injected kill, an exhausted retry budget) unwinds the helper;
+// join re-raises it on the PE goroutine so the abort reaches
+// RunChecked's recover.
+func (d *lazySim) asyncPut(pe *pgas.PE, dst, off int, buf []float64) func() {
+	done := make(chan any, 1)
+	go func() {
+		defer func() { done <- recover() }()
+		pe.PutV(d.stage, dst, off, buf)
+	}()
+	return func() {
+		if rec := <-done; rec != nil {
+			panic(rec)
+		}
+	}
+}
+
+// execRemapTwoLevelTraced is execRemapTwoLevel with phase-attributed
+// sub-spans from execPhaseTraced.
+func (d *lazySim) execRemapTwoLevelTraced(pe *pgas.PE, run *lazyRun, tl *sched.TwoLevel, trk *obs.Track, label string, block int) {
+	if tl.Intra != nil {
+		d.execPhaseTraced(pe, run, tl.Intra, d.phaseGroup(pe.Rank, true), true, trk, label, block)
+	}
+	if tl.Inter != nil {
+		d.execPhaseTraced(pe, run, tl.Inter, d.phaseGroup(pe.Rank, false), false, trk, label, block)
+	}
+}
+
+// execPhaseTraced is execPhase with per-block spans: each destination
+// block gets a pack span (the buffer fill) and a wire span (put launch
+// to join), labeled pack.intra/wire.intra or pack.inter/wire.inter so
+// attribution separates same-node from node-crossing exchange time. The
+// span timeline exhibits the pipeline directly — the pack span of block
+// k+1 starts before the wire span of block k ends, because put k is
+// joined only after block k+1 is packed. Barriers and the unpack get
+// spans as in the flat traced remap.
+func (d *lazySim) execPhaseTraced(pe *pgas.PE, run *lazyRun, ex *sched.Exchange, grp *pgas.Group, intra bool, trk *obs.Track, label string, block int) {
+	s := pe.Rank
+	re, im := run.local.Re, run.local.Im
+	B := ex.BlockLen
+	phPack, phWire, sub := obs.PhasePackInter, obs.PhaseWireInter, " inter"
+	if intra {
+		phPack, phWire, sub = obs.PhasePackIntra, obs.PhaseWireIntra, " intra"
+	}
+	b0 := time.Now()
+	grp.Barrier(pe)
+	trk.SpanAt(label+sub+" barrier", b0, time.Now(), obs.SpanArgs{
+		Kind: "barrier", Phase: obs.PhaseBarrier, Block: block, Barriers: 1})
+	// Pack and wire spans interleave out of start order (the wire span of
+	// block k ends only after block k+1 is packed), so they are buffered
+	// and flushed sorted to keep the track's nondecreasing-start contract.
+	type pendingSpan struct {
+		name       string
+		start, end time.Time
+		args       obs.SpanArgs
+	}
+	var spans []pendingSpan
+	var join func()
+	var wStart time.Time
+	var wc0 pgas.Stats
+	finish := func() {
+		join()
+		c1 := d.comm.StatsOf(s)
+		spans = append(spans, pendingSpan{label + sub + " wire", wStart, time.Now(), obs.SpanArgs{
+			Kind: "wire", Phase: phWire, Block: block,
+			LocalBytes:  c1.LocalBytes - wc0.LocalBytes,
+			RemoteBytes: c1.RemoteBytes - wc0.RemoteBytes,
+			LocalMsgs:   (c1.LocalGets + c1.LocalPuts) - (wc0.LocalGets + wc0.LocalPuts),
+			RemoteMsgs:  c1.RemoteMessages() - wc0.RemoteMessages(),
+		}})
+	}
+	half := 0
+	for dst := 0; dst < d.p; dst++ {
+		if !ex.Compat[s][dst] {
+			continue
+		}
+		pinned := ex.PinnedVal(dst, d.localBits)
+		buf := run.pack[half : half+2*B]
+		p0 := time.Now()
+		for t := 0; t < B; t++ {
+			i := pinned | sched.Spread(t, ex.FreeBits)
+			buf[t] = re[i]
+			buf[B+t] = im[i]
+		}
+		spans = append(spans, pendingSpan{label + sub + " pack", p0, time.Now(), obs.SpanArgs{
+			Kind: "pack", Phase: phPack, Block: block, PackBytes: int64(2*B) * 8}})
+		if join != nil {
+			finish()
+		}
+		wc0 = d.comm.StatsOf(s)
+		wStart = time.Now()
+		join = d.asyncPut(pe, dst, 2*ex.OffElems[s][dst], buf)
+		half ^= 2 * B
+		if dst != s {
+			if intra {
+				run.intraBytes += int64(2*B) * 8
+			} else {
+				run.interBytes += int64(2*B) * 8
+			}
+		}
+	}
+	if join != nil {
+		finish()
+	}
+	sort.SliceStable(spans, func(i, j int) bool { return spans[i].start.Before(spans[j].start) })
+	for _, sp := range spans {
+		trk.SpanAt(sp.name, sp.start, sp.end, sp.args)
+	}
+	mb0 := time.Now()
+	grp.Barrier(pe)
+	trk.SpanAt(label+sub+" barrier", mb0, time.Now(), obs.SpanArgs{
+		Kind: "barrier", Phase: obs.PhaseBarrier, Block: block, Barriers: 1})
+	stg := d.stage.PartitionUnsafe(s)
+	u0 := time.Now()
+	for src := 0; src < d.p; src++ {
+		if !ex.Compat[src][s] {
+			continue
+		}
+		off := 2 * ex.OffElems[src][s]
+		base := ex.InBase[src]
+		for t := 0; t < B; t++ {
+			j := base | sched.Spread(t, ex.ImgFree)
+			re[j] = stg[off+t]
+			im[j] = stg[off+B+t]
+		}
+	}
+	trk.SpanAt(label+sub+" unpack", u0, time.Now(), obs.SpanArgs{
+		Kind: "unpack", Phase: obs.PhaseUnpack, Block: block})
+	run.extra.AmpsTouched += 2 * int64(d.S)
+	run.extra.BytesTouched += 2 * int64(d.S) * 16
 }
 
 // measure performs a distributed projective measurement of logical qubit

@@ -37,6 +37,13 @@ type RemapResult struct {
 	Result
 	BitSwaps int64 // global-local bit swaps performed
 	Remaps   int64 // remap exchanges (a remap batches >= 1 swaps)
+	// IntraBytes and InterBytes split the two-sided message volume by
+	// node locality under Config.Topology; both zero on a flat run.
+	IntraBytes int64
+	InterBytes int64
+	// Folded counts remap steps whose data movement was elided because
+	// they act on |0...0> (topology runs only).
+	Folded int64
 }
 
 // Run executes the circuit and returns the gathered, un-permuted result.
@@ -68,6 +75,7 @@ func (s *RemapSimulator) Run(c *circuit.Circuit) (*RemapResult, error) {
 		PEs:     p,
 		Cache:   s.cfg.Plans,
 		Metrics: s.cfg.Metrics,
+		Topo:    s.cfg.Topology,
 	})
 	if err != nil {
 		return nil, err
@@ -76,7 +84,7 @@ func (s *RemapSimulator) Run(c *circuit.Circuit) (*RemapResult, error) {
 	plan := cp.Plan
 	cls := cp.Classes
 
-	eng := &remapEngine{n: n, p: p, S: S, localBits: localBits}
+	eng := &remapEngine{n: n, p: p, S: S, localBits: localBits, topo: cp.Topo}
 
 	eng.re = make([][]float64, p)
 	eng.im = make([][]float64, p)
@@ -117,12 +125,24 @@ func (s *RemapSimulator) Run(c *circuit.Circuit) (*RemapResult, error) {
 			case sched.StepAlias:
 				run.perm.SwapLogical(st.A, st.B)
 			case sched.StepRemap:
-				c0 := comm.StatsOf(r.R)
 				label := remapStepLabel(st.Swaps)
+				// A folded remap acts on |0...0>, which every bit
+				// permutation fixes: only the bookkeeping applies.
+				if st.Folded {
+					for _, sw := range st.Swaps {
+						run.perm.SwapPhysical(sw.Global, sw.Local)
+					}
+					s.cfg.Flight.Record(r.R, obs.EventRemap, label+" folded", 0)
+					continue
+				}
+				c0 := comm.StatsOf(r.R)
+				// Under a topology the disjoint (and therefore commuting)
+				// swaps run intra-node first, so the node-crossing links
+				// carry messages only for the swaps that genuinely cross.
 				// The traced variant replaces the single remap span with
 				// per-swap pack/wire/unpack sub-spans plus a barrier span,
 				// so phase attribution sees inside the exchange.
-				for _, sw := range st.Swaps {
+				for _, sw := range orderIntraFirst(st.Swaps, localBits, eng.topo) {
 					if trk != nil {
 						eng.swapBitsTraced(r, run, sw.Global, sw.Local, trk, label, blockOf[si])
 					} else {
@@ -172,7 +192,11 @@ func (s *RemapSimulator) Run(c *circuit.Circuit) (*RemapResult, error) {
 		st.Re[x] = eng.re[phys>>uint(localBits)][phys&(S-1)]
 		st.Im[x] = eng.im[phys>>uint(localBits)][phys&(S-1)]
 	}
-	res := &RemapResult{BitSwaps: int64(plan.BitSwaps), Remaps: int64(plan.Remaps)}
+	res := &RemapResult{
+		BitSwaps: int64(plan.BitSwaps),
+		Remaps:   int64(plan.Remaps),
+		Folded:   int64(plan.Folded),
+	}
 	res.State = st
 	res.Compile = cst
 	res.Cbits = runs[0].cbits
@@ -182,11 +206,36 @@ func (s *RemapSimulator) Run(c *circuit.Circuit) (*RemapResult, error) {
 	for r := range runs {
 		res.SV.Add(runs[r].local.Stats)
 		res.SV.Add(runs[r].extra)
+		res.IntraBytes += runs[r].intraBytes
+		res.InterBytes += runs[r].interBytes
 	}
 	if s.cfg.Trace != nil || s.cfg.Metrics != nil {
 		res.Mem = obs.TakeMemSnapshot()
 	}
 	return res, nil
+}
+
+// orderIntraFirst returns a remap's swaps with the intra-node ones
+// first. The scheduler emits disjoint transpositions, so they commute
+// and any order lands the amplitudes identically; the order only decides
+// which links the pairwise exchanges traverse when. With topology
+// disabled the swaps come back unchanged.
+func orderIntraFirst(swaps []sched.Swap, localBits int, topo sched.Topology) []sched.Swap {
+	if !topo.Enabled() {
+		return swaps
+	}
+	out := make([]sched.Swap, 0, len(swaps))
+	for _, sw := range swaps {
+		if !topo.InterBit(sw.Global, localBits) {
+			out = append(out, sw)
+		}
+	}
+	for _, sw := range swaps {
+		if topo.InterBit(sw.Global, localBits) {
+			out = append(out, sw)
+		}
+	}
+	return out
 }
 
 func remapStepLabel(swaps []sched.Swap) string {
@@ -212,12 +261,17 @@ type remapRun struct {
 	cbits uint64
 	extra statevec.Stats
 	perm  circuit.Permutation
-	_     [64]byte
+	// intraBytes/interBytes split this rank's remap message volume by
+	// node locality under the run's topology; zero on a flat run.
+	intraBytes int64
+	interBytes int64
+	_          [64]byte
 }
 
 type remapEngine struct {
 	n, p, S, localBits int
 	re, im             [][]float64
+	topo               sched.Topology
 }
 
 // execOp applies one circuit op at its current physical positions. The
@@ -278,6 +332,7 @@ func (e *remapEngine) swapBits(r *Rank, run *remapRun, gBit, lBit int) {
 		}
 	}
 	r.notePack(int64(e.S) * 8)
+	e.noteLocality(run, r.R, partner)
 	in := r.SendRecv(partner, buf)
 	// Unpack into the vacated slots (same enumeration order).
 	k = 0
@@ -292,13 +347,36 @@ func (e *remapEngine) swapBits(r *Rank, run *remapRun, gBit, lBit int) {
 	run.perm.SwapPhysical(gBit, lBit)
 }
 
+// noteLocality attributes one swap's message volume (S floats sent,
+// counted once per rank like MsgBytes) to the intra- or inter-node
+// bucket of the sending rank.
+func (e *remapEngine) noteLocality(run *remapRun, rank, partner int) {
+	if !e.topo.Enabled() {
+		return
+	}
+	if e.topo.SameNode(rank, partner) {
+		run.intraBytes += int64(e.S) * 8
+	} else {
+		run.interBytes += int64(e.S) * 8
+	}
+}
+
 // swapBitsTraced is swapBits with phase-attributed pack/wire/unpack
-// sub-spans on the rank's track.
+// sub-spans on the rank's track; under a topology the pack and wire
+// spans carry the intra/inter sub-bucket of the swap's locality.
 func (e *remapEngine) swapBitsTraced(r *Rank, run *remapRun, gBit, lBit int, trk *obs.Track, label string, block int) {
 	b := gBit - e.localBits
 	beta := r.R >> uint(b) & 1
 	partner := r.R ^ 1<<uint(b)
 
+	phPack, phWire := obs.PhasePack, obs.PhaseWire
+	if e.topo.Enabled() {
+		if e.topo.SameNode(r.R, partner) {
+			phPack, phWire = obs.PhasePackIntra, obs.PhaseWireIntra
+		} else {
+			phPack, phWire = obs.PhasePackInter, obs.PhaseWireInter
+		}
+	}
 	re, im := e.re[r.R], e.im[r.R]
 	buf := make([]float64, e.S) // S/2 re + S/2 im
 	p0 := time.Now()
@@ -311,13 +389,14 @@ func (e *remapEngine) swapBitsTraced(r *Rank, run *remapRun, gBit, lBit int, trk
 		}
 	}
 	r.notePack(int64(e.S) * 8)
+	e.noteLocality(run, r.R, partner)
 	p1 := time.Now()
 	trk.SpanAt(label+" pack", p0, p1, obs.SpanArgs{
-		Kind: "pack", Phase: obs.PhasePack, Block: block, PackBytes: int64(e.S) * 8})
+		Kind: "pack", Phase: phPack, Block: block, PackBytes: int64(e.S) * 8})
 	in := r.SendRecv(partner, buf)
 	w1 := time.Now()
 	trk.SpanAt(label+" wire", p1, w1, obs.SpanArgs{
-		Kind: "wire", Phase: obs.PhaseWire, Block: block,
+		Kind: "wire", Phase: phWire, Block: block,
 		Msgs: 1, MsgBytes: int64(e.S) * 8})
 	k = 0
 	for i := 0; i < e.S; i++ {

@@ -62,6 +62,12 @@ type Config struct {
 	Fault *fault.Injector
 	// MaxRestarts bounds checkpoint restarts after a rank failure.
 	MaxRestarts int
+	// Topology groups ranks into nodes (see sched.Topology). The remap
+	// simulator then orders each remap's bit swaps intra-node first,
+	// elides the folded initial remaps, and splits its message volume
+	// into intra-node and inter-node bytes. The final state is identical
+	// to the flat run; the zero value is flat.
+	Topology sched.Topology
 }
 
 // Result mirrors core.Result for the baseline.

@@ -25,10 +25,18 @@ const (
 	// PhaseTile is cache-blocked tiled group execution (the single-node
 	// -tile path): one span covers a whole gate run replayed tile by
 	// tile, so it is attributed separately from per-gate compute.
-	PhaseTile       = "tile"
-	PhasePack       = "pack"
-	PhaseWire       = "wire"
-	PhaseUnpack     = "unpack"
+	PhaseTile   = "tile"
+	PhasePack   = "pack"
+	PhaseWire   = "wire"
+	PhaseUnpack = "unpack"
+	// Per-exchange-phase sub-buckets of pack and wire, emitted by the
+	// hierarchical two-level remap: the intra-node phase and the minimal
+	// inter-node phase are attributed separately so a report shows where
+	// the exchange time actually goes on a node-structured fleet.
+	PhasePackIntra  = "pack.intra"
+	PhasePackInter  = "pack.inter"
+	PhaseWireIntra  = "wire.intra"
+	PhaseWireInter  = "wire.inter"
 	PhaseBarrier    = "barrier"
 	PhaseCheckpoint = "checkpoint"
 	PhaseOther      = "other"
@@ -37,7 +45,8 @@ const (
 // Phases lists the attribution buckets in canonical display order.
 func Phases() []string {
 	return []string{PhaseCompile, PhaseCompute, PhaseTile, PhasePack,
-		PhaseWire, PhaseUnpack, PhaseBarrier, PhaseCheckpoint, PhaseOther}
+		PhaseWire, PhasePackIntra, PhaseWireIntra, PhasePackInter,
+		PhaseWireInter, PhaseUnpack, PhaseBarrier, PhaseCheckpoint, PhaseOther}
 }
 
 // PEPhases is one PE's wall-time split. PhasesNS sums (with OtherNS

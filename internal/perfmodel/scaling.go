@@ -226,31 +226,60 @@ func estimateFromPlan(cp *compile.CompiledPlan, pesPerNode int) CommEstimate {
 		return est
 	}
 	for i := range cp.Plan.Steps {
-		if cp.Plan.Steps[i].Kind != sched.StepRemap {
+		step := &cp.Plan.Steps[i]
+		if step.Kind != sched.StepRemap {
 			continue
 		}
-		ex := cp.Exchanges[i]
-		blockBytes := int64(ex.BlockLen) * 16
-		for s := 0; s < p; s++ {
-			for d := 0; d < p; d++ {
-				if s == d || !ex.Compat[s][d] {
-					continue
-				}
-				est.RemoteMsgs++
-				est.RemoteBytes += blockBytes
-				if pesPerNode > 0 {
-					if s/pesPerNode == d/pesPerNode {
-						est.IntraNodeBytes += blockBytes
-					} else {
-						est.InterNodeBytes += blockBytes
-						est.InterNodeMsgs++
-					}
+		// A folded remap (initial, acting on |0...0>) moves no data and
+		// synchronizes nothing; the executor skips it entirely.
+		if step.Folded {
+			continue
+		}
+		// A plan compiled under a node topology realizes each remap as
+		// the two-level exchange: price each phase's all-to-all exactly
+		// as the executor runs it (more total bytes than the flat remap,
+		// but the inter-node share shrinks to the minimal residue).
+		if i < len(cp.TwoLevels) && cp.TwoLevels[i] != nil {
+			tl := cp.TwoLevels[i]
+			if tl.Intra != nil {
+				addExchange(&est, tl.Intra, p, pesPerNode)
+			}
+			if tl.Inter != nil {
+				addExchange(&est, tl.Inter, p, pesPerNode)
+			}
+			continue
+		}
+		addExchange(&est, cp.Exchanges[i], p, pesPerNode)
+	}
+	return est
+}
+
+// addExchange prices one all-to-all realization: one coalesced put per
+// compatible remote (src, dst) pair, split by node when pesPerNode > 0,
+// plus the two synchronizations per PE the executor pays per exchange
+// (entry/mid group barriers for a two-level phase, the mid and exit
+// fleet barriers for a flat remap — 2p either way, so the model matches
+// the measured barrier counters exactly in both modes).
+func addExchange(est *CommEstimate, ex *sched.Exchange, p, pesPerNode int) {
+	blockBytes := int64(ex.BlockLen) * 16
+	for s := 0; s < p; s++ {
+		for d := 0; d < p; d++ {
+			if s == d || !ex.Compat[s][d] {
+				continue
+			}
+			est.RemoteMsgs++
+			est.RemoteBytes += blockBytes
+			if pesPerNode > 0 {
+				if s/pesPerNode == d/pesPerNode {
+					est.IntraNodeBytes += blockBytes
+				} else {
+					est.InterNodeBytes += blockBytes
+					est.InterNodeMsgs++
 				}
 			}
 		}
-		est.Barriers += int64(2 * p) // pack/put barrier + unpack barrier
 	}
-	return est
+	est.Barriers += int64(2 * p)
 }
 
 // NetFabric models an inter-node network for the scale-out figures.

@@ -81,6 +81,7 @@ type Comm struct {
 	scratchF   [2][]float64 // double-buffered collective scratch
 	scratchU   [2][]uint64
 	launchOnce sync.Once
+	groupState // sub-communicator barrier registry (group.go)
 
 	// Resilience knobs, nil/zero when off (see resilience.go).
 	inj *fault.Injector

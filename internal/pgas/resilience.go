@@ -155,7 +155,7 @@ func (pe *PE) fail(err error) {
 	default:
 		pe.comm.rec.Record(pe.Rank, obs.EventPEFailure, err.Error(), 0)
 	}
-	pe.comm.bar.setAbort(err)
+	pe.comm.abortAll(err)
 	panic(abortPanic{err})
 }
 
@@ -240,7 +240,7 @@ func (c *Comm) RunChecked(fn func(pe *PE)) error {
 						// A genuine bug: re-panic after aborting the
 						// fleet so the others do not hang while the
 						// process dies.
-						c.bar.setAbort(fmt.Errorf("pgas: PE %d panicked: %v", rank, rec))
+						c.abortAll(fmt.Errorf("pgas: PE %d panicked: %v", rank, rec))
 						panic(rec)
 					}
 					errs[rank] = ap.err

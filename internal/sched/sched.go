@@ -80,6 +80,12 @@ type Step struct {
 	Op    int    // StepGate: index into the circuit's op list
 	Swaps []Swap // StepRemap: bit exchanges, applied in order
 	A, B  int    // StepAlias: logical qubits relabeled
+	// Folded marks a remap whose data movement is provably a no-op and is
+	// elided at execution time: the step precedes every gate step, so the
+	// state is still |0...0> — fixed by any bit permutation — and only the
+	// permutation bookkeeping applies. Set by BuildTopo under an enabled
+	// topology; the flat plan always pays the exchange.
+	Folded bool
 }
 
 // Plan is a scheduled circuit: the step list plus summary statistics and
@@ -94,6 +100,11 @@ type Plan struct {
 	BitSwaps  int // pairwise bit exchanges across all remaps
 	Aliases   int // SWAP gates absorbed as relabelings
 	Final     circuit.Permutation
+	// Topo is the node topology the plan was annotated for; the zero
+	// value means flat (no hierarchical remap planning was applied).
+	Topo Topology
+	// Folded counts remap steps marked Folded (elided data movement).
+	Folded int
 }
 
 // Blocks returns the number of maximal gate runs between remaps.

@@ -1,0 +1,113 @@
+package sched
+
+import (
+	"fmt"
+
+	"svsim/internal/circuit"
+)
+
+// Topology describes the node structure of a PE fleet for hierarchical
+// remap planning: with the state partitioned by high-order bits, ranks
+// are grouped into nodes of PEsPerNode consecutive ranks (the natural
+// placement every launcher uses), so the low log2(PEsPerNode) rank bits
+// select a PE within a node and the remaining rank bits select the node.
+// The zero value disables hierarchical planning (flat fleet).
+type Topology struct {
+	// PEsPerNode is the number of PEs sharing one node (a power of two).
+	// 0 disables topology awareness entirely.
+	PEsPerNode int
+}
+
+// Enabled reports whether a node topology was configured.
+func (t Topology) Enabled() bool { return t.PEsPerNode > 0 }
+
+// Validate checks that the topology is realizable over rank bits: the
+// node boundary must fall on a bit, so PEsPerNode must be a power of two.
+func (t Topology) Validate() error {
+	if t.PEsPerNode < 0 {
+		return fmt.Errorf("sched: negative PEs per node %d", t.PEsPerNode)
+	}
+	if t.PEsPerNode > 0 && t.PEsPerNode&(t.PEsPerNode-1) != 0 {
+		return fmt.Errorf("sched: PEs per node %d is not a power of two", t.PEsPerNode)
+	}
+	return nil
+}
+
+// NodeShift returns log2(PEsPerNode): rank bits below it address a PE
+// within its node, rank bits at or above it address the node.
+func (t Topology) NodeShift() int {
+	s := 0
+	for 1<<uint(s) < t.PEsPerNode {
+		s++
+	}
+	return s
+}
+
+// Node returns the node id of a rank; 0 for a disabled topology.
+func (t Topology) Node(rank int) int {
+	if t.PEsPerNode <= 0 {
+		return 0
+	}
+	return rank / t.PEsPerNode
+}
+
+// SameNode reports whether two ranks share a node. With topology
+// disabled every pair shares the single implicit node.
+func (t Topology) SameNode(a, b int) bool { return t.Node(a) == t.Node(b) }
+
+// Nodes returns the node count of a fleet of p ranks.
+func (t Topology) Nodes(p int) int {
+	if t.PEsPerNode <= 0 || p <= t.PEsPerNode {
+		return 1
+	}
+	return (p + t.PEsPerNode - 1) / t.PEsPerNode
+}
+
+// InterBit reports whether physical bit position g is a node-selecting
+// rank bit under this topology (g >= localBits + NodeShift). A remap
+// swap touching such a bit moves amplitudes across nodes; swaps on
+// lower rank bits stay within a node.
+func (t Topology) InterBit(g, localBits int) bool {
+	if !t.Enabled() {
+		return false
+	}
+	return g >= localBits+t.NodeShift()
+}
+
+// BuildTopo is Build with node-topology annotation: the returned plan
+// records the topology, and remap steps that provably move no data are
+// marked Folded. The step list, swaps, and final permutation are
+// identical to Build's — topology never changes what the schedule does,
+// only how the distributed executors realize each exchange — so the
+// plan fingerprint and checkpoint placement are shared with flat plans.
+func BuildTopo(c *circuit.Circuit, localBits int, policy Policy, topo Topology) (*Plan, error) {
+	if err := topo.Validate(); err != nil {
+		return nil, err
+	}
+	p, err := Build(c, localBits, policy)
+	if err != nil {
+		return nil, err
+	}
+	p.Topo = topo
+	if topo.Enabled() {
+		foldInitialRemaps(p)
+	}
+	return p, nil
+}
+
+// foldInitialRemaps marks remap steps that precede every gate step as
+// Folded: at that point the state is still |0...0> (alias steps only
+// relabel), and index 0 is a fixed point of every bit permutation, so
+// the exchange would copy an array onto itself. The permutation
+// bookkeeping still applies; only the data movement is elided.
+func foldInitialRemaps(p *Plan) {
+	for si := range p.Steps {
+		switch p.Steps[si].Kind {
+		case StepGate:
+			return
+		case StepRemap:
+			p.Steps[si].Folded = true
+			p.Folded++
+		}
+	}
+}

@@ -1,0 +1,109 @@
+package sched
+
+// Hierarchical two-level remap: one flat remap step is a product of
+// disjoint (global, local) bit transpositions, so it factors exactly
+// into an intra-node exchange (swaps whose global bit selects a PE
+// within a node) followed by an inter-node exchange (swaps whose global
+// bit selects the node). Disjoint transpositions commute, so the two
+// phases compose to the flat permutation and the amplitudes land
+// bit-identically — only the realization changes: phase one moves data
+// between same-node PEs only, phase two moves the minimal residue
+// across nodes with each PE sending fewer, larger blocks. This is the
+// preference rule applied to the rank-compatibility matrix: every
+// (src, dst) pair the intra phase can serve stays intra-node, and the
+// inter phase's matrix pins all within-node rank bits, so its pairs
+// differ only in node bits.
+
+// TwoLevel is the hierarchical realization of one remap step.
+type TwoLevel struct {
+	// Topo is the node topology the split was computed for.
+	Topo Topology
+	// IntraSwaps are the step's swaps whose global bit stays within a
+	// node; IntraSwaps followed by InterSwaps equals the flat swap set.
+	IntraSwaps []Swap
+	// InterSwaps are the step's swaps whose global bit selects the node.
+	InterSwaps []Swap
+	// Intra realizes IntraSwaps as an all-to-all whose compatible pairs
+	// are all same-node; nil when the step has no intra-node swaps.
+	Intra *Exchange
+	// Inter realizes InterSwaps; its compatible pairs differ only in
+	// node bits. Nil when the step has no node-crossing swaps.
+	Inter *Exchange
+}
+
+// Phases returns how many exchange phases the split actually executes.
+func (t *TwoLevel) Phases() int {
+	n := 0
+	if t.Intra != nil {
+		n++
+	}
+	if t.Inter != nil {
+		n++
+	}
+	return n
+}
+
+// SplitExchange factors one remap step's swap list into the two-level
+// realization for the given topology. It returns nil — caller falls
+// back to the flat exchange — when the topology is disabled, the fleet
+// has a single PE, or the swaps are not disjoint transpositions (the
+// scheduler only emits disjoint ones; this is a safety net, since the
+// factorization argument needs commutativity).
+func SplitExchange(swaps []Swap, n, localBits, p int, topo Topology) *TwoLevel {
+	if !topo.Enabled() || p <= 1 || !disjointSwaps(swaps) {
+		return nil
+	}
+	tl := &TwoLevel{Topo: topo}
+	for _, sw := range swaps {
+		if topo.InterBit(sw.Global, localBits) {
+			tl.InterSwaps = append(tl.InterSwaps, sw)
+		} else {
+			tl.IntraSwaps = append(tl.IntraSwaps, sw)
+		}
+	}
+	if len(tl.IntraSwaps) > 0 {
+		tl.Intra = NewExchange(tl.IntraSwaps, n, localBits, p)
+	}
+	if len(tl.InterSwaps) > 0 {
+		tl.Inter = NewExchange(tl.InterSwaps, n, localBits, p)
+	}
+	return tl
+}
+
+// disjointSwaps reports whether every global and every local position
+// appears at most once across the swap list (the list is a product of
+// disjoint transpositions, so the swaps commute and partition cleanly).
+func disjointSwaps(swaps []Swap) bool {
+	seenG := make(map[int]bool, len(swaps))
+	seenL := make(map[int]bool, len(swaps))
+	for _, sw := range swaps {
+		if seenG[sw.Global] || seenL[sw.Local] {
+			return false
+		}
+		seenG[sw.Global] = true
+		seenL[sw.Local] = true
+	}
+	return true
+}
+
+// NodeSplit classifies the exchange's one-sided traffic by node
+// locality under a topology: bytes and messages between distinct
+// same-node ranks versus distinct cross-node ranks. Self blocks (the
+// src == dst diagonal) are local memory copies and count in neither.
+func (e *Exchange) NodeSplit(p int, topo Topology) (intraBytes, interBytes, interMsgs int64) {
+	blockBytes := int64(e.BlockLen) * 16
+	for s := 0; s < p; s++ {
+		for d := 0; d < p; d++ {
+			if s == d || !e.Compat[s][d] {
+				continue
+			}
+			if topo.SameNode(s, d) {
+				intraBytes += blockBytes
+			} else {
+				interBytes += blockBytes
+				interMsgs++
+			}
+		}
+	}
+	return intraBytes, interBytes, interMsgs
+}

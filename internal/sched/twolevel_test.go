@@ -1,0 +1,184 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+
+	"svsim/internal/circuit"
+)
+
+// randomDisjointSwaps draws nSwaps transpositions over distinct global
+// and distinct local bit positions, the only shape the scheduler emits.
+func randomDisjointSwaps(rng *rand.Rand, k, localBits, nSwaps int) []Swap {
+	globals := rng.Perm(k)[:nSwaps]
+	locals := rng.Perm(localBits)[:nSwaps]
+	swaps := make([]Swap, nSwaps)
+	for i := range swaps {
+		swaps[i] = Swap{Global: localBits + globals[i], Local: locals[i]}
+	}
+	return swaps
+}
+
+func TestSplitExchangePartitionAndEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 60; trial++ {
+		k := 2 + rng.Intn(3) // 4..16 PEs
+		localBits := 3 + rng.Intn(3)
+		n := localBits + k
+		p := 1 << uint(k)
+		ppn := 1 << uint(rng.Intn(k+1)) // 1..p PEs per node
+		topo := Topology{PEsPerNode: ppn}
+		nSwaps := 1 + rng.Intn(k)
+		if nSwaps > localBits {
+			nSwaps = localBits
+		}
+		swaps := randomDisjointSwaps(rng, k, localBits, nSwaps)
+
+		tl := SplitExchange(swaps, n, localBits, p, topo)
+		if tl == nil {
+			t.Fatalf("trial %d: split returned nil for enabled topology", trial)
+		}
+		if got := len(tl.IntraSwaps) + len(tl.InterSwaps); got != len(swaps) {
+			t.Fatalf("trial %d: partition lost swaps: %d+%d != %d",
+				trial, len(tl.IntraSwaps), len(tl.InterSwaps), len(swaps))
+		}
+		for _, sw := range tl.IntraSwaps {
+			if topo.InterBit(sw.Global, localBits) {
+				t.Fatalf("trial %d: node-bit swap %v classified intra", trial, sw)
+			}
+		}
+		for _, sw := range tl.InterSwaps {
+			if !topo.InterBit(sw.Global, localBits) {
+				t.Fatalf("trial %d: within-node swap %v classified inter", trial, sw)
+			}
+		}
+		// The intra phase must never pair ranks on different nodes.
+		if tl.Intra != nil {
+			for s := 0; s < p; s++ {
+				for d := 0; d < p; d++ {
+					if tl.Intra.Compat[s][d] && !topo.SameNode(s, d) {
+						t.Fatalf("trial %d: intra phase pairs cross-node ranks %d,%d (ppn=%d)",
+							trial, s, d, ppn)
+					}
+				}
+			}
+		}
+		// The inter phase pins every within-node rank bit: compatible
+		// pairs agree on rank mod PEsPerNode.
+		if tl.Inter != nil {
+			for s := 0; s < p; s++ {
+				for d := 0; d < p; d++ {
+					if tl.Inter.Compat[s][d] && s%ppn != d%ppn {
+						t.Fatalf("trial %d: inter phase pairs ranks %d,%d on different rails (ppn=%d)",
+							trial, s, d, ppn)
+					}
+				}
+			}
+		}
+		// Intra then inter must land every amplitude exactly where the
+		// flat permutation does.
+		v := make([]float64, 1<<uint(n))
+		for i := range v {
+			v[i] = rng.Float64()
+		}
+		got := v
+		if tl.Intra != nil {
+			got = runExchange(tl.Intra, got, localBits, p)
+		}
+		if tl.Inter != nil {
+			got = runExchange(tl.Inter, got, localBits, p)
+		}
+		want := applySwapsDirect(v, swaps)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d (n=%d p=%d ppn=%d swaps=%v): element %d = %g, want %g",
+					trial, n, p, ppn, swaps, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestSplitExchangeFallsBackToFlat(t *testing.T) {
+	swaps := []Swap{{Global: 5, Local: 0}}
+	if tl := SplitExchange(swaps, 7, 5, 4, Topology{}); tl != nil {
+		t.Fatal("disabled topology should not split")
+	}
+	if tl := SplitExchange(swaps, 7, 7, 1, Topology{PEsPerNode: 1}); tl != nil {
+		t.Fatal("single-PE fleet should not split")
+	}
+	overlap := []Swap{{Global: 5, Local: 0}, {Global: 5, Local: 1}}
+	if tl := SplitExchange(overlap, 7, 5, 4, Topology{PEsPerNode: 2}); tl != nil {
+		t.Fatal("non-disjoint swaps should not split")
+	}
+}
+
+func TestNodeSplitVolume(t *testing.T) {
+	// One node: everything intra. One PE per node: everything inter.
+	n, localBits, p := 8, 5, 8
+	swaps := []Swap{{Global: 5, Local: 0}, {Global: 7, Local: 2}}
+	ex := NewExchange(swaps, n, localBits, p)
+	total := ex.RemoteBytes()
+	if total == 0 {
+		t.Fatal("exchange moves nothing remotely")
+	}
+	intra, inter, msgs := ex.NodeSplit(p, Topology{PEsPerNode: p})
+	if intra != total || inter != 0 || msgs != 0 {
+		t.Fatalf("one node: got intra=%d inter=%d msgs=%d, want all %d intra", intra, inter, msgs, total)
+	}
+	intra, inter, msgs = ex.NodeSplit(p, Topology{PEsPerNode: 1})
+	if inter != total || intra != 0 || msgs == 0 {
+		t.Fatalf("one PE per node: got intra=%d inter=%d, want all %d inter", intra, inter, total)
+	}
+	// Any topology partitions the same remote volume.
+	intra, inter, _ = ex.NodeSplit(p, Topology{PEsPerNode: 2})
+	if intra+inter != total {
+		t.Fatalf("ppn=2 split %d+%d != total %d", intra, inter, total)
+	}
+}
+
+func TestBuildTopoFoldsOnlyInitialRemaps(t *testing.T) {
+	// H on a global qubit forces an up-front remap before the first gate;
+	// later remaps must stay unfolded.
+	c := circuit.New("fold", 6)
+	c.H(5)
+	c.H(0)
+	c.H(4)
+	topo := Topology{PEsPerNode: 2}
+	flat, err := Build(c, 3, Lazy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := BuildTopo(c, 3, Lazy, topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Folded == 0 {
+		t.Fatal("no initial remap folded")
+	}
+	if len(plan.Steps) != len(flat.Steps) {
+		t.Fatalf("topology changed the schedule: %d steps vs %d", len(plan.Steps), len(flat.Steps))
+	}
+	seenGate := false
+	for si, st := range plan.Steps {
+		if st.Kind != flat.Steps[si].Kind || len(st.Swaps) != len(flat.Steps[si].Swaps) {
+			t.Fatalf("step %d differs from flat plan", si)
+		}
+		switch st.Kind {
+		case StepGate:
+			seenGate = true
+		case StepRemap:
+			if st.Folded && seenGate {
+				t.Fatalf("step %d: remap after a gate marked folded", si)
+			}
+			if !st.Folded && !seenGate {
+				t.Fatalf("step %d: initial remap not folded", si)
+			}
+		}
+	}
+	if err := (Topology{PEsPerNode: 3}).Validate(); err == nil {
+		t.Fatal("non-power-of-two PEsPerNode validated")
+	}
+	if _, err := BuildTopo(c, 3, Lazy, Topology{PEsPerNode: -1}); err == nil {
+		t.Fatal("negative topology accepted")
+	}
+}
