@@ -80,6 +80,9 @@ func main() {
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on ADDR while benching")
 	ckptEvery := flag.Int("checkpoint-every", 0, "checkpoint the bench runs every N schedule steps, to measure checkpoint overhead (0 = off; needs -checkpoint-dir)")
 	ckptDir := flag.String("checkpoint-dir", "", "checkpoint base directory for -checkpoint-every")
+	ckptAsync := flag.Bool("checkpoint-async", false, "hand checkpoint serialization to the background writer instead of stalling the compute path")
+	ckptFullEvery := flag.Int("checkpoint-full-every", 0, "with -checkpoint-async, force every N-th checkpoint full (0 = all full)")
+	ckptStall := flag.Bool("ckpt-stall", false, "run the -workload spec twice — synchronous then asynchronous checkpoints — emitting paired ckpt_mode records for benchdiff's stall gate")
 	flag.Parse()
 
 	if *jsonFile != "" || *workload != "" {
@@ -98,10 +101,25 @@ func main() {
 				fatalf("%v", err)
 			}
 		}
+		if *ckptAsync && *ckptEvery <= 0 {
+			fatalf("-checkpoint-async needs -checkpoint-every")
+		}
+		if *ckptFullEvery > 0 && !*ckptAsync && !*ckptStall {
+			fatalf("-checkpoint-full-every has no effect without -checkpoint-async (synchronous checkpoints are always full)")
+		}
+		if *ckptStall {
+			if *workload == "" || *ckptEvery <= 0 {
+				fatalf("-ckpt-stall needs -workload and -checkpoint-every: it benches one spec under both checkpoint modes")
+			}
+			if *ckptAsync {
+				fatalf("-ckpt-stall already runs both modes; drop -checkpoint-async")
+			}
+		}
 		if err := (sched.Topology{PEsPerNode: *ppn}).Validate(); err != nil {
 			fatalf("%v", err)
 		}
-		runBenchMode(*jsonFile, *workload, *backendName, *pes, *ppn, *coalesced, *fuse, *tile, policy, *traceFile, *metricsFile, *pprofAddr, *ckptEvery, *ckptDir)
+		ck := ckptOpts{every: *ckptEvery, dir: *ckptDir, async: *ckptAsync, fullEvery: *ckptFullEvery, stallPair: *ckptStall}
+		runBenchMode(*jsonFile, *workload, *backendName, *pes, *ppn, *coalesced, *fuse, *tile, policy, *traceFile, *metricsFile, *pprofAddr, ck)
 		return
 	}
 
@@ -189,9 +207,17 @@ type benchRecord struct {
 	HeapAllocBytes uint64 `json:"heap_alloc_bytes,omitempty"`
 	// Checkpoint activity, present only when -checkpoint-every is on, so
 	// baseline files written without checkpointing are unaffected.
-	CkptCount   int64   `json:"ckpt_count,omitempty"`
-	CkptBytes   int64   `json:"ckpt_bytes,omitempty"`
-	CkptSeconds float64 `json:"ckpt_seconds,omitempty"`
+	// CkptMode distinguishes paired overhead records: "sync" serializes
+	// shards on the compute path, "async" hands copy-on-write payloads
+	// to the background writer. CkptStallSeconds is the compute-path
+	// stall attributable to checkpointing — full serialization time in
+	// sync mode, quiesce + payload capture in async mode (background
+	// writer time excluded); benchdiff gates the async/sync stall ratio.
+	CkptMode         string  `json:"ckpt_mode,omitempty"`
+	CkptCount        int64   `json:"ckpt_count,omitempty"`
+	CkptBytes        int64   `json:"ckpt_bytes,omitempty"`
+	CkptSeconds      float64 `json:"ckpt_seconds,omitempty"`
+	CkptStallSeconds float64 `json:"ckpt_stall_seconds,omitempty"`
 	// Compile-pipeline activity: fusion results, schedule remap count,
 	// compile latency, and plan-cache outcome. FusedGates and Remaps are
 	// deterministic for a fixed workload; CompileNS is wall time.
@@ -208,10 +234,11 @@ type benchRecord struct {
 // compatible revisions (v2 added schema_version and git_commit; v3 added
 // tile, sweeps, and gates_per_byte; v4 added ppn, intra_bytes,
 // inter_bytes, exchange_phases, and flat_inter_bytes for the two-level
-// remap trajectory).
+// remap trajectory; v5 added ckpt_mode and ckpt_stall_seconds for the
+// sync-vs-async checkpoint stall trajectory).
 const (
-	benchSchema        = "svsim-bench/v4"
-	benchSchemaVersion = 4
+	benchSchema        = "svsim-bench/v5"
+	benchSchemaVersion = 5
 )
 
 // buildCommit identifies the measured tree: the VCS revision the Go
@@ -283,7 +310,18 @@ var defaultBenchSuite = []benchSpec{
 	{"ghz_state", "single", 1, false, false, sched.Naive, false, 0},
 }
 
-func runBenchMode(jsonFile, workload, backend string, pes, ppn int, coalesced, fuse, tile bool, policy sched.Policy, traceFile, metricsFile, pprofAddr string, ckptEvery int, ckptDir string) {
+// ckptOpts bundles the checkpoint configuration of a bench invocation.
+type ckptOpts struct {
+	every     int
+	dir       string
+	async     bool
+	fullEvery int
+	// stallPair runs every spec twice — sync then async checkpoints —
+	// emitting paired ckpt_mode records for benchdiff's stall gate.
+	stallPair bool
+}
+
+func runBenchMode(jsonFile, workload, backend string, pes, ppn int, coalesced, fuse, tile bool, policy sched.Policy, traceFile, metricsFile, pprofAddr string, ck ckptOpts) {
 	var tracer *obs.Tracer
 	var metrics *obs.Metrics
 	if traceFile != "" {
@@ -312,19 +350,30 @@ func runBenchMode(jsonFile, workload, backend string, pes, ppn int, coalesced, f
 	plans := compile.NewCache(compile.DefaultCacheSize)
 	records := make([]benchRecord, 0, len(suite)+1)
 	for i, spec := range suite {
-		dir := ""
-		if ckptEvery > 0 {
-			// One subdirectory per suite entry so checkpoints of
-			// different configurations never collide.
-			dir = filepath.Join(ckptDir, fmt.Sprintf("%02d-%s-%s", i, spec.workload, spec.backend))
+		modes := []bool{ck.async}
+		if ck.stallPair {
+			modes = []bool{false, true} // sync first, then async
 		}
-		rec, err := runBenchSpec(spec, plans, tracer, metrics, ckptEvery, dir)
-		if err != nil {
-			fatalf("%s on %s: %v", spec.workload, spec.backend, err)
+		for _, async := range modes {
+			run := ck
+			run.async = async
+			if run.every > 0 {
+				// One subdirectory per suite entry and mode so
+				// checkpoints of different configurations never collide.
+				mode := "sync"
+				if async {
+					mode = "async"
+				}
+				run.dir = filepath.Join(ck.dir, fmt.Sprintf("%02d-%s-%s-%s", i, spec.workload, spec.backend, mode))
+			}
+			rec, err := runBenchSpec(spec, plans, tracer, metrics, run)
+			if err != nil {
+				fatalf("%s on %s: %v", spec.workload, spec.backend, err)
+			}
+			records = append(records, *rec)
+			fmt.Fprintf(os.Stderr, "svbench: %-12s %-9s pes=%-2d %12d ns  remote=%dB\n",
+				rec.Workload, rec.Backend, rec.PEs, rec.ElapsedNS, rec.CommRemoteBytes)
 		}
-		records = append(records, *rec)
-		fmt.Fprintf(os.Stderr, "svbench: %-12s %-9s pes=%-2d %12d ns  remote=%dB\n",
-			rec.Workload, rec.Backend, rec.PEs, rec.ElapsedNS, rec.CommRemoteBytes)
 	}
 	if workload == "" {
 		// The plan-cache trajectory workload: a VQE parameter sweep over a
@@ -368,7 +417,7 @@ func runBenchMode(jsonFile, workload, backend string, pes, ppn int, coalesced, f
 	}
 }
 
-func runBenchSpec(spec benchSpec, plans *compile.Cache, tracer *obs.Tracer, metrics *obs.Metrics, ckptEvery int, ckptDir string) (*benchRecord, error) {
+func runBenchSpec(spec benchSpec, plans *compile.Cache, tracer *obs.Tracer, metrics *obs.Metrics, ck ckptOpts) (*benchRecord, error) {
 	e, err := qasmbench.ByName(spec.workload)
 	if err != nil {
 		return nil, err
@@ -379,7 +428,8 @@ func runBenchSpec(spec benchSpec, plans *compile.Cache, tracer *obs.Tracer, metr
 		Coalesced: spec.coalesced, Fuse: spec.fuse, Sched: spec.sched,
 		Tile: spec.tile, Topology: sched.Topology{PEsPerNode: spec.ppn},
 		Plans: plans, Trace: tracer, Metrics: metrics,
-		CheckpointEvery: ckptEvery, CheckpointDir: ckptDir,
+		CheckpointEvery: ck.every, CheckpointDir: ck.dir,
+		CheckpointAsync: ck.async, CheckpointFullEvery: ck.fullEvery,
 	}
 	var backend core.Backend
 	switch spec.backend {
@@ -429,6 +479,16 @@ func runBenchSpec(spec benchSpec, plans *compile.Cache, tracer *obs.Tracer, metr
 	rec.CkptCount = res.Ckpt.Count
 	rec.CkptBytes = res.Ckpt.Bytes
 	rec.CkptSeconds = float64(res.Ckpt.NS) / 1e9
+	if ck.every > 0 {
+		rec.CkptMode = "sync"
+		if ck.async {
+			rec.CkptMode = "async"
+		}
+		// Ckpt.NS is compute-path time in both modes: full shard
+		// serialization in sync mode, quiesce + copy-on-write capture in
+		// async mode (the background writer's time is off-path).
+		rec.CkptStallSeconds = rec.CkptSeconds
+	}
 	rec.Fuse = spec.fuse
 	if spec.fuse {
 		rec.FusedGates = res.Compile.Fusion.OutputGates

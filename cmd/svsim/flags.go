@@ -21,7 +21,11 @@ type runOpts struct {
 	tileBits        int
 	checkpointEvery int
 	checkpointDir   string
+	checkpointAsync bool
+	ckptFullEvery   int
 	resume          string
+	resumePEs       int
+	elastic         bool
 	maxRestarts     int
 	faultSpec       string
 	barrierTimeout  time.Duration
@@ -36,8 +40,34 @@ func (o *runOpts) validate() error {
 	if err := cliutil.ValidateCheckpointing(o.backend, o.checkpointEvery, o.checkpointDir, o.resume, o.maxRestarts); err != nil {
 		return err
 	}
-	if err := cliutil.ValidateResume(o.resume, o.backend, o.pes, o.sched); err != nil {
+	if o.resumePEs > 0 {
+		// Elastic restore: the checkpoint's fleet size intentionally
+		// differs from the target, so the same-size resume check is
+		// replaced by the elastic one.
+		if err := cliutil.ValidateElasticResume(o.resume, o.backend, o.resumePEs); err != nil {
+			return err
+		}
+	} else if err := cliutil.ValidateResume(o.resume, o.backend, o.pes, o.sched); err != nil {
 		return err
+	}
+	if o.checkpointAsync && o.checkpointEvery <= 0 {
+		return fmt.Errorf("-checkpoint-async needs -checkpoint-every to schedule checkpoints")
+	}
+	if o.ckptFullEvery < 0 {
+		return fmt.Errorf("-checkpoint-full-every %d: compaction cadence cannot be negative", o.ckptFullEvery)
+	}
+	if o.ckptFullEvery > 0 && !o.checkpointAsync {
+		return fmt.Errorf("-checkpoint-full-every %d has no effect without -checkpoint-async (synchronous checkpoints are always full)", o.ckptFullEvery)
+	}
+	if o.elastic {
+		switch o.backend {
+		case "scale-up", "scale-out", "mpi":
+		default:
+			return fmt.Errorf("-elastic needs a distributed backend (scale-up, scale-out, or mpi); backend %q has no fleet to shrink", o.backend)
+		}
+		if o.checkpointEvery <= 0 || o.maxRestarts <= 0 {
+			return fmt.Errorf("-elastic needs -checkpoint-every and -max-restarts: recovery reshards the latest checkpoint")
+		}
 	}
 	if o.tile {
 		switch o.backend {

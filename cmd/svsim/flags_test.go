@@ -36,11 +36,41 @@ func TestFlagValidation(t *testing.T) {
 			o.checkpointDir = dir
 		}, "positive"},
 		{"restarts without dir", func(o *runOpts) { o.maxRestarts = 3 }, "-checkpoint-dir"},
-		{"checkpoint on threaded", func(o *runOpts) {
-			o.backend = "threaded"
+		{"checkpoint on remap", func(o *runOpts) {
+			o.backend = "remap"
 			o.checkpointEvery = 10
 			o.checkpointDir = dir
 		}, "does not support"},
+		{"async without interval", func(o *runOpts) {
+			o.checkpointAsync = true
+		}, "-checkpoint-every"},
+		{"full-every without async", func(o *runOpts) {
+			o.checkpointEvery = 10
+			o.checkpointDir = dir
+			o.ckptFullEvery = 4
+		}, "-checkpoint-async"},
+		{"elastic on single", func(o *runOpts) {
+			o.backend = "single"
+			o.elastic = true
+			o.checkpointEvery = 10
+			o.checkpointDir = dir
+			o.maxRestarts = 1
+		}, "distributed"},
+		{"elastic without restarts", func(o *runOpts) {
+			o.backend = "scale-out"
+			o.elastic = true
+			o.checkpointEvery = 10
+			o.checkpointDir = dir
+		}, "-max-restarts"},
+		{"resume-pes without resume", func(o *runOpts) {
+			o.backend = "scale-out"
+			o.resumePEs = 4
+		}, "-resume"},
+		{"resume-pes not power of two", func(o *runOpts) {
+			o.backend = "scale-out"
+			o.resume = dir
+			o.resumePEs = 3
+		}, "power of two"},
 		{"fault on single", func(o *runOpts) {
 			o.backend = "single"
 			o.faultSpec = "kill:rank=0:op=barrier:after=1"

@@ -14,13 +14,16 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"math/rand"
 	"os"
+	"os/signal"
 	"sort"
 	"strings"
+	"syscall"
 	"time"
 
 	"svsim/internal/circuit"
@@ -60,13 +63,17 @@ func main() {
 		flightFile  = flag.String("flight", "", "write the flight recorder's event ring as JSONL to FILE at run end (also on abort)")
 		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on ADDR (e.g. localhost:6060) for the duration of the run")
 
-		ckptEvery   = flag.Int("checkpoint-every", 0, "write a coordinated checkpoint every N schedule steps (0 = off; needs -checkpoint-dir)")
-		ckptDir     = flag.String("checkpoint-dir", "", "checkpoint base directory (one ckpt-<step> subdirectory per checkpoint)")
-		resume      = flag.String("resume", "", "restore from a checkpoint: a ckpt-<step> directory or a base directory (latest complete checkpoint)")
-		maxRestarts = flag.Int("max-restarts", 0, "restart from the latest checkpoint up to N times after an injected PE failure")
-		faultSpec   = flag.String("fault", "", "deterministic fault spec, e.g. 'kill:rank=1:op=barrier:after=30' or 'drop:rank=0:op=put:after=5:count=2' (semicolon-separated)")
-		barrierTmo  = flag.Duration("barrier-timeout", 0, "fail a barrier wait after this long, naming the stalled ranks (0 = wait forever)")
-		opRetries   = flag.Int("op-retries", 8, "retry budget for transiently failing one-sided operations")
+		ckptEvery     = flag.Int("checkpoint-every", 0, "write a coordinated checkpoint every N schedule steps (0 = off; needs -checkpoint-dir)")
+		ckptDir       = flag.String("checkpoint-dir", "", "checkpoint base directory (one ckpt-<step> subdirectory per checkpoint)")
+		ckptAsync     = flag.Bool("checkpoint-async", false, "hand checkpoint serialization to a background writer: compute resumes after a copy-on-write capture instead of stalling for the disk")
+		ckptFullEvery = flag.Int("checkpoint-full-every", 0, "with -checkpoint-async, write a full (self-contained) checkpoint every N checkpoints and incremental deltas in between (0 = every checkpoint full)")
+		resume        = flag.String("resume", "", "restore from a checkpoint: a ckpt-<step> directory or a base directory (latest complete checkpoint)")
+		resumePEs     = flag.Int("resume-pes", 0, "elastic restore: reshard the -resume checkpoint onto N PEs (power of two) regardless of the fleet size it was taken at")
+		elastic       = flag.Bool("elastic", false, "on a PE failure, reshard the latest checkpoint onto half the fleet instead of restarting at full size")
+		maxRestarts   = flag.Int("max-restarts", 0, "restart from the latest checkpoint up to N times after an injected PE failure")
+		faultSpec     = flag.String("fault", "", "deterministic fault spec, e.g. 'kill:rank=1:op=barrier:after=30' or 'drop:rank=0:op=put:after=5:count=2' (semicolon-separated)")
+		barrierTmo    = flag.Duration("barrier-timeout", 0, "fail a barrier wait after this long, naming the stalled ranks (0 = wait forever)")
+		opRetries     = flag.Int("op-retries", 8, "retry budget for transiently failing one-sided operations")
 	)
 	flag.Parse()
 
@@ -94,7 +101,9 @@ func main() {
 	opts := runOpts{
 		backend: *backendName, pes: *pes, sched: string(policy), seed: *seed, fuse: *fuse,
 		tile: *tile, tileBits: *tileBits,
-		checkpointEvery: *ckptEvery, checkpointDir: *ckptDir, resume: *resume,
+		checkpointEvery: *ckptEvery, checkpointDir: *ckptDir,
+		checkpointAsync: *ckptAsync, ckptFullEvery: *ckptFullEvery,
+		resume: *resume, resumePEs: *resumePEs, elastic: *elastic,
 		maxRestarts: *maxRestarts, faultSpec: *faultSpec,
 		barrierTimeout: *barrierTmo, opRetries: *opRetries,
 	}
@@ -112,9 +121,10 @@ func main() {
 		listen: *metricsAddr, phase: *phaseFile, flight: *flightFile, pprof: *pprofAddr,
 	})
 	defer telemetry.close()
+	latch := installStopHandler(telemetry.flight)
 
 	if *backendName == "mpi" {
-		runMPI(c, opts, ks, *shots, *printState, telemetry)
+		runMPI(c, opts, ks, *shots, *printState, telemetry, latch)
 		return
 	}
 	if *backendName == "remap" {
@@ -147,8 +157,14 @@ func main() {
 		Sched: policy, Trace: telemetry.tracer, Metrics: telemetry.metrics,
 		Flight:          telemetry.flight,
 		CheckpointEvery: opts.checkpointEvery, CheckpointDir: opts.checkpointDir,
-		Resume: opts.resume, MaxRestarts: opts.maxRestarts,
-		Fault: opts.injector(), Timeouts: opts.timeouts(),
+		CheckpointAsync: opts.checkpointAsync, CheckpointFullEvery: opts.ckptFullEvery,
+		Resume: opts.resume, Elastic: opts.elastic, Stop: latch,
+		MaxRestarts: opts.maxRestarts,
+		Fault:       opts.injector(), Timeouts: opts.timeouts(),
+	}
+	if opts.resumePEs > 0 {
+		cfg.Resume = "" // RunElastic takes the checkpoint explicitly
+		cfg.PEs = opts.resumePEs
 	}
 	switch *backendName {
 	case "single":
@@ -164,7 +180,12 @@ func main() {
 	}
 
 	telemetry.beginRun(*backendName, c.Name, *pes)
-	res, err := backend.Run(c)
+	var res *core.Result
+	if opts.resumePEs > 0 {
+		res, err = core.RunElastic(*backendName, cfg, c, opts.resume, opts.resumePEs)
+	} else {
+		res, err = backend.Run(c)
+	}
 	if err != nil {
 		telemetry.fail(err)
 	}
@@ -274,8 +295,19 @@ func (t *telemetry) finish(wallNS, compileNS int64, mem *obs.MemSnapshot) {
 // fail drains every sink before exiting: the abort path is exactly when
 // the trace, metrics, and flight recorder matter most, so a failed run
 // must not lose them. Sink write errors are reported but do not mask
-// the run failure.
+// the run failure. A graceful interruption (ErrInterrupted) flushes the
+// same sinks but exits 130, the conventional fatal-signal status.
 func (t *telemetry) fail(err error) {
+	if errors.Is(err, core.ErrInterrupted) || errors.Is(err, mpibase.ErrInterrupted) {
+		t.flight.Record(-1, obs.EventInterrupted, err.Error(), 0)
+		t.phaseReport(time.Since(t.runStart).Nanoseconds(), 0, os.Stderr)
+		if werr := t.writeSinks(os.Stderr); werr != nil {
+			fmt.Fprintln(os.Stderr, "svsim: telemetry:", werr)
+		}
+		t.close()
+		fmt.Fprintln(os.Stderr, "svsim:", err)
+		os.Exit(130)
+	}
 	t.flight.Record(-1, obs.EventRunFailed, err.Error(), 0)
 	t.phaseReport(time.Since(t.runStart).Nanoseconds(), 0, os.Stderr)
 	if werr := t.writeSinks(os.Stderr); werr != nil {
@@ -376,15 +408,24 @@ func loadCircuit(name, file string, compact bool) (*circuit.Circuit, error) {
 	}
 }
 
-func runMPI(c *circuit.Circuit, opts runOpts, ks statevec.KernelStyle, shots int, printState bool, telemetry *telemetry) {
+func runMPI(c *circuit.Circuit, opts runOpts, ks statevec.KernelStyle, shots int, printState bool, telemetry *telemetry, latch *core.StopLatch) {
 	cfg := mpibase.Config{
 		Ranks: opts.pes, Seed: opts.seed, Style: ks, Fuse: opts.fuse,
 		Trace: telemetry.tracer, Metrics: telemetry.metrics, Flight: telemetry.flight,
 		CheckpointEvery: opts.checkpointEvery, CheckpointDir: opts.checkpointDir,
-		Resume: opts.resume, MaxRestarts: opts.maxRestarts, Fault: opts.injector(),
+		CheckpointAsync: opts.checkpointAsync,
+		Resume:          opts.resume, Elastic: opts.elastic, Stop: latch.Triggered,
+		MaxRestarts: opts.maxRestarts, Fault: opts.injector(),
 	}
 	telemetry.beginRun("mpi", c.Name, opts.pes)
-	res, err := mpibase.New(cfg).Run(c)
+	var res *mpibase.Result
+	var err error
+	if opts.resumePEs > 0 {
+		cfg.Resume = ""
+		res, err = mpibase.New(cfg).RunElastic(c, opts.resume, opts.resumePEs)
+	} else {
+		res, err = mpibase.New(cfg).Run(c)
+	}
 	if err != nil {
 		telemetry.fail(err)
 	}
@@ -444,6 +485,25 @@ func printCompile(cst compile.Stats, fuse bool) {
 		cst.Fusion.InputGates, cst.Fusion.OutputGates,
 		cst.Fusion.FusedRuns, cst.Fusion.Cancellations,
 		source, time.Duration(cst.TotalNS))
+}
+
+// installStopHandler wires SIGINT/SIGTERM to a graceful stop: the first
+// signal triggers the latch (the run writes a final checkpoint at the
+// next boundary and unwinds with ErrInterrupted); a second signal aborts
+// immediately.
+func installStopHandler(rec *obs.FlightRecorder) *core.StopLatch {
+	latch := &core.StopLatch{}
+	ch := make(chan os.Signal, 2)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		s := <-ch
+		fmt.Fprintf(os.Stderr, "svsim: %v: stopping at the next checkpoint boundary (signal again to abort now)\n", s)
+		rec.Record(-1, obs.EventInterrupted, s.String(), 0)
+		latch.Trigger()
+		<-ch
+		os.Exit(1)
+	}()
+	return latch
 }
 
 func newRNG(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

@@ -25,6 +25,7 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -32,8 +33,24 @@ import (
 	"svsim/internal/statevec"
 )
 
-// Schema identifies the manifest format.
-const Schema = "svsim-ckpt/v1"
+// Schema identifies the manifest format. Version 2 adds incremental
+// (delta) checkpoints: Kind, Parent, and OpsDone. Version 1 manifests
+// are still read (as full checkpoints with unknown OpsDone).
+const Schema = "svsim-ckpt/v2"
+
+// SchemaV1 is the pre-delta manifest format, accepted on read.
+const SchemaV1 = "svsim-ckpt/v1"
+
+// Checkpoint kinds carried in Manifest.Kind.
+const (
+	// KindFull marks a self-contained checkpoint: every shard holds the
+	// PE's whole partition.
+	KindFull = "full"
+	// KindDelta marks an incremental checkpoint: every shard holds only
+	// the tiles dirtied since the parent checkpoint, and restore walks
+	// the Parent chain back to the nearest full checkpoint.
+	KindDelta = "delta"
+)
 
 const manifestName = "MANIFEST.json"
 
@@ -65,6 +82,20 @@ type Manifest struct {
 	// loop at this index.
 	Step int   `json:"step"`
 	Seed int64 `json:"seed"`
+	// Kind is KindFull or KindDelta; empty (v1 manifests) means full.
+	Kind string `json:"kind,omitempty"`
+	// Parent is the schedule step of the checkpoint this delta chains
+	// from (a sibling ckpt-<Parent> directory under the same base).
+	// Meaningless for full checkpoints.
+	Parent int `json:"parent,omitempty"`
+	// OpsDone counts executable-stream ops completed at the quiesced
+	// boundary. Unlike Step (whose numbering depends on the schedule and
+	// fleet size), an op count is geometry-independent, which is what
+	// lets the elastic restore planner re-shard a checkpoint onto a
+	// different PE count: the residual circuit is the executable stream
+	// sliced at OpsDone. ReadManifest reports -1 for v1 manifests,
+	// which never recorded it.
+	OpsDone int `json:"ops_done"`
 	// Draws is how many uniform variates each PE's replicated RNG stream
 	// has consumed; restore replays that many to re-synchronize.
 	Draws int64  `json:"rng_draws"`
@@ -135,22 +166,81 @@ func ShardFile(rank int) string {
 }
 
 // WriteShard serializes st into dir as rank's shard and returns its
-// manifest entry (size and CRC32-IEEE of the file contents).
+// manifest entry (size and CRC32-IEEE of the file contents). The write
+// is crash-atomic: the bytes land in a temp file which is fsynced and
+// renamed into place, so a crash mid-write leaves no partial shard
+// under the final name.
 func WriteShard(dir string, rank int, st *statevec.State) (Shard, error) {
 	name := ShardFile(rank)
-	f, err := os.Create(filepath.Join(dir, name))
+	n, crc, err := atomicWrite(dir, name, func(w io.Writer) (int64, error) {
+		return st.WriteTo(w)
+	})
 	if err != nil {
-		return Shard{}, err
+		return Shard{}, fmt.Errorf("ckpt: writing shard %d: %w", rank, err)
+	}
+	return Shard{Rank: rank, File: name, Bytes: n, CRC32: crc}, nil
+}
+
+// atomicWrite streams write's output into dir/name crash-atomically
+// (temp file, fsync, rename, directory fsync) and returns the byte
+// count and CRC32-IEEE of the contents. crashpointHook, when non-nil,
+// fires after the temp write but before the rename — test-only, it
+// simulates a process death mid-checkpoint.
+func atomicWrite(dir, name string, write func(io.Writer) (int64, error)) (int64, uint32, error) {
+	tmp := filepath.Join(dir, name+".tmp")
+	f, err := os.Create(tmp)
+	if err != nil {
+		return 0, 0, err
 	}
 	crc := crc32.NewIEEE()
-	n, err := st.WriteTo(io.MultiWriter(f, crc))
+	n, err := write(io.MultiWriter(f, crc))
+	if err == nil {
+		err = f.Sync()
+	}
 	if cerr := f.Close(); err == nil {
 		err = cerr
 	}
 	if err != nil {
-		return Shard{}, fmt.Errorf("ckpt: writing shard %d: %w", rank, err)
+		os.Remove(tmp)
+		return 0, 0, err
 	}
-	return Shard{Rank: rank, File: name, Bytes: n, CRC32: crc.Sum32()}, nil
+	if crashpointHook != nil {
+		crashpointHook(name)
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, name)); err != nil {
+		os.Remove(tmp)
+		return 0, 0, err
+	}
+	syncDir(dir)
+	return n, crc.Sum32(), nil
+}
+
+// crashpointHook, when set by a test, runs between a shard's temp write
+// and its rename — the widest window in which a kill leaves a torn
+// checkpoint on disk.
+var crashpointHook func(name string)
+
+// The SVSIM_CKPT_CRASHPOINT failpoint kills the process (exit 42) just
+// before the named file ("MANIFEST.json", "shard-0.svs", or "any")
+// would be renamed into place. Torn-write tests re-exec themselves with
+// it set to prove restore falls back to the previous valid checkpoint.
+func init() {
+	if target := os.Getenv("SVSIM_CKPT_CRASHPOINT"); target != "" {
+		crashpointHook = func(name string) {
+			if target == "any" || name == target {
+				os.Exit(42)
+			}
+		}
+	}
+}
+
+// syncDir fsyncs a directory so a rename into it survives a crash;
+// best-effort (some filesystems reject directory fsync).
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		d.Sync() //nolint:errcheck // best-effort durability
+		d.Close()
+	}
 }
 
 // ShardError reports a shard that failed validation on restore.
@@ -208,19 +298,23 @@ func (c *countReader) Read(p []byte) (int, error) {
 	return n, err
 }
 
-// WriteManifest atomically publishes the manifest into dir (tmp+rename),
-// marking the checkpoint complete.
+// WriteManifest atomically publishes the manifest into dir (temp file,
+// fsync, rename, directory fsync), marking the checkpoint complete.
 func WriteManifest(dir string, m *Manifest) error {
 	m.Schema = Schema
+	if m.Kind == "" {
+		m.Kind = KindFull
+	}
 	data, err := json.MarshalIndent(m, "", "  ")
 	if err != nil {
 		return err
 	}
-	tmp := filepath.Join(dir, manifestName+".tmp")
-	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
-		return fmt.Errorf("ckpt: writing manifest: %w", err)
-	}
-	if err := os.Rename(tmp, filepath.Join(dir, manifestName)); err != nil {
+	data = append(data, '\n')
+	_, _, err = atomicWrite(dir, manifestName, func(w io.Writer) (int64, error) {
+		n, werr := w.Write(data)
+		return int64(n), werr
+	})
+	if err != nil {
 		return fmt.Errorf("ckpt: publishing manifest: %w", err)
 	}
 	return nil
@@ -237,8 +331,21 @@ func ReadManifest(dir string) (*Manifest, error) {
 	if err := json.Unmarshal(data, &m); err != nil {
 		return nil, fmt.Errorf("ckpt: malformed manifest in %s: %w", dir, err)
 	}
-	if m.Schema != Schema {
+	switch m.Schema {
+	case Schema:
+	case SchemaV1:
+		// v1 manifests are always full checkpoints and never recorded an
+		// op count.
+		m.Kind = KindFull
+		m.OpsDone = -1
+	default:
 		return nil, fmt.Errorf("ckpt: manifest schema %q in %s, want %q", m.Schema, dir, Schema)
+	}
+	if m.Kind == "" {
+		m.Kind = KindFull
+	}
+	if m.Kind != KindFull && m.Kind != KindDelta {
+		return nil, fmt.Errorf("ckpt: manifest in %s has unknown kind %q", dir, m.Kind)
 	}
 	if len(m.Shards) != m.PEs {
 		return nil, fmt.Errorf("ckpt: manifest in %s lists %d shards for %d PEs", dir, len(m.Shards), m.PEs)
@@ -265,34 +372,45 @@ func Resolve(dir string) (string, *Manifest, error) {
 	return stepDir, m, nil
 }
 
-// Latest finds the most recent complete checkpoint (highest step with a
-// manifest) under base. ok is false when none exists.
-func Latest(base string) (dir string, m *Manifest, ok bool, err error) {
+// CompleteSteps lists the steps of every complete checkpoint (a
+// ckpt-<step> directory with a manifest) under base, newest first. The
+// descending order is the restore fallback order: when the latest
+// checkpoint turns out to be unreadable or corrupt, the next older one
+// is the candidate.
+func CompleteSteps(base string) ([]int, error) {
 	entries, err := os.ReadDir(base)
 	if os.IsNotExist(err) {
-		return "", nil, false, nil
+		return nil, nil
 	}
 	if err != nil {
-		return "", nil, false, err
+		return nil, err
 	}
-	best := -1
+	var steps []int
 	for _, e := range entries {
 		if !e.IsDir() || !strings.HasPrefix(e.Name(), "ckpt-") {
 			continue
 		}
 		step, perr := strconv.Atoi(strings.TrimPrefix(e.Name(), "ckpt-"))
-		if perr != nil || step <= best {
+		if perr != nil {
 			continue
 		}
 		if _, serr := os.Stat(filepath.Join(base, e.Name(), manifestName)); serr != nil {
 			continue // incomplete: crashed mid-write
 		}
-		best = step
+		steps = append(steps, step)
 	}
-	if best < 0 {
-		return "", nil, false, nil
+	sort.Sort(sort.Reverse(sort.IntSlice(steps)))
+	return steps, nil
+}
+
+// Latest finds the most recent complete checkpoint (highest step with a
+// manifest) under base. ok is false when none exists.
+func Latest(base string) (dir string, m *Manifest, ok bool, err error) {
+	steps, err := CompleteSteps(base)
+	if err != nil || len(steps) == 0 {
+		return "", nil, false, err
 	}
-	dir = StepDir(base, best)
+	dir = StepDir(base, steps[0])
 	m, err = ReadManifest(dir)
 	if err != nil {
 		return "", nil, false, err

@@ -14,6 +14,7 @@ import (
 // ckptBackends are the backends with checkpoint/restore support.
 var ckptBackends = map[string]bool{
 	"single":    true,
+	"threaded":  true,
 	"scale-up":  true,
 	"scale-out": true,
 	"mpi":       true,
@@ -40,7 +41,7 @@ func ValidateCheckpointing(backend string, every int, dir, resume string, maxRes
 		return nil // checkpointing entirely off
 	}
 	if !ckptBackends[backend] {
-		return fmt.Errorf("backend %q does not support checkpoint/restore (supported: single, scale-up, scale-out, mpi)", backend)
+		return fmt.Errorf("backend %q does not support checkpoint/restore (supported: single, threaded, scale-up, scale-out, mpi)", backend)
 	}
 	if every < 0 {
 		return fmt.Errorf("-checkpoint-every %d: interval must be positive", every)
@@ -89,7 +90,7 @@ func ValidateResume(resume, backend string, pes int, schedName string) error {
 		return nil
 	}
 	if !ckptBackends[backend] {
-		return fmt.Errorf("backend %q does not support checkpoint/restore (supported: single, scale-up, scale-out, mpi)", backend)
+		return fmt.Errorf("backend %q does not support checkpoint/restore (supported: single, threaded, scale-up, scale-out, mpi)", backend)
 	}
 	_, m, err := ckpt.Resolve(resume)
 	if err != nil {
@@ -103,6 +104,44 @@ func ValidateResume(resume, backend string, pes int, schedName string) error {
 	}
 	if m.Backend != "mpi" && m.Sched != schedName {
 		return fmt.Errorf("-resume checkpoint used the %q schedule; rerun with -sched %s (got -sched %s)", m.Sched, m.Sched, schedName)
+	}
+	return nil
+}
+
+// elasticBackends are the distributed backends whose checkpoints can be
+// resharded onto a different fleet size.
+var elasticBackends = map[string]bool{
+	"scale-up":  true,
+	"scale-out": true,
+	"mpi":       true,
+}
+
+// ValidateElasticResume cross-checks a -resume-pes elastic restore: the
+// target fleet size must be a power of two, the backend must be
+// distributed, and the checkpoint must carry the op-cut metadata elastic
+// restore needs (v2 manifests).
+func ValidateElasticResume(resume, backend string, resumePEs int) error {
+	if resumePEs == 0 {
+		return nil
+	}
+	if resume == "" {
+		return fmt.Errorf("-resume-pes %d needs -resume to name the checkpoint to reshard", resumePEs)
+	}
+	if resumePEs < 1 || resumePEs&(resumePEs-1) != 0 {
+		return fmt.Errorf("-resume-pes %d: PE count must be a power of two", resumePEs)
+	}
+	if !elasticBackends[backend] {
+		return fmt.Errorf("backend %q does not support elastic restore (supported: scale-up, scale-out, mpi)", backend)
+	}
+	_, m, err := ckpt.Resolve(resume)
+	if err != nil {
+		return fmt.Errorf("-resume %s: %v", resume, err)
+	}
+	if m.Backend != backend {
+		return fmt.Errorf("-resume checkpoint was taken by backend %q; rerun with -backend %s (got -backend %s)", m.Backend, m.Backend, backend)
+	}
+	if err := ckpt.ElasticRestorable(m); err != nil {
+		return fmt.Errorf("-resume %s: %v", resume, err)
 	}
 	return nil
 }

@@ -51,7 +51,7 @@ func TestValidateCheckpointing(t *testing.T) {
 		{"negative restarts", "scale-out", 10, dir, "", -1, "cannot be negative"},
 		{"interval without dir", "scale-out", 10, "", "", 0, "-checkpoint-dir"},
 		{"restarts without dir", "scale-out", 0, "", "", 3, "-checkpoint-dir"},
-		{"unsupported backend", "threaded", 10, dir, "", 0, "does not support"},
+		{"threaded on", "threaded", 10, dir, "", 0, ""},
 		{"unsupported backend remap", "remap", 10, dir, "", 0, "does not support"},
 	}
 	for _, c := range cases {

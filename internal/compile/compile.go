@@ -573,3 +573,24 @@ func log2(p int) int {
 	}
 	return k
 }
+
+// OpsBefore returns, for every plan-step index si (length
+// len(Plan.Steps)+1), how many executable-stream ops are completed once
+// steps [0, si) have run. Gate steps appear in the plan in executable
+// order, so the count doubles as a geometry-independent cut point in
+// cp.Circuit.Ops: a checkpoint quiesced before step si records
+// OpsBefore()[si] as its OpsDone, and an elastic restore slices the
+// residual circuit there regardless of the fleet size the plan was
+// compiled for.
+func (cp *CompiledPlan) OpsBefore() []int {
+	out := make([]int, len(cp.Plan.Steps)+1)
+	ops := 0
+	for si := range cp.Plan.Steps {
+		out[si] = ops
+		if cp.Plan.Steps[si].Kind == sched.StepGate {
+			ops++
+		}
+	}
+	out[len(cp.Plan.Steps)] = ops
+	return out
+}

@@ -17,7 +17,16 @@ import (
 
 // Coordinated checkpoint/restore and the failure-recovery loop shared by
 // the distributed executors (dist.go naive, lazy.go scheduled) and, in
-// degenerate single-PE form, the single-device backend.
+// degenerate single-PE form, the single-node backends.
+//
+// Two write protocols exist. The synchronous one stops the fleet while
+// every PE serializes its full shard. The asynchronous one
+// (Config.CheckpointAsync) quiesces only long enough to CAPTURE
+// copy-on-write payloads — the whole partition for a full checkpoint,
+// the dirtied tiles for a delta — then hands them to a background
+// ckpt.AsyncWriter and resumes compute immediately; deltas chain to
+// their parent checkpoint and a full checkpoint is forced every
+// Config.CheckpointFullEvery-th write to bound restore chains.
 
 // RunFailure is the structured terminal error of a distributed run that
 // could not be completed: the PE failure (or other root cause) survives
@@ -38,8 +47,8 @@ func (e *RunFailure) Unwrap() error { return e.Cause }
 
 // recoverable reports whether err is a PE failure worth restarting from
 // a checkpoint: an injected kill, a stalled barrier, or an exhausted
-// one-sided retry budget. Checkpoint I/O errors and plain validation
-// errors are terminal.
+// one-sided retry budget. Checkpoint I/O errors, interrupts, and plain
+// validation errors are terminal.
 func recoverable(err error) bool {
 	var ke *fault.KillError
 	var bte *pgas.BarrierTimeoutError
@@ -55,20 +64,35 @@ type ckptWriter struct {
 	dir   string
 	man   ckpt.Manifest // immutable template fields (backend, circuit, ...)
 
+	// Async-mode state. aw is nil in synchronous mode. sinceFull and
+	// lastStep are rank-0-only bookkeeping for the delta chain.
+	aw        *ckpt.AsyncWriter
+	fullEvery int
+	sinceFull int
+	lastStep  int
+
 	// Per-attempt cross-PE scratch.
 	stepDir  string
 	mkdirErr error
+	subErr   error  // async: sticky writer error observed at the quiesce
+	kind     string // async: rank 0's full/delta decision for this write
+	parent   int
 	shards   []ckpt.Shard
 	errs     []error
+	payloads []*ckpt.Payload
 	t0       time.Time
 
 	stats ckpt.Stats
 
-	// Optional metrics and flight recorder, nil-safe.
-	mCount *obs.Counter
-	mBytes *obs.Counter
-	mNS    *obs.Counter
-	rec    *obs.FlightRecorder
+	// Optional metrics, flight recorder, and async-writer trace lane;
+	// all nil-safe.
+	mCount      *obs.Counter
+	mBytes      *obs.Counter
+	mNS         *obs.Counter
+	mWriterNS   *obs.Counter
+	mDeltaTiles *obs.Counter
+	rec         *obs.FlightRecorder
+	wtrk        *obs.Track
 }
 
 // newCkptWriter returns nil when checkpointing is off. The manifest
@@ -99,10 +123,39 @@ func newCkptWriter(cfg Config, backend string, c *circuit.Circuit, p int, planFP
 		w.mCount = cfg.Metrics.Counter(obs.MetricCkptCount)
 		w.mBytes = cfg.Metrics.Counter(obs.MetricCkptBytes)
 		w.mNS = cfg.Metrics.Counter(obs.MetricCkptNS)
+		w.mWriterNS = cfg.Metrics.Counter(obs.MetricCkptWriterNS)
+		w.mDeltaTiles = cfg.Metrics.Counter(obs.MetricCkptDeltaTiles)
 	}
 	w.rec = cfg.Flight
+	if cfg.CheckpointAsync {
+		w.fullEvery = cfg.CheckpointFullEvery
+		w.payloads = make([]*ckpt.Payload, p)
+		w.wtrk = cfg.Trace.Track(p) // writer lane after the PE tracks
+		w.aw = ckpt.NewAsyncWriter()
+		w.aw.OnJob = func(step int, bytes int64, ns int64, err error) {
+			// Runs on the writer goroutine; readers of stats wait for
+			// finish(), whose Close() orders these writes before them.
+			w.stats.Bytes += bytes
+			w.mBytes.Add(bytes)
+			w.mWriterNS.Add(ns)
+			if err != nil {
+				w.rec.Record(-1, obs.EventRunFailed, "async checkpoint: "+err.Error(), int64(step))
+				return
+			}
+			end := time.Now()
+			if w.wtrk != nil {
+				w.wtrk.SpanAt(fmt.Sprintf("ckpt write step %d", step),
+					end.Add(-time.Duration(ns)), end,
+					obs.SpanArgs{Kind: "ckpt_write", Phase: obs.PhaseCkptWrite})
+			}
+			w.rec.Record(-1, obs.EventCheckpoint, fmt.Sprintf("step %d (async)", step), bytes)
+		}
+	}
 	return w
 }
+
+// async reports whether this writer runs the background protocol.
+func (w *ckptWriter) async() bool { return w != nil && w.aw != nil }
 
 // due reports whether a checkpoint should be taken before schedule step
 // (i.e. with step positions [0, step) completed).
@@ -110,13 +163,92 @@ func (w *ckptWriter) due(step int) bool {
 	return w != nil && step > 0 && step%w.every == 0
 }
 
+// finish drains the background writer (if any) and returns its latched
+// error. Must be called after the SPMD region ends — both on success
+// (queued checkpoints must land before the process may exit) and on
+// failure (the writer goroutine must stop). Safe on nil and sync-mode
+// writers.
+func (w *ckptWriter) finish() error {
+	if !w.async() {
+		return nil
+	}
+	err := w.aw.Close()
+	w.aw = nil
+	if err != nil {
+		return fmt.Errorf("core: async checkpoint writer: %w", err)
+	}
+	return nil
+}
+
+// decideKind picks full or delta for the next async checkpoint. Rank 0
+// only. A nil dirty tracker (backend without write tracking) forces
+// full, as does a chain at its fullEvery bound.
+func (w *ckptWriter) decideKind(dirty *ckpt.Dirty) {
+	if dirty == nil || w.fullEvery <= 1 || w.sinceFull == 0 || w.sinceFull >= w.fullEvery {
+		w.kind = ckpt.KindFull
+		return
+	}
+	w.kind = ckpt.KindDelta
+	w.parent = w.lastStep
+}
+
+// noteSubmitted advances the rank-0 chain bookkeeping after a
+// successful submit of step.
+func (w *ckptWriter) noteSubmitted(step int) {
+	if w.kind == ckpt.KindFull {
+		w.sinceFull = 1
+	} else {
+		w.sinceFull++
+	}
+	w.lastStep = step
+}
+
+// fillManifest copies the template and stamps the per-checkpoint fields.
+func (w *ckptWriter) fillManifest(step, ops int, cbits uint64, draws int64, perm circuit.Permutation) *ckpt.Manifest {
+	m := w.man
+	m.Step = step
+	m.OpsDone = ops
+	m.Cbits = cbits
+	m.Draws = draws
+	if perm != nil {
+		m.Perm = append([]int(nil), perm...)
+	}
+	m.Kind = w.kind
+	if m.Kind == ckpt.KindDelta {
+		m.Parent = w.parent
+	}
+	return &m
+}
+
+// capture snapshots this PE's payload for an async checkpoint according
+// to rank 0's kind decision, clearing the dirty tracker either way (a
+// full capture also resets the delta baseline).
+func (w *ckptWriter) capture(rank int, local *statevec.State, dirty *ckpt.Dirty) {
+	if w.kind == ckpt.KindDelta {
+		p := ckpt.CaptureDelta(local, dirty)
+		w.payloads[rank] = p
+		w.mDeltaTiles.Add(int64(len(p.Tiles)))
+		return
+	}
+	w.payloads[rank] = ckpt.CaptureFull(local)
+	if dirty != nil {
+		dirty.Clear()
+	}
+}
+
 // write runs the coordinated checkpoint protocol; every PE must call it
-// at the same schedule position. The region quiesces at a barrier, each
-// PE writes its shard, and rank 0 publishes the manifest (tmp+rename)
-// only after every shard has landed, so an interrupted checkpoint is
-// never mistaken for a complete one. Any I/O error aborts the run as a
-// terminal (non-recoverable) failure.
-func (w *ckptWriter) write(pe *pgas.PE, local *statevec.State, step int, cbits uint64, draws int64, perm circuit.Permutation) {
+// at the same schedule position with ops executable-stream ops
+// completed. In synchronous mode the region quiesces at a barrier, each
+// PE writes its shard, and rank 0 publishes the manifest only after
+// every shard has landed. In asynchronous mode the quiesce covers only
+// payload capture: rank 0 submits the job to the background writer and
+// compute proceeds while the shards serialize. Any I/O error aborts the
+// run as a terminal (non-recoverable) failure.
+func (w *ckptWriter) write(pe *pgas.PE, local *statevec.State, step, ops int, cbits uint64, draws int64, perm circuit.Permutation, dirty *ckpt.Dirty) {
+	if w.async() {
+		w.writeAsync(pe, local, step, ops, cbits, draws, perm, dirty)
+		return
+	}
 	pe.Barrier() // quiesce: all in-flight one-sided writes are visible
 	if pe.Rank == 0 {
 		w.t0 = time.Now()
@@ -131,6 +263,9 @@ func (w *ckptWriter) write(pe *pgas.PE, local *statevec.State, step int, cbits u
 		return // peers unwind at their next barrier
 	}
 	w.shards[pe.Rank], w.errs[pe.Rank] = ckpt.WriteShard(w.stepDir, pe.Rank, local)
+	if dirty != nil {
+		dirty.Clear() // the full shard is the new delta baseline
+	}
 	pe.Barrier()
 	if pe.Rank != 0 {
 		pe.Barrier() // matches rank 0's post-manifest barrier below
@@ -141,15 +276,10 @@ func (w *ckptWriter) write(pe *pgas.PE, local *statevec.State, step int, cbits u
 			pe.Fail(fmt.Errorf("core: checkpoint at step %d (rank %d): %w", step, r, err))
 		}
 	}
-	m := w.man // copy the template
-	m.Step = step
-	m.Cbits = cbits
-	m.Draws = draws
-	if perm != nil {
-		m.Perm = append([]int(nil), perm...)
-	}
+	w.kind = ckpt.KindFull
+	m := w.fillManifest(step, ops, cbits, draws, perm)
 	m.Shards = append([]ckpt.Shard(nil), w.shards...)
-	if err := ckpt.WriteManifest(w.stepDir, &m); err != nil {
+	if err := ckpt.WriteManifest(w.stepDir, m); err != nil {
 		pe.Fail(fmt.Errorf("core: checkpoint at step %d: %w", step, err))
 	}
 	var bytes int64
@@ -167,6 +297,45 @@ func (w *ckptWriter) write(pe *pgas.PE, local *statevec.State, step int, cbits u
 	pe.Barrier() // nobody proceeds until the checkpoint is published
 }
 
+// writeAsync is the asynchronous protocol: quiesce, decide full/delta
+// fleet-uniformly, capture copy-on-write payloads, and hand the job to
+// the background writer. Only rank 0 talks to the writer; a latched
+// writer error surfaces here (and at finish) as a terminal failure.
+func (w *ckptWriter) writeAsync(pe *pgas.PE, local *statevec.State, step, ops int, cbits uint64, draws int64, perm circuit.Permutation, dirty *ckpt.Dirty) {
+	pe.Barrier() // quiesce: all in-flight one-sided writes are visible
+	if pe.Rank == 0 {
+		w.t0 = time.Now()
+		w.subErr = w.aw.Err()
+		if w.subErr == nil {
+			w.stepDir = ckpt.StepDir(w.dir, step)
+			w.decideKind(dirty)
+		}
+	}
+	pe.Barrier() // publishes the kind decision (or the latched error)
+	if w.subErr != nil {
+		if pe.Rank == 0 {
+			pe.Fail(fmt.Errorf("core: checkpoint at step %d: %w", step, w.subErr))
+		}
+		return // peers unwind at their next barrier
+	}
+	w.capture(pe.Rank, local, dirty)
+	pe.Barrier() // all payloads captured; compute may dirty state again
+	if pe.Rank != 0 {
+		return // durability is the writer's job from here
+	}
+	m := w.fillManifest(step, ops, cbits, draws, perm)
+	if err := w.aw.Submit(w.stepDir, m, append([]*ckpt.Payload(nil), w.payloads...)); err != nil {
+		pe.Fail(fmt.Errorf("core: checkpoint at step %d: %w", step, err))
+	}
+	w.noteSubmitted(step)
+	ns := time.Since(w.t0).Nanoseconds()
+	w.stats.Count++
+	w.stats.NS += ns
+	w.mCount.Add(1)
+	w.mNS.Add(ns)
+	w.rec.Record(pe.Rank, obs.EventCkptQueued, fmt.Sprintf("step %d %s", step, w.kind), int64(step))
+}
+
 // schedName normalizes a policy for manifest comparison (the zero value
 // means naive).
 func schedName(p sched.Policy) string {
@@ -177,10 +346,31 @@ func schedName(p sched.Policy) string {
 }
 
 // writeLocal is the single-PE (no comm) form of the checkpoint protocol
-// used by the single-device backend.
-func (w *ckptWriter) writeLocal(st *statevec.State, step int, cbits uint64, draws int64) error {
+// used by the single-node backends. In async mode the shard write moves
+// to the background writer exactly as in the distributed protocol.
+func (w *ckptWriter) writeLocal(st *statevec.State, step, ops int, cbits uint64, draws int64) error {
 	t0 := time.Now()
 	dir := ckpt.StepDir(w.dir, step)
+	if w.async() {
+		if err := w.aw.Err(); err != nil {
+			return fmt.Errorf("core: checkpoint at step %d: %w", step, err)
+		}
+		w.decideKind(nil)
+		w.capture(0, st, nil)
+		m := w.fillManifest(step, ops, cbits, draws, nil)
+		if err := w.aw.Submit(dir, m, w.payloads[:1:1]); err != nil {
+			return fmt.Errorf("core: checkpoint at step %d: %w", step, err)
+		}
+		w.payloads = make([]*ckpt.Payload, 1)
+		w.noteSubmitted(step)
+		ns := time.Since(t0).Nanoseconds()
+		w.stats.Count++
+		w.stats.NS += ns
+		w.mCount.Add(1)
+		w.mNS.Add(ns)
+		w.rec.Record(0, obs.EventCkptQueued, fmt.Sprintf("step %d %s", step, w.kind), int64(step))
+		return nil
+	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("core: checkpoint at step %d: %w", step, err)
 	}
@@ -188,12 +378,10 @@ func (w *ckptWriter) writeLocal(st *statevec.State, step int, cbits uint64, draw
 	if err != nil {
 		return fmt.Errorf("core: checkpoint at step %d: %w", step, err)
 	}
-	m := w.man
-	m.Step = step
-	m.Cbits = cbits
-	m.Draws = draws
+	w.kind = ckpt.KindFull
+	m := w.fillManifest(step, ops, cbits, draws, nil)
 	m.Shards = []ckpt.Shard{sh}
-	if err := ckpt.WriteManifest(dir, &m); err != nil {
+	if err := ckpt.WriteManifest(dir, m); err != nil {
 		return fmt.Errorf("core: checkpoint at step %d: %w", step, err)
 	}
 	ns := time.Since(t0).Nanoseconds()
@@ -242,19 +430,21 @@ func validateManifest(m *ckpt.Manifest, backend string, c *circuit.Circuit, p in
 	return nil
 }
 
-// restoreShards loads every validated shard into the symmetric heap
-// partitions.
+// restoreShards loads every rank's partition — materialized through its
+// delta chain when the checkpoint is incremental — into the symmetric
+// heap partitions.
 func restoreShards(dir string, m *ckpt.Manifest, svRe, svIm *pgas.SymF64, localBits int) error {
-	for _, sh := range m.Shards {
-		if sh.Rank < 0 || sh.Rank >= m.PEs {
-			return fmt.Errorf("core: manifest shard rank %d out of range", sh.Rank)
-		}
-		st, err := ckpt.ReadShard(dir, sh, localBits)
+	links, err := ckpt.Chain(dir, m)
+	if err != nil {
+		return err
+	}
+	for r := 0; r < m.PEs; r++ {
+		st, err := ckpt.RestoreShardChain(links, r, localBits)
 		if err != nil {
 			return err
 		}
-		copy(svRe.PartitionUnsafe(sh.Rank), st.Re)
-		copy(svIm.PartitionUnsafe(sh.Rank), st.Im)
+		copy(svRe.PartitionUnsafe(r), st.Re)
+		copy(svIm.PartitionUnsafe(r), st.Im)
 	}
 	return nil
 }

@@ -82,10 +82,35 @@ type Config struct {
 	// becomes a ckpt-<step> subdirectory holding per-PE shards and a
 	// manifest.
 	CheckpointDir string
+	// CheckpointAsync moves shard serialization off the compute path: at
+	// a due step the fleet quiesces only to capture copy-on-write
+	// payloads, a background writer publishes the checkpoint, and compute
+	// proceeds immediately. Backends with write tracking (the lazy
+	// scale-out executor) capture only dirtied tiles as delta
+	// checkpoints chained to their parent full checkpoint.
+	CheckpointAsync bool
+	// CheckpointFullEvery bounds delta chains in async mode: every N-th
+	// checkpoint is forced full (compacting the chain). <= 1 makes every
+	// checkpoint full.
+	CheckpointFullEvery int
 	// Resume, when non-empty, restores the run from a checkpoint before
 	// executing: either a specific ckpt-<step> directory or a base
 	// directory whose latest complete checkpoint is used.
 	Resume string
+	// Init, when non-nil, warm-starts the run from a full logical state
+	// (elastic restore onto a new fleet size) instead of |0...0>. Applied
+	// before Resume, so checkpoints taken DURING a warm-started run still
+	// recover normally.
+	Init *ckpt.WarmStart
+	// Elastic lets the distributed recovery loop shrink the fleet after a
+	// PE failure when full-size restarts keep dying: the latest
+	// checkpoint is re-sharded onto half the PEs and the residual circuit
+	// re-planned there.
+	Elastic bool
+	// Stop, when non-nil, is polled at checkpoint cut points: once
+	// triggered the run writes a final checkpoint (when configured) and
+	// unwinds with ErrInterrupted.
+	Stop *StopLatch
 	// Fault, when non-nil, injects deterministic faults into the
 	// communication substrate (see internal/fault).
 	Fault *fault.Injector

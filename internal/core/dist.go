@@ -1,6 +1,8 @@
 package core
 
 import (
+	"errors"
+	"fmt"
 	"math"
 	"math/rand"
 	"sort"
@@ -9,6 +11,7 @@ import (
 	"svsim/internal/circuit"
 	"svsim/internal/ckpt"
 	"svsim/internal/compile"
+	"svsim/internal/fault"
 	"svsim/internal/gate"
 	"svsim/internal/obs"
 	"svsim/internal/pgas"
@@ -52,6 +55,7 @@ type distSim struct {
 
 	ck    *ckptWriter // nil when checkpointing is off
 	start int         // first gate index to execute (non-zero on resume)
+	stop  *StopLatch  // graceful-shutdown latch, nil when unused
 
 	trace *obs.Tracer // nil when tracing is off
 	gm    *gateObs    // nil when metrics are off
@@ -108,6 +112,7 @@ func newDistSim(name string, cfg Config, cp *compile.CompiledPlan) (*distSim, er
 	d.comm.SetTimeouts(cfg.Timeouts)
 	d.comm.SetRecorder(cfg.Flight)
 	d.ck = newCkptWriter(cfg, name, c, p, cp.PlanFP)
+	d.stop = cfg.Stop
 	d.trace = cfg.Trace
 	if cfg.Metrics != nil {
 		d.comm.SetMetrics(cfg.Metrics)
@@ -149,6 +154,25 @@ func newDistSim(name string, cfg Config, cp *compile.CompiledPlan) (*distSim, er
 			bufIm: make([]float64, d.S),
 		}
 	}
+	if cfg.Init != nil {
+		// Elastic warm start: scatter the full logical state across this
+		// fleet's partitions in place of |0...0> (natural array order, so
+		// rank r owns the contiguous global range [r*S, (r+1)*S)).
+		ws := cfg.Init
+		if ws.State == nil || ws.State.N != n {
+			return nil, fmt.Errorf("core: warm-start state does not match circuit (%d qubits)", n)
+		}
+		for r := 0; r < p; r++ {
+			copy(d.svRe.PartitionUnsafe(r), ws.State.Re[r*d.S:(r+1)*d.S])
+			copy(d.svIm.PartitionUnsafe(r), ws.State.Im[r*d.S:(r+1)*d.S])
+		}
+		for r := range d.perPE {
+			run := &d.perPE[r]
+			run.cbits = ws.Cbits
+			replayDraws(run.rng, ws.Draws)
+			run.draws = ws.Draws
+		}
+	}
 	if cfg.Resume != "" {
 		dir, m, err := resolveResume(cfg.Resume)
 		if err != nil {
@@ -188,13 +212,19 @@ func (d *distSim) run() (*Result, error) {
 		trk := d.trace.Track(pe.Rank)
 		for t := d.start; t < len(d.bound); t++ {
 			if t > d.start && d.ck.due(t) {
+				// ops == t: under the naive schedule every loop index is
+				// exactly one executable-stream op.
+				stopNow := d.stop.vote(pe)
 				if trk != nil {
 					k0 := time.Now()
-					d.ck.write(pe, run.local, t, run.cbits, run.draws, nil)
+					d.ck.write(pe, run.local, t, t, run.cbits, run.draws, nil, nil)
 					trk.SpanAt("checkpoint", k0, time.Now(),
 						obs.SpanArgs{Kind: "checkpoint", Phase: obs.PhaseCheckpoint})
 				} else {
-					d.ck.write(pe, run.local, t, run.cbits, run.draws, nil)
+					d.ck.write(pe, run.local, t, t, run.cbits, run.draws, nil, nil)
+				}
+				if stopNow {
+					pe.Fail(ErrInterrupted)
 				}
 			}
 			bg := &d.bound[t]
@@ -228,6 +258,9 @@ func (d *distSim) run() (*Result, error) {
 			}
 		}
 	})
+	if ferr := d.ck.finish(); err == nil {
+		err = ferr
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -602,6 +635,12 @@ func runDistributed(name string, cfg Config, c *circuit.Circuit) (*Result, error
 		mRecoveries = cfg.Metrics.Counter(obs.MetricRecoveries)
 	}
 	attempts, recovered := 0, 0
+	resumeStep := -1 // step of the checkpoint the current cfg.Resume names
+	if cfg.Resume != "" {
+		if _, m, rerr := resolveResume(cfg.Resume); rerr == nil {
+			resumeStep = m.Step
+		}
+	}
 	for {
 		attempts++
 		cfg.Flight.Record(-1, obs.EventRunStart, name, int64(attempts))
@@ -611,9 +650,24 @@ func runDistributed(name string, cfg Config, c *circuit.Circuit) (*Result, error
 			res.Compile = cst
 			return res, nil
 		}
+		var se *ckpt.ShardError
+		if errors.As(err, &se) && cfg.Resume != "" && cfg.CheckpointDir != "" {
+			// The checkpoint we tried to resume from is torn or corrupt:
+			// fall back to the next older complete one. Steps strictly
+			// decrease, so this loop terminates without a restart budget.
+			cfg.Flight.Record(-1, obs.EventRunFailed, "corrupt checkpoint: "+err.Error(), int64(attempts))
+			dir, step, ok := olderCheckpoint(cfg.CheckpointDir, resumeStep)
+			if !ok {
+				return nil, &RunFailure{Backend: name, Attempts: attempts, Cause: err}
+			}
+			cfg.Resume = dir
+			resumeStep = step
+			cfg.Flight.Record(-1, obs.EventRestart, "fallback to "+dir, int64(step))
+			continue
+		}
 		if !recoverable(err) {
-			// Setup/validation problems and checkpoint I/O errors are
-			// terminal; restarting cannot help.
+			// Setup/validation problems, interrupts, and checkpoint I/O
+			// errors are terminal; restarting cannot help.
 			return nil, err
 		}
 		cfg.Flight.Record(-1, obs.EventRunFailed, err.Error(), int64(attempts))
@@ -621,13 +675,43 @@ func runDistributed(name string, cfg Config, c *circuit.Circuit) (*Result, error
 		if cfg.CheckpointDir == "" || recovered >= cfg.MaxRestarts {
 			return nil, &RunFailure{Backend: name, Attempts: attempts, Cause: err}
 		}
-		dir, _, ok, lerr := ckpt.Latest(cfg.CheckpointDir)
+		dir, m, ok, lerr := ckpt.Latest(cfg.CheckpointDir)
 		if lerr != nil || !ok {
 			return nil, &RunFailure{Backend: name, Attempts: attempts, Cause: err}
 		}
+		var ke *fault.KillError
+		if cfg.Elastic && cfg.PEs > 1 && errors.As(err, &ke) && ckpt.ElasticRestorable(m) == nil {
+			// Elastic shrink: instead of restarting the dead rank's fleet
+			// at full size, re-shard the checkpoint onto half the PEs and
+			// run the residual circuit there.
+			res, eerr := runElastic(name, cfg, cp, dir, m, cfg.PEs/2)
+			if eerr != nil {
+				return nil, &RunFailure{Backend: name, Attempts: attempts + 1, Cause: eerr}
+			}
+			res.Recoveries = recovered + 1
+			res.Compile = cst
+			mRecoveries.Add(1)
+			return res, nil
+		}
 		cfg.Resume = dir
+		resumeStep = m.Step
 		recovered++
 		mRecoveries.Add(1)
 		cfg.Flight.Record(-1, obs.EventRestart, "resume from "+dir, int64(recovered))
 	}
+}
+
+// olderCheckpoint returns the newest complete checkpoint strictly older
+// than step; a negative step accepts any.
+func olderCheckpoint(base string, step int) (string, int, bool) {
+	steps, err := ckpt.CompleteSteps(base)
+	if err != nil {
+		return "", 0, false
+	}
+	for _, s := range steps { // newest first
+		if step < 0 || s < step {
+			return ckpt.StepDir(base, s), s, true
+		}
+	}
+	return "", 0, false
 }

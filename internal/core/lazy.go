@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"svsim/internal/circuit"
+	"svsim/internal/ckpt"
 	"svsim/internal/compile"
 	"svsim/internal/gate"
 	"svsim/internal/obs"
@@ -58,8 +59,10 @@ type lazySim struct {
 	perPE     []lazyRun
 	phasesRun int64 // exchange phases executed by two-level remaps (rank 0 only)
 
-	ck    *ckptWriter // nil when checkpointing is off
-	start int         // first plan-step index to execute (non-zero on resume)
+	ck        *ckptWriter // nil when checkpointing is off
+	start     int         // first plan-step index to execute (non-zero on resume)
+	opsBefore []int       // per step: executable-stream ops completed before it
+	stop      *StopLatch  // graceful-shutdown latch, nil when unused
 
 	trace      *obs.Tracer
 	gm         *gateObs
@@ -80,7 +83,8 @@ type lazyRun struct {
 	cbits uint64
 	extra statevec.Stats
 	perm  circuit.Permutation
-	pack  []float64 // remap pack scratch, 2S floats (two 2B halves when pipelined)
+	pack  []float64   // remap pack scratch, 2S floats (two 2B halves when pipelined)
+	dirty *ckpt.Dirty // write tracking for delta checkpoints; nil unless async ckpt
 	// intraBytes/interBytes split this PE's remap remote traffic by node
 	// locality under the run's topology; zero on a flat run.
 	intraBytes int64
@@ -92,6 +96,20 @@ type lazyRun struct {
 func (run *lazyRun) draw() float64 {
 	run.draws++
 	return run.rng.Float64()
+}
+
+// markAll / markCtrls feed the delta-checkpoint write tracker; no-ops
+// when tracking is off.
+func (run *lazyRun) markAll() {
+	if run.dirty != nil {
+		run.dirty.MarkAll()
+	}
+}
+
+func (run *lazyRun) markCtrls(cmask int) {
+	if run.dirty != nil {
+		run.dirty.MarkCtrls(cmask)
+	}
 }
 
 func newLazySim(name string, cfg Config, cp *compile.CompiledPlan) (*lazySim, error) {
@@ -121,6 +139,8 @@ func newLazySim(name string, cfg Config, cp *compile.CompiledPlan) (*lazySim, er
 	d.exch = cp.Exchanges
 	d.topo = cp.Topo
 	d.tl = cp.TwoLevels
+	d.opsBefore = cp.OpsBefore()
+	d.stop = cfg.Stop
 
 	d.comm = pgas.NewComm(p)
 	d.comm.SetFault(cfg.Fault)
@@ -200,6 +220,28 @@ func newLazySim(name string, cfg Config, cp *compile.CompiledPlan) (*lazySim, er
 			perm: circuit.IdentityPermutation(n),
 			pack: make([]float64, 2*d.S),
 		}
+		if d.ck.async() {
+			d.perPE[r].dirty = ckpt.NewDirty(d.S, 0)
+		}
+	}
+	if cfg.Init != nil {
+		// Elastic warm start: scatter the full logical state across this
+		// fleet's partitions in place of |0...0>. The initial permutation
+		// is identity, so logical index == physical index here.
+		ws := cfg.Init
+		if ws.State == nil || ws.State.N != n {
+			return nil, fmt.Errorf("core: warm-start state does not match circuit (%d qubits)", n)
+		}
+		for r := 0; r < p; r++ {
+			copy(d.svRe.PartitionUnsafe(r), ws.State.Re[r*d.S:(r+1)*d.S])
+			copy(d.svIm.PartitionUnsafe(r), ws.State.Im[r*d.S:(r+1)*d.S])
+		}
+		for r := range d.perPE {
+			run := &d.perPE[r]
+			run.cbits = ws.Cbits
+			replayDraws(run.rng, ws.Draws)
+			run.draws = ws.Draws
+		}
 	}
 	if cfg.Resume != "" {
 		dir, m, err := resolveResume(cfg.Resume)
@@ -257,13 +299,19 @@ func (d *lazySim) run() (*Result, error) {
 		trk := d.trace.Track(pe.Rank)
 		for si := d.start; si < len(d.plan.Steps); si++ {
 			if si > d.start && d.ck.due(si) {
+				stopNow := d.stop.vote(pe)
 				if trk != nil {
 					k0 := time.Now()
-					d.ck.write(pe, run.local, si, run.cbits, run.draws, run.perm)
+					d.ck.write(pe, run.local, si, d.opsBefore[si], run.cbits, run.draws, run.perm, run.dirty)
 					trk.SpanAt("checkpoint", k0, time.Now(), obs.SpanArgs{
 						Kind: "checkpoint", Phase: obs.PhaseCheckpoint, Block: d.blockOf[si]})
 				} else {
-					d.ck.write(pe, run.local, si, run.cbits, run.draws, run.perm)
+					d.ck.write(pe, run.local, si, d.opsBefore[si], run.cbits, run.draws, run.perm, run.dirty)
+				}
+				if stopNow {
+					// The checkpoint above is the final one; every PE
+					// unwinds identically with the interrupt.
+					pe.Fail(ErrInterrupted)
 				}
 			}
 			st := &d.plan.Steps[si]
@@ -310,6 +358,7 @@ func (d *lazySim) run() (*Result, error) {
 				d.flight.Record(pe.Rank, obs.EventRemap, d.label[si]+" folded", 0)
 				continue
 			}
+			run.markAll() // the exchange rewrites the whole partition
 			ex := d.exch[si]
 			tl := d.twoLevelAt(si)
 			c0 := d.comm.StatsOf(pe.Rank)
@@ -342,6 +391,9 @@ func (d *lazySim) run() (*Result, error) {
 			d.flight.Record(pe.Rank, obs.EventRemap, d.label[si], c1.RemoteBytes-c0.RemoteBytes)
 		}
 	})
+	if ferr := d.ck.finish(); err == nil {
+		err = ferr
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -407,16 +459,19 @@ func (d *lazySim) execGate(pe *pgas.PE, run *lazyRun, opIdx int) {
 	case gate.BARRIER:
 		return
 	case gate.MEASURE:
+		run.markAll() // collapse renormalizes the whole partition
 		out := d.measure(pe, run, int(g.Qubits[0]))
 		run.cbits = setCbit(run.cbits, int(g.Cbit), out)
 		return
 	case gate.RESET:
+		run.markAll()
 		if d.measure(pe, run, int(g.Qubits[0])) == 1 {
 			x := gate.NewX(run.perm[int(g.Qubits[0])])
 			run.local.Apply(&x)
 		}
 		return
 	case gate.GPHASE:
+		run.markAll()
 		run.local.ApplyGPhase(g.Params[0])
 		return
 	}
@@ -430,6 +485,16 @@ func (d *lazySim) execGate(pe *pgas.PE, run *lazyRun, opIdx int) {
 		physT[i] = run.perm[t]
 	}
 	if cls.Diag {
+		// Write tracking: only amplitudes satisfying every LOCAL control
+		// bit can change (global controls merely gate the whole partition,
+		// conservatively ignored here).
+		var localMask int
+		for _, c := range physC {
+			if c < d.localBits {
+				localMask |= 1 << uint(c)
+			}
+		}
+		run.markCtrls(localMask)
 		d.applyDiagPhys(pe, run, cls, physC, physT)
 		return
 	}
@@ -444,6 +509,11 @@ func (d *lazySim) execGate(pe *pgas.PE, run *lazyRun, opIdx int) {
 			return // a global control is 0 across this whole partition
 		}
 	}
+	var localMask int
+	for _, c := range localCtrls {
+		localMask |= 1 << uint(c)
+	}
+	run.markCtrls(localMask)
 	run.local.ApplyControlledMatrix(cls.U, localCtrls, physT)
 }
 

@@ -1,0 +1,382 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"svsim/internal/ckpt"
+	"svsim/internal/fault"
+	"svsim/internal/sched"
+)
+
+// readKinds returns the Kind of every complete checkpoint under base.
+func readKinds(t *testing.T, base string) []string {
+	t.Helper()
+	steps, err := ckpt.CompleteSteps(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := make([]string, 0, len(steps))
+	for _, s := range steps {
+		_, m, err := ckpt.Resolve(ckpt.StepDir(base, s))
+		if err != nil {
+			t.Fatal(err)
+		}
+		kinds = append(kinds, m.Kind)
+	}
+	return kinds
+}
+
+// TestAsyncCheckpointDeltaChainResume is the incremental-checkpoint
+// round trip: an async run with a short full cadence emits delta
+// manifests chained onto fulls, and resuming from the latest (delta)
+// checkpoint replays the chain into a state bit-identical to an
+// uninterrupted run — on both distributed backends and both schedules
+// (only the lazy executor tracks dirty tiles; naive runs degrade to
+// full checkpoints and must still round-trip).
+func TestAsyncCheckpointDeltaChainResume(t *testing.T) {
+	c := measuredCircuit(41, 7, 70)
+	backends := []struct {
+		name string
+		run  func(Config) (*Result, error)
+	}{
+		{"scale-up", func(cfg Config) (*Result, error) { return NewScaleUp(cfg).Run(c) }},
+		{"scale-out", func(cfg Config) (*Result, error) { return NewScaleOut(cfg).Run(c) }},
+	}
+	for _, b := range backends {
+		for _, pol := range []sched.Policy{sched.Naive, sched.Lazy} {
+			t.Run(b.name+"/"+string(pol), func(t *testing.T) {
+				base := Config{PEs: 4, Seed: 9, Sched: pol}
+				ref, err := b.run(base)
+				if err != nil {
+					t.Fatal(err)
+				}
+				dir := ckptTestDir(t)
+				cfg := base
+				cfg.CheckpointEvery = 5
+				cfg.CheckpointDir = dir
+				cfg.CheckpointAsync = true
+				cfg.CheckpointFullEvery = 3
+				mid, err := b.run(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if mid.Ckpt.Count == 0 {
+					t.Fatal("expected async checkpoints to be written")
+				}
+				kinds := readKinds(t, dir)
+				if len(kinds) == 0 {
+					t.Fatal("no complete checkpoints on disk")
+				}
+				if pol == sched.Lazy {
+					var deltas int
+					for _, k := range kinds {
+						if k == ckpt.KindDelta {
+							deltas++
+						}
+					}
+					if deltas == 0 {
+						t.Fatalf("lazy async run wrote no delta checkpoints (kinds %v)", kinds)
+					}
+				}
+				rcfg := base
+				rcfg.Resume = dir
+				got, err := b.run(rcfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if d := got.State.MaxAbsDiff(ref.State); d != 0 {
+					t.Fatalf("resumed run deviates by %g (want bit-identical)", d)
+				}
+				if got.Cbits != ref.Cbits {
+					t.Fatalf("cbits %b vs %b", got.Cbits, ref.Cbits)
+				}
+			})
+		}
+	}
+}
+
+// TestAsyncCrashEquivalence is TestCrashEquivalence with the background
+// writer in the loop: a kill mid-run (possibly with checkpoint jobs
+// still in flight — the writer drains before recovery) auto-restarts
+// from the latest complete checkpoint and finishes bit-identical.
+func TestAsyncCrashEquivalence(t *testing.T) {
+	seed := faultSeed(t)
+	c := measuredCircuit(42, 6, 60)
+	for _, pol := range []sched.Policy{sched.Naive, sched.Lazy} {
+		t.Run(string(pol), func(t *testing.T) {
+			base := Config{PEs: 4, Seed: 7, Sched: pol}
+			ref, err := NewScaleOut(base).Run(c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			in := fault.NewInjector(seed)
+			in.KillAt(1, fault.Barrier, 30)
+			cfg := base
+			cfg.Fault = in
+			cfg.CheckpointEvery = 5
+			cfg.CheckpointDir = ckptTestDir(t)
+			cfg.CheckpointAsync = true
+			cfg.CheckpointFullEvery = 2
+			cfg.MaxRestarts = 2
+			got, err := NewScaleOut(cfg).Run(c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Recoveries != 1 {
+				t.Fatalf("want 1 recovery, got %d", got.Recoveries)
+			}
+			if d := got.State.MaxAbsDiff(ref.State); d != 0 {
+				t.Fatalf("recovered run deviates by %g (want bit-identical)", d)
+			}
+			if got.Cbits != ref.Cbits {
+				t.Fatalf("cbits %b vs %b", got.Cbits, ref.Cbits)
+			}
+		})
+	}
+}
+
+// TestElasticReshard is the fleet-size-change property: a checkpoint
+// taken at P=8 restores onto P' in {4, 8, 16} and the residual circuit
+// finishes bit-identical to the uninterrupted P=8 run. The circuit is
+// measurement-free (QFT) so the answer is P-independent down to the
+// last bit.
+func TestElasticReshard(t *testing.T) {
+	c := qftCircuit(10)
+	for _, pol := range []sched.Policy{sched.Naive, sched.Lazy} {
+		t.Run(string(pol), func(t *testing.T) {
+			base := Config{PEs: 8, Seed: 5, Sched: pol}
+			ref, err := NewScaleOut(base).Run(c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dir := ckptTestDir(t)
+			cfg := base
+			cfg.CheckpointEvery = 10
+			cfg.CheckpointDir = dir
+			if _, err := NewScaleOut(cfg).Run(c); err != nil {
+				t.Fatal(err)
+			}
+			for _, newPEs := range []int{4, 8, 16} {
+				got, err := RunElastic("scale-out", base, c, dir, newPEs)
+				if err != nil {
+					t.Fatalf("P'=%d: %v", newPEs, err)
+				}
+				if got.PEs != newPEs {
+					t.Fatalf("P'=%d: result reports %d PEs", newPEs, got.PEs)
+				}
+				if d := got.State.MaxAbsDiff(ref.State); d != 0 {
+					t.Fatalf("P'=%d: elastic run deviates by %g (want bit-identical)", newPEs, d)
+				}
+			}
+		})
+	}
+}
+
+// TestElasticShrinkOnKill is the self-healing path: with Config.Elastic
+// a killed PE does not force a same-size restart — the run reshards its
+// latest checkpoint onto half the fleet and finishes there,
+// bit-identical to the fault-free full-size run.
+func TestElasticShrinkOnKill(t *testing.T) {
+	c := qftCircuit(10)
+	for _, pol := range []sched.Policy{sched.Naive, sched.Lazy} {
+		t.Run(string(pol), func(t *testing.T) {
+			base := Config{PEs: 8, Seed: 5, Sched: pol}
+			ref, err := NewScaleOut(base).Run(c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			in := fault.NewInjector(faultSeed(t))
+			in.KillAt(1, fault.Barrier, 45)
+			cfg := base
+			cfg.Fault = in
+			cfg.CheckpointEvery = 5
+			cfg.CheckpointDir = ckptTestDir(t)
+			cfg.MaxRestarts = 1
+			cfg.Elastic = true
+			got, err := NewScaleOut(cfg).Run(c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.PEs != 4 {
+				t.Fatalf("want shrink to 4 PEs, got %d", got.PEs)
+			}
+			if got.Recoveries != 1 {
+				t.Fatalf("want 1 recovery, got %d", got.Recoveries)
+			}
+			if d := got.State.MaxAbsDiff(ref.State); d != 0 {
+				t.Fatalf("elastic recovery deviates by %g (want bit-identical)", d)
+			}
+		})
+	}
+}
+
+// TestStopLatchDistributed is the graceful-shutdown contract: a
+// triggered latch makes the fleet write one final checkpoint at the
+// next boundary and unwind with ErrInterrupted, and a later resume
+// finishes bit-identical to an uninterrupted run.
+func TestStopLatchDistributed(t *testing.T) {
+	c := measuredCircuit(43, 6, 60)
+	for _, pol := range []sched.Policy{sched.Naive, sched.Lazy} {
+		t.Run(string(pol), func(t *testing.T) {
+			base := Config{PEs: 4, Seed: 11, Sched: pol}
+			ref, err := NewScaleOut(base).Run(c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dir := ckptTestDir(t)
+			stop := &StopLatch{}
+			stop.Trigger()
+			cfg := base
+			cfg.CheckpointEvery = 5
+			cfg.CheckpointDir = dir
+			cfg.Stop = stop
+			_, err = NewScaleOut(cfg).Run(c)
+			if !errors.Is(err, ErrInterrupted) {
+				t.Fatalf("want ErrInterrupted, got %v", err)
+			}
+			if _, _, ok, _ := ckpt.Latest(dir); !ok {
+				t.Fatal("interrupted run left no final checkpoint")
+			}
+			rcfg := base
+			rcfg.Resume = dir
+			got, err := NewScaleOut(rcfg).Run(c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d := got.State.MaxAbsDiff(ref.State); d != 0 {
+				t.Fatalf("resumed run deviates by %g", d)
+			}
+			if got.Cbits != ref.Cbits {
+				t.Fatalf("cbits %b vs %b", got.Cbits, ref.Cbits)
+			}
+		})
+	}
+}
+
+// TestStopLatchSingleNode checks the single-node latch semantics on the
+// single-device and threaded backends: an interrupted run that made
+// progress past its start leaves a resumable checkpoint; a run
+// interrupted before any progress unwinds without one.
+func TestStopLatchSingleNode(t *testing.T) {
+	c := measuredCircuit(44, 6, 50)
+	backends := []struct {
+		name string
+		run  func(Config) (*Result, error)
+	}{
+		{"single", func(cfg Config) (*Result, error) { return NewSingleDevice(cfg).Run(c) }},
+		{"threaded", func(cfg Config) (*Result, error) {
+			return NewThreaded(Config{
+				PEs: 2, Seed: cfg.Seed, CheckpointEvery: cfg.CheckpointEvery,
+				CheckpointDir: cfg.CheckpointDir, Resume: cfg.Resume, Stop: cfg.Stop,
+			}).Run(c)
+		}},
+	}
+	for _, b := range backends {
+		t.Run(b.name, func(t *testing.T) {
+			dir := ckptTestDir(t)
+			stop := &StopLatch{}
+			stop.Trigger()
+			_, err := b.run(Config{Seed: 13, CheckpointEvery: 10, CheckpointDir: dir, Stop: stop})
+			if !errors.Is(err, ErrInterrupted) {
+				t.Fatalf("want ErrInterrupted, got %v", err)
+			}
+			if steps, _ := ckpt.CompleteSteps(dir); len(steps) != 0 {
+				t.Fatalf("no-progress interrupt wrote %d checkpoints", len(steps))
+			}
+		})
+	}
+}
+
+// TestThreadedCheckpointResume covers the scale-up shared-memory
+// backend's new checkpoint/resume path (per-gate and tiled): a resumed
+// run matches an uninterrupted one bit-for-bit.
+func TestThreadedCheckpointResume(t *testing.T) {
+	c := measuredCircuit(45, 6, 50)
+	for _, tile := range []bool{false, true} {
+		name := "pergate"
+		if tile {
+			name = "tiled"
+		}
+		t.Run(name, func(t *testing.T) {
+			base := Config{PEs: 2, Seed: 13, Tile: tile, TileBits: 3}
+			ref, err := NewThreaded(base).Run(c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dir := ckptTestDir(t)
+			cfg := base
+			cfg.CheckpointEvery = 13
+			cfg.CheckpointDir = dir
+			cfg.CheckpointAsync = true
+			mid, err := NewThreaded(cfg).Run(c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if mid.Ckpt.Count == 0 {
+				t.Fatal("expected checkpoints to be written")
+			}
+			steps, err := ckpt.CompleteSteps(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, s := range steps {
+				rcfg := base
+				rcfg.Resume = ckpt.StepDir(dir, s)
+				got, err := NewThreaded(rcfg).Run(c)
+				if err != nil {
+					t.Fatalf("resume from step %d: %v", s, err)
+				}
+				if d := got.State.MaxAbsDiff(ref.State); d != 0 {
+					t.Fatalf("resume from step %d deviates by %g", s, d)
+				}
+				if got.Cbits != ref.Cbits {
+					t.Fatalf("resume from step %d: cbits %b vs %b", s, got.Cbits, ref.Cbits)
+				}
+			}
+		})
+	}
+}
+
+// TestTiledAsyncCheckpointInterop extends the tile/checkpoint interop
+// property to the async writer: checkpoints written by a tiled async
+// run (quantized to group boundaries) resume correctly on both the
+// tiled and per-gate single-device paths.
+func TestTiledAsyncCheckpointInterop(t *testing.T) {
+	c := qftCircuit(8)
+	ref, err := NewSingleDevice(Config{Seed: 3}).Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := ckptTestDir(t)
+	tiled, err := NewSingleDevice(Config{
+		Seed: 3, Tile: true, TileBits: 3,
+		CheckpointEvery: 7, CheckpointDir: dir, CheckpointAsync: true,
+	}).Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tiled.Ckpt.Count == 0 {
+		t.Fatal("expected async checkpoints to be written")
+	}
+	steps, err := ckpt.CompleteSteps(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(steps) == 0 {
+		t.Fatal("no complete checkpoints on disk")
+	}
+	for _, s := range steps {
+		for _, tile := range []bool{false, true} {
+			got, err := NewSingleDevice(Config{
+				Seed: 3, Tile: tile, TileBits: 3, Resume: ckpt.StepDir(dir, s),
+			}).Run(c)
+			if err != nil {
+				t.Fatalf("resume step %d tile=%v: %v", s, tile, err)
+			}
+			if d := got.State.MaxAbsDiff(ref.State); d != 0 {
+				t.Fatalf("resume step %d tile=%v deviates by %g", s, tile, d)
+			}
+		}
+	}
+}

@@ -132,30 +132,38 @@ func (b *SingleDevice) Run(c *circuit.Circuit) (*Result, error) {
 	}
 	trk := b.cfg.Trace.Track(0)
 	gm := newGateObs(b.cfg.Metrics)
+	stop := b.cfg.Stop
 	start := time.Now()
-	if b.cfg.Tile && cp.Tiles != nil {
-		if err := runTiledSingle(cp, bound, rt, cw, trk, gm, b.cfg.Metrics, startGate); err != nil {
-			return nil, err
+	runErr := func() error {
+		if b.cfg.Tile && cp.Tiles != nil {
+			return runTiledSingle(cp, bound, rt, cw, trk, gm, b.cfg.Metrics, startGate, stop)
 		}
-	} else if trk == nil && gm == nil {
-		// The homogeneous run loop: the paper's simulation_kernel.
-		for t := startGate; t < len(bound); t++ {
-			if t > startGate && cw.due(t) {
-				if err := cw.writeLocal(rt.st, t, rt.cbits, rt.draws); err != nil {
-					return nil, err
+		if trk == nil && gm == nil {
+			// The homogeneous run loop: the paper's simulation_kernel.
+			for t := startGate; t < len(bound); t++ {
+				if err := stopLocal(stop, cw, rt.st, t, startGate, rt.cbits, rt.draws); err != nil {
+					return err
 				}
+				if t > startGate && cw.due(t) {
+					if err := cw.writeLocal(rt.st, t, t, rt.cbits, rt.draws); err != nil {
+						return err
+					}
+				}
+				bg := &bound[t]
+				if !condSatisfied(bg.cond, rt.cbits) {
+					continue
+				}
+				bg.op(rt, &bg.g)
 			}
-			bg := &bound[t]
-			if !condSatisfied(bg.cond, rt.cbits) {
-				continue
-			}
-			bg.op(rt, &bg.g)
+			return nil
 		}
-	} else {
 		for t := startGate; t < len(bound); t++ {
+			if err := stopLocal(stop, cw, rt.st, t, startGate, rt.cbits, rt.draws); err != nil {
+				return err
+			}
 			if t > startGate && cw.due(t) {
-				if err := cw.writeLocal(rt.st, t, rt.cbits, rt.draws); err != nil {
-					return nil, err
+				if err := cw.writeLocal(rt.st, t, t, rt.cbits, rt.draws); err != nil {
+					return err
 				}
 			}
 			bg := &bound[t]
@@ -172,6 +180,13 @@ func (b *SingleDevice) Run(c *circuit.Circuit) (*Result, error) {
 				})
 			}
 		}
+		return nil
+	}()
+	if ferr := cw.finish(); runErr == nil {
+		runErr = ferr
+	}
+	if runErr != nil {
+		return nil, runErr
 	}
 	elapsed := time.Since(start)
 	res := &Result{

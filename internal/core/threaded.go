@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"svsim/internal/circuit"
+	"svsim/internal/ckpt"
 	"svsim/internal/gate"
 	"svsim/internal/obs"
 	"svsim/internal/statevec"
@@ -42,44 +43,72 @@ func (b *Threaded) Run(c *circuit.Circuit) (*Result, error) {
 	pool := statevec.NewPool(workers)
 	defer pool.Close()
 
-	st := statevec.New(c.NumQubits)
-	st.Style = b.cfg.Style
-	rng := newRNG(b.cfg.Seed)
-	var cbits uint64
+	rt := &rtctx{
+		st:  statevec.New(c.NumQubits),
+		rng: newRNG(b.cfg.Seed),
+	}
+	rt.st.Style = b.cfg.Style
+	cw := newCkptWriter(b.cfg, b.Name(), c, 1, cp.PlanFP)
+	startGate := 0
+	if b.cfg.Resume != "" {
+		dir, m, err := resolveResume(b.cfg.Resume)
+		if err != nil {
+			return nil, err
+		}
+		if err := validateManifest(m, b.Name(), c, 1, b.cfg.Sched, cp.PlanFP); err != nil {
+			return nil, err
+		}
+		st, err := ckpt.ReadShard(dir, m.Shards[0], c.NumQubits)
+		if err != nil {
+			return nil, err
+		}
+		st.Style = b.cfg.Style
+		rt.st = st
+		rt.cbits = m.Cbits
+		replayDraws(rt.rng, m.Draws)
+		rt.draws = m.Draws
+		startGate = m.Step
+	}
 
 	// One trace track for the shared-state worker pool: the pool splits
 	// every gate's loop, so gates execute one at a time and the timeline
 	// is a single lane regardless of worker count.
 	trk := b.cfg.Trace.Track(0)
 	gm := newGateObs(b.cfg.Metrics)
+	stop := b.cfg.Stop
 
 	apply := func(g *gate.Gate) {
 		switch g.Kind {
 		case gate.MEASURE:
-			out := st.MeasureQubit(int(g.Qubits[0]), rng.Float64())
-			cbits = setCbit(cbits, int(g.Cbit), out)
+			out := rt.st.MeasureQubit(int(g.Qubits[0]), rt.draw())
+			rt.cbits = setCbit(rt.cbits, int(g.Cbit), out)
 		case gate.RESET:
-			st.ResetQubit(int(g.Qubits[0]), rng.Float64())
+			rt.st.ResetQubit(int(g.Qubits[0]), rt.draw())
 		default:
-			pool.ApplyShared(st, g)
+			pool.ApplyShared(rt.st, g)
 		}
 	}
 
 	start := time.Now()
-	if b.cfg.Tile && cp.Tiles != nil {
-		runTiledShared(cp, st, pool, rng, &cbits, trk, gm, b.cfg.Metrics)
-	} else if trk == nil && gm == nil {
-		for i := range c.Ops {
-			op := &c.Ops[i]
-			if !condSatisfied(op.Cond, cbits) {
+	runErr := func() error {
+		if b.cfg.Tile && cp.Tiles != nil {
+			return runTiledShared(cp, rt, pool, cw, trk, gm, b.cfg.Metrics, startGate, stop)
+		}
+		for t := startGate; t < len(c.Ops); t++ {
+			if err := stopLocal(stop, cw, rt.st, t, startGate, rt.cbits, rt.draws); err != nil {
+				return err
+			}
+			if t > startGate && cw.due(t) {
+				if err := cw.writeLocal(rt.st, t, t, rt.cbits, rt.draws); err != nil {
+					return err
+				}
+			}
+			op := &c.Ops[t]
+			if !condSatisfied(op.Cond, rt.cbits) {
 				continue
 			}
-			apply(&op.G)
-		}
-	} else {
-		for i := range c.Ops {
-			op := &c.Ops[i]
-			if !condSatisfied(op.Cond, cbits) {
+			if trk == nil && gm == nil {
+				apply(&op.G)
 				continue
 			}
 			g0 := time.Now()
@@ -92,16 +121,26 @@ func (b *Threaded) Run(c *circuit.Circuit) (*Result, error) {
 				})
 			}
 		}
+		return nil
+	}()
+	if ferr := cw.finish(); runErr == nil {
+		runErr = ferr
+	}
+	if runErr != nil {
+		return nil, runErr
 	}
 	elapsed := time.Since(start)
 	res := &Result{
 		Backend: b.Name(),
-		State:   st,
-		Cbits:   cbits,
-		SV:      st.Stats,
+		State:   rt.st,
+		Cbits:   rt.cbits,
+		SV:      rt.st.Stats,
 		Elapsed: elapsed,
 		PEs:     workers,
 		Compile: cst,
+	}
+	if cw != nil {
+		res.Ckpt = cw.stats
 	}
 	if b.cfg.observed() {
 		res.Mem = obs.TakeMemSnapshot()

@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"math/rand"
 	"strconv"
 	"time"
 
@@ -116,13 +115,16 @@ func tiledGroupObs(st *statevec.State, pool *statevec.Pool, cp *compile.Compiled
 // group per-gate (bit-identical by construction) before re-entering
 // tiled execution at the next group.
 func runTiledSingle(cp *compile.CompiledPlan, bound []boundGate, rt *rtctx,
-	cw *ckptWriter, trk *obs.Track, gm *gateObs, m *obs.Metrics, startGate int) error {
+	cw *ckptWriter, trk *obs.Track, gm *gateObs, m *obs.Metrics, startGate int, stop *StopLatch) error {
 	st := rt.st
 	startBytes := st.Stats.BytesTouched
 	startSweeps := st.Stats.Sweeps
 	perGate := func(t int) error {
+		if err := stopLocal(stop, cw, st, t, startGate, rt.cbits, rt.draws); err != nil {
+			return err
+		}
 		if t > startGate && cw.due(t) {
-			if err := cw.writeLocal(st, t, rt.cbits, rt.draws); err != nil {
+			if err := cw.writeLocal(st, t, t, rt.cbits, rt.draws); err != nil {
 				return err
 			}
 		}
@@ -161,8 +163,11 @@ func runTiledSingle(cp *compile.CompiledPlan, bound []boundGate, rt *rtctx,
 			}
 			continue
 		}
+		if err := stopLocal(stop, cw, st, grp.Start, startGate, rt.cbits, rt.draws); err != nil {
+			return err
+		}
 		if grp.Start > startGate && cw.due(grp.Start) {
-			if err := cw.writeLocal(st, grp.Start, rt.cbits, rt.draws); err != nil {
+			if err := cw.writeLocal(st, grp.Start, grp.Start, rt.cbits, rt.draws); err != nil {
 				return err
 			}
 		}
@@ -179,30 +184,41 @@ func runTiledSingle(cp *compile.CompiledPlan, bound []boundGate, rt *rtctx,
 // over tiles (each worker replays the whole gate run on its own tiles,
 // one barrier per group instead of per gate) with the shared-arithmetic
 // tile kernels; everything else falls back to the unchanged per-gate
-// Pool.ApplyShared path.
-func runTiledShared(cp *compile.CompiledPlan, st *statevec.State, pool *statevec.Pool,
-	rng *rand.Rand, cbits *uint64, trk *obs.Track, gm *gateObs, m *obs.Metrics) {
+// Pool.ApplyShared path. Checkpoints quantize to group boundaries like
+// runTiledSingle, and a resume landing inside a tiled group finishes it
+// per-gate before re-entering tiled execution.
+func runTiledShared(cp *compile.CompiledPlan, rt *rtctx, pool *statevec.Pool,
+	cw *ckptWriter, trk *obs.Track, gm *gateObs, m *obs.Metrics, startGate int, stop *StopLatch) error {
+	st := rt.st
 	startBytes := st.Stats.BytesTouched
 	startSweeps := st.Stats.Sweeps
-	perGate := func(oi int) {
-		op := &cp.Circuit.Ops[oi]
-		if !condSatisfied(op.Cond, *cbits) {
-			return
+	perGate := func(t int) error {
+		if err := stopLocal(stop, cw, st, t, startGate, rt.cbits, rt.draws); err != nil {
+			return err
+		}
+		if t > startGate && cw.due(t) {
+			if err := cw.writeLocal(st, t, t, rt.cbits, rt.draws); err != nil {
+				return err
+			}
+		}
+		op := &cp.Circuit.Ops[cp.Plan.Steps[t].Op]
+		if !condSatisfied(op.Cond, rt.cbits) {
+			return nil
 		}
 		apply := func() {
 			switch op.G.Kind {
 			case gate.MEASURE:
-				out := st.MeasureQubit(int(op.G.Qubits[0]), rng.Float64())
-				*cbits = setCbit(*cbits, int(op.G.Cbit), out)
+				out := st.MeasureQubit(int(op.G.Qubits[0]), rt.draw())
+				rt.cbits = setCbit(rt.cbits, int(op.G.Cbit), out)
 			case gate.RESET:
-				st.ResetQubit(int(op.G.Qubits[0]), rng.Float64())
+				st.ResetQubit(int(op.G.Qubits[0]), rt.draw())
 			default:
 				pool.ApplyShared(st, &op.G)
 			}
 		}
 		if trk == nil && gm == nil {
 			apply()
-			return
+			return nil
 		}
 		g0 := time.Now()
 		apply()
@@ -213,18 +229,37 @@ func runTiledShared(cp *compile.CompiledPlan, st *statevec.State, pool *statevec
 				Kind: op.G.Kind.String(), Qubits: qubitList(&op.G),
 			})
 		}
+		return nil
 	}
 	for _, grp := range cp.Tiles.Groups {
-		if !grp.Tiled {
-			for si := grp.Start; si < grp.End; si++ {
-				perGate(cp.Plan.Steps[si].Op)
+		if grp.End <= startGate {
+			continue
+		}
+		if !grp.Tiled || startGate > grp.Start {
+			from := grp.Start
+			if startGate > from {
+				from = startGate
+			}
+			for t := from; t < grp.End; t++ {
+				if err := perGate(t); err != nil {
+					return err
+				}
 			}
 			continue
 		}
-		tiledGroupObs(st, pool, cp, grp, *cbits, trk, m, 0)
+		if err := stopLocal(stop, cw, st, grp.Start, startGate, rt.cbits, rt.draws); err != nil {
+			return err
+		}
+		if grp.Start > startGate && cw.due(grp.Start) {
+			if err := cw.writeLocal(st, grp.Start, grp.Start, rt.cbits, rt.draws); err != nil {
+				return err
+			}
+		}
+		tiledGroupObs(st, pool, cp, grp, rt.cbits, trk, m, 0)
 	}
 	if m != nil {
 		m.Counter(obs.MetricBytesTouched).Add(st.Stats.BytesTouched - startBytes)
 		m.Counter(obs.MetricTileSweeps).Add(st.Stats.Sweeps - startSweeps)
 	}
+	return nil
 }

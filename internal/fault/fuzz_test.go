@@ -1,0 +1,66 @@
+package fault
+
+import (
+	"testing"
+)
+
+// FuzzParseSpec drives the -fault colon-grammar parser with arbitrary
+// input. The contract under fuzz:
+//
+//   - the parser never panics, whatever the input;
+//   - every accepted spec renders (Injector.String) to a spec that
+//     re-parses, and that rendering is a fixed point of the grammar;
+//   - every armed fault is normalized into a valid trigger window
+//     (positive After/Count, non-negative rank, durations where the
+//     kind requires one).
+func FuzzParseSpec(f *testing.F) {
+	for _, s := range []string{
+		"kill:rank=1:op=barrier:after=30",
+		"delay:rank=0:op=put:after=5:count=3:dur=2ms",
+		"drop:rank=2:op=get:after=10:count=2;stall:rank=1:op=barrier:after=4:dur=1s",
+		"corrupt:rank=3:op=put:after=7",
+		"kill:rank=0",
+		" kill:rank=1:op=any:after=2 ; delay:rank=1:op=get:after=1:dur=1ns",
+		"",
+		";;;",
+		"kill:rank=-1",
+		"stall:rank=1:op=get:after=1:dur=1s",
+		"delay:rank=0:op=put:after=0x10:dur=1s",
+		"drop:rank=9999999999999999999:op=get",
+		"kill:rank=1:op=barrier:after=30:count=",
+		"kill:rank=1:rank=2",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		in, err := ParseSpec(spec, 1)
+		if err != nil {
+			return // rejected input only has to reject cleanly
+		}
+		rendered := in.String()
+		in2, err := ParseSpec(rendered, 1)
+		if err != nil {
+			t.Fatalf("accepted spec %q renders as %q, which fails to re-parse: %v", spec, rendered, err)
+		}
+		if again := in2.String(); again != rendered {
+			t.Fatalf("rendering is not a fixed point: %q -> %q", rendered, again)
+		}
+		for _, fa := range in.Faults() {
+			if fa.After < 1 || fa.Count < 1 {
+				t.Fatalf("spec %q armed un-normalized trigger window %+v", spec, fa)
+			}
+			if fa.Rank < 0 {
+				t.Fatalf("spec %q armed negative rank %+v", spec, fa)
+			}
+			if (fa.Kind == Delay || fa.Kind == Stall) && fa.Delay <= 0 {
+				t.Fatalf("spec %q armed %s without a duration", spec, fa.Kind)
+			}
+			if fa.Kind == Stall && fa.Op != Barrier {
+				t.Fatalf("spec %q armed stall on op %s", spec, fa.Op)
+			}
+			if fa.Delay < 0 {
+				t.Fatalf("spec %q armed negative delay %v", spec, fa.Delay)
+			}
+		}
+	})
+}

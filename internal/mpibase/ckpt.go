@@ -12,9 +12,13 @@ import (
 
 // Coordinated checkpointing for the message-passing baseline, using the
 // same on-disk format as the PGAS backends (internal/ckpt) with backend
-// tag "mpi". The protocol mirrors core's: quiesce at a barrier, every
-// rank writes its shard, rank 0 publishes the manifest last so an
-// interrupted checkpoint is never mistaken for a complete one.
+// tag "mpi". The synchronous protocol mirrors core's: quiesce at a
+// barrier, every rank writes its shard, rank 0 publishes the manifest
+// last so an interrupted checkpoint is never mistaken for a complete
+// one. The asynchronous protocol (Config.CheckpointAsync) quiesces only
+// to capture copy-on-write payloads and hands serialization to a
+// background ckpt.AsyncWriter; the baseline has no write tracking, so
+// every async checkpoint is full.
 
 // mpiCkpt drives the checkpoint protocol inside the SPMD region; one
 // instance is shared by all ranks, its cross-rank slots synchronized by
@@ -24,18 +28,23 @@ type mpiCkpt struct {
 	dir   string
 	man   ckpt.Manifest // immutable template fields
 
+	aw *ckpt.AsyncWriter // nil in synchronous mode
+
 	stepDir  string
 	mkdirErr error
+	subErr   error
 	shards   []ckpt.Shard
 	errs     []error
+	payloads []*ckpt.Payload
 	t0       time.Time
 
 	stats ckpt.Stats
 
-	mCount *obs.Counter
-	mBytes *obs.Counter
-	mNS    *obs.Counter
-	rec    *obs.FlightRecorder
+	mCount    *obs.Counter
+	mBytes    *obs.Counter
+	mNS       *obs.Counter
+	mWriterNS *obs.Counter
+	rec       *obs.FlightRecorder
 }
 
 // newMpiCkpt returns nil when checkpointing is off.
@@ -63,8 +72,23 @@ func (s *Simulator) newMpiCkpt(c *circuit.Circuit, p int, planFP uint64) *mpiCkp
 		w.mCount = s.cfg.Metrics.Counter(obs.MetricCkptCount)
 		w.mBytes = s.cfg.Metrics.Counter(obs.MetricCkptBytes)
 		w.mNS = s.cfg.Metrics.Counter(obs.MetricCkptNS)
+		w.mWriterNS = s.cfg.Metrics.Counter(obs.MetricCkptWriterNS)
 	}
 	w.rec = s.cfg.Flight
+	if s.cfg.CheckpointAsync {
+		w.payloads = make([]*ckpt.Payload, p)
+		w.aw = ckpt.NewAsyncWriter()
+		w.aw.OnJob = func(step int, bytes int64, ns int64, err error) {
+			w.stats.Bytes += bytes
+			w.mBytes.Add(bytes)
+			w.mWriterNS.Add(ns)
+			if err != nil {
+				w.rec.Record(-1, obs.EventRunFailed, "async checkpoint: "+err.Error(), int64(step))
+				return
+			}
+			w.rec.Record(-1, obs.EventCheckpoint, fmt.Sprintf("gate %d (async)", step), bytes)
+		}
+	}
 	return w
 }
 
@@ -73,10 +97,28 @@ func (w *mpiCkpt) due(step int) bool {
 	return w != nil && step > 0 && step%w.every == 0
 }
 
+// finish drains the background writer (if any) and returns its latched
+// error; must run after the SPMD region on success and failure alike.
+func (w *mpiCkpt) finish() error {
+	if w == nil || w.aw == nil {
+		return nil
+	}
+	err := w.aw.Close()
+	w.aw = nil
+	if err != nil {
+		return fmt.Errorf("mpibase: async checkpoint writer: %w", err)
+	}
+	return nil
+}
+
 // write runs the coordinated checkpoint protocol; every rank must call
-// it at the same gate position. I/O errors abort the run as terminal
-// (non-recoverable) failures.
-func (w *mpiCkpt) write(r *Rank, run *mpiRun, step int) {
+// it at the same gate position with ops gates completed. I/O errors
+// abort the run as terminal (non-recoverable) failures.
+func (w *mpiCkpt) write(r *Rank, run *mpiRun, step, ops int) {
+	if w.aw != nil {
+		w.writeAsync(r, run, step, ops)
+		return
+	}
 	r.Barrier() // quiesce: no in-flight exchanges
 	if r.R == 0 {
 		w.t0 = time.Now()
@@ -101,12 +143,9 @@ func (w *mpiCkpt) write(r *Rank, run *mpiRun, step int) {
 			r.fail(fmt.Errorf("mpibase: checkpoint at gate %d (rank %d): %w", step, rank, err))
 		}
 	}
-	m := w.man
-	m.Step = step
-	m.Cbits = run.cbits
-	m.Draws = run.draws
+	m := w.fillManifest(step, ops, run)
 	m.Shards = append([]ckpt.Shard(nil), w.shards...)
-	if err := ckpt.WriteManifest(w.stepDir, &m); err != nil {
+	if err := ckpt.WriteManifest(w.stepDir, m); err != nil {
 		r.fail(fmt.Errorf("mpibase: checkpoint at gate %d: %w", step, err))
 	}
 	var bytes int64
@@ -122,4 +161,47 @@ func (w *mpiCkpt) write(r *Rank, run *mpiRun, step int) {
 	w.mNS.Add(ns)
 	w.rec.Record(r.R, obs.EventCheckpoint, fmt.Sprintf("gate %d", step), bytes)
 	r.Barrier() // nobody proceeds until the checkpoint is published
+}
+
+// writeAsync quiesces only to capture payloads; rank 0 submits the job
+// to the background writer and the fleet resumes compute immediately.
+func (w *mpiCkpt) writeAsync(r *Rank, run *mpiRun, step, ops int) {
+	r.Barrier() // quiesce: no in-flight exchanges
+	if r.R == 0 {
+		w.t0 = time.Now()
+		w.subErr = w.aw.Err()
+		w.stepDir = ckpt.StepDir(w.dir, step)
+	}
+	r.Barrier()
+	if w.subErr != nil {
+		if r.R == 0 {
+			r.fail(fmt.Errorf("mpibase: checkpoint at gate %d: %w", step, w.subErr))
+		}
+		return
+	}
+	w.payloads[r.R] = ckpt.CaptureFull(run.local)
+	r.Barrier() // all payloads captured; compute may proceed
+	if r.R != 0 {
+		return
+	}
+	m := w.fillManifest(step, ops, run)
+	if err := w.aw.Submit(w.stepDir, m, append([]*ckpt.Payload(nil), w.payloads...)); err != nil {
+		r.fail(fmt.Errorf("mpibase: checkpoint at gate %d: %w", step, err))
+	}
+	ns := time.Since(w.t0).Nanoseconds()
+	w.stats.Count++
+	w.stats.NS += ns
+	w.mCount.Add(1)
+	w.mNS.Add(ns)
+	w.rec.Record(r.R, obs.EventCkptQueued, fmt.Sprintf("gate %d", step), int64(step))
+}
+
+// fillManifest copies the template and stamps per-checkpoint fields.
+func (w *mpiCkpt) fillManifest(step, ops int, run *mpiRun) *ckpt.Manifest {
+	m := w.man
+	m.Step = step
+	m.OpsDone = ops
+	m.Cbits = run.cbits
+	m.Draws = run.draws
+	return &m
 }

@@ -1,0 +1,186 @@
+package mpibase
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"svsim/internal/circuit"
+	"svsim/internal/ckpt"
+	"svsim/internal/fault"
+)
+
+// mpiQFT is the textbook QFT; measurement-free, so the final state is
+// rank-count-independent down to the last bit (elastic comparisons).
+func mpiQFT(n int) *circuit.Circuit {
+	c := circuit.New("qft", n)
+	for q := n - 1; q >= 0; q-- {
+		c.H(q)
+		for j := q - 1; j >= 0; j-- {
+			c.CU1(math.Pi/float64(int(1)<<uint(q-j)), j, q)
+		}
+	}
+	for q := 0; q < n/2; q++ {
+		c.Swap(q, n-1-q)
+	}
+	return c
+}
+
+// TestMpiAsyncCheckpointResume round-trips the baseline's async
+// checkpoints: a run handing serialization to the background writer
+// leaves complete manifests, and resuming from them matches an
+// uninterrupted run bit-for-bit.
+func TestMpiAsyncCheckpointResume(t *testing.T) {
+	c := randomCircuit(rand.New(rand.NewSource(21)), 6, 60)
+	c.Measure(3, 0)
+	ref, err := New(Config{Ranks: 4, Seed: 7}).Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	mid, err := New(Config{
+		Ranks: 4, Seed: 7,
+		CheckpointEvery: 10, CheckpointDir: dir, CheckpointAsync: true,
+	}).Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mid.Ckpt.Count == 0 {
+		t.Fatal("expected async checkpoints to be written")
+	}
+	got, err := New(Config{Ranks: 4, Seed: 7, Resume: dir}).Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := got.State.MaxAbsDiff(ref.State); d != 0 {
+		t.Fatalf("resumed run deviates by %g (want bit-identical)", d)
+	}
+	if got.Cbits != ref.Cbits {
+		t.Fatalf("cbits %b vs %b", got.Cbits, ref.Cbits)
+	}
+}
+
+// TestMpiAsyncCrashEquivalence kills a rank with async checkpointing on:
+// the writer drains before recovery, so the restart resumes from a
+// complete checkpoint and finishes bit-identical.
+func TestMpiAsyncCrashEquivalence(t *testing.T) {
+	c := randomCircuit(rand.New(rand.NewSource(22)), 6, 60)
+	c.Measure(2, 0)
+	ref, err := New(Config{Ranks: 4, Seed: 7}).Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := fault.NewInjector(1)
+	in.KillAt(1, fault.Barrier, 30)
+	got, err := New(Config{
+		Ranks: 4, Seed: 7, Fault: in,
+		CheckpointEvery: 5, CheckpointDir: t.TempDir(), CheckpointAsync: true,
+		MaxRestarts: 2,
+	}).Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Recoveries != 1 {
+		t.Fatalf("want 1 recovery, got %d", got.Recoveries)
+	}
+	if d := got.State.MaxAbsDiff(ref.State); d != 0 {
+		t.Fatalf("recovered run deviates by %g (want bit-identical)", d)
+	}
+	if got.Cbits != ref.Cbits {
+		t.Fatalf("cbits %b vs %b", got.Cbits, ref.Cbits)
+	}
+}
+
+// TestMpiElasticReshard restores a checkpoint taken at 8 ranks onto 4,
+// 8, and 16 ranks; the residual finishes bit-identical to the
+// uninterrupted 8-rank run.
+func TestMpiElasticReshard(t *testing.T) {
+	c := mpiQFT(10)
+	ref, err := New(Config{Ranks: 8, Seed: 5}).Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if _, err := New(Config{
+		Ranks: 8, Seed: 5, CheckpointEvery: 10, CheckpointDir: dir,
+	}).Run(c); err != nil {
+		t.Fatal(err)
+	}
+	for _, newRanks := range []int{4, 8, 16} {
+		got, err := New(Config{Ranks: 8, Seed: 5}).RunElastic(c, dir, newRanks)
+		if err != nil {
+			t.Fatalf("P'=%d: %v", newRanks, err)
+		}
+		if got.Ranks != newRanks {
+			t.Fatalf("P'=%d: result reports %d ranks", newRanks, got.Ranks)
+		}
+		if d := got.State.MaxAbsDiff(ref.State); d != 0 {
+			t.Fatalf("P'=%d: elastic run deviates by %g (want bit-identical)", newRanks, d)
+		}
+	}
+}
+
+// TestMpiElasticShrinkOnKill checks the self-healing path: with
+// Config.Elastic a killed rank reshards the latest checkpoint onto half
+// the fleet instead of restarting at full size.
+func TestMpiElasticShrinkOnKill(t *testing.T) {
+	c := mpiQFT(10)
+	ref, err := New(Config{Ranks: 8, Seed: 5}).Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := fault.NewInjector(1)
+	in.KillAt(1, fault.Barrier, 45)
+	got, err := New(Config{
+		Ranks: 8, Seed: 5, Fault: in,
+		CheckpointEvery: 5, CheckpointDir: t.TempDir(),
+		MaxRestarts: 1, Elastic: true,
+	}).Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Ranks != 4 {
+		t.Fatalf("want shrink to 4 ranks, got %d", got.Ranks)
+	}
+	if got.Recoveries != 1 {
+		t.Fatalf("want 1 recovery, got %d", got.Recoveries)
+	}
+	if d := got.State.MaxAbsDiff(ref.State); d != 0 {
+		t.Fatalf("elastic recovery deviates by %g (want bit-identical)", d)
+	}
+}
+
+// TestMpiStopWritesFinalCheckpoint checks graceful shutdown: a stop
+// request makes the fleet publish one final checkpoint and unwind with
+// ErrInterrupted; a later resume finishes bit-identical.
+func TestMpiStopWritesFinalCheckpoint(t *testing.T) {
+	c := randomCircuit(rand.New(rand.NewSource(23)), 6, 60)
+	c.Measure(1, 0)
+	ref, err := New(Config{Ranks: 4, Seed: 11}).Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	_, err = New(Config{
+		Ranks: 4, Seed: 11,
+		CheckpointEvery: 5, CheckpointDir: dir,
+		Stop: func() bool { return true },
+	}).Run(c)
+	if !errors.Is(err, ErrInterrupted) {
+		t.Fatalf("want ErrInterrupted, got %v", err)
+	}
+	if _, _, ok, _ := ckpt.Latest(dir); !ok {
+		t.Fatal("interrupted run left no final checkpoint")
+	}
+	got, err := New(Config{Ranks: 4, Seed: 11, Resume: dir}).Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := got.State.MaxAbsDiff(ref.State); d != 0 {
+		t.Fatalf("resumed run deviates by %g", d)
+	}
+	if got.Cbits != ref.Cbits {
+		t.Fatalf("cbits %b vs %b", got.Cbits, ref.Cbits)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"path/filepath"
 	"time"
 
 	"svsim/internal/circuit"
@@ -55,8 +56,26 @@ type Config struct {
 	CheckpointEvery int
 	// CheckpointDir is the checkpoint base directory.
 	CheckpointDir string
+	// CheckpointAsync hands checkpoint serialization to a background
+	// writer goroutine: the fleet quiesces only long enough to capture
+	// copy-on-write payloads, then resumes compute while the writer
+	// serializes. The baseline has no write tracking, so every async
+	// checkpoint is full.
+	CheckpointAsync bool
 	// Resume restores from a checkpoint directory before executing.
 	Resume string
+	// Init, if non-nil, warm-starts the run from a resharded logical
+	// state (elastic restore, see ckpt.ReshardLogical) instead of |0..0>.
+	// Applied before Resume.
+	Init *ckpt.WarmStart
+	// Stop, if non-nil, is polled at checkpoint boundaries; once it
+	// reports true the fleet writes one final checkpoint there and
+	// unwinds with ErrInterrupted (graceful shutdown).
+	Stop func() bool
+	// Elastic permits recovery at a smaller fleet: when a rank is killed
+	// and the latest checkpoint is elastically restorable, the run is
+	// resharded onto Ranks/2 ranks instead of restarting at full size.
+	Elastic bool
 	// Fault injects deterministic faults; the baseline supports barrier
 	// events (kill/delay a rank at its n-th barrier).
 	Fault *fault.Injector
@@ -92,6 +111,26 @@ type Result struct {
 
 // New creates a baseline simulator.
 func New(cfg Config) *Simulator { return &Simulator{cfg: cfg} }
+
+// ErrInterrupted is the terminal error of a run stopped by Config.Stop,
+// mirroring core.ErrInterrupted for the baseline. When checkpointing was
+// configured a final checkpoint was published first.
+var ErrInterrupted = errors.New("mpibase: run interrupted by shutdown request")
+
+// stopVote reaches fleet consensus on the stop request inside the SPMD
+// region: ranks race the signal handler, so individual reads may
+// disagree; the all-reduce makes every rank act identically at the same
+// cut point. Only called at sites every rank reaches together.
+func (s *Simulator) stopVote(r *Rank) bool {
+	if s.cfg.Stop == nil {
+		return false
+	}
+	var v float64
+	if s.cfg.Stop() {
+		v = 1
+	}
+	return r.AllReduceSum(v) > 0
+}
 
 type mpiRun struct {
 	local *statevec.State
@@ -175,9 +214,19 @@ func (s *Simulator) Run(c *circuit.Circuit) (*Result, error) {
 		if s.cfg.CheckpointDir == "" || recovered >= s.cfg.MaxRestarts {
 			return nil, &RunFailure{Attempts: attempts, Cause: err}
 		}
-		dir, _, ok, lerr := ckpt.Latest(s.cfg.CheckpointDir)
+		dir, m, ok, lerr := ckpt.Latest(s.cfg.CheckpointDir)
 		if lerr != nil || !ok {
 			return nil, &RunFailure{Attempts: attempts, Cause: err}
+		}
+		if s.cfg.Elastic && p > 1 && ckpt.ElasticRestorable(m) == nil {
+			res, eerr := s.runElastic(c, dir, m, p/2)
+			if eerr != nil {
+				return nil, &RunFailure{Attempts: attempts + 1, Cause: eerr}
+			}
+			res.Recoveries = recovered + 1
+			res.Compile = cst
+			mRecoveries.Add(1)
+			return res, nil
 		}
 		resume = dir
 		recovered++
@@ -210,6 +259,23 @@ func (s *Simulator) runOnce(c *circuit.Circuit, p int, resume string, planFP uin
 	}
 	parts[0][0][0] = 1 // |0...0>
 
+	if ws := s.cfg.Init; ws != nil {
+		if ws.State.Dim != dim {
+			return nil, fmt.Errorf("mpibase: warm start holds %d amplitudes, run needs %d", ws.State.Dim, dim)
+		}
+		for r := 0; r < p; r++ {
+			copy(parts[r][0], ws.State.Re[r*S:(r+1)*S])
+			copy(parts[r][1], ws.State.Im[r*S:(r+1)*S])
+		}
+		for r := range runs {
+			runs[r].cbits = ws.Cbits
+			for i := int64(0); i < ws.Draws; i++ {
+				runs[r].rng.Float64()
+			}
+			runs[r].draws = ws.Draws
+		}
+	}
+
 	startGate := 0
 	if resume != "" {
 		dir, m, err := ckpt.Resolve(resume)
@@ -219,16 +285,17 @@ func (s *Simulator) runOnce(c *circuit.Circuit, p int, resume string, planFP uin
 		if err := s.validateResume(m, c, p, planFP); err != nil {
 			return nil, err
 		}
-		for _, sh := range m.Shards {
-			if sh.Rank < 0 || sh.Rank >= p {
-				return nil, fmt.Errorf("mpibase: manifest shard rank %d out of range", sh.Rank)
-			}
-			st, err := ckpt.ReadShard(dir, sh, localBits)
+		links, err := ckpt.Chain(dir, m)
+		if err != nil {
+			return nil, err
+		}
+		for r := 0; r < p; r++ {
+			st, err := ckpt.RestoreShardChain(links, r, localBits)
 			if err != nil {
 				return nil, err
 			}
-			copy(parts[sh.Rank][0], st.Re)
-			copy(parts[sh.Rank][1], st.Im)
+			copy(parts[r][0], st.Re)
+			copy(parts[r][1], st.Im)
 		}
 		for r := range runs {
 			runs[r].cbits = m.Cbits
@@ -256,13 +323,17 @@ func (s *Simulator) runOnce(c *circuit.Circuit, p int, resume string, planFP uin
 		run.trk = trk
 		for i := startGate; i < len(c.Ops); i++ {
 			if i > startGate && cw.due(i) {
+				stopNow := s.stopVote(r)
 				if trk != nil {
 					k0 := time.Now()
-					cw.write(r, run, i)
+					cw.write(r, run, i, i)
 					trk.SpanAt("checkpoint", k0, time.Now(),
 						obs.SpanArgs{Kind: "checkpoint", Phase: obs.PhaseCheckpoint})
 				} else {
-					cw.write(r, run, i)
+					cw.write(r, run, i, i)
+				}
+				if stopNow {
+					r.fail(ErrInterrupted)
 				}
 			}
 			op := &c.Ops[i]
@@ -289,6 +360,9 @@ func (s *Simulator) runOnce(c *circuit.Circuit, p int, resume string, planFP uin
 		}
 	})
 	elapsed := time.Since(start)
+	if ferr := cw.finish(); runErr == nil {
+		runErr = ferr
+	}
 	if runErr != nil {
 		return nil, runErr
 	}
@@ -315,6 +389,83 @@ func (s *Simulator) runOnce(c *circuit.Circuit, p int, resume string, planFP uin
 	if s.cfg.Trace != nil || s.cfg.Metrics != nil {
 		res.Mem = obs.TakeMemSnapshot()
 	}
+	return res, nil
+}
+
+// RunElastic resumes circuit c from a checkpoint taken at a different
+// fleet size: the checkpoint (written at m.PEs ranks) is resharded onto
+// newRanks ranks and the residual gate stream executes there. The
+// circuit must be the one the checkpoint was taken from; it is compiled
+// exactly as Run compiles it (fusion under sched.Naive is
+// rank-independent, so the gate indices match the manifest's OpsDone).
+func (s *Simulator) RunElastic(c *circuit.Circuit, resume string, newRanks int) (*Result, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	dir, m, err := ckpt.Resolve(resume)
+	if err != nil {
+		return nil, err
+	}
+	if m.Backend != "mpi" {
+		return nil, fmt.Errorf("mpibase: checkpoint was taken by backend %q, resuming on %q", m.Backend, "mpi")
+	}
+	if m.NumQubits != c.NumQubits {
+		return nil, fmt.Errorf("mpibase: checkpoint holds %d qubits, circuit has %d", m.NumQubits, c.NumQubits)
+	}
+	cp, _, err := compile.Compile(c, compile.Config{
+		Fuse:    s.cfg.Fuse,
+		Sched:   sched.Naive,
+		PEs:     m.PEs,
+		Cache:   s.cfg.Plans,
+		Metrics: s.cfg.Metrics,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if got := ckpt.Fingerprint(cp.Circuit); m.CircuitHash != got {
+		return nil, fmt.Errorf("mpibase: checkpoint was taken for circuit %q (hash %016x), current circuit hashes %016x",
+			m.Circuit, m.CircuitHash, got)
+	}
+	if err := ckpt.ElasticRestorable(m); err != nil {
+		return nil, err
+	}
+	return s.runElastic(cp.Circuit, dir, m, newRanks)
+}
+
+// runElastic reshards a resolved checkpoint onto newRanks ranks and runs
+// the residual gate stream of the (already compiled) circuit c there.
+func (s *Simulator) runElastic(c *circuit.Circuit, dir string, m *ckpt.Manifest, newRanks int) (*Result, error) {
+	if newRanks < 1 || newRanks&(newRanks-1) != 0 {
+		return nil, fmt.Errorf("mpibase: elastic rank count %d is not a power of two", newRanks)
+	}
+	ws, err := ckpt.ReshardLogical(dir, m)
+	if err != nil {
+		return nil, err
+	}
+	residual, err := ckpt.ResidualCircuit(c, m)
+	if err != nil {
+		return nil, err
+	}
+	s.cfg.Flight.Record(-1, obs.EventElastic,
+		fmt.Sprintf("reshard %d -> %d ranks at gate %d", m.PEs, newRanks, m.OpsDone), int64(newRanks))
+	ecfg := s.cfg
+	ecfg.Ranks = newRanks
+	// The residual stream is already fused; re-running the pass (or
+	// reusing the full-circuit plan cache) would corrupt gate indexing.
+	ecfg.Fuse = false
+	ecfg.Plans = nil
+	ecfg.Topology = sched.Topology{}
+	ecfg.Resume = ""
+	ecfg.Init = ws
+	ecfg.Elastic = false
+	if s.cfg.CheckpointDir != "" {
+		ecfg.CheckpointDir = filepath.Join(s.cfg.CheckpointDir, fmt.Sprintf("elastic-p%d", newRanks))
+	}
+	res, err := New(ecfg).Run(residual)
+	if err != nil {
+		return nil, err
+	}
+	res.Ranks = newRanks
 	return res, nil
 }
 

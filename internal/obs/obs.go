@@ -64,8 +64,16 @@ const (
 	MetricCkptCount = "ckpt_count"
 	// MetricCkptBytes accumulates checkpoint shard bytes written.
 	MetricCkptBytes = "ckpt_bytes"
-	// MetricCkptNS accumulates wall time spent writing checkpoints.
+	// MetricCkptNS accumulates wall time the compute fleet stalls on
+	// checkpoints: the whole write for the synchronous protocol, only the
+	// quiesce+capture+submit window for the asynchronous one.
 	MetricCkptNS = "ckpt_ns"
+	// MetricCkptWriterNS accumulates wall time the background async
+	// checkpoint writer spends serializing shards and manifests — time
+	// hidden behind compute, the counterpart of MetricCkptNS.
+	MetricCkptWriterNS = "ckpt_writer_ns"
+	// MetricCkptDeltaTiles counts tiles captured into delta shards.
+	MetricCkptDeltaTiles = "ckpt_delta_tiles"
 	// MetricPlanCacheHits counts verified compile plan-cache hits.
 	MetricPlanCacheHits = "plan_cache_hits"
 	// MetricPlanCacheMisses counts compile plan-cache misses (including

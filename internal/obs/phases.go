@@ -39,14 +39,20 @@ const (
 	PhaseWireInter  = "wire.inter"
 	PhaseBarrier    = "barrier"
 	PhaseCheckpoint = "checkpoint"
-	PhaseOther      = "other"
+	// PhaseCkptWrite is background checkpoint serialization: the async
+	// writer's shard+manifest I/O, recorded on its own track. Foreground
+	// capture stalls stay in PhaseCheckpoint, so the sync-vs-async
+	// comparison reads directly off these two buckets.
+	PhaseCkptWrite = "ckpt.write"
+	PhaseOther     = "other"
 )
 
 // Phases lists the attribution buckets in canonical display order.
 func Phases() []string {
 	return []string{PhaseCompile, PhaseCompute, PhaseTile, PhasePack,
 		PhaseWire, PhasePackIntra, PhaseWireIntra, PhasePackInter,
-		PhaseWireInter, PhaseUnpack, PhaseBarrier, PhaseCheckpoint, PhaseOther}
+		PhaseWireInter, PhaseUnpack, PhaseBarrier, PhaseCheckpoint,
+		PhaseCkptWrite, PhaseOther}
 }
 
 // PEPhases is one PE's wall-time split. PhasesNS sums (with OtherNS
