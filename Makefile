@@ -10,7 +10,10 @@ GO ?= go
 # Short commit hash, or "dev" when not in a git checkout.
 BENCH_TAG := $(shell git rev-parse --short HEAD 2>/dev/null || echo dev)
 
-.PHONY: all build vet test race bench bench-json bench-diff bench-html trace metrics evaluate examples fuzz lint doccheck clean
+.PHONY: all build vet test race bench bench-json bench-diff bench-html trace metrics evaluate examples fuzz lint doccheck serve loadtest clean
+
+# Service address shared by the serve and loadtest targets.
+SERVE_ADDR ?= localhost:9470
 
 all: build vet test
 
@@ -76,6 +79,26 @@ bench-diff: bench-json
 # Self-contained perf-trajectory page from the baseline plus a fresh run.
 bench-html: bench-json
 	$(GO) run ./cmd/benchdiff -html bench_trajectory.html BENCH_baseline.json BENCH_$(or $(BENCH_TAG),dev).json
+
+# Boot the multi-tenant service with the example quota table and a
+# two-fleet pool. Drive it from another terminal with `make loadtest`,
+# `svsim -submit $(SERVE_ADDR)`, or curl (see README "Running as a
+# service"). Ctrl-C drains: running jobs checkpoint at their next
+# boundary.
+serve:
+	$(GO) run ./cmd/svserved -listen $(SERVE_ADDR) \
+		-fleet-pool scale-out:4,scale-out:2 \
+		-tenant-config examples/tenants.json
+
+# Mixed-tenant burst against a running `make serve` daemon: exercises
+# backpressure (429 + Retry-After), priority preemption, and the shared
+# plan cache, then fails unless zero jobs failed and at least one
+# cross-tenant plan-cache hit shows up in /metrics.
+loadtest:
+	$(GO) run ./cmd/svload -addr $(SERVE_ADDR) \
+		-tenants alice,bob -circuits bv_n14,cc_n12,qft_n15 \
+		-jobs 12 -concurrency 4 -fuse -sched lazy -priority-spread 4 \
+		-require-zero-failed -require-cross-tenant-hits 1
 
 examples:
 	$(GO) run ./examples/quickstart

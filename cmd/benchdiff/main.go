@@ -250,6 +250,23 @@ func load(path string) ([]record, error) {
 }
 
 func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), `usage: benchdiff -baseline FILE -current FILE [flags]
+       benchdiff -ckpt-current FILE [flags]
+       benchdiff -html FILE BENCH_old.json BENCH_new.json [...]
+
+Compares svbench -json record files and gates the perf trajectory.
+
+Exit codes:
+  0  every compared configuration is within tolerance (pass)
+  1  at least one regression or checkpoint-stall violation
+  2  usage error: bad flags, unreadable/malformed record files, or a
+     -ckpt-current file holding no sync/async pair to compare
+
+Flags:
+`)
+		flag.PrintDefaults()
+	}
 	basePath := flag.String("baseline", "BENCH_baseline.json", "committed baseline bench records")
 	curPath := flag.String("current", "", "bench records from the current build (required)")
 	byteTol := flag.Float64("byte-tol", 0.15, "allowed fractional growth in remote communication bytes")

@@ -194,8 +194,11 @@ func TestImprovementIsNoted(t *testing.T) {
 	}
 }
 
-// TestCommandExitCodes runs the built binary end to end: exit 0 on a
-// clean diff, exit 1 on a synthetic regression.
+// TestCommandExitCodes runs the built binary end to end and pins the
+// documented exit-code contract: 0 when every configuration is within
+// tolerance, 1 on a regression (or checkpoint-stall violation), 2 for
+// usage errors — missing/malformed inputs or a -ckpt-current file with
+// no sync/async pair to gate.
 func TestCommandExitCodes(t *testing.T) {
 	if testing.Short() {
 		t.Skip("skipping go-run subprocess test in -short mode")
@@ -217,18 +220,61 @@ func TestCommandExitCodes(t *testing.T) {
 	bad := baseRecords()
 	bad[1].CommRemoteBytes = bad[1].CommRemoteBytes * 120 / 100
 	badPath := write("bad.json", bad)
+	// A ckpt-stall file with both modes of one config: the sync stall is
+	// big, so the async record passes the default 5x gate (exit 0); with
+	// the async stall inflated it fails (exit 1); with only a sync record
+	// there is no pair at all (exit 2).
+	stallBase := record{Schema: "svsim-bench/v1", Workload: "qft_n15", Backend: "scale-out", PEs: 4,
+		CkptMode: "sync", CkptStallSec: 1.0, ElapsedNS: 1, CommRemoteBytes: 1}
+	stallGood, stallBad := stallBase, stallBase
+	stallGood.CkptMode, stallGood.CkptStallSec = "async", 0.05
+	stallBad.CkptMode, stallBad.CkptStallSec = "async", 0.9
+	stallGoodPath := write("stall_good.json", []record{stallBase, stallGood})
+	stallBadPath := write("stall_bad.json", []record{stallBase, stallBad})
+	stallNoPairPath := write("stall_nopair.json", []record{stallBase})
 
 	bin := filepath.Join(dir, "benchdiff")
 	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
 		t.Fatalf("build: %v\n%s", err, out)
 	}
-	if out, err := exec.Command(bin, "-baseline", basePath, "-current", goodPath).CombinedOutput(); err != nil {
-		t.Fatalf("clean diff exited nonzero: %v\n%s", err, out)
+
+	cases := []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"within tolerance", []string{"-baseline", basePath, "-current", goodPath}, 0},
+		{"regression", []string{"-baseline", basePath, "-current", badPath}, 1},
+		{"missing -current", []string{"-baseline", basePath}, 2},
+		{"unreadable current", []string{"-baseline", basePath, "-current", filepath.Join(dir, "absent.json")}, 2},
+		{"stall gate pass", []string{"-ckpt-current", stallGoodPath}, 0},
+		{"stall gate violation", []string{"-ckpt-current", stallBadPath}, 1},
+		{"stall gate no pairs", []string{"-ckpt-current", stallNoPairPath}, 2},
+		{"html too few files", []string{"-html", filepath.Join(dir, "out.html"), basePath}, 2},
 	}
-	out, err := exec.Command(bin, "-baseline", basePath, "-current", badPath).CombinedOutput()
-	ee, ok := err.(*exec.ExitError)
-	if !ok || ee.ExitCode() != 1 {
-		t.Fatalf("regression diff: want exit 1, got %v\n%s", err, out)
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			out, err := exec.Command(bin, tc.args...).CombinedOutput()
+			got := 0
+			if err != nil {
+				ee, ok := err.(*exec.ExitError)
+				if !ok {
+					t.Fatalf("running %v: %v\n%s", tc.args, err, out)
+				}
+				got = ee.ExitCode()
+			}
+			if got != tc.want {
+				t.Fatalf("benchdiff %v: exit %d, want %d\n%s", tc.args, got, tc.want, out)
+			}
+		})
+	}
+
+	// The exit-code contract must be discoverable from -h.
+	out, _ := exec.Command(bin, "-h").CombinedOutput()
+	for _, want := range []string{"Exit codes:", "0  every compared", "1  at least one regression", "2  usage error"} {
+		if !strings.Contains(string(out), want) {
+			t.Fatalf("-h output missing %q:\n%s", want, out)
+		}
 	}
 }
 

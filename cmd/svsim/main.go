@@ -22,7 +22,6 @@ import (
 	"os"
 	"os/signal"
 	"sort"
-	"strings"
 	"syscall"
 	"time"
 
@@ -31,7 +30,6 @@ import (
 	"svsim/internal/core"
 	"svsim/internal/mpibase"
 	"svsim/internal/obs"
-	"svsim/internal/qasm"
 	"svsim/internal/qasmbench"
 	"svsim/internal/sched"
 	"svsim/internal/statevec"
@@ -55,6 +53,9 @@ func main() {
 		fuse        = flag.Bool("fuse", false, "apply the gate-fusion optimization pass before running")
 		tile        = flag.Bool("tile", false, "cache-blocked execution on the single-node backends: apply whole gate runs per cache-resident tile instead of one full state sweep per gate (bit-identical result)")
 		tileBits    = flag.Int("tile-bits", 0, "tile size exponent (amplitudes per tile = 2^N); 0 derives it from the circuit's target strides")
+		submitURL   = flag.String("submit", "", "submit the job to a running svserved instance at URL (e.g. localhost:9470) instead of executing locally; the report uses the exact binary state fetched back")
+		tenantName  = flag.String("tenant", "", "tenant name for -submit (empty = the anonymous default tenant)")
+		priority    = flag.Int("priority", 0, "scheduling priority for -submit; higher dispatches first and may preempt lower-priority jobs")
 		traceFile   = flag.String("trace", "", "write a Chrome trace-event timeline (one track per PE) to FILE; view in Perfetto or chrome://tracing")
 		metricsFile = flag.String("metrics", "", "write the metrics registry (gate latency, put/get size, barrier wait histograms) as JSON to FILE")
 		metricsOut  = flag.String("metrics-out", "", "write the metrics registry as OpenMetrics text exposition to FILE at run end (also on abort)")
@@ -84,9 +85,25 @@ func main() {
 		return
 	}
 
-	c, err := loadCircuit(*circuitName, *qasmFile, *compact)
+	// The job spec is the same construction path the service decodes
+	// from POST /v1/jobs: one description of what to run and how, used
+	// both to drive a local backend and as the -submit wire payload.
+	spec, err := buildSpec(*circuitName, *qasmFile, *compact, *schedName, *seed, *shots, *fuse, *tile, *tileBits)
 	if err != nil {
 		fatal(err)
+	}
+	c, err := spec.Load()
+	if err != nil {
+		fatal(fmt.Errorf("%v (try -list)", err))
+	}
+
+	if *submitURL != "" {
+		spec.Tenant = *tenantName
+		spec.Priority = *priority
+		spec.Backend, spec.PEs = submitHints(*backendName, *pes)
+		spec.ReturnState = *printState || *shots > 0
+		runSubmit(*submitURL, spec, c, *seed, *shots, *printState)
+		return
 	}
 
 	policy, err := sched.ParsePolicy(*schedName)
@@ -150,11 +167,9 @@ func main() {
 		return
 	}
 
-	var backend core.Backend
 	cfg := core.Config{
-		Seed: *seed, Style: ks, PEs: *pes, Coalesced: *coalesced, Fuse: *fuse,
-		Tile: *tile, TileBits: *tileBits, Topology: topo,
-		Sched: policy, Trace: telemetry.tracer, Metrics: telemetry.metrics,
+		Style: ks, PEs: *pes, Coalesced: *coalesced, Topology: topo,
+		Trace: telemetry.tracer, Metrics: telemetry.metrics,
 		Flight:          telemetry.flight,
 		CheckpointEvery: opts.checkpointEvery, CheckpointDir: opts.checkpointDir,
 		CheckpointAsync: opts.checkpointAsync, CheckpointFullEvery: opts.ckptFullEvery,
@@ -162,21 +177,14 @@ func main() {
 		MaxRestarts: opts.maxRestarts,
 		Fault:       opts.injector(), Timeouts: opts.timeouts(),
 	}
+	spec.ApplyCore(&cfg) // seed, fusion, schedule, tiling — the spec's slice of the config
 	if opts.resumePEs > 0 {
 		cfg.Resume = "" // RunElastic takes the checkpoint explicitly
 		cfg.PEs = opts.resumePEs
 	}
-	switch *backendName {
-	case "single":
-		backend = core.NewSingleDevice(cfg)
-	case "threaded":
-		backend = core.NewThreaded(cfg)
-	case "scale-up":
-		backend = core.NewScaleUp(cfg)
-	case "scale-out":
-		backend = core.NewScaleOut(cfg)
-	default:
-		fatal(fmt.Errorf("unknown backend %q", *backendName))
+	backend, err := core.NewBackend(*backendName, cfg)
+	if err != nil {
+		fatal(err)
 	}
 
 	telemetry.beginRun(*backendName, c.Name, *pes)
@@ -382,30 +390,6 @@ func (t *telemetry) close() {
 		stop() //nolint:errcheck // shutting down on exit
 	}
 	t.stops = nil
-}
-
-func loadCircuit(name, file string, compact bool) (*circuit.Circuit, error) {
-	switch {
-	case name != "" && file != "":
-		return nil, fmt.Errorf("use either -circuit or -qasm, not both")
-	case name != "":
-		e, err := qasmbench.ByName(name)
-		if err != nil {
-			return nil, fmt.Errorf("%v (try -list)", err)
-		}
-		if compact {
-			return e.Compact(), nil
-		}
-		return e.Build(), nil
-	case file != "":
-		src, err := os.ReadFile(file)
-		if err != nil {
-			return nil, err
-		}
-		return qasm.ParseNamed(strings.TrimSuffix(file, ".qasm"), string(src))
-	default:
-		return nil, fmt.Errorf("nothing to run: pass -circuit <name> or -qasm <file> (or -list)")
-	}
 }
 
 func runMPI(c *circuit.Circuit, opts runOpts, ks statevec.KernelStyle, shots int, printState bool, telemetry *telemetry, latch *core.StopLatch) {

@@ -1,12 +1,15 @@
 package svsim_test
 
 import (
+	"bufio"
 	"encoding/json"
+	"io"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"svsim/internal/obs"
 )
@@ -225,4 +228,92 @@ func checkTelemetryArtifacts(t *testing.T, flight, phase, om, trace string) stri
 		t.Fatal("trace has no spans")
 	}
 	return string(raw)
+}
+
+// TestServiceEndToEnd boots the real svserved daemon and submits the
+// same circuit twice through the real svsim binary — once locally, once
+// via -submit over HTTP — and asserts the printed amplitudes and shot
+// samples are identical: the service boundary must not perturb the
+// simulation. The daemon is then drained with a real SIGINT and must
+// exit cleanly.
+func TestServiceEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("e2e skipped in -short mode")
+	}
+	dir := t.TempDir()
+	svsim := buildTool(t, dir, "svsim/cmd/svsim")
+	svserved := buildTool(t, dir, "svsim/cmd/svserved")
+
+	daemon := exec.Command(svserved, "-listen", "localhost:0",
+		"-fleet-pool", "scale-out:4,scale-out:2",
+		"-workdir", filepath.Join(dir, "work"))
+	stdout, err := daemon.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	daemon.Stderr = io.Discard
+	if err := daemon.Start(); err != nil {
+		t.Fatal(err)
+	}
+	exited := make(chan error, 1)
+	stopped := false
+	stop := func() {
+		if stopped {
+			return
+		}
+		stopped = true
+		daemon.Process.Signal(os.Interrupt) //nolint:errcheck
+		go func() { exited <- daemon.Wait() }()
+		select {
+		case err := <-exited:
+			if err != nil {
+				t.Errorf("svserved did not drain cleanly: %v", err)
+			}
+		case <-time.After(30 * time.Second):
+			daemon.Process.Kill() //nolint:errcheck
+			t.Error("svserved still running 30s after SIGINT")
+		}
+	}
+	defer stop()
+
+	// The boot line names the ephemeral address:
+	//   svserved: listening on http://127.0.0.1:PORT (pool: ...)
+	scanner := bufio.NewScanner(stdout)
+	var addr string
+	for scanner.Scan() {
+		line := scanner.Text()
+		if i := strings.Index(line, "http://"); i >= 0 {
+			addr = strings.Fields(line[i+len("http://"):])[0]
+			break
+		}
+	}
+	if addr == "" {
+		t.Fatal("svserved never printed its listen address")
+	}
+	go func() { // keep draining so the daemon never blocks on stdout
+		for scanner.Scan() {
+		}
+	}()
+
+	args := []string{"-circuit", "bv_n14", "-seed", "7", "-sched", "lazy", "-state", "-shots", "8"}
+	local := runTool(t, svsim, args...)
+	remote := runTool(t, svsim, append(args, "-submit", addr, "-tenant", "alice")...)
+	if !strings.Contains(remote, "accepted by http://"+addr) {
+		t.Fatalf("remote run did not report submission:\n%s", remote)
+	}
+
+	// Everything from the state header on — amplitudes and shot samples
+	// — must match byte for byte.
+	cut := func(out string) string {
+		i := strings.Index(out, "state   :")
+		if i < 0 {
+			t.Fatalf("no state section in output:\n%s", out)
+		}
+		return out[i:]
+	}
+	if l, r := cut(local), cut(remote); l != r {
+		t.Fatalf("CLI and HTTP outputs differ:\nlocal:\n%s\nremote:\n%s", l, r)
+	}
+
+	stop()
 }

@@ -6,7 +6,10 @@ package cliutil
 
 import (
 	"fmt"
+	"net"
 	"os"
+	"strconv"
+	"strings"
 
 	"svsim/internal/ckpt"
 )
@@ -104,6 +107,84 @@ func ValidateResume(resume, backend string, pes int, schedName string) error {
 	}
 	if m.Backend != "mpi" && m.Sched != schedName {
 		return fmt.Errorf("-resume checkpoint used the %q schedule; rerun with -sched %s (got -sched %s)", m.Sched, m.Sched, schedName)
+	}
+	return nil
+}
+
+// FleetSpec is one fleet of a service pool, parsed from the -fleet-pool
+// flag's "backend:pes" grammar.
+type FleetSpec struct {
+	Backend string
+	PEs     int
+}
+
+// fleetPoolBackends are the backend names a service fleet may use (the
+// in-process core backends; mpi ranks are not scheduled as fleets).
+var fleetPoolBackends = map[string]bool{
+	"single":    true,
+	"threaded":  true,
+	"scale-up":  true,
+	"scale-out": true,
+}
+
+// ParseFleetPool parses a -fleet-pool spec: comma-separated
+// "backend:pes" entries, e.g. "scale-out:4,scale-out:2,threaded:8".
+// Every backend must be a core backend and every PE count a power of
+// two, mirroring what core.NewFleet will accept, so a bad pool fails at
+// flag parsing instead of at daemon boot.
+func ParseFleetPool(spec string) ([]FleetSpec, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, fmt.Errorf("-fleet-pool is empty: need at least one backend:pes entry, e.g. scale-out:4,scale-out:2")
+	}
+	var fleets []FleetSpec
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		backend, pesStr, ok := strings.Cut(part, ":")
+		if !ok {
+			return nil, fmt.Errorf("-fleet-pool entry %q: want backend:pes (e.g. scale-out:4)", part)
+		}
+		if !fleetPoolBackends[backend] {
+			return nil, fmt.Errorf("-fleet-pool entry %q: backend %q is not a fleet backend (supported: single, threaded, scale-up, scale-out)", part, backend)
+		}
+		pes, err := strconv.Atoi(pesStr)
+		if err != nil {
+			return nil, fmt.Errorf("-fleet-pool entry %q: PE count %q is not a number", part, pesStr)
+		}
+		if pes < 1 {
+			return nil, fmt.Errorf("-fleet-pool entry %q: PE count must be at least 1", part)
+		}
+		if pes&(pes-1) != 0 {
+			return nil, fmt.Errorf("-fleet-pool entry %q: PE count %d must be a power of two", part, pes)
+		}
+		fleets = append(fleets, FleetSpec{Backend: backend, PEs: pes})
+	}
+	return fleets, nil
+}
+
+// ValidateServe cross-checks the svserved flag combination the same way
+// ValidateCheckpointing does for the checkpoint flags: the listen
+// address must parse, the queue must have capacity, a tenant config (if
+// named) must be readable, and the fleet pool must describe at least
+// one valid fleet.
+func ValidateServe(listen string, queueDepth int, tenantConfig, fleetPool string) error {
+	if listen == "" {
+		return fmt.Errorf("-listen is required: the address the service accepts jobs on (e.g. localhost:9470, or :0 for an ephemeral port)")
+	}
+	if _, _, err := net.SplitHostPort(listen); err != nil {
+		return fmt.Errorf("-listen %q is not a host:port address: %v", listen, err)
+	}
+	if queueDepth < 1 {
+		return fmt.Errorf("-queue-depth %d: the job queue needs capacity for at least 1 job", queueDepth)
+	}
+	if tenantConfig != "" {
+		f, err := os.Open(tenantConfig)
+		if err != nil {
+			return fmt.Errorf("-tenant-config %s is not readable: %v", tenantConfig, err)
+		}
+		f.Close()
+	}
+	if _, err := ParseFleetPool(fleetPool); err != nil {
+		return err
 	}
 	return nil
 }

@@ -147,3 +147,92 @@ func TestValidateResume(t *testing.T) {
 		t.Fatalf("empty resume should be a no-op, got %v", err)
 	}
 }
+
+func TestParseFleetPool(t *testing.T) {
+	fleets, err := ParseFleetPool("scale-out:4, scale-out:2,threaded:8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []FleetSpec{{"scale-out", 4}, {"scale-out", 2}, {"threaded", 8}}
+	if len(fleets) != len(want) {
+		t.Fatalf("fleets %+v, want %+v", fleets, want)
+	}
+	for i := range want {
+		if fleets[i] != want[i] {
+			t.Fatalf("fleet %d = %+v, want %+v", i, fleets[i], want[i])
+		}
+	}
+}
+
+func TestParseFleetPoolRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		spec string
+		want string
+	}{
+		{"empty pool", "", "-fleet-pool is empty"},
+		{"blank pool", "   ", "-fleet-pool is empty"},
+		{"missing colon", "scale-out", "want backend:pes"},
+		{"unknown backend", "gpu:4", `backend "gpu" is not a fleet backend`},
+		{"mpi not poolable", "mpi:4", `backend "mpi" is not a fleet backend`},
+		{"non-numeric pes", "scale-out:four", `PE count "four" is not a number`},
+		{"zero pes", "scale-out:0", "PE count must be at least 1"},
+		{"negative pes", "threaded:-2", "PE count must be at least 1"},
+		{"non-power-of-two", "scale-out:6", "PE count 6 must be a power of two"},
+		{"bad second entry", "scale-out:4,scale-out:3", "PE count 3 must be a power of two"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseFleetPool(tc.spec)
+			if err == nil {
+				t.Fatalf("%q accepted", tc.spec)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestValidateServe(t *testing.T) {
+	cfg := filepath.Join(t.TempDir(), "tenants.json")
+	if err := os.WriteFile(cfg, []byte(`{}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateServe("localhost:9470", 64, cfg, "scale-out:4,scale-out:2"); err != nil {
+		t.Fatalf("valid serve flags rejected: %v", err)
+	}
+	if err := ValidateServe(":0", 1, "", "single:1"); err != nil {
+		t.Fatalf("ephemeral port rejected: %v", err)
+	}
+}
+
+func TestValidateServeRejections(t *testing.T) {
+	cases := []struct {
+		name         string
+		listen       string
+		queueDepth   int
+		tenantConfig string
+		fleetPool    string
+		want         string
+	}{
+		{"empty listen", "", 64, "", "scale-out:4", "-listen is required"},
+		{"listen without port", "localhost", 64, "", "scale-out:4", "not a host:port address"},
+		{"zero queue depth", ":0", 0, "", "scale-out:4", "-queue-depth 0"},
+		{"negative queue depth", ":0", -3, "", "scale-out:4", "capacity for at least 1 job"},
+		{"unreadable tenant config", ":0", 64, "/nonexistent/tenants.json", "scale-out:4", "is not readable"},
+		{"bad fleet pool", ":0", 64, "", "", "-fleet-pool is empty"},
+		{"bad fleet entry", ":0", 64, "", "scale-out:3", "power of two"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := ValidateServe(tc.listen, tc.queueDepth, tc.tenantConfig, tc.fleetPool)
+			if err == nil {
+				t.Fatal("invalid serve flags accepted")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}

@@ -25,18 +25,36 @@ type entry struct {
 	planFP     uint64
 	origSig    uint64 // demand signature of the source stream (block-aware compiles)
 	fusedSig   uint64 // demand signature of the executable stream
+	owner      string // attribution label of the view that compiled it
 }
 
 // Cache is a thread-safe LRU of compiled plans keyed on circuit
 // skeleton + compile configuration. A single Cache is safe to share
 // across goroutines (batch.Runner workers all compile through one).
+//
+// A Cache value is a handle over a shared store: View derives further
+// handles that share the same entries but attribute their hits and
+// misses to a label (the multi-tenant service gives every tenant its
+// own view of one fleet-wide cache, so hot circuits compile once
+// regardless of who submits them while accounting stays per-tenant).
 type Cache struct {
+	s     *cacheStore
+	label string // attribution label, "" for the unattributed root
+}
+
+// cacheStore is the shared state behind every view of one cache.
+type cacheStore struct {
 	mu     sync.Mutex
 	cap    int
 	ll     *list.List // front = most recently used
 	byKey  map[uint64]*list.Element
 	hits   int64
 	misses int64
+	// cross counts verified hits served to a view whose label differs
+	// from the label that compiled the entry — the shared-cache payoff
+	// the service dashboard reports (tenant B reusing tenant A's plan).
+	cross   int64
+	byLabel map[string]*CacheStats
 	// inflight de-duplicates concurrent compiles of the same key
 	// (single-flight): the first misser compiles, later callers wait on
 	// its channel and then retry the lookup. This keeps a concurrent
@@ -55,77 +73,134 @@ func NewCache(capacity int) *Cache {
 	if capacity < 1 {
 		capacity = 1
 	}
-	return &Cache{
+	return &Cache{s: &cacheStore{
 		cap:      capacity,
 		ll:       list.New(),
 		byKey:    make(map[uint64]*list.Element),
+		byLabel:  make(map[string]*CacheStats),
 		inflight: make(map[uint64]chan struct{}),
+	}}
+}
+
+// View returns a handle onto the same underlying cache whose lookups
+// are attributed to label. Entries, capacity, and single-flight state
+// are shared with every other view; only the accounting differs. A nil
+// cache returns nil, so optional caches stay optional.
+func (c *Cache) View(label string) *Cache {
+	if c == nil {
+		return nil
 	}
+	return &Cache{s: c.s, label: label}
+}
+
+// Label reports the attribution label of this view ("" for the root).
+func (c *Cache) Label() string {
+	if c == nil {
+		return ""
+	}
+	return c.label
 }
 
 // CacheStats is a point-in-time snapshot of cache effectiveness. Hits
 // count verified hits only; a lookup whose signature check failed is a
-// miss.
+// miss. CrossLabelHits counts the subset of hits where the entry was
+// compiled under a different attribution label (a cross-tenant reuse).
 type CacheStats struct {
-	Hits    int64
-	Misses  int64
-	Entries int
+	Hits           int64
+	Misses         int64
+	CrossLabelHits int64
+	Entries        int
 }
 
-// Stats snapshots hit/miss counters and the current entry count.
+// Stats snapshots hit/miss counters and the current entry count across
+// all views of the cache.
 func (c *Cache) Stats() CacheStats {
 	if c == nil {
 		return CacheStats{}
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return CacheStats{Hits: c.hits, Misses: c.misses, Entries: c.ll.Len()}
+	s := c.s
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return CacheStats{Hits: s.hits, Misses: s.misses, CrossLabelHits: s.cross, Entries: s.ll.Len()}
+}
+
+// StatsByLabel snapshots per-label attribution: one CacheStats per view
+// label that has recorded at least one lookup (Entries is zero in these
+// rows; entry count is a whole-cache property).
+func (c *Cache) StatsByLabel() map[string]CacheStats {
+	if c == nil {
+		return nil
+	}
+	s := c.s
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]CacheStats, len(s.byLabel))
+	for label, ls := range s.byLabel {
+		out[label] = *ls
+	}
+	return out
+}
+
+// labelStatsLocked returns the accounting row for label, creating it on
+// first use. Caller holds s.mu.
+func (s *cacheStore) labelStatsLocked(label string) *CacheStats {
+	ls := s.byLabel[label]
+	if ls == nil {
+		ls = &CacheStats{}
+		s.byLabel[label] = ls
+	}
+	return ls
 }
 
 func (c *Cache) get(key uint64) (*entry, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	el, ok := c.byKey[key]
+	s := c.s
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.byKey[key]
 	if !ok {
 		return nil, false
 	}
-	c.ll.MoveToFront(el)
+	s.ll.MoveToFront(el)
 	return el.Value.(*lruItem).e, true
 }
 
 func (c *Cache) put(key uint64, e *entry) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if el, ok := c.byKey[key]; ok {
+	e.owner = c.label
+	s := c.s
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.byKey[key]; ok {
 		el.Value.(*lruItem).e = e
-		c.ll.MoveToFront(el)
+		s.ll.MoveToFront(el)
 		return
 	}
-	c.byKey[key] = c.ll.PushFront(&lruItem{key: key, e: e})
-	for c.ll.Len() > c.cap {
-		oldest := c.ll.Back()
-		c.ll.Remove(oldest)
-		delete(c.byKey, oldest.Value.(*lruItem).key)
+	s.byKey[key] = s.ll.PushFront(&lruItem{key: key, e: e})
+	for s.ll.Len() > s.cap {
+		oldest := s.ll.Back()
+		s.ll.Remove(oldest)
+		delete(s.byKey, oldest.Value.(*lruItem).key)
 	}
 }
 
 // begin claims the right to compile key; false means another goroutine
 // already holds it (wait on it with wait, then re-look-up).
 func (c *Cache) begin(key uint64) bool {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if _, busy := c.inflight[key]; busy {
+	s := c.s
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, busy := s.inflight[key]; busy {
 		return false
 	}
-	c.inflight[key] = make(chan struct{})
+	s.inflight[key] = make(chan struct{})
 	return true
 }
 
 // wait blocks until the in-flight compile of key (if any) finishes.
 func (c *Cache) wait(key uint64) {
-	c.mu.Lock()
-	ch, busy := c.inflight[key]
-	c.mu.Unlock()
+	s := c.s
+	s.mu.Lock()
+	ch, busy := s.inflight[key]
+	s.mu.Unlock()
 	if busy {
 		<-ch
 	}
@@ -133,23 +208,37 @@ func (c *Cache) wait(key uint64) {
 
 // end releases a claim taken with begin, waking all waiters.
 func (c *Cache) end(key uint64) {
-	c.mu.Lock()
-	ch := c.inflight[key]
-	delete(c.inflight, key)
-	c.mu.Unlock()
+	s := c.s
+	s.mu.Lock()
+	ch := s.inflight[key]
+	delete(s.inflight, key)
+	s.mu.Unlock()
 	if ch != nil {
 		close(ch)
 	}
 }
 
-func (c *Cache) recordHit() {
-	c.mu.Lock()
-	c.hits++
-	c.mu.Unlock()
+// recordHit attributes a verified hit on key to this view's label; a
+// hit on an entry another label compiled also counts as cross-label.
+func (c *Cache) recordHit(key uint64) {
+	s := c.s
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.hits++
+	ls := s.labelStatsLocked(c.label)
+	ls.Hits++
+	if el, ok := s.byKey[key]; ok {
+		if owner := el.Value.(*lruItem).e.owner; owner != c.label {
+			s.cross++
+			ls.CrossLabelHits++
+		}
+	}
 }
 
 func (c *Cache) recordMiss() {
-	c.mu.Lock()
-	c.misses++
-	c.mu.Unlock()
+	s := c.s
+	s.mu.Lock()
+	s.misses++
+	s.labelStatsLocked(c.label).Misses++
+	s.mu.Unlock()
 }

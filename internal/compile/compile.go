@@ -193,7 +193,7 @@ func Compile(c *circuit.Circuit, cfg Config) (*CompiledPlan, Stats, error) {
 					}
 					st.CacheHit = true
 					st.TotalNS = time.Since(t0).Nanoseconds()
-					cfg.Cache.recordHit()
+					cfg.Cache.recordHit(key)
 					recordMetrics(cfg.Metrics, &st, true)
 					return cp, st, nil
 				}

@@ -56,6 +56,12 @@ type Config struct {
 	// when > 0; 0 lets the planner derive it from the circuit's target
 	// strides. Only meaningful with Tile.
 	TileBits int
+	// Pool, when non-nil, is a persistent shared-memory worker pool the
+	// threaded backend executes on instead of building (and tearing
+	// down) one per Run call. A Fleet owns one pool across all its jobs;
+	// the pool's worker count takes precedence over PEs. Ignored by the
+	// other backends.
+	Pool *statevec.Pool
 	// Plans, when non-nil, is a shared compile plan cache: circuits with
 	// the same skeleton (gate kinds + qubit pattern, parameter values
 	// excluded) reuse one schedule, so variational sweeps plan once per

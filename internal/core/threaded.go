@@ -40,8 +40,15 @@ func (b *Threaded) Run(c *circuit.Circuit) (*Result, error) {
 	if workers < 1 {
 		workers = 1
 	}
-	pool := statevec.NewPool(workers)
-	defer pool.Close()
+	pool := b.cfg.Pool
+	if pool == nil {
+		// One-shot run: build a pool for this call only. Fleet callers
+		// pass a persistent pool instead (construct once, run many).
+		pool = statevec.NewPool(workers)
+		defer pool.Close()
+	} else {
+		workers = pool.Workers()
+	}
 
 	rt := &rtctx{
 		st:  statevec.New(c.NumQubits),

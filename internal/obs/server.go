@@ -16,17 +16,15 @@ type ServeOpts struct {
 	Pprof   bool            // /debug/pprof/* (always registered today)
 }
 
-// StartServer serves the observability endpoints on addr (e.g.
-// "localhost:9464", ":0" for an ephemeral port) on a private mux:
+// Mux builds the observability endpoints on a fresh private mux:
 // /metrics renders the registry as OpenMetrics with process-level
 // gauges refreshed per scrape, /debug/flight streams the flight
 // recorder as JSONL, and /debug/pprof/* exposes the standard profiler.
-// It returns the bound address and a stop function.
-func StartServer(addr string, opts ServeOpts) (boundAddr string, stop func() error, err error) {
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return "", nil, err
-	}
+// Callers that own a larger HTTP surface (the simulation service) mount
+// this mux under theirs; StartServer serves it standalone. Refresh, if
+// non-nil, runs before every /metrics render so the caller can stamp
+// scrape-time gauges of its own (queue depth, per-tenant usage).
+func Mux(opts ServeOpts, refresh func(*Metrics)) *http.ServeMux {
 	start := time.Now()
 	mux := http.NewServeMux()
 	if m := opts.Metrics; m != nil {
@@ -34,6 +32,9 @@ func StartServer(addr string, opts ServeOpts) (boundAddr string, stop func() err
 			refreshProcessGauges(m, start)
 			if f := opts.Flight; f != nil {
 				m.Gauge(MetricFlightEvents).Set(float64(f.Len()))
+			}
+			if refresh != nil {
+				refresh(m)
 			}
 			w.Header().Set("Content-Type", ContentTypeOpenMetrics)
 			m.WriteOpenMetrics(w) //nolint:errcheck // client went away
@@ -50,7 +51,18 @@ func StartServer(addr string, opts ServeOpts) (boundAddr string, stop func() err
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	return mux
+}
+
+// StartServer serves the observability endpoints of Mux on addr (e.g.
+// "localhost:9464", ":0" for an ephemeral port). It returns the bound
+// address and a stop function.
+func StartServer(addr string, opts ServeOpts) (boundAddr string, stop func() error, err error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: Mux(opts, nil), ReadHeaderTimeout: 5 * time.Second}
 	go srv.Serve(ln) //nolint:errcheck // Serve returns ErrServerClosed on stop
 	return ln.Addr().String(), srv.Close, nil
 }

@@ -1,0 +1,103 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// TenantQuota bounds one tenant's use of the service. Zero values mean
+// unlimited on the limit fields; Weight defaults to 1 when zero.
+type TenantQuota struct {
+	// MaxConcurrent caps how many of the tenant's jobs may run at once
+	// across the fleet pool.
+	MaxConcurrent int `json:"max_concurrent,omitempty"`
+	// MaxResidentBytes caps the sum of predicted footprints of the
+	// tenant's running jobs. A single job over the cap is rejected at
+	// submit (413); otherwise jobs queue until usage drops.
+	MaxResidentBytes int64 `json:"max_resident_bytes,omitempty"`
+	// MaxQueued caps the tenant's waiting jobs; past it, submissions
+	// get 429 with Retry-After (backpressure, not rejection-forever).
+	MaxQueued int `json:"max_queued,omitempty"`
+	// Weight is the tenant's fair share. A weight-2 tenant is charged
+	// half as much virtual time per second of predicted runtime as a
+	// weight-1 tenant, so it drains twice as fast under contention.
+	Weight float64 `json:"weight,omitempty"`
+}
+
+// norm returns the quota with defaults applied.
+func (q TenantQuota) norm() TenantQuota {
+	if q.Weight <= 0 {
+		q.Weight = 1
+	}
+	return q
+}
+
+// TenantConfig is the service's tenant table: a default quota for
+// unlisted tenants plus per-tenant overrides. It is the JSON document
+// svserved's -tenant-config flag names.
+type TenantConfig struct {
+	// Default applies to any tenant without an explicit entry.
+	Default TenantQuota `json:"default"`
+	// Tenants maps tenant name to its quota.
+	Tenants map[string]TenantQuota `json:"tenants,omitempty"`
+}
+
+// Quota resolves the effective quota for a tenant (explicit entry or
+// the default), with defaults normalised.
+func (tc *TenantConfig) Quota(tenant string) TenantQuota {
+	if tc != nil && tc.Tenants != nil {
+		if q, ok := tc.Tenants[tenant]; ok {
+			return q.norm()
+		}
+	}
+	if tc == nil {
+		return TenantQuota{}.norm()
+	}
+	return tc.Default.norm()
+}
+
+// LoadTenantConfig reads a tenant table from a JSON file. Unknown
+// fields are rejected so a typo'd quota key fails loudly instead of
+// silently meaning "unlimited".
+func LoadTenantConfig(path string) (*TenantConfig, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("tenant config: %v", err)
+	}
+	return ParseTenantConfig(data)
+}
+
+// ParseTenantConfig parses a tenant table from JSON bytes.
+func ParseTenantConfig(data []byte) (*TenantConfig, error) {
+	var tc TenantConfig
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&tc); err != nil {
+		return nil, fmt.Errorf("tenant config: %v", err)
+	}
+	for name, q := range tc.Tenants {
+		if err := checkQuota(name, q); err != nil {
+			return nil, err
+		}
+	}
+	if err := checkQuota("default", tc.Default); err != nil {
+		return nil, err
+	}
+	return &tc, nil
+}
+
+func checkQuota(name string, q TenantQuota) error {
+	switch {
+	case q.MaxConcurrent < 0:
+		return fmt.Errorf("tenant config: %s: max_concurrent cannot be negative", name)
+	case q.MaxResidentBytes < 0:
+		return fmt.Errorf("tenant config: %s: max_resident_bytes cannot be negative", name)
+	case q.MaxQueued < 0:
+		return fmt.Errorf("tenant config: %s: max_queued cannot be negative", name)
+	case q.Weight < 0:
+		return fmt.Errorf("tenant config: %s: weight cannot be negative", name)
+	}
+	return nil
+}

@@ -1,0 +1,95 @@
+package serve
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestParseTenantConfig(t *testing.T) {
+	tc, err := ParseTenantConfig([]byte(`{
+		"default": {"max_queued": 8},
+		"tenants": {
+			"alice": {"max_concurrent": 2, "max_resident_bytes": 1048576, "weight": 2},
+			"bob":   {}
+		}
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := tc.Quota("alice")
+	if a.MaxConcurrent != 2 || a.MaxResidentBytes != 1<<20 || a.Weight != 2 {
+		t.Fatalf("alice quota %+v", a)
+	}
+	if b := tc.Quota("bob"); b.Weight != 1 {
+		t.Fatalf("bob's zero weight did not default to 1: %+v", b)
+	}
+	if u := tc.Quota("unlisted"); u.MaxQueued != 8 || u.Weight != 1 {
+		t.Fatalf("unlisted tenant did not inherit the default: %+v", u)
+	}
+}
+
+func TestParseTenantConfigRejections(t *testing.T) {
+	for _, tt := range []struct {
+		src  string
+		want string
+	}{
+		{`{"tenants": {"a": {"max_concurrent": -1}}}`, "max_concurrent cannot be negative"},
+		{`{"tenants": {"a": {"max_resident_bytes": -1}}}`, "max_resident_bytes cannot be negative"},
+		{`{"tenants": {"a": {"max_queued": -1}}}`, "max_queued cannot be negative"},
+		{`{"tenants": {"a": {"weight": -0.5}}}`, "weight cannot be negative"},
+		{`{"default": {"max_queued": -2}}`, "max_queued cannot be negative"},
+		{`{"tenants": {"a": {"max_qeued": 3}}}`, "unknown field"},
+		{`{]`, "invalid character"},
+	} {
+		_, err := ParseTenantConfig([]byte(tt.src))
+		if err == nil {
+			t.Fatalf("config %s parsed, want error containing %q", tt.src, tt.want)
+		}
+		if !strings.Contains(err.Error(), tt.want) {
+			t.Fatalf("config %s: error %q does not mention %q", tt.src, err, tt.want)
+		}
+	}
+}
+
+func TestLoadTenantConfig(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "tenants.json")
+	if err := os.WriteFile(path, []byte(`{"tenants": {"a": {"weight": 3}}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tc, err := LoadTenantConfig(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tc.Quota("a").Weight != 3 {
+		t.Fatalf("quota %+v", tc.Quota("a"))
+	}
+	if _, err := LoadTenantConfig(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("missing file loaded")
+	}
+}
+
+func TestNilTenantConfigIsUnlimited(t *testing.T) {
+	var tc *TenantConfig
+	q := tc.Quota("anyone")
+	if q.MaxConcurrent != 0 || q.MaxQueued != 0 || q.MaxResidentBytes != 0 || q.Weight != 1 {
+		t.Fatalf("nil config quota %+v, want unlimited with weight 1", q)
+	}
+}
+
+// The example quota table shipped in the repo (used by `make serve`)
+// must keep parsing as the schema evolves.
+func TestExampleTenantConfigParses(t *testing.T) {
+	tc, err := LoadTenantConfig(filepath.Join("..", "..", "examples", "tenants.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q := tc.Quota("alice"); q.Weight != 3 || q.MaxConcurrent != 4 {
+		t.Fatalf("alice quota %+v", q)
+	}
+	if q := tc.Quota("unlisted"); q.MaxConcurrent != 2 || q.Weight != 1 {
+		t.Fatalf("default quota %+v", q)
+	}
+}
